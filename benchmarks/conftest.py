@@ -1,0 +1,8 @@
+"""Benchmark-harness configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `assets` module importable as `benchmarks.assets`
+# regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,72 @@
+"""Figure 11 — batched-embedding fusion co-design case.
+
+The paper replaces a subgraph of per-table ``embedding_bag`` ops with
+one batched embedding op on the execution graph and predicts the gain
+without launching any job.  We regenerate that what-if and validate the
+predicted speedup against the simulated testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import get_device, get_overheads, get_registry, write_result
+from repro.codesign import evaluate_embedding_fusion
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+
+
+@pytest.fixture(scope="module")
+def fusion_case():
+    gpu = "V100"
+    registry, _ = get_registry(gpu)
+    overheads = get_overheads(gpu, "DLRM_default", 2048)
+    device = get_device(gpu)
+
+    rows = {}
+    for batch in (512, 2048):
+        config = DLRM_DEFAULT.with_overrides(
+            fused_embedding=False, name=f"DLRM_unfused_b{batch}"
+        )
+        unfused = build_dlrm_graph(config, batch)
+        report = evaluate_embedding_fusion(unfused, registry, overheads)
+        true_before = device.run(unfused, iterations=5, warmup=1).mean_e2e_us
+        true_after = device.run(
+            report.fused_graph, iterations=5, warmup=1
+        ).mean_e2e_us
+        rows[batch] = {
+            "predicted_speedup": report.speedup,
+            "true_speedup": true_before / true_after,
+            "overhead_saved_us": report.overhead_saved_us,
+            "active_saved_us": report.active_saved_us,
+        }
+    write_result("fig11_fusion_codesign", rows)
+    print("\nFigure 11 — embedding fusion what-if (V100):")
+    for batch, row in rows.items():
+        print(
+            f"  b={batch}: predicted {row['predicted_speedup']:.2f}x, "
+            f"true {row['true_speedup']:.2f}x, "
+            f"overhead saved {row['overhead_saved_us']:.0f}us"
+        )
+    return rows
+
+
+def test_fig11_fusion_predicts_real_speedup(benchmark, fusion_case):
+    """The predicted fusion gain tracks the simulated ground truth."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for batch, row in fusion_case.items():
+        assert row["predicted_speedup"] > 1.0
+        assert row["true_speedup"] > 1.0
+        assert row["predicted_speedup"] == pytest.approx(
+            row["true_speedup"], rel=0.20
+        )
+
+
+def test_fig11_overhead_savings_dominate_at_small_batch(benchmark, fusion_case):
+    """At small batch the win is mostly host overhead removal."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert fusion_case[512]["overhead_saved_us"] > 0
+    # Relative benefit shrinks as compute grows with batch.
+    assert (
+        fusion_case[512]["predicted_speedup"]
+        >= fusion_case[2048]["predicted_speedup"] - 0.05
+    )

@@ -1,0 +1,63 @@
+"""Figure 1 — GPU utilization of six DL models on the simulated V100.
+
+Paper shape: ResNet-50 / Inception-V3 / Transformer sit near 100% at
+every common batch size; the three DLRMs sit substantially lower and
+climb with batch size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import get_device, get_graph, write_result
+from repro.models import FIGURE1_BATCH_SIZES
+from repro.trace import trace_breakdown
+
+
+def _utilization(model: str, batch: int) -> float:
+    device = get_device("V100")
+    run = device.run(
+        get_graph(model, batch), iterations=3, batch_size=batch,
+        with_profiler=True, warmup=1,
+    )
+    return trace_breakdown(run.trace).gpu_utilization
+
+
+@pytest.fixture(scope="module")
+def figure1_table():
+    table = {
+        model: {batch: _utilization(model, batch) for batch in batches}
+        for model, batches in FIGURE1_BATCH_SIZES.items()
+    }
+    write_result("fig1_gpu_utilization", table)
+    print("\nFigure 1 — GPU utilization (V100):")
+    for model, row in table.items():
+        cells = " ".join(f"{b}:{u:6.1%}" for b, u in row.items())
+        print(f"  {model:14s} {cells}")
+    return table
+
+
+def test_fig1_gpu_utilization(benchmark, figure1_table):
+    """Regenerate Figure 1 and check its qualitative shape."""
+    benchmark.pedantic(
+        lambda: _utilization("DLRM_default", 512), rounds=1, iterations=1
+    )
+
+    dlrm = [m for m in figure1_table if m.startswith("DLRM")]
+    dense = [m for m in figure1_table if not m.startswith("DLRM")]
+
+    # CV/NLP models: ~100% utilization at every batch size.
+    for model in dense:
+        for util in figure1_table[model].values():
+            assert util > 0.95, f"{model} should be ~100% utilized"
+
+    # DLRMs: substantially lower at small batch, increasing with batch.
+    for model in dlrm:
+        series = list(figure1_table[model].values())
+        assert series[0] < 0.85, f"{model} must show idle time at b=512"
+        assert series[0] < series[-1], f"{model} utilization must rise"
+
+    # The contrast the paper leads with.
+    worst_dense = min(min(figure1_table[m].values()) for m in dense)
+    best_dlrm_small = max(figure1_table[m][512] for m in dlrm)
+    assert best_dlrm_small < worst_dense

@@ -1,0 +1,66 @@
+"""Figure 5 — device-time breakdown of three DLRMs @ 2048 on V100.
+
+Paper shape: no single op dominates everywhere; embedding lookups
+dominate DLRM_default and DLRM_DDP while DLRM_MLPerf tilts toward
+GEMM/Index ops; idle is a visible slice; trivial element-wise ops sum
+to a few percent and must not be dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import DLRM_MODELS, get_profiled, write_result
+from repro.trace import trace_breakdown
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    table = {}
+    for model in DLRM_MODELS:
+        bd = trace_breakdown(get_profiled("V100", model, 2048).trace)
+        table[model] = bd.device_time_shares(top_k=19)
+    write_result("fig5_breakdown", table)
+    print("\nFigure 5 — device-time shares @ 2048 (V100):")
+    for model, shares in table.items():
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:8]
+        print(f"  {model:13s} " + ", ".join(f"{k}={v:.1%}" for k, v in top))
+    return table
+
+
+def test_fig5_breakdown(benchmark, breakdowns):
+    """Regenerate Figure 5 and check the per-model domination pattern."""
+    benchmark.pedantic(
+        lambda: trace_breakdown(get_profiled("V100", "DLRM_default", 2048).trace),
+        rounds=1, iterations=1,
+    )
+
+    for model, shares in breakdowns.items():
+        assert "Idle" in shares and shares["Idle"] > 0
+
+    def lookup_share(model):
+        s = breakdowns[model]
+        return s.get("LookupFunction", 0) + s.get("LookupFunctionBackward", 0)
+
+    # DDP is the most embedding-dominated configuration.
+    assert lookup_share("DLRM_DDP") > 0.25
+    assert lookup_share("DLRM_default") > 0.10
+    # MLPerf gives the domination to FC (addmm/linear) instead.
+    mlperf = breakdowns["DLRM_MLPerf"]
+    gemm_share = mlperf.get("AddmmBackward0", 0) + mlperf.get("aten::linear", 0)
+    assert gemm_share > lookup_share("DLRM_MLPerf")
+    # Trivial ops (relu & friends) contribute but do not dominate.
+    relu = breakdowns["DLRM_default"].get("aten::relu", 0)
+    assert 0 < relu < 0.10
+
+
+def test_fig5_dominating_kernels_cover_paper_list(benchmark, breakdowns):
+    """The six dominating kernel families of Section III-A all appear."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    seen = set()
+    for shares in breakdowns.values():
+        seen |= set(shares)
+    for op in ("LookupFunction", "LookupFunctionBackward", "aten::linear",
+               "AddmmBackward0", "aten::bmm", "aten::cat", "aten::to",
+               "IndexBackward0"):
+        assert any(op in s for s in (seen,)), f"{op} missing from breakdown"

@@ -1,0 +1,53 @@
+"""Figure 7 — T1 overhead mean/std across models and batch sizes (V100).
+
+Paper shape: T1 means cluster around 8 µs for every model and batch
+size — the evidence for model- and size-independence of the
+between-ops overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.assets import DLRM_BATCHES, DLRM_MODELS, get_profiled, write_result
+from repro.overheads import extract_overhead_samples, remove_outliers
+from repro.simulator.host import T1
+
+
+def _t1_stats(model: str, batch: int) -> tuple[float, float]:
+    samples = extract_overhead_samples(get_profiled("V100", model, batch).trace)
+    t1 = [v for per in samples.values() for v in per.get(T1, [])]
+    t1 = remove_outliers(t1)
+    return float(np.mean(t1)), float(np.std(t1))
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    table = {
+        model: {batch: _t1_stats(model, batch) for batch in DLRM_BATCHES}
+        for model in DLRM_MODELS
+    }
+    write_result(
+        "fig7_t1_overhead",
+        {m: {b: {"mean": v[0], "std": v[1]} for b, v in row.items()}
+         for m, row in table.items()},
+    )
+    print("\nFigure 7 — T1 overhead mean±std (µs, V100):")
+    for model, row in table.items():
+        cells = " ".join(f"{b}:{m:.1f}±{s:.1f}" for b, (m, s) in row.items())
+        print(f"  {model:13s} {cells}")
+    return table
+
+
+def test_fig7_t1_model_and_size_independent(benchmark, figure7):
+    """All T1 means cluster tightly around a common value (~8 µs)."""
+    benchmark.pedantic(lambda: _t1_stats("DLRM_default", 512),
+                       rounds=1, iterations=1)
+    means = [m for row in figure7.values() for m, _ in row.values()]
+    overall = float(np.mean(means))
+    assert 5.0 < overall < 14.0
+    for mean in means:
+        assert abs(mean - overall) / overall < 0.25, (
+            f"T1 mean {mean:.2f} deviates from overall {overall:.2f}"
+        )

@@ -1,0 +1,93 @@
+"""Figure 8 — T2/T3/T5 statistics of the most dominating ops (V100).
+
+Paper shape: each overhead type has clear per-op levels (e.g. the
+LookupFunction prologue is far heavier than aten::relu's), but for a
+fixed op the statistics do not trend with model or batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.assets import DLRM_BATCHES, DLRM_MODELS, get_profiled, write_result
+from repro.overheads import extract_overhead_samples, remove_outliers
+from repro.simulator.host import T2, T3, T5
+
+
+def _per_op_means(model: str, batch: int) -> dict:
+    samples = extract_overhead_samples(get_profiled("V100", model, batch).trace)
+    out = {}
+    for op_name, per_type in samples.items():
+        out[op_name] = {
+            otype: float(np.mean(remove_outliers(values)))
+            for otype, values in per_type.items()
+            if otype in (T2, T3, T5) and values
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def figure8():
+    table = {
+        model: {batch: _per_op_means(model, batch) for batch in DLRM_BATCHES}
+        for model in DLRM_MODELS
+    }
+    write_result("fig8_op_overheads", table)
+
+    # Print the 10 most dominating ops by T2 (like the paper's panels).
+    pooled: dict[str, list[float]] = {}
+    for model in table.values():
+        for per_batch in model.values():
+            for op, per_type in per_batch.items():
+                if T2 in per_type:
+                    pooled.setdefault(op, []).append(per_type[T2])
+    ranked = sorted(pooled.items(), key=lambda kv: -np.mean(kv[1]))[:10]
+    print("\nFigure 8 — top-10 ops by mean T2 (µs, V100, pooled):")
+    for op, values in ranked:
+        print(f"  {op:26s} T2={np.mean(values):6.1f}")
+    return table
+
+
+def test_fig8_op_levels_differ(benchmark, figure8):
+    """T2 is strongly op-dependent (LookupFunction >> aten::relu)."""
+    benchmark.pedantic(lambda: _per_op_means("DLRM_default", 512),
+                       rounds=1, iterations=1)
+    t2 = figure8["DLRM_default"][2048]
+    assert t2["LookupFunction"][T2] > 2.5 * t2["aten::relu"][T2]
+
+
+def test_fig8_size_independence(benchmark, figure8):
+    """For a fixed op, T2/T3/T5 do not trend with batch size."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for model in DLRM_MODELS:
+        for op in ("aten::linear", "AddmmBackward0", "aten::relu"):
+            for otype in (T2, T3):
+                values = [
+                    figure8[model][batch][op][otype]
+                    for batch in DLRM_BATCHES
+                    if op in figure8[model][batch]
+                    and otype in figure8[model][batch][op]
+                ]
+                if len(values) < 2:
+                    continue
+                spread = (max(values) - min(values)) / np.mean(values)
+                assert spread < 0.6, (
+                    f"{model}/{op}/{otype} trends with batch: {values}"
+                )
+
+
+def test_fig8_model_independence(benchmark, figure8):
+    """For a fixed op and type, means agree across DLRM variants."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for op in ("aten::linear", "AddmmBackward0"):
+        means = []
+        for model in DLRM_MODELS:
+            values = [
+                figure8[model][batch][op][T2]
+                for batch in DLRM_BATCHES
+                if op in figure8[model][batch]
+            ]
+            means.append(np.mean(values))
+        spread = (max(means) - min(means)) / np.mean(means)
+        assert spread < 0.4, f"{op} T2 differs across models: {means}"

@@ -1,0 +1,125 @@
+"""Figure 9 — E2E per-batch prediction across 3 DLRMs x 4 batches x 3 GPUs.
+
+Regenerates the paper's panels: prediction error of GPU active time
+("active"), E2E with individual overheads ("E2E"), E2E with shared
+overheads ("shared_E2E"), and the kernel-only baseline, plus the
+measured iteration times.  Paper shape: kernel-only catastrophically
+underestimates at small batch (up to -78.5%) and converges toward E2E
+as utilization rises; E2E errors stay within roughly +/-25%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import (
+    DLRM_BATCHES,
+    DLRM_MODELS,
+    get_graph,
+    get_overheads,
+    get_registry,
+    get_shared_overheads,
+    get_truth,
+    write_result,
+)
+from repro.baselines import predict_kernel_only_us
+from repro.e2e import predict_e2e
+from repro.hardware import PAPER_GPUS
+
+
+def _panel(gpu_name: str) -> dict:
+    registry, _ = get_registry(gpu_name)
+    shared_db = get_shared_overheads(gpu_name)
+    rows = {}
+    for model in DLRM_MODELS:
+        for batch in DLRM_BATCHES:
+            graph = get_graph(model, batch)
+            truth = get_truth(gpu_name, model, batch)
+            own_db = get_overheads(gpu_name, model, batch)
+            pred = predict_e2e(graph, registry, own_db)
+            pred_shared = predict_e2e(graph, registry, shared_db)
+            ko = predict_kernel_only_us(graph, registry)
+            rows[f"{model}@{batch}"] = {
+                "iteration_ms": truth.mean_e2e_us / 1e3,
+                "active_err": (pred.active_us - truth.mean_gpu_active_us)
+                / truth.mean_gpu_active_us,
+                "e2e_err": (pred.total_us - truth.mean_e2e_us)
+                / truth.mean_e2e_us,
+                "shared_e2e_err": (pred_shared.total_us - truth.mean_e2e_us)
+                / truth.mean_e2e_us,
+                "kernel_only_err": (ko - truth.mean_e2e_us)
+                / truth.mean_e2e_us,
+            }
+    return rows
+
+
+@pytest.fixture(scope="module")
+def figure9():
+    table = {gpu: _panel(gpu) for gpu in PAPER_GPUS}
+    write_result("fig9_e2e_prediction", table)
+    print("\nFigure 9 — E2E prediction errors:")
+    for gpu, rows in table.items():
+        print(f"  [{gpu}]")
+        for key, row in rows.items():
+            print(
+                f"    {key:20s} iter={row['iteration_ms']:7.2f}ms "
+                f"active={row['active_err']:+7.1%} e2e={row['e2e_err']:+7.1%} "
+                f"shared={row['shared_e2e_err']:+7.1%} "
+                f"kernel_only={row['kernel_only_err']:+7.1%}"
+            )
+    return table
+
+
+def test_fig9_e2e_errors_bounded(benchmark, figure9):
+    """E2E errors stay within the paper's observed band (~+/-25%)."""
+    registry, _ = get_registry("V100")
+    graph = get_graph("DLRM_default", 2048)
+    db = get_overheads("V100", "DLRM_default", 2048)
+    benchmark(lambda: predict_e2e(graph, registry, db))
+
+    for gpu, rows in figure9.items():
+        for key, row in rows.items():
+            assert abs(row["e2e_err"]) < 0.25, f"{gpu}/{key}: {row['e2e_err']:.1%}"
+            assert abs(row["active_err"]) < 0.20, (
+                f"{gpu}/{key}: {row['active_err']:.1%}"
+            )
+
+
+def test_fig9_kernel_only_fails_at_small_batch(benchmark, figure9):
+    """Kernel-only underestimates badly exactly where utilization is low."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.metrics import geomean
+
+    for gpu, rows in figure9.items():
+        ko_small, e2e_small = [], []
+        for model in DLRM_MODELS:
+            small = rows[f"{model}@512"]
+            large = rows[f"{model}@4096"]
+            # Always an underestimate where utilization is lowest.
+            assert small["kernel_only_err"] < -0.05, (
+                f"{gpu}/{model}: kernel-only must fail at b=512"
+            )
+            ko_small.append(abs(small["kernel_only_err"]))
+            e2e_small.append(max(abs(small["e2e_err"]), 1e-4))
+            # The gap to E2E shrinks as batch (and utilization) grows.
+            gap_small = abs(small["kernel_only_err"] - small["e2e_err"])
+            gap_large = abs(large["kernel_only_err"] - large["e2e_err"])
+            assert gap_small > gap_large
+        # Aggregate: kernel-only is far worse than E2E at small batch.
+        assert geomean(ko_small) > 2.0 * geomean(e2e_small), (
+            f"{gpu}: kernel-only {geomean(ko_small):.1%} vs "
+            f"E2E {geomean(e2e_small):.1%}"
+        )
+
+
+def test_fig9_shared_overheads_close_to_individual(benchmark, figure9):
+    """Shared overheads cost only a small extra error."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.metrics import geomean
+
+    for gpu, rows in figure9.items():
+        indiv = geomean([max(abs(r["e2e_err"]), 1e-4) for r in rows.values()])
+        shared = geomean(
+            [max(abs(r["shared_e2e_err"]), 1e-4) for r in rows.values()]
+        )
+        assert shared < indiv + 0.06, f"{gpu}: shared {shared:.2%} vs {indiv:.2%}"

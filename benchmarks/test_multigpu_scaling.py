@@ -1,0 +1,99 @@
+"""Extension experiment — multi-GPU hybrid-parallel DLRM scaling.
+
+Not a paper figure: this regenerates the *future work* the paper
+sketches in Sections V-B/VI (collective kernel models + distributed
+prediction).  Asserted shape: prediction tracks the multi-GPU
+simulator; scaling is sub-linear; balanced sharding beats skewed;
+slower fabrics raise the communication share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import (
+    get_graph,
+    get_overheads,
+    get_registry,
+    get_truth,
+    write_result,
+)
+from repro.hardware import TESLA_V100
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import (
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    GroundTruthCollectives,
+    MultiGpuSimulator,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+
+_BATCH = 4096
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    registry, _ = get_registry("V100")
+    overheads = get_overheads("V100", "DLRM_default", _BATCH)
+    single = get_truth("V100", "DLRM_default", _BATCH).mean_e2e_us
+
+    rows = {}
+    for fabric in (NVLINK, PCIE_FABRIC):
+        for n in (2, 4, 8):
+            plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, _BATCH, n)
+            model = CollectiveModel.calibrate(GroundTruthCollectives(fabric), n)
+            pred = predict_multi_gpu(plan, registry, overheads, model)
+            truth = MultiGpuSimulator(TESLA_V100, fabric, seed=5).run(plan, 3)
+            rows[f"{fabric.name}x{n}"] = {
+                "predicted_us": pred.iteration_us,
+                "true_us": truth.iteration_us,
+                "speedup": single / truth.iteration_us,
+                "comm_fraction": pred.communication_fraction,
+                "err": (pred.iteration_us - truth.iteration_us)
+                / truth.iteration_us,
+            }
+    rows["single_us"] = single
+    write_result("multigpu_scaling", rows)
+    print("\nMulti-GPU scaling (DLRM_default @ 4096):")
+    for key, row in rows.items():
+        if key == "single_us":
+            continue
+        print(
+            f"  {key:10s} pred={row['predicted_us'] / 1e3:7.2f}ms "
+            f"true={row['true_us'] / 1e3:7.2f}ms err={row['err']:+6.1%} "
+            f"speedup={row['speedup']:.2f}x comm={row['comm_fraction']:.1%}"
+        )
+    return rows
+
+
+def test_multigpu_prediction_tracks_truth(benchmark, scaling):
+    registry, _ = get_registry("V100")
+    overheads = get_overheads("V100", "DLRM_default", _BATCH)
+    plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, _BATCH, 4)
+    model = CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 4)
+    benchmark(lambda: predict_multi_gpu(plan, registry, overheads, model))
+
+    for key, row in scaling.items():
+        if key == "single_us":
+            continue
+        assert abs(row["err"]) < 0.25, f"{key}: {row['err']:+.1%}"
+
+
+def test_multigpu_scaling_sublinear_but_positive(benchmark, scaling):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for fabric in ("NVLink", "PCIe"):
+        speedups = [scaling[f"{fabric}x{n}"]["speedup"] for n in (2, 4, 8)]
+        assert speedups[0] > 1.0, f"{fabric}: no gain from 2 GPUs"
+        assert speedups == sorted(speedups), f"{fabric}: non-monotone"
+        assert speedups[-1] < 8.0  # sub-linear
+
+
+def test_multigpu_pcie_more_comm_bound(benchmark, scaling):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in (2, 4, 8):
+        assert (
+            scaling[f"PCIex{n}"]["comm_fraction"]
+            > scaling[f"NVLinkx{n}"]["comm_fraction"]
+        )

@@ -1,0 +1,62 @@
+"""Op-fusion co-design (the paper's Figure 11 case).
+
+An ML engineer has a DLRM built from per-table ``aten::embedding_bag``
+ops and wants to know — *without launching a training job* — whether
+fusing them into one batched embedding op is worth the engineering
+effort.  The performance model answers by rewriting the execution graph
+and predicting both variants; we then validate against the simulated
+testbed (which a real user would not need to do).
+
+Run:  python examples/fusion_codesign.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TESLA_V100,
+    OverheadDatabase,
+    SimulatedDevice,
+    build_perf_models,
+    evaluate_embedding_fusion,
+)
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=13)
+    registry, _ = build_perf_models(device, microbench_scale=0.4)
+
+    # The unfused model: one embedding_bag op per table.
+    config = DLRM_DEFAULT.with_overrides(
+        fused_embedding=False, name="DLRM_unfused"
+    )
+
+    print("batch   predicted    overhead-saved   active-saved   true")
+    for batch in (512, 1024, 2048, 4096):
+        graph = build_dlrm_graph(config, batch)
+        profiled = device.run(
+            graph, iterations=8, batch_size=batch, with_profiler=True, warmup=2
+        )
+        overheads = OverheadDatabase.from_trace(profiled.trace)
+
+        report = evaluate_embedding_fusion(graph, registry, overheads)
+
+        # Validation against ground truth (not needed in production).
+        before = device.run(graph, iterations=8, warmup=2).mean_e2e_us
+        after = device.run(
+            report.fused_graph, iterations=8, warmup=2
+        ).mean_e2e_us
+        print(
+            f"{batch:5d}   {report.speedup:9.2f}x   "
+            f"{report.overhead_saved_us:11.0f}us   "
+            f"{report.active_saved_us:9.0f}us   {before / after:5.2f}x"
+        )
+
+    print()
+    print("The fusion win is dominated by removed host overheads at small")
+    print("batch sizes and by the faster batched kernel at large ones —")
+    print("all quantified before writing a single CUDA kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart — predict DLRM per-batch training time without hardware.
+
+Walks the paper's full pipeline (Figure 3) once:
+
+1. Build the simulated V100 testbed.
+2. Analysis track: measure hardware peaks, microbenchmark the
+   dominating kernels, train the ML-based kernel models, and collect
+   host-overhead statistics from one profiled run.
+3. Prediction track: record DLRM's execution graph and predict its
+   per-batch training time with the critical-path model (Algorithm 1).
+4. Compare against the simulated ground truth and the kernel-only
+   baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TESLA_V100,
+    OverheadDatabase,
+    SimulatedDevice,
+    build_model,
+    build_perf_models,
+    predict_e2e,
+    predict_kernel_only_us,
+)
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=42)
+    print(f"Simulated testbed: {device.gpu.name}")
+
+    # ----- Analysis track (done once per device) -----
+    print("Building kernel performance models (microbench + training)...")
+    registry, report = build_perf_models(device, microbench_scale=0.4)
+    print(f"  built in {report.build_seconds:.0f}s; "
+          f"ML validation GMAE: "
+          + ", ".join(f"{k}={v:.1%}" for k, v in report.ml_val_gmae.items()))
+
+    graph = build_model("DLRM_default", batch_size=2048)
+    print(f"Recorded execution graph: {len(graph)} ops, "
+          f"{graph.num_kernels()} kernels per iteration")
+
+    profiled = device.run(
+        graph, iterations=10, batch_size=2048, with_profiler=True, warmup=2
+    )
+    overheads = OverheadDatabase.from_trace(profiled.trace)
+    print(f"Collected overhead statistics for {len(overheads.op_names)} ops")
+
+    # ----- Prediction track -----
+    prediction = predict_e2e(graph, registry, overheads)
+    kernel_only = predict_kernel_only_us(graph, registry)
+
+    # ----- Ground truth comparison -----
+    truth = device.run(graph, iterations=10, batch_size=2048, warmup=2)
+    e2e_err = (prediction.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
+    ko_err = (kernel_only - truth.mean_e2e_us) / truth.mean_e2e_us
+
+    print()
+    print(f"Measured per-batch time : {truth.mean_e2e_us / 1e3:8.2f} ms")
+    print(f"Predicted (Algorithm 1) : {prediction.total_us / 1e3:8.2f} ms "
+          f"({e2e_err:+.1%})")
+    print(f"Kernel-only baseline    : {kernel_only / 1e3:8.2f} ms "
+          f"({ko_err:+.1%})")
+    print(f"Predicted GPU active    : {prediction.active_us / 1e3:8.2f} ms, "
+          f"idle {prediction.predicted_idle_us / 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

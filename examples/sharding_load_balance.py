@@ -1,0 +1,60 @@
+"""Embedding-table sharding load balance (Section V-A(c)).
+
+Multi-GPU DLRM shards its embedding tables across devices; the slowest
+device gates every iteration.  The performance model evaluates sharding
+schemes offline: here we compare a naive round-robin split of the
+MLPerf-like table set against the greedy predicted-cost balancer.
+
+Run:  python examples/sharding_load_balance.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TESLA_V100,
+    SimulatedDevice,
+    TableSpec,
+    build_perf_models,
+    evaluate_sharding,
+    greedy_balance,
+)
+from repro.models.dlrm import DLRM_MLPERF
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=23)
+    registry, _ = build_perf_models(device, microbench_scale=0.4)
+
+    # MLPerf-like table sizes with heterogeneous multi-hot pooling
+    # factors — the realistic industrial case where load imbalance bites.
+    pooling = (80, 50, 30, 20, 10, 5, 2, 1)
+    tables = [
+        TableSpec(rows=rows, dim=DLRM_MLPERF.embedding_dim,
+                  lookups=pooling[i % len(pooling)])
+        for i, rows in enumerate(DLRM_MLPERF.table_rows)
+    ]
+    batch = 2048
+    num_devices = 4
+
+    round_robin = [
+        [i for i in range(len(tables)) if i % num_devices == d]
+        for d in range(num_devices)
+    ]
+    naive = evaluate_sharding(tables, round_robin, batch, registry)
+    greedy = greedy_balance(tables, num_devices, batch, registry)
+
+    print(f"Sharding {len(tables)} embedding tables over "
+          f"{num_devices} GPUs (batch {batch}):\n")
+    for name, plan in (("round-robin", naive), ("greedy-balanced", greedy)):
+        costs = " ".join(f"{c / 1e3:6.2f}ms" for c in plan.device_cost_us)
+        print(f"  {name:16s} per-device lookup time: {costs}")
+        print(f"  {'':16s} slowest device {plan.max_cost_us / 1e3:.2f}ms, "
+              f"imbalance {plan.imbalance:.2f}x\n")
+
+    gain = naive.max_cost_us / greedy.max_cost_us
+    print(f"Greedy balancing shortens the gating device by {gain:.2f}x —")
+    print("evaluated entirely with the performance model, no cluster time.")
+
+
+if __name__ == "__main__":
+    main()

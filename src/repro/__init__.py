@@ -1,0 +1,144 @@
+"""repro — reproduction of "Building a Performance Model for Deep
+Learning Recommendation Model Training on GPUs" (ISPASS 2022).
+
+Quickstart::
+
+    from repro import (
+        TESLA_V100, SimulatedDevice, build_model,
+        build_perf_models, OverheadDatabase, predict_e2e,
+    )
+
+    device = SimulatedDevice(TESLA_V100, seed=0)
+    graph = build_model("DLRM_default", batch_size=2048)
+
+    # Analysis track: microbenchmark + train kernel models, collect
+    # overhead statistics from one profiled run.
+    registry, _ = build_perf_models(device)
+    profiled = device.run(graph, iterations=10, with_profiler=True, warmup=2)
+    overheads = OverheadDatabase.from_trace(profiled.trace)
+
+    # Prediction track: per-batch training time without the "hardware".
+    prediction = predict_e2e(graph, registry, overheads)
+    print(prediction.total_us)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import (
+    HabitatPredictor,
+    MLPredictPredictor,
+    predict_kernel_only_us,
+)
+from repro.codesign import (
+    TableSpec,
+    batch_size_sweep,
+    best_throughput_batch,
+    evaluate_embedding_fusion,
+    evaluate_sharding,
+    greedy_balance,
+    widest_mlp_within_budget,
+)
+from repro.e2e import (
+    E2EPrediction,
+    MemoryPrediction,
+    max_batch_within_memory,
+    predict_e2e,
+    predict_memory,
+)
+from repro.graph import ExecutionGraph, Observer, load_graph, save_graph
+from repro.hardware import (
+    A100,
+    ALL_GPUS,
+    PAPER_GPUS,
+    TESLA_P100,
+    TESLA_V100,
+    TITAN_XP,
+    CpuSpec,
+    GpuSpec,
+    gpu_by_name,
+)
+from repro.metrics import ErrorStats, geomean, gmae
+from repro.microbench import measure_peaks, run_microbenchmark
+from repro.models import (
+    DLRM_CONFIGS,
+    FIGURE1_BATCH_SIZES,
+    DlrmConfig,
+    build_dlrm_graph,
+    build_model,
+)
+from repro.multigpu import (
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    MultiGpuSimulator,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import (
+    PerfModelRegistry,
+    build_perf_models,
+    load_registry,
+    save_registry,
+)
+from repro.simulator import SimulatedDevice
+from repro.trace import Trace, gpu_utilization, trace_breakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "ALL_GPUS",
+    "CpuSpec",
+    "DLRM_CONFIGS",
+    "DlrmConfig",
+    "E2EPrediction",
+    "ErrorStats",
+    "ExecutionGraph",
+    "FIGURE1_BATCH_SIZES",
+    "GpuSpec",
+    "HabitatPredictor",
+    "MLPredictPredictor",
+    "MemoryPrediction",
+    "MultiGpuSimulator",
+    "NVLINK",
+    "Observer",
+    "OverheadDatabase",
+    "PAPER_GPUS",
+    "PCIE_FABRIC",
+    "PerfModelRegistry",
+    "CollectiveModel",
+    "SimulatedDevice",
+    "TESLA_P100",
+    "TESLA_V100",
+    "TITAN_XP",
+    "TableSpec",
+    "Trace",
+    "batch_size_sweep",
+    "best_throughput_batch",
+    "build_dlrm_graph",
+    "build_model",
+    "build_multi_gpu_dlrm_plan",
+    "build_perf_models",
+    "evaluate_embedding_fusion",
+    "evaluate_sharding",
+    "geomean",
+    "gmae",
+    "gpu_by_name",
+    "gpu_utilization",
+    "greedy_balance",
+    "load_graph",
+    "load_registry",
+    "max_batch_within_memory",
+    "measure_peaks",
+    "predict_e2e",
+    "predict_kernel_only_us",
+    "predict_memory",
+    "predict_multi_gpu",
+    "run_microbenchmark",
+    "save_graph",
+    "save_registry",
+    "trace_breakdown",
+    "widest_mlp_within_budget",
+]

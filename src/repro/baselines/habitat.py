@@ -1,0 +1,53 @@
+"""Habitat-style comparator (Yu et al., Figure 10).
+
+Habitat predicts a workload's iteration time on a *target* GPU from
+measurements taken on an *origin* GPU, scaling each kernel by hardware
+ratios ("wave scaling"): compute-bound kernels scale with peak FLOPS
+and clock, memory-bound ones with DRAM bandwidth.  Like the original,
+it sums scaled kernel times and does not model host overheads or
+device idle time — the property that keeps its error acceptable on
+CNNs but large on low-utilization workloads.
+"""
+
+from __future__ import annotations
+
+from repro.graph import ExecutionGraph
+from repro.hardware import GpuSpec
+from repro.ops import KernelCall, KernelType
+from repro.simulator import SimulatedDevice
+
+#: Kernel types treated as compute-bound by the scaler.
+_COMPUTE_BOUND = (KernelType.GEMM, KernelType.CONV)
+
+
+class HabitatPredictor:
+    """Cross-GPU kernel-scaling predictor without overhead modeling."""
+
+    def __init__(self, origin_device: SimulatedDevice, target_gpu: GpuSpec) -> None:
+        self.origin = origin_device
+        self.target = target_gpu
+
+    def _scale_factor(self, kernel: KernelCall) -> float:
+        origin, target = self.origin.gpu, self.target
+        compute_ratio = origin.peak_fp32_tflops / target.peak_fp32_tflops
+        memory_ratio = origin.peak_dram_bw_gbs / target.peak_dram_bw_gbs
+        if kernel.kernel_type in _COMPUTE_BOUND:
+            # Wave scaling blends compute and memory ratios; compute
+            # dominates for dense kernels.
+            return 0.75 * compute_ratio + 0.25 * memory_ratio
+        if kernel.kernel_type == KernelType.MEMCPY and kernel.params.get("h2d"):
+            return origin.pcie_bw_gbs / target.pcie_bw_gbs
+        return memory_ratio
+
+    def predict_kernel_us(self, kernel: KernelCall) -> float:
+        """Measure on the origin GPU, scale to the target."""
+        measured = self.origin.measure_kernel_us(kernel)
+        return measured * self._scale_factor(kernel)
+
+    def predict_e2e_us(self, graph: ExecutionGraph) -> float:
+        """Iteration-time prediction: scaled kernel sum, no idle time."""
+        total = 0.0
+        for node in graph.nodes:
+            for kernel in node.op.kernel_calls():
+                total += self.predict_kernel_us(kernel)
+        return total

@@ -1,0 +1,23 @@
+"""The "kernel only" baseline of Figure 9.
+
+Previous compute-bound-focused performance models estimate E2E time as
+the sum of predicted kernel times — i.e. the GPU active time with no
+idle-time modeling.  Accurate for ~100%-utilization CNNs, it fails by
+up to the idle fraction on DLRM (the paper measures up to -78.5%).
+"""
+
+from __future__ import annotations
+
+from repro.graph import ExecutionGraph
+from repro.perfmodels import PerfModelRegistry
+
+
+def predict_kernel_only_us(
+    graph: ExecutionGraph, registry: PerfModelRegistry
+) -> float:
+    """Sum of predicted kernel times over the whole graph (µs)."""
+    total = 0.0
+    for node in graph.nodes:
+        for kernel in node.op.kernel_calls():
+            total += registry.predict_us(kernel)
+    return total

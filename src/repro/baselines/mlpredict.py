@@ -1,0 +1,78 @@
+"""MLPredict-style comparator (Justus et al., Figure 10).
+
+MLPredict trains per-op-type regressors on measured *op execution
+times* over a fixed pretraining coverage (batch sizes, layer shapes)
+and predicts E2E time as the sum of per-op predictions.  Its documented
+failure mode — which the paper reproduces on Inception-V3 — is poor
+behavior outside the pretrained coverage: unseen batch sizes and
+layer shapes (e.g. 1x7/7x1 convolutions) are clamped to the nearest
+covered configuration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.graph import ExecutionGraph
+from repro.simulator import SimulatedDevice
+
+#: Batch sizes covered by the pretrained predictor.
+DEFAULT_COVERAGE = (2, 4, 8, 16, 32)
+
+
+class MLPredictPredictor:
+    """Per-op log-log regressor with bounded pretraining coverage."""
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        build_graph,
+        coverage: tuple[int, ...] = DEFAULT_COVERAGE,
+    ) -> None:
+        """Pretrain on ``build_graph(batch)`` at the covered batch sizes.
+
+        Args:
+            device: Testbed the pretraining measurements come from.
+            build_graph: Callable mapping batch size to a graph.
+            coverage: Batch sizes included in pretraining.
+        """
+        self.coverage = tuple(sorted(coverage))
+        # op name -> {batch: measured mean op time}
+        self._tables: dict[str, dict[int, float]] = defaultdict(dict)
+        for batch in self.coverage:
+            graph = build_graph(batch)
+            per_op_time: dict[str, list[float]] = defaultdict(list)
+            per_op_count: dict[str, int] = defaultdict(int)
+            for node in graph.nodes:
+                kernel_time = sum(
+                    device.measure_kernel_us(k) for k in node.op.kernel_calls()
+                )
+                # MLPredict measures whole-op times (kernels + a fixed
+                # dispatch cost it absorbs into the regression).
+                per_op_time[node.op_name].append(kernel_time + 12.0)
+                per_op_count[node.op_name] += 1
+            for name, times in per_op_time.items():
+                self._tables[name][batch] = float(np.mean(times))
+        self._counts_cache: dict[int, dict[str, int]] = {}
+        self._build_graph = build_graph
+
+    def _predict_op_us(self, op_name: str, batch: int) -> float:
+        table = self._tables.get(op_name)
+        if not table:
+            return 12.0  # unseen op type: dispatch cost only
+        # Clamp to the pretrained coverage — the out-of-range failure.
+        clamped = min(max(batch, self.coverage[0]), self.coverage[-1])
+        if clamped in table:
+            return table[clamped]
+        batches = sorted(table)
+        nearest = min(batches, key=lambda b: abs(b - clamped))
+        return table[nearest]
+
+    def predict_e2e_us(self, graph: ExecutionGraph, batch: int) -> float:
+        """Sum of per-op predictions at (possibly uncovered) ``batch``."""
+        total = 0.0
+        for node in graph.nodes:
+            total += self._predict_op_us(node.op_name, batch)
+        return total

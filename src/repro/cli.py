@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Exposes the pipeline's everyday workflows without writing Python::
+
+    python -m repro analyze  --gpu V100 --out assets.json
+    python -m repro predict  --gpu V100 --model DLRM_default --batch 2048 \\
+                             --assets assets.json
+    python -m repro breakdown --gpu V100 --model DLRM_MLPerf --batch 2048
+    python -m repro memory   --model DLRM_default --batch 4096
+    python -m repro export-trace --gpu V100 --model DLRM_default \\
+                             --batch 2048 --out trace.json
+
+``analyze`` runs the paper's Analysis Track once per device and saves
+the trained kernel models; ``predict`` is the Prediction Track —
+instantaneous once assets exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.e2e import predict_e2e, predict_memory
+from repro.hardware import ALL_GPUS, gpu_by_name
+from repro.models import FIGURE1_BATCH_SIZES, build_model
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import build_perf_models, load_registry, save_registry
+from repro.simulator import SimulatedDevice
+from repro.trace import save_chrome_trace, trace_breakdown
+
+_MODEL_CHOICES = sorted(FIGURE1_BATCH_SIZES) + ["DeepFM", "DCN", "WideAndDeep"]
+
+
+def _add_common(parser: argparse.ArgumentParser, need_model: bool) -> None:
+    parser.add_argument(
+        "--gpu", default="V100", choices=sorted(ALL_GPUS),
+        help="simulated GPU testbed",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="testbed seed")
+    if need_model:
+        parser.add_argument(
+            "--model", required=True, choices=_MODEL_CHOICES,
+            help="workload to build",
+        )
+        parser.add_argument(
+            "--batch", type=int, required=True, help="batch size"
+        )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    print(f"Running the analysis track on {args.gpu} "
+          f"(scale {args.scale}) ...", file=sys.stderr)
+    registry, report = build_perf_models(device, microbench_scale=args.scale)
+    save_registry(registry, device.gpu, report.peaks, args.out)
+    print(f"Saved kernel models to {args.out} "
+          f"({report.build_seconds:.0f}s; val GMAE "
+          + ", ".join(f"{k}={v:.1%}" for k, v in report.ml_val_gmae.items())
+          + ")")
+    return 0
+
+
+def _make_overheads(device: SimulatedDevice, graph, batch: int) -> OverheadDatabase:
+    profiled = device.run(
+        graph, iterations=8, batch_size=batch, with_profiler=True, warmup=2
+    )
+    return OverheadDatabase.from_trace(profiled.trace)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    graph = build_model(args.model, args.batch)
+    if args.assets:
+        registry, _ = load_registry(args.assets)
+    else:
+        print("No --assets given; running the analysis track inline "
+              "(slow) ...", file=sys.stderr)
+        registry, _ = build_perf_models(device, microbench_scale=0.4)
+    overheads = _make_overheads(device, graph, args.batch)
+    pred = predict_e2e(graph, registry, overheads)
+    print(f"{args.model} @ batch {args.batch} on {args.gpu}:")
+    print(f"  predicted per-batch time : {pred.total_us / 1e3:9.3f} ms")
+    print(f"  predicted device active  : {pred.active_us / 1e3:9.3f} ms")
+    print(f"  predicted device idle    : {pred.predicted_idle_us / 1e3:9.3f} ms")
+    print(f"  ops / kernels            : {pred.num_ops} / {pred.num_kernels}")
+    if args.compare:
+        truth = device.run(graph, iterations=8, batch_size=args.batch, warmup=2)
+        err = (pred.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
+        print(f"  simulated (ground truth) : {truth.mean_e2e_us / 1e3:9.3f} ms "
+              f"({err:+.1%})")
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    graph = build_model(args.model, args.batch)
+    profiled = device.run(
+        graph, iterations=8, batch_size=args.batch,
+        with_profiler=True, warmup=2,
+    )
+    bd = trace_breakdown(profiled.trace)
+    print(f"{args.model} @ batch {args.batch} on {args.gpu}: "
+          f"{bd.mean_e2e_us / 1e3:.3f} ms/iter, "
+          f"utilization {bd.gpu_utilization:.1%}")
+    for name, share in sorted(
+        bd.device_time_shares(top_k=args.top).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:28s} {share:6.1%}")
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, args.batch)
+    pred = predict_memory(graph, optimizer=args.optimizer)
+    print(f"{args.model} @ batch {args.batch} ({args.optimizer}):")
+    print(f"  parameters      : {pred.parameter_bytes / 2**20:10.1f} MiB")
+    print(f"  gradients       : {pred.gradient_bytes / 2**20:10.1f} MiB")
+    print(f"  optimizer state : {pred.optimizer_state_bytes / 2**20:10.1f} MiB")
+    print(f"  activations     : {pred.peak_activation_bytes / 2**20:10.1f} MiB")
+    print(f"  inputs          : {pred.input_bytes / 2**20:10.1f} MiB")
+    print(f"  total           : {pred.total_gib:10.2f} GiB")
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    graph = build_model(args.model, args.batch)
+    profiled = device.run(
+        graph, iterations=args.iterations, batch_size=args.batch,
+        with_profiler=True, warmup=1,
+    )
+    save_chrome_trace(profiled.trace, args.out)
+    print(f"Wrote {len(profiled.trace.events)} events to {args.out} "
+          f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DLRM GPU-training performance model (ISPASS 2022 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the analysis track, save assets")
+    _add_common(p, need_model=False)
+    p.add_argument("--out", required=True, help="output assets JSON path")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="microbenchmark sweep scale")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("predict", help="predict per-batch training time")
+    _add_common(p, need_model=True)
+    p.add_argument("--assets", help="assets JSON from `analyze`")
+    p.add_argument("--compare", action="store_true",
+                   help="also simulate ground truth and report the error")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
+    _add_common(p, need_model=True)
+    p.add_argument("--top", type=int, default=12, help="ops to list")
+    p.set_defaults(func=_cmd_breakdown)
+
+    p = sub.add_parser("memory", help="predict training-memory footprint")
+    p.add_argument("--model", required=True, choices=_MODEL_CHOICES)
+    p.add_argument("--batch", type=int, required=True)
+    p.add_argument("--optimizer", default="sgd",
+                   choices=("sgd", "momentum", "adam"))
+    p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser("export-trace", help="write a chrome://tracing JSON")
+    _add_common(p, need_model=True)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_export_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

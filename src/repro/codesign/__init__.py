@@ -1,0 +1,31 @@
+"""Model-system co-design tools built on the performance model."""
+
+from repro.codesign.batchsize import (
+    BatchPoint,
+    batch_size_sweep,
+    best_throughput_batch,
+)
+from repro.codesign.fusion import FusionReport, evaluate_embedding_fusion
+from repro.codesign.sharding import (
+    ShardingPlan,
+    TableSpec,
+    evaluate_sharding,
+    greedy_balance,
+    predict_table_cost_us,
+)
+from repro.codesign.tuning import TuningResult, widest_mlp_within_budget
+
+__all__ = [
+    "BatchPoint",
+    "FusionReport",
+    "ShardingPlan",
+    "TableSpec",
+    "TuningResult",
+    "batch_size_sweep",
+    "best_throughput_batch",
+    "evaluate_embedding_fusion",
+    "evaluate_sharding",
+    "greedy_balance",
+    "predict_table_cost_us",
+    "widest_mlp_within_budget",
+]

@@ -1,0 +1,61 @@
+"""Batch-size what-if sweeps (Section I, question 1).
+
+Uses the resize transform on a recorded execution graph to predict how
+per-batch time, device active time and throughput change with batch
+size — no re-recording, no hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.e2e import E2EPrediction, predict_e2e
+from repro.graph import ExecutionGraph
+from repro.graph.transforms import rescale_batch
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import PerfModelRegistry
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One point of a batch-size sweep."""
+
+    batch_size: int
+    prediction: E2EPrediction
+
+    @property
+    def samples_per_second(self) -> float:
+        """Predicted training throughput."""
+        return self.batch_size / (self.prediction.total_us * 1e-6)
+
+
+def batch_size_sweep(
+    graph: ExecutionGraph,
+    recorded_batch: int,
+    batch_sizes: list[int],
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+) -> list[BatchPoint]:
+    """Predict per-batch time across ``batch_sizes``.
+
+    Args:
+        graph: Graph recorded at ``recorded_batch``.
+        recorded_batch: Batch size the graph was captured at.
+        batch_sizes: Targets to evaluate.
+        registry: Kernel performance models.
+        overheads: Overhead database.
+    """
+    points = []
+    for batch in batch_sizes:
+        resized = rescale_batch(graph, recorded_batch, batch)
+        points.append(
+            BatchPoint(batch, predict_e2e(resized, registry, overheads))
+        )
+    return points
+
+
+def best_throughput_batch(points: list[BatchPoint]) -> BatchPoint:
+    """The sweep point with the highest predicted throughput."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: p.samples_per_second)

@@ -1,0 +1,62 @@
+"""Op-fusion what-if analysis (Section V-A(b), Figure 11).
+
+Given a graph with per-table ``embedding_bag`` ops, predict — without
+ever running on hardware — how much fusing them into one batched
+embedding op improves the per-batch time.  The win has two parts the
+prediction separates: fewer host overheads (T ops collapse to one) and
+a faster fused kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.e2e import E2EPrediction, predict_e2e
+from repro.graph import ExecutionGraph
+from repro.graph.transforms import fuse_embedding_bags
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import PerfModelRegistry
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """Predicted effect of an op fusion."""
+
+    before: E2EPrediction
+    after: E2EPrediction
+    fused_graph: ExecutionGraph
+
+    @property
+    def speedup(self) -> float:
+        """Predicted per-batch speedup factor."""
+        return self.before.total_us / self.after.total_us
+
+    @property
+    def overhead_saved_us(self) -> float:
+        """Host-side time removed by collapsing the op launches."""
+        return max(self.before.cpu_us - self.after.cpu_us, 0.0)
+
+    @property
+    def active_saved_us(self) -> float:
+        """Device active time removed by the fused kernel."""
+        return self.before.active_us - self.after.active_us
+
+
+def evaluate_embedding_fusion(
+    graph: ExecutionGraph,
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+) -> FusionReport:
+    """Predict the gain from fusing all embedding-bag ops in ``graph``.
+
+    Raises:
+        ValueError: if the graph has no embedding-bag ops to fuse.
+    """
+    fused = fuse_embedding_bags(graph)
+    if len(fused) == len(graph):
+        raise ValueError(
+            "graph has no aten::embedding_bag ops; nothing to fuse"
+        )
+    before = predict_e2e(graph, registry, overheads)
+    after = predict_e2e(fused, registry, overheads)
+    return FusionReport(before=before, after=after, fused_graph=fused)

@@ -1,0 +1,102 @@
+"""Embedding-table sharding load balance (Section V-A(c)).
+
+For multi-GPU DLRM the enormous embedding tables are split across
+devices; a bad split leaves one GPU the straggler.  The performance
+model evaluates any sharding scheme *without hardware*: per device,
+predict the batched-lookup time of the tables it holds; the balance
+quality is the max/mean ratio.  A greedy balancer (largest predicted
+cost to least-loaded device) is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops import embedding_kernel
+from repro.perfmodels import PerfModelRegistry
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One embedding table to place."""
+
+    rows: int
+    dim: int
+    lookups: int  # pooling factor L
+
+
+@dataclass
+class ShardingPlan:
+    """Assignment of tables to devices plus predicted per-device cost."""
+
+    assignment: list[list[int]]  # device -> table indices
+    device_cost_us: list[float]
+
+    @property
+    def max_cost_us(self) -> float:
+        """Predicted time of the slowest device (the iteration gate)."""
+        return max(self.device_cost_us)
+
+    @property
+    def imbalance(self) -> float:
+        """Max over mean predicted device cost (1.0 = perfect balance)."""
+        mean = sum(self.device_cost_us) / len(self.device_cost_us)
+        return self.max_cost_us / mean if mean > 0 else float("inf")
+
+
+def predict_table_cost_us(
+    table: TableSpec, batch_size: int, registry: PerfModelRegistry
+) -> float:
+    """Predicted forward+backward lookup time of one table."""
+    fwd = embedding_kernel("fwd", batch_size, table.rows, 1, table.lookups, table.dim)
+    bwd = embedding_kernel("bwd", batch_size, table.rows, 1, table.lookups, table.dim)
+    return registry.predict_us(fwd) + registry.predict_us(bwd)
+
+
+def evaluate_sharding(
+    tables: list[TableSpec],
+    assignment: list[list[int]],
+    batch_size: int,
+    registry: PerfModelRegistry,
+) -> ShardingPlan:
+    """Predict per-device cost of an explicit table assignment."""
+    costs = []
+    seen: set[int] = set()
+    for device_tables in assignment:
+        for idx in device_tables:
+            if idx in seen:
+                raise ValueError(f"table {idx} assigned to multiple devices")
+            seen.add(idx)
+        costs.append(
+            sum(
+                predict_table_cost_us(tables[idx], batch_size, registry)
+                for idx in device_tables
+            )
+        )
+    if seen != set(range(len(tables))):
+        missing = sorted(set(range(len(tables))) - seen)
+        raise ValueError(f"tables not assigned to any device: {missing}")
+    return ShardingPlan(assignment=assignment, device_cost_us=costs)
+
+
+def greedy_balance(
+    tables: list[TableSpec],
+    num_devices: int,
+    batch_size: int,
+    registry: PerfModelRegistry,
+) -> ShardingPlan:
+    """Greedy longest-processing-time sharding using predicted costs."""
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    costs = [
+        (predict_table_cost_us(t, batch_size, registry), i)
+        for i, t in enumerate(tables)
+    ]
+    costs.sort(reverse=True)
+    assignment: list[list[int]] = [[] for _ in range(num_devices)]
+    load = [0.0] * num_devices
+    for cost, idx in costs:
+        device = load.index(min(load))
+        assignment[device].append(idx)
+        load[device] += cost
+    return ShardingPlan(assignment=assignment, device_cost_us=load)

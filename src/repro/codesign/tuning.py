@@ -1,0 +1,72 @@
+"""Iterative model tuning against a latency budget (Section V-A(a)).
+
+The paper motivates using the performance model inside configuration
+search ("our performance model could be integrated as a module into
+NAS").  :func:`widest_mlp_within_budget` is the canonical example: find
+the widest top-MLP whose predicted per-batch training time stays under
+a budget — each candidate evaluated purely by prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.e2e import predict_e2e
+from repro.models.dlrm import DlrmConfig, build_dlrm_graph
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import PerfModelRegistry
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a width search."""
+
+    config: DlrmConfig
+    predicted_us: float
+    evaluated: list[tuple[int, float]]  # (width, predicted µs) per step
+
+
+def widest_mlp_within_budget(
+    base_config: DlrmConfig,
+    batch_size: int,
+    budget_us: float,
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+    candidate_widths: tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096),
+) -> TuningResult:
+    """Largest uniform top-MLP width with predicted time under budget.
+
+    Args:
+        base_config: Starting DLRM configuration; its top-MLP depth is
+            kept, widths are replaced uniformly (final layer stays 1).
+        batch_size: Training batch size.
+        budget_us: Per-batch training-time budget in µs.
+        registry: Kernel performance models.
+        overheads: Overhead database.
+        candidate_widths: Widths to consider, ascending.
+
+    Returns:
+        The widest in-budget configuration (falling back to the
+        narrowest candidate when none fits) and the evaluation log.
+    """
+    depth = len(base_config.top_mlp) - 1
+    evaluated: list[tuple[int, float]] = []
+    best: tuple[int, float, DlrmConfig] | None = None
+    for width in sorted(candidate_widths):
+        config = base_config.with_overrides(
+            name=f"{base_config.name}_w{width}",
+            top_mlp=tuple([width] * depth + [1]),
+        )
+        graph = build_dlrm_graph(config, batch_size)
+        predicted = predict_e2e(graph, registry, overheads).total_us
+        evaluated.append((width, predicted))
+        if predicted <= budget_us:
+            best = (width, predicted, config)
+    if best is None:
+        width, predicted = evaluated[0]
+        config = base_config.with_overrides(
+            name=f"{base_config.name}_w{width}",
+            top_mlp=tuple([width] * depth + [1]),
+        )
+        return TuningResult(config, predicted, evaluated)
+    return TuningResult(best[2], best[1], evaluated)

@@ -1,0 +1,23 @@
+"""End-to-end per-batch training-time prediction (Algorithm 1)."""
+
+from repro.e2e.memory import (
+    MemoryPrediction,
+    max_batch_within_memory,
+    predict_memory,
+)
+from repro.e2e.predictor import (
+    DEFAULT_T4_US,
+    KERNEL_GAP_US,
+    E2EPrediction,
+    predict_e2e,
+)
+
+__all__ = [
+    "DEFAULT_T4_US",
+    "E2EPrediction",
+    "KERNEL_GAP_US",
+    "MemoryPrediction",
+    "max_batch_within_memory",
+    "predict_e2e",
+    "predict_memory",
+]

@@ -1,0 +1,186 @@
+"""Training-memory prediction.
+
+The paper motivates performance models that predict "speed, memory
+usage, etc." and asks "how does changing batch size and/or number of
+parameters impact performance **and memory constraints**" (Section I,
+question 1).  This module answers the memory half from the execution
+graph alone:
+
+* **Static** memory — parameters (weights), their gradients and
+  optimizer state, identified as graph-input tensors consumed by
+  backward/optimizer ops.
+* **Activation** memory — tensors produced during the forward pass that
+  must stay resident until their (backward) consumers run; peak usage
+  is found by sweeping the graph with a liveness analysis.
+
+Predictions are conservative upper bounds of the allocator's working
+set (caching allocators add slack on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph import ExecutionGraph
+from repro.tensormeta import TensorMeta
+
+#: SGD holds no extra state; momentum doubles, Adam triples.
+OPTIMIZER_STATE_MULTIPLIER = {"sgd": 0.0, "momentum": 1.0, "adam": 2.0}
+
+
+@dataclass(frozen=True)
+class MemoryPrediction:
+    """Predicted device-memory footprint of one training iteration."""
+
+    parameter_bytes: int
+    gradient_bytes: int
+    optimizer_state_bytes: int
+    peak_activation_bytes: int
+    input_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Peak device memory during the iteration."""
+        return (
+            self.parameter_bytes
+            + self.gradient_bytes
+            + self.optimizer_state_bytes
+            + self.peak_activation_bytes
+            + self.input_bytes
+        )
+
+    @property
+    def total_gib(self) -> float:
+        """Peak memory in GiB."""
+        return self.total_bytes / 2**30
+
+    def fits(self, device_memory_bytes: int, headroom: float = 0.9) -> bool:
+        """Whether the workload fits a device of the given capacity."""
+        if not 0 < headroom <= 1:
+            raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+        return self.total_bytes <= device_memory_bytes * headroom
+
+
+_WEIGHTED_OPS = (
+    "aten::linear", "aten::addmm", "aten::conv2d",
+    "LookupFunction", "aten::embedding_bag",
+    "Optimizer.step", "Optimizer.zero_grad",
+)
+
+
+def _classify_input(graph: ExecutionGraph, tid: int, meta: TensorMeta) -> str:
+    """Classify a graph-input tensor: parameter / grad buffer / input.
+
+    Parameters are *float* device tensors feeding a weighted op (the
+    int64 index/offset tensors feeding embedding lookups scale with the
+    batch and are inputs).  Tensors consumed only by ``AccumulateGrad``
+    are gradient accumulators, already counted via ``gradient_bytes``.
+    """
+    if meta.device != "gpu":
+        return "host"
+    consumers = {
+        node.op_name for node in graph.nodes if tid in node.input_ids
+    }
+    if meta.dtype.startswith("float") and consumers & set(_WEIGHTED_OPS):
+        return "parameter"
+    if consumers and consumers <= {"AccumulateGrad"}:
+        return "grad_buffer"
+    return "input"
+
+
+def predict_memory(
+    graph: ExecutionGraph, optimizer: str = "sgd"
+) -> MemoryPrediction:
+    """Predict the peak device-memory footprint of one iteration.
+
+    Args:
+        graph: Recorded execution graph (forward + backward + optimizer).
+        optimizer: ``"sgd"``, ``"momentum"`` or ``"adam"`` — selects the
+            per-parameter optimizer-state multiplier.
+
+    Raises:
+        KeyError: for an unknown optimizer name.
+    """
+    try:
+        state_multiplier = OPTIMIZER_STATE_MULTIPLIER[optimizer]
+    except KeyError:
+        known = ", ".join(sorted(OPTIMIZER_STATE_MULTIPLIER))
+        raise KeyError(f"unknown optimizer {optimizer!r}; known: {known}") from None
+
+    tensors = graph.tensors
+    parameter_bytes = 0
+    input_bytes = 0
+    for tid, meta in tensors.items():
+        if graph.producer_of(tid) is not None:
+            continue
+        kind = _classify_input(graph, tid, meta)
+        if kind == "parameter":
+            parameter_bytes += meta.nbytes
+        elif kind == "input":
+            input_bytes += meta.nbytes
+
+    # Liveness sweep over produced tensors: a tensor is resident from
+    # its producer until its last consumer.
+    last_use: dict[int, int] = {}
+    position = {n.node_id: i for i, n in enumerate(graph.nodes)}
+    for node in graph.nodes:
+        for tid in node.input_ids:
+            last_use[tid] = max(last_use.get(tid, -1), position[node.node_id])
+
+    produced_at: dict[int, int] = {}
+    for node in graph.nodes:
+        for tid in node.output_ids:
+            if tid not in node.input_ids:  # skip in-place aliases
+                produced_at.setdefault(tid, position[node.node_id])
+
+    peak = 0
+    live = 0
+    frees: dict[int, list[int]] = {}
+    for tid, born in produced_at.items():
+        die = last_use.get(tid, born)
+        frees.setdefault(die, []).append(tid)
+    events = sorted(produced_at.items(), key=lambda kv: kv[1])
+    by_birth: dict[int, list[int]] = {}
+    for tid, born in events:
+        by_birth.setdefault(born, []).append(tid)
+    for step in range(len(graph.nodes)):
+        for tid in by_birth.get(step, ()):
+            live += tensors[tid].nbytes
+        peak = max(peak, live)
+        for tid in frees.get(step, ()):
+            live -= tensors[tid].nbytes
+
+    return MemoryPrediction(
+        parameter_bytes=parameter_bytes,
+        gradient_bytes=parameter_bytes,  # one grad buffer per parameter
+        optimizer_state_bytes=int(parameter_bytes * state_multiplier),
+        peak_activation_bytes=peak,
+        input_bytes=input_bytes,
+    )
+
+
+def max_batch_within_memory(
+    build_graph,
+    device_memory_bytes: int,
+    candidate_batches: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192),
+    optimizer: str = "sgd",
+    headroom: float = 0.9,
+) -> int | None:
+    """Largest candidate batch whose predicted footprint fits the device.
+
+    Args:
+        build_graph: Callable mapping batch size to an execution graph.
+        device_memory_bytes: Device capacity.
+        candidate_batches: Batch sizes to consider, ascending.
+        optimizer: Optimizer-state assumption.
+        headroom: Usable fraction of device memory.
+
+    Returns:
+        The largest fitting batch size, or ``None`` if none fit.
+    """
+    best = None
+    for batch in sorted(candidate_batches):
+        prediction = predict_memory(build_graph(batch), optimizer)
+        if prediction.fits(device_memory_bytes, headroom):
+            best = batch
+    return best

@@ -1,0 +1,22 @@
+"""Execution graph: nodes, observer, serialization, transforms."""
+
+from repro.graph.graph import ExecutionGraph, GraphError
+from repro.graph.node import Node
+from repro.graph.observer import Observer
+from repro.graph.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+__all__ = [
+    "ExecutionGraph",
+    "GraphError",
+    "Node",
+    "Observer",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+]

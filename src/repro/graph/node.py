@@ -1,0 +1,57 @@
+"""Execution-graph node: one recorded operator call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ops import Op
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operator call recorded by the execution-graph observer.
+
+    Attributes:
+        node_id: Unique id within the graph, in recorded (eager) order.
+        op: The operator descriptor (shapes + kernel calls).
+        input_ids: Tensor ids consumed, positionally matching
+            ``op.inputs``.
+        output_ids: Tensor ids produced, positionally matching
+            ``op.outputs``.
+        stream: GPU stream the op's kernels are enqueued on.  Stream 0
+            is the default stream; the parallelize transform assigns
+            independent branches to other streams (Section V-A).
+    """
+
+    node_id: int
+    op: Op
+    input_ids: tuple[int, ...]
+    output_ids: tuple[int, ...]
+    stream: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.input_ids) != len(self.op.inputs):
+            raise ValueError(
+                f"node {self.node_id} ({self.op.op_name}): "
+                f"{len(self.input_ids)} input ids but op declares "
+                f"{len(self.op.inputs)} inputs"
+            )
+        if len(self.output_ids) != len(self.op.outputs):
+            raise ValueError(
+                f"node {self.node_id} ({self.op.op_name}): "
+                f"{len(self.output_ids)} output ids but op declares "
+                f"{len(self.op.outputs)} outputs"
+            )
+
+    @property
+    def op_name(self) -> str:
+        """Trace-visible operator name."""
+        return self.op.op_name
+
+    def with_op(self, op: Op) -> "Node":
+        """Copy with a replaced operator (shape-preserving transforms)."""
+        return replace(self, op=op)
+
+    def with_stream(self, stream: int) -> "Node":
+        """Copy assigned to another GPU stream."""
+        return replace(self, stream=stream)

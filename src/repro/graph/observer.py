@@ -1,0 +1,93 @@
+"""Execution-graph observer.
+
+The paper implements an observer *inside PyTorch* that records, during
+an actual training iteration, every operator executed together with its
+input/output tensors and data dependencies (Section III-D).  Our model
+zoo "executes" symbolically: model builders call :meth:`Observer.call`
+for each op in eager order, and the observer wires tensor ids exactly
+the way the PyTorch hook does.  The result is the same artifact — a
+mutable :class:`~repro.graph.graph.ExecutionGraph` that downstream
+prediction and co-design consume.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ExecutionGraph, GraphError
+from repro.ops import Op
+from repro.tensormeta import TensorMeta
+
+
+class Observer:
+    """Records an eager execution into an :class:`ExecutionGraph`."""
+
+    def __init__(self, name: str = "graph", strict_shapes: bool = True) -> None:
+        self._graph = ExecutionGraph(name)
+        self._strict_shapes = strict_shapes
+
+    @property
+    def graph(self) -> ExecutionGraph:
+        """The graph recorded so far."""
+        return self._graph
+
+    def input(self, meta: TensorMeta) -> int:
+        """Register a graph input (training batch, weight, ...)."""
+        return self._graph.add_tensor(meta)
+
+    def call(
+        self,
+        op: Op,
+        input_ids: list[int],
+        stream: int = 0,
+        inplace: "bool | tuple[int, ...]" = False,
+    ) -> list[int]:
+        """Record one operator call; returns the produced tensor ids.
+
+        Args:
+            op: Operator descriptor.
+            input_ids: Tensor ids being consumed, positionally matching
+                ``op.inputs``.
+            stream: GPU stream for the op's kernels.
+            inplace: ``True`` aliases each output to the same-position
+                input (like ``aten::add_``); a tuple of input positions
+                aliases output ``i`` to input ``inplace[i]`` (e.g. the
+                fused embedding backward writes its *weights* input).
+
+        Raises:
+            GraphError: if an input id is unknown or (in strict mode)
+                the recorded tensor's shape disagrees with the op's
+                declared input shape.
+        """
+        if self._strict_shapes:
+            for pos, (tid, expected) in enumerate(zip(input_ids, op.inputs)):
+                actual = self._graph.tensor(tid)
+                if actual.shape != expected.shape:
+                    raise GraphError(
+                        f"{op.op_name} input {pos}: recorded tensor {tid} has "
+                        f"shape {actual.shape}, op expects {expected.shape}"
+                    )
+        if inplace is True:
+            out_ids = tuple(input_ids[: len(op.outputs)])
+            node = self._graph.add_node(op, input_ids, stream, output_ids=out_ids)
+        elif inplace:
+            try:
+                out_ids = tuple(input_ids[pos] for pos in inplace)
+            except IndexError:
+                raise GraphError(
+                    f"{op.op_name}: inplace positions {inplace} out of "
+                    f"range for {len(input_ids)} inputs"
+                ) from None
+            if len(out_ids) != len(op.outputs):
+                raise GraphError(
+                    f"{op.op_name}: {len(out_ids)} inplace aliases for "
+                    f"{len(op.outputs)} outputs"
+                )
+            node = self._graph.add_node(op, input_ids, stream, output_ids=out_ids)
+        else:
+            node = self._graph.add_node(op, input_ids, stream)
+        return list(node.output_ids)
+
+    def finish(self, validate: bool = True) -> ExecutionGraph:
+        """Finalize and return the recorded graph."""
+        if validate:
+            self._graph.validate()
+        return self._graph

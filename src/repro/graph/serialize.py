@@ -1,0 +1,115 @@
+"""JSON (de)serialization of execution graphs.
+
+The paper stores captured execution graphs so that "subsequent DLRM
+models simply go through the Prediction Track" without re-running on
+hardware (Figure 3).  We round-trip graphs through plain JSON: each op
+is stored as its class name, its tensor signature and its extra
+attributes; reconstruction restores the exact object state.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from typing import Any
+
+from repro.graph.graph import ExecutionGraph
+from repro.graph.node import Node
+from repro.ops import Op
+from repro.tensormeta import TensorMeta
+
+_FORMAT_VERSION = 1
+
+
+def _tensor_to_dict(meta: TensorMeta) -> dict:
+    return {"shape": list(meta.shape), "dtype": meta.dtype, "device": meta.device}
+
+
+def _tensor_from_dict(d: dict) -> TensorMeta:
+    return TensorMeta(tuple(d["shape"]), d["dtype"], d["device"])
+
+
+def _op_to_dict(op: Op) -> dict:
+    attrs = {
+        k: v
+        for k, v in op.__dict__.items()
+        if k not in ("_inputs", "_outputs")
+    }
+    for key, value in attrs.items():
+        if not isinstance(value, (int, float, str, bool, list, tuple, type(None))):
+            raise TypeError(
+                f"op {op.op_name} attribute {key!r} of type "
+                f"{type(value).__name__} is not JSON-serializable"
+            )
+    return {
+        "class": f"{type(op).__module__}.{type(op).__qualname__}",
+        "inputs": [_tensor_to_dict(t) for t in op.inputs],
+        "outputs": [_tensor_to_dict(t) for t in op.outputs],
+        "attrs": {k: list(v) if isinstance(v, tuple) else v for k, v in attrs.items()},
+    }
+
+
+def _op_from_dict(d: dict) -> Op:
+    module_name, _, class_name = d["class"].rpartition(".")
+    module = importlib.import_module(module_name)
+    cls = getattr(module, class_name)
+    op = cls.__new__(cls)
+    op._inputs = tuple(_tensor_from_dict(t) for t in d["inputs"])
+    op._outputs = tuple(_tensor_from_dict(t) for t in d["outputs"])
+    for key, value in d["attrs"].items():
+        setattr(op, key, tuple(value) if isinstance(value, list) else value)
+    return op
+
+
+def graph_to_dict(graph: ExecutionGraph) -> dict:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "tensors": {str(tid): _tensor_to_dict(m) for tid, m in graph.tensors.items()},
+        "nodes": [
+            {
+                "node_id": n.node_id,
+                "op": _op_to_dict(n.op),
+                "input_ids": list(n.input_ids),
+                "output_ids": list(n.output_ids),
+                "stream": n.stream,
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> ExecutionGraph:
+    """Reconstruct a graph serialized by :func:`graph_to_dict`."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported graph format version {data.get('version')!r}"
+        )
+    empty = ExecutionGraph(data["name"])
+    tensors = {int(tid): _tensor_from_dict(m) for tid, m in data["tensors"].items()}
+    nodes = [
+        Node(
+            node_id=nd["node_id"],
+            op=_op_from_dict(nd["op"]),
+            input_ids=tuple(nd["input_ids"]),
+            output_ids=tuple(nd["output_ids"]),
+            stream=nd.get("stream", 0),
+        )
+        for nd in data["nodes"]
+    ]
+    graph = empty.replace_nodes(nodes, tensors)
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: ExecutionGraph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(graph_to_dict(graph), f)
+
+
+def load_graph(path: str) -> ExecutionGraph:
+    """Read a graph from a JSON file written by :func:`save_graph`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return graph_from_dict(json.load(f))

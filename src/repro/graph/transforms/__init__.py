@@ -1,0 +1,19 @@
+"""Execution-graph transforms for model-system co-design."""
+
+from repro.graph.transforms.fuse import fuse_embedding_bags, fuse_nodes
+from repro.graph.transforms.parallelize import (
+    assign_streams,
+    parallelize_independent_branches,
+)
+from repro.graph.transforms.reorder import move_independent_earlier, reorder
+from repro.graph.transforms.resize import rescale_batch
+
+__all__ = [
+    "assign_streams",
+    "fuse_embedding_bags",
+    "fuse_nodes",
+    "move_independent_earlier",
+    "parallelize_independent_branches",
+    "reorder",
+    "rescale_batch",
+]

@@ -1,0 +1,147 @@
+"""Op-fusion graph transform.
+
+Section V-A(b): "we can easily modify the execution graph and replace
+the subgraph of all embedding bag ops with one single batched embedding
+op".  :func:`fuse_nodes` is the generic subgraph-replacement primitive;
+:func:`fuse_embedding_bags` is the paper's Figure 11 case.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ExecutionGraph, GraphError
+from repro.graph.node import Node
+from repro.ops import (
+    EmbeddingBag,
+    EmbeddingBagBackward,
+    LookupFunction,
+    LookupFunctionBackward,
+    Op,
+)
+
+
+def fuse_nodes(
+    graph: ExecutionGraph, node_ids: list[int], fused_op: Op
+) -> ExecutionGraph:
+    """Replace the nodes in ``node_ids`` by one node running ``fused_op``.
+
+    The fused node is placed at the position of the first replaced node.
+    Its inputs are the replaced nodes' external inputs (tensors not
+    produced inside the fused set), truncated or padded against the
+    fused op's declared arity; its outputs are fresh tensors.  Any
+    downstream consumer of a replaced node's output is rewired to the
+    fused node's first output — the standard many-to-one fusion shape
+    (e.g. ``T`` per-table ``(B, D)`` embeddings becoming one
+    ``(B, T, D)`` batched output).
+
+    Raises:
+        GraphError: if ``node_ids`` is empty or contains unknown ids.
+    """
+    if not node_ids:
+        raise GraphError("fuse_nodes requires at least one node id")
+    id_set = set(node_ids)
+    fused_set_nodes = [n for n in graph.nodes if n.node_id in id_set]
+    if len(fused_set_nodes) != len(id_set):
+        missing = id_set - {n.node_id for n in graph.nodes}
+        raise GraphError(f"fuse_nodes: unknown node ids {sorted(missing)}")
+
+    # In-place aliased outputs (e.g. the weights a fused-SGD backward
+    # updates) are pre-existing tensors, not products of the subgraph.
+    internal_outputs = {
+        tid
+        for n in fused_set_nodes
+        for tid in n.output_ids
+        if tid not in n.input_ids
+    }
+    external_inputs: list[int] = []
+    for n in fused_set_nodes:
+        for tid in n.input_ids:
+            if tid not in internal_outputs and tid not in external_inputs:
+                external_inputs.append(tid)
+
+    tensors = graph.tensors
+    next_tid = max(tensors, default=-1) + 1
+    fused_out_ids = []
+    for meta in fused_op.outputs:
+        tensors[next_tid] = meta
+        fused_out_ids.append(next_tid)
+        next_tid += 1
+
+    # The fused op declares its own input arity; pad with external inputs
+    # (repeating the last one) or truncate so the node stays well-formed.
+    arity = len(fused_op.inputs)
+    if len(external_inputs) >= arity:
+        fused_in_ids = tuple(external_inputs[:arity])
+    else:
+        if not external_inputs:
+            raise GraphError("fused subgraph has no external inputs")
+        pad = [external_inputs[-1]] * (arity - len(external_inputs))
+        fused_in_ids = tuple(external_inputs + pad)
+
+    next_node_id = max(n.node_id for n in graph.nodes) + 1
+    fused_node = Node(
+        node_id=next_node_id,
+        op=fused_op,
+        input_ids=fused_in_ids,
+        output_ids=tuple(fused_out_ids),
+        stream=fused_set_nodes[0].stream,
+    )
+
+    replacement_out = fused_out_ids[0]
+    new_nodes: list[Node] = []
+    inserted = False
+    for n in graph.nodes:
+        if n.node_id in id_set:
+            if not inserted:
+                new_nodes.append(fused_node)
+                inserted = True
+            continue
+        if any(tid in internal_outputs for tid in n.input_ids):
+            remapped = tuple(
+                replacement_out if tid in internal_outputs else tid
+                for tid in n.input_ids
+            )
+            # Keep the op's declared arity; the rewired node may now
+            # reference the fused output several times, which is fine.
+            n = Node(n.node_id, n.op, remapped, n.output_ids, n.stream)
+        new_nodes.append(n)
+
+    fused = graph.replace_nodes(new_nodes, tensors)
+    fused.validate()
+    return fused
+
+
+def fuse_embedding_bags(graph: ExecutionGraph) -> ExecutionGraph:
+    """Fuse all per-table ``embedding_bag`` ops into batched lookups.
+
+    Forward ``aten::embedding_bag`` nodes become one
+    :class:`LookupFunction`; backward ``EmbeddingBagBackward0`` nodes
+    become one :class:`LookupFunctionBackward`.  Tables may have
+    different row counts ``E``; like the paper (which falls back to the
+    average table size for non-constant tables), the fused op uses the
+    mean ``E`` and the common ``B``/``L``/``D``.
+
+    Graphs with no embedding-bag ops are returned unchanged.
+    """
+    fwd = [n for n in graph.nodes if isinstance(n.op, EmbeddingBag)]
+    bwd = [n for n in graph.nodes if isinstance(n.op, EmbeddingBagBackward)]
+    result = graph
+    if fwd:
+        ops = [n.op for n in fwd]
+        avg_e = max(1, round(sum(op.E for op in ops) / len(ops)))
+        fused_op = LookupFunction(
+            B=ops[0].B, E=avg_e, T=len(ops), L=ops[0].L, D=ops[0].D,
+            rows_per_block=ops[0].rows_per_block,
+        )
+        result = fuse_nodes(result, [n.node_id for n in fwd], fused_op)
+    if bwd:
+        bwd_live = [
+            n for n in result.nodes if isinstance(n.op, EmbeddingBagBackward)
+        ]
+        ops = [n.op for n in bwd_live]
+        avg_e = max(1, round(sum(op.E for op in ops) / len(ops)))
+        fused_op = LookupFunctionBackward(
+            B=ops[0].B, E=avg_e, T=len(ops), L=ops[0].L, D=ops[0].D,
+            rows_per_block=ops[0].rows_per_block,
+        )
+        result = fuse_nodes(result, [n.node_id for n in bwd_live], fused_op)
+    return result

@@ -1,0 +1,69 @@
+"""Stream-parallelization transform.
+
+Section V-A(a): "assign ops in parallel branches with no data
+dependency to different GPU streams for parallel".  This transform
+computes independent branches and assigns them round-robin to a set of
+streams; the E2E predictor models per-stream GPU timelines.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ExecutionGraph, GraphError
+from repro.graph.node import Node
+
+
+def assign_streams(
+    graph: ExecutionGraph, assignment: dict[int, int]
+) -> ExecutionGraph:
+    """Assign nodes to streams explicitly (``node id -> stream``)."""
+    for nid in assignment:
+        if all(n.node_id != nid for n in graph.nodes):
+            raise GraphError(f"unknown node id {nid}")
+    new_nodes = [
+        n.with_stream(assignment.get(n.node_id, n.stream)) for n in graph.nodes
+    ]
+    out = graph.replace_nodes(new_nodes)
+    out.validate()
+    return out
+
+
+def parallelize_independent_branches(
+    graph: ExecutionGraph, num_streams: int = 2
+) -> ExecutionGraph:
+    """Spread data-independent chains across ``num_streams`` GPU streams.
+
+    Two nodes are placed on different streams when neither (transitively)
+    depends on the other.  We compute each node's *chain id* as the
+    lowest-id root it transitively depends on; chains are assigned to
+    streams round-robin.  Nodes reachable from multiple chains stay on
+    stream 0 (they are synchronization points).
+    """
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+    if num_streams == 1:
+        return graph
+
+    roots_of: dict[int, frozenset[int]] = {}
+    for node in graph.nodes:
+        deps = graph.dependencies(node)
+        if not deps:
+            roots_of[node.node_id] = frozenset({node.node_id})
+        else:
+            merged: set[int] = set()
+            for dep in deps:
+                merged |= roots_of[dep]
+            roots_of[node.node_id] = frozenset(merged)
+
+    chain_stream: dict[frozenset[int], int] = {}
+    assignment: dict[int, int] = {}
+    next_stream = 0
+    for node in graph.nodes:
+        roots = roots_of[node.node_id]
+        if len(roots) == 1:
+            if roots not in chain_stream:
+                chain_stream[roots] = next_stream % num_streams
+                next_stream += 1
+            assignment[node.node_id] = chain_stream[roots]
+        else:
+            assignment[node.node_id] = 0  # join point
+    return assign_streams(graph, assignment)

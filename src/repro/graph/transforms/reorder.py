@@ -1,0 +1,57 @@
+"""Op-reordering transform.
+
+Reordering is one of the optimizations the paper lists as predictable
+by graph manipulation (Section I, contribution 3).  A reorder is legal
+iff it preserves every data dependency; :func:`reorder` validates this.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ExecutionGraph, GraphError
+from repro.graph.node import Node
+
+
+def reorder(graph: ExecutionGraph, new_order: list[int]) -> ExecutionGraph:
+    """Return a copy of ``graph`` with nodes in ``new_order``.
+
+    Args:
+        new_order: Permutation of the graph's node ids.
+
+    Raises:
+        GraphError: if ``new_order`` is not a permutation or violates a
+            data dependency.
+    """
+    by_id = {n.node_id: n for n in graph.nodes}
+    if sorted(new_order) != sorted(by_id):
+        raise GraphError("new_order must be a permutation of node ids")
+    new_nodes = [by_id[nid] for nid in new_order]
+    reordered = graph.replace_nodes(new_nodes)
+    reordered.validate()  # catches dependency violations
+    return reordered
+
+
+def move_independent_earlier(graph: ExecutionGraph, node_id: int) -> ExecutionGraph:
+    """Hoist ``node_id`` to the earliest position its dependencies allow.
+
+    A simple scheduling heuristic: launching long memory kernels (e.g.
+    the input H2D copy) earlier can hide them behind compute.
+    """
+    nodes = list(graph.nodes)
+    idx = next(
+        (i for i, n in enumerate(nodes) if n.node_id == node_id), None
+    )
+    if idx is None:
+        raise GraphError(f"unknown node id {node_id}")
+    target = nodes[idx]
+    deps = graph.dependencies(target)
+    earliest = 0
+    for i, n in enumerate(nodes):
+        if n.node_id in deps:
+            earliest = i + 1
+    if earliest >= idx:
+        return graph
+    nodes.pop(idx)
+    nodes.insert(earliest, target)
+    moved = graph.replace_nodes(nodes)
+    moved.validate()
+    return moved

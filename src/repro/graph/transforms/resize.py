@@ -1,0 +1,52 @@
+"""Batch-size resize transform.
+
+Section V-A(a): "it is straightforward to change metadata of tensor
+shapes of selected ops and their parent and child nodes in the graph
+for resize".  This transform rescales the batch dimension of an entire
+recorded graph without re-running the model — the core of batch-size
+what-if studies (Section I, question 1).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import ExecutionGraph
+from repro.graph.node import Node
+
+
+def rescale_batch(
+    graph: ExecutionGraph, old_batch: int, new_batch: int
+) -> ExecutionGraph:
+    """Return a copy of ``graph`` with batch ``old_batch -> new_batch``.
+
+    Every op is rescaled via :meth:`repro.ops.base.Op.rescale_batch`
+    (which also fixes kernel parameters such as GEMM ``m`` or embedding
+    ``B``), and every recorded tensor whose leading dimension equals
+    ``old_batch`` is remapped.  Weight tensors are untouched.
+
+    Raises:
+        ValueError: if either batch size is not positive.
+    """
+    if old_batch <= 0 or new_batch <= 0:
+        raise ValueError(
+            f"batch sizes must be positive, got {old_batch} -> {new_batch}"
+        )
+    if old_batch == new_batch:
+        return graph
+
+    new_nodes = [
+        Node(
+            n.node_id,
+            n.op.rescale_batch(old_batch, new_batch),
+            n.input_ids,
+            n.output_ids,
+            n.stream,
+        )
+        for n in graph.nodes
+    ]
+    new_tensors = {
+        tid: meta.with_batch(old_batch, new_batch)
+        for tid, meta in graph.tensors.items()
+    }
+    resized = graph.replace_nodes(new_nodes, new_tensors)
+    resized.validate()
+    return resized

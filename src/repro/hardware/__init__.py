@@ -1,0 +1,29 @@
+"""GPU/CPU spec sheets and measured hardware peaks."""
+
+from repro.hardware.specs import (
+    A100,
+    ALL_GPUS,
+    DEFAULT_CPU,
+    PAPER_GPUS,
+    TESLA_P100,
+    TESLA_V100,
+    TITAN_XP,
+    CpuSpec,
+    GpuSpec,
+    MeasuredPeaks,
+    gpu_by_name,
+)
+
+__all__ = [
+    "A100",
+    "ALL_GPUS",
+    "DEFAULT_CPU",
+    "PAPER_GPUS",
+    "TESLA_P100",
+    "TESLA_V100",
+    "TITAN_XP",
+    "CpuSpec",
+    "GpuSpec",
+    "MeasuredPeaks",
+    "gpu_by_name",
+]

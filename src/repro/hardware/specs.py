@@ -1,0 +1,154 @@
+"""Hardware specification sheets for the GPUs and CPUs used in the paper.
+
+The paper evaluates on three NVIDIA GPUs — Tesla V100, Tesla P100 and
+GeForce GTX TITAN Xp.  The heuristic kernel performance models need the
+device's peak DRAM bandwidth, L2 cache size/bandwidth, SM count and peak
+throughput (Section III-B).  The paper obtains *achieved* peaks with the
+microbenchmark suite of Konstantinidis et al.; we mirror that with
+:mod:`repro.microbench.hardware` which measures achieved rates against
+the simulator and stores them on :class:`MeasuredPeaks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Datasheet-level description of a GPU.
+
+    Attributes:
+        name: Marketing name, used as a database key.
+        num_sms: Number of streaming multiprocessors.
+        sm_clock_ghz: Boost clock in GHz (default application clocks).
+        peak_fp32_tflops: Peak single-precision throughput in TFLOP/s.
+        peak_dram_bw_gbs: Peak DRAM bandwidth in GB/s.
+        l2_cache_bytes: L2 cache size in bytes.
+        peak_l2_bw_gbs: Peak L2 bandwidth in GB/s.
+        kernel_launch_us: Fixed device-side kernel launch latency in µs.
+        pcie_bw_gbs: Host-to-device copy bandwidth in GB/s (PCIe).
+    """
+
+    name: str
+    num_sms: int
+    sm_clock_ghz: float
+    peak_fp32_tflops: float
+    peak_dram_bw_gbs: float
+    l2_cache_bytes: int
+    peak_l2_bw_gbs: float
+    kernel_launch_us: float = 2.0
+    pcie_bw_gbs: float = 12.0
+
+    @property
+    def peak_fp32_gflops(self) -> float:
+        """Peak throughput in GFLOP/s (convenience for rooflines)."""
+        return self.peak_fp32_tflops * 1e3
+
+    def with_overrides(self, **kwargs) -> "GpuSpec":
+        """Return a copy with selected fields replaced (what-if studies)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host-side platform description.
+
+    Host overheads (Section III-C) depend only on the training platform's
+    CPU.  ``overhead_scale`` proportionally scales all sampled overheads,
+    and ``jitter_scale`` scales their dispersion, letting us model faster
+    or slower host CPUs paired with each GPU.
+    """
+
+    name: str
+    overhead_scale: float = 1.0
+    jitter_scale: float = 1.0
+
+
+# Datasheet presets.  L2 bandwidths follow published microbenchmark
+# studies (Jia et al., Konstantinidis et al.); exact values only shift
+# absolute times, not the shape of any experiment.
+TESLA_V100 = GpuSpec(
+    name="V100",
+    num_sms=80,
+    sm_clock_ghz=1.38,
+    peak_fp32_tflops=15.7,
+    peak_dram_bw_gbs=900.0,
+    l2_cache_bytes=6 * 1024 * 1024,
+    peak_l2_bw_gbs=2155.0,
+    kernel_launch_us=2.0,
+    pcie_bw_gbs=12.0,
+)
+
+TESLA_P100 = GpuSpec(
+    name="P100",
+    num_sms=56,
+    sm_clock_ghz=1.30,
+    peak_fp32_tflops=9.3,
+    peak_dram_bw_gbs=732.0,
+    l2_cache_bytes=4 * 1024 * 1024,
+    peak_l2_bw_gbs=1624.0,
+    kernel_launch_us=2.2,
+    pcie_bw_gbs=12.0,
+)
+
+TITAN_XP = GpuSpec(
+    name="TITAN_Xp",
+    num_sms=30,
+    sm_clock_ghz=1.58,
+    peak_fp32_tflops=12.1,
+    peak_dram_bw_gbs=547.0,
+    l2_cache_bytes=3 * 1024 * 1024,
+    peak_l2_bw_gbs=1210.0,
+    kernel_launch_us=2.4,
+    pcie_bw_gbs=12.0,
+)
+
+# Extension device used in what-if studies ("how much performance can be
+# gained with new GPUs", Section I question 2).
+A100 = GpuSpec(
+    name="A100",
+    num_sms=108,
+    sm_clock_ghz=1.41,
+    peak_fp32_tflops=19.5,
+    peak_dram_bw_gbs=1555.0,
+    l2_cache_bytes=40 * 1024 * 1024,
+    peak_l2_bw_gbs=4500.0,
+    kernel_launch_us=1.8,
+    pcie_bw_gbs=24.0,
+)
+
+DEFAULT_CPU = CpuSpec(name="xeon-default", overhead_scale=1.0, jitter_scale=1.0)
+
+PAPER_GPUS: dict[str, GpuSpec] = {
+    spec.name: spec for spec in (TESLA_V100, TITAN_XP, TESLA_P100)
+}
+
+ALL_GPUS: dict[str, GpuSpec] = dict(PAPER_GPUS, **{A100.name: A100})
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look up a GPU spec by name, raising a helpful error when unknown."""
+    try:
+        return ALL_GPUS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_GPUS))
+        raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}") from None
+
+
+@dataclass(frozen=True)
+class MeasuredPeaks:
+    """Achieved peak rates measured by hardware microbenchmarks.
+
+    The paper corrects datasheet peaks with measured maxima ("we use the
+    maximum measured bandwidth of the benchmark as the corrected peak
+    bandwidth").  Instances are produced by
+    :func:`repro.microbench.hardware.measure_peaks`.
+    """
+
+    gpu_name: str
+    dram_bw_gbs: float
+    l2_bw_gbs: float
+    fp32_gflops: float
+    pcie_bw_gbs: float
+    extras: dict = field(default_factory=dict)

@@ -1,0 +1,107 @@
+"""Error metrics used throughout the paper's evaluation.
+
+The paper reports kernel- and E2E-level prediction quality as the
+geometric mean of the absolute relative error (GMAE), together with the
+arithmetic mean and standard deviation of the absolute relative error
+(Table IV and Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Signed relative error ``(predicted - actual) / actual``.
+
+    Raises:
+        ValueError: if ``actual`` is zero, which would make the relative
+            error undefined.
+    """
+    if actual == 0:
+        raise ValueError("actual value must be non-zero for relative error")
+    return (predicted - actual) / actual
+
+
+def absolute_relative_errors(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> list[float]:
+    """Element-wise ``|predicted - actual| / actual``."""
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(actual)} actuals"
+        )
+    return [abs(relative_error(p, a)) for p, a in zip(predicted, actual)]
+
+
+def gmae(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Geometric mean of absolute relative errors.
+
+    This is the headline metric of the paper ("less than 10% GMAE in all
+    kernel performance modeling").  Zero errors are clamped to a tiny
+    epsilon so that a single perfect prediction does not collapse the
+    geometric mean to zero.
+    """
+    errors = absolute_relative_errors(predicted, actual)
+    if not errors:
+        raise ValueError("cannot compute GMAE of an empty sample")
+    eps = 1e-12
+    log_sum = sum(math.log(max(e, eps)) for e in errors)
+    return math.exp(log_sum / len(errors))
+
+
+def mean_absolute_relative_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Arithmetic mean of absolute relative errors (``mean`` in Table IV)."""
+    errors = absolute_relative_errors(predicted, actual)
+    if not errors:
+        raise ValueError("cannot compute mean error of an empty sample")
+    return sum(errors) / len(errors)
+
+
+def std_absolute_relative_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Population standard deviation of absolute relative errors."""
+    errors = absolute_relative_errors(predicted, actual)
+    if not errors:
+        raise ValueError("cannot compute std of an empty sample")
+    mean = sum(errors) / len(errors)
+    return math.sqrt(sum((e - mean) ** 2 for e in errors) / len(errors))
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for Table V aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot compute geomean of an empty sample")
+    eps = 1e-12
+    return math.exp(sum(math.log(max(v, eps)) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """GMAE / mean / std triple, one row cell group of Table IV."""
+
+    gmae: float
+    mean: float
+    std: float
+
+    @classmethod
+    def from_samples(
+        cls, predicted: Sequence[float], actual: Sequence[float]
+    ) -> "ErrorStats":
+        """Compute all three statistics for a prediction sample."""
+        return cls(
+            gmae=gmae(predicted, actual),
+            mean=mean_absolute_relative_error(predicted, actual),
+            std=std_absolute_relative_error(predicted, actual),
+        )
+
+    def as_percentages(self) -> str:
+        """Render like the paper's tables, e.g. ``5.80% 10.00% 10.33%``."""
+        return f"{self.gmae:.2%} {self.mean:.2%} {self.std:.2%}"

@@ -1,0 +1,23 @@
+"""Microbenchmarks: sweep spaces, runner, hardware peak measurement."""
+
+from repro.microbench.datasets import MicrobenchDataset, MicrobenchRecord
+from repro.microbench.hardware import measure_peaks
+from repro.microbench.runner import (
+    TIMED_ITERATIONS,
+    WARMUP_ITERATIONS,
+    kernel_from_params,
+    run_microbenchmark,
+)
+from repro.microbench.spaces import SPACES, space_for
+
+__all__ = [
+    "MicrobenchDataset",
+    "MicrobenchRecord",
+    "SPACES",
+    "TIMED_ITERATIONS",
+    "WARMUP_ITERATIONS",
+    "kernel_from_params",
+    "measure_peaks",
+    "run_microbenchmark",
+    "space_for",
+]

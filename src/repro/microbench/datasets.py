@@ -1,0 +1,104 @@
+"""Microbenchmark dataset containers.
+
+A microbenchmark sweep produces ``(kernel parameters, measured mean
+time)`` records for one kernel type on one GPU — the raw material for
+training ML-based performance models and verifying heuristic ones
+(Figure 3's "Microbenchmark Data" store).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MicrobenchRecord:
+    """One benchmarked configuration."""
+
+    params: dict
+    measured_us: float
+
+
+@dataclass
+class MicrobenchDataset:
+    """All measurements of one kernel type on one GPU."""
+
+    kernel_type: str
+    gpu_name: str
+    records: list[MicrobenchRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, params: dict, measured_us: float) -> None:
+        """Add one measurement."""
+        self.records.append(MicrobenchRecord(dict(params), float(measured_us)))
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Sorted numeric parameter names present in every record."""
+        if not self.records:
+            return []
+        common = set(self.records[0].params)
+        for record in self.records[1:]:
+            common &= set(record.params)
+        return sorted(
+            k for k in common
+            if isinstance(self.records[0].params[k], (int, float))
+        )
+
+    def features(self, names: list[str] | None = None) -> np.ndarray:
+        """Feature matrix (rows = records, columns = ``names``)."""
+        names = names or self.feature_names
+        return np.array(
+            [[float(r.params[n]) for n in names] for r in self.records]
+        )
+
+    def targets(self) -> np.ndarray:
+        """Measured kernel times in µs."""
+        return np.array([r.measured_us for r in self.records])
+
+    def split(
+        self, train_fraction: float = 0.8, seed: int = 0
+    ) -> tuple["MicrobenchDataset", "MicrobenchDataset"]:
+        """Deterministic train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.records))
+        cut = max(1, int(len(self.records) * train_fraction))
+        train = MicrobenchDataset(self.kernel_type, self.gpu_name,
+                                  [self.records[i] for i in order[:cut]])
+        test = MicrobenchDataset(self.kernel_type, self.gpu_name,
+                                 [self.records[i] for i in order[cut:]])
+        return train, test
+
+    def to_json(self) -> str:
+        """Serialize to JSON."""
+        return json.dumps(
+            {
+                "kernel_type": self.kernel_type,
+                "gpu_name": self.gpu_name,
+                "records": [
+                    {"params": r.params, "measured_us": r.measured_us}
+                    for r in self.records
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MicrobenchDataset":
+        """Deserialize from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            kernel_type=data["kernel_type"],
+            gpu_name=data["gpu_name"],
+            records=[
+                MicrobenchRecord(r["params"], r["measured_us"])
+                for r in data["records"]
+            ],
+        )

@@ -1,0 +1,95 @@
+"""Hardware-parameter microbenchmarks.
+
+The paper uses the microbenchmark suite of Konstantinidis et al. to
+measure the achieved FLOPS, DRAM bandwidth, etc. that its heuristic
+models need.  We measure the same corrected peaks against the simulated
+device: the maximum achieved bandwidth over a size sweep becomes the
+"corrected peak bandwidth", and a tiny-kernel benchmark measures the
+effective launch latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import MeasuredPeaks
+from repro.ops import KernelCall, KernelType
+from repro.simulator import SimulatedDevice
+
+
+def _max_achieved_bw(
+    device: SimulatedDevice, make_kernel, bytes_fn, sizes: list[float]
+) -> float:
+    """Max achieved GB/s over a size sweep."""
+    best = 0.0
+    for size in sizes:
+        kernel = make_kernel(size)
+        t_us = device.measure_kernel_us(kernel)
+        bw = bytes_fn(size) / (t_us * 1e3)  # bytes/µs -> GB/s
+        best = max(best, bw)
+    return best
+
+
+def measure_peaks(device: SimulatedDevice) -> MeasuredPeaks:
+    """Measure corrected peak rates for one device.
+
+    Returns achieved DRAM bandwidth (big streaming copies), L2
+    bandwidth (inferred from small hot-working-set embedding reads),
+    FP32 throughput (compute-bound GEMM) and PCIe bandwidth (big H2D
+    copies), plus the effective kernel launch latency in ``extras``.
+    """
+    sizes = [2.0**p for p in range(22, 30)]  # 4 MiB .. 512 MiB
+
+    dram_bw = _max_achieved_bw(
+        device,
+        lambda s: KernelCall(KernelType.MEMCPY, {"bytes": s / 2.0, "h2d": 0}),
+        lambda s: s,  # d2d moves read+write = 2x bytes param
+        sizes,
+    )
+    pcie_bw = _max_achieved_bw(
+        device,
+        lambda s: KernelCall(KernelType.MEMCPY, {"bytes": s, "h2d": 1}),
+        lambda s: s,
+        sizes,
+    )
+
+    # Compute-bound GEMM: achieved GFLOP/s at large square sizes.
+    best_gflops = 0.0
+    for dim in (2048, 4096):
+        kernel = KernelCall(
+            KernelType.GEMM, {"m": dim, "n": dim, "k": dim, "batch": 1}
+        )
+        t_us = device.measure_kernel_us(kernel)
+        gflops = 2.0 * dim**3 / (t_us * 1e3)
+        best_gflops = max(best_gflops, gflops)
+
+    # L2 bandwidth: tiny embedding tables fit entirely in L2; at large
+    # batch the weights traffic dominates and is L2-resident.
+    best_l2 = 0.0
+    for d in (64, 128):
+        params = {"B": 4096, "E": 32, "T": 1, "L": 32, "D": d,
+                  "rows_per_block": 32}
+        kernel = KernelCall(KernelType.EMBEDDING_FWD, params)
+        t_us = device.measure_kernel_us(kernel)
+        import math
+        weights_bytes = (
+            params["B"] * params["T"]
+            * math.ceil(4 * d / 32) * 32 * params["L"]
+        )
+        best_l2 = max(best_l2, weights_bytes / (t_us * 1e3))
+
+    # Effective launch latency: the floor of a near-empty kernel.
+    tiny = KernelCall(
+        KernelType.ELEMENTWISE,
+        {"flop": 1.0, "bytes_read": 4.0, "bytes_write": 4.0},
+    )
+    launch_us = device.measure_kernel_us(tiny)
+
+    return MeasuredPeaks(
+        gpu_name=device.gpu.name,
+        dram_bw_gbs=dram_bw,
+        l2_bw_gbs=best_l2,
+        fp32_gflops=best_gflops,
+        pcie_bw_gbs=pcie_bw,
+        extras={"launch_us": launch_us},
+    )

@@ -1,0 +1,60 @@
+"""Microbenchmark runner.
+
+Implements the paper's measurement protocol (Section III-B): warm up
+for 5 iterations, then benchmark the target kernel alone for 30
+iterations and record the mean execution time.  Measurements go through
+:meth:`repro.simulator.engine.SimulatedDevice.measure_kernel_us` — the
+sanctioned observation channel into the hidden ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.microbench.datasets import MicrobenchDataset
+from repro.microbench.spaces import space_for
+from repro.ops import KernelCall
+from repro.simulator import SimulatedDevice
+
+WARMUP_ITERATIONS = 5
+TIMED_ITERATIONS = 30
+
+
+def kernel_from_params(kernel_type: str, params: dict) -> KernelCall:
+    """Build a benchmarkable kernel call from sweep-space parameters."""
+    return KernelCall(kernel_type, params)
+
+
+def run_microbenchmark(
+    device: SimulatedDevice,
+    kernel_type: str,
+    configs: list[dict] | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    warmup: int = WARMUP_ITERATIONS,
+    timed_iterations: int = TIMED_ITERATIONS,
+) -> MicrobenchDataset:
+    """Sweep one kernel type on one device.
+
+    Args:
+        device: The simulated testbed.
+        kernel_type: Which kernel to benchmark.
+        configs: Explicit configurations; defaults to the standard sweep
+            space at ``scale``.
+        scale: Sweep-space scale when ``configs`` is None.
+        seed: Seed for both the space sampling and the measurements.
+        warmup: Warm-up iterations per configuration.
+        timed_iterations: Timed iterations per configuration.
+
+    Returns:
+        A :class:`MicrobenchDataset` of mean measured times.
+    """
+    if configs is None:
+        configs = space_for(kernel_type, scale=scale, seed=seed)
+    dataset = MicrobenchDataset(kernel_type, device.gpu.name)
+    for i, params in enumerate(configs):
+        kernel = kernel_from_params(kernel_type, params)
+        measured = device.measure_kernel_us(
+            kernel, warmup=warmup, timed_iterations=timed_iterations,
+            seed=seed + i,
+        )
+        dataset.append(params, measured)
+    return dataset

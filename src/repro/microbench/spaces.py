@@ -1,0 +1,242 @@
+"""Microbenchmark sweep spaces for the dominating kernels.
+
+The paper sweeps "a wide range of (up to 30k) tensor shapes and
+arguments for each target kernel" (Section III-B).  Full sweeps take
+days on hardware; on the simulated testbed we default to a few hundred
+to a couple thousand configurations per kernel, sampled log-uniformly
+like the paper's almost-exponential size grids.  ``scale`` shrinks or
+grows every space proportionally (tests use small scales, benchmark
+runs larger ones).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ops import KernelType
+
+_POW2_SMALL = (32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _log_choice(rng: np.random.Generator, lo: float, hi: float) -> int:
+    """Sample an integer log-uniformly in ``[lo, hi]``."""
+    return int(round(math.exp(rng.uniform(math.log(lo), math.log(hi)))))
+
+
+def gemm_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """GEMM configurations: (m, n, k, batch) on a log grid + jitter."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(16, int(1200 * scale))
+    for _ in range(count):
+        # Half the space is plain GEMM (batch 1, larger matrices — the
+        # MLP layers); half is batched GEMM with small per-batch
+        # matrices (bmm feature interaction, attention).
+        if rng.random() < 0.5:
+            batch = 1
+            m = _log_choice(rng, 32, 8192)
+            n = _log_choice(rng, 32, 4096)
+            k = _log_choice(rng, 32, 4096)
+        else:
+            batch = _log_choice(rng, 2, 8192)
+            m = _log_choice(rng, 4, 512)
+            n = _log_choice(rng, 4, 512)
+            k = _log_choice(rng, 8, 1024)
+        configs.append({"m": m, "n": n, "k": k, "batch": batch})
+    return configs
+
+
+def embedding_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Embedding-lookup configurations over (B, E, T, L, D)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(16, int(800 * scale))
+    for _ in range(count):
+        configs.append(
+            {
+                "B": int(rng.choice([256, 512, 1024, 2048, 4096])),
+                "E": _log_choice(rng, 1_000, 10_000_000),
+                "T": int(rng.choice([1, 2, 4, 8, 16, 26, 32])),
+                "L": int(rng.choice([1, 2, 5, 10, 20, 50, 100])),
+                "D": int(rng.choice([32, 64, 128, 256])),
+                "rows_per_block": 32,
+            }
+        )
+    return configs
+
+
+def concat_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Concat configurations over total bytes and input count."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(8, int(300 * scale))
+    for _ in range(count):
+        bytes_in = _log_choice(rng, 64 * 1024, 512 * 1024 * 1024)
+        configs.append(
+            {
+                "bytes_total": float(2 * bytes_in),
+                "num_inputs": int(rng.choice([2, 2, 3, 4, 8, 16, 26])),
+            }
+        )
+    return configs
+
+
+def memcpy_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Memcpy configurations over size and direction."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(8, int(300 * scale))
+    for _ in range(count):
+        configs.append(
+            {
+                "bytes": float(_log_choice(rng, 256 * 1024, 1024 * 1024 * 1024)),
+                "h2d": int(rng.random() < 0.5),
+            }
+        )
+    return configs
+
+
+def transpose_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Batched matrix transpose configurations (b, m, n)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(16, int(600 * scale))
+    for _ in range(count):
+        configs.append(
+            {
+                "b": int(rng.choice([64, 128, 256, 512, 1024, 2048, 4096])),
+                "m": _log_choice(rng, 2, 512),
+                "n": _log_choice(rng, 2, 512),
+                "elem_size": 4.0,
+            }
+        )
+    return configs
+
+
+def tril_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Lower-triangle extraction configurations (B, F)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(16, int(400 * scale))
+    for _ in range(count):
+        configs.append(
+            {
+                "B": int(rng.choice([256, 512, 1024, 2048, 4096])),
+                "F": int(rng.integers(4, 64)),
+            }
+        )
+    return configs
+
+
+def elementwise_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Element-wise configurations (verification of the roofline model)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(8, int(300 * scale))
+    for _ in range(count):
+        numel = _log_choice(rng, 64 * 1024, 128 * 1024 * 1024)
+        flops_per_element = float(rng.choice([1.0, 1.0, 2.0, 4.0]))
+        reads = float(rng.choice([1.0, 2.0]))
+        configs.append(
+            {
+                "flop": flops_per_element * numel,
+                "bytes_read": 4.0 * reads * numel,
+                "bytes_write": 4.0 * numel,
+            }
+        )
+    return configs
+
+
+def conv_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Convolution configurations (CV extension, Section IV-C).
+
+    The 9-D space needs denser sampling than the others; the count is
+    correspondingly larger.
+    """
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(16, int(2400 * scale))
+    # CNN-typical channel counts get extra sampling density (including
+    # the 3-channel stem, which log-uniform sampling would starve).
+    channels = [3, 16, 32, 48, 64, 96, 128, 160, 192, 256, 320, 384,
+                448, 512, 768, 1024, 1280, 2048]
+    for _ in range(count):
+        r = int(rng.choice([1, 1, 3, 3, 5, 7]))
+        s = int(rng.choice([r, r, r, 1, 7]))  # include 1x7/7x1 shapes
+        stride = int(rng.choice([1, 1, 1, 2]))
+        if rng.random() < 0.6:
+            c = int(rng.choice(channels))
+            k = int(rng.choice(channels[1:]))
+        else:
+            c = _log_choice(rng, 3, 2048)
+            k = _log_choice(rng, 16, 2048)
+        configs.append(
+            {
+                "n": int(rng.choice([8, 16, 32, 64, 128])),
+                "c": c,
+                "h": int(rng.choice([7, 8, 14, 17, 28, 35, 56, 112, 149, 224, 299])),
+                "w": 0,  # filled below to equal h
+                "k": k,
+                "r": r,
+                "s": s,
+                "stride": stride,
+                "pad_h": r // 2,
+                "pad_w": s // 2,
+            }
+        )
+        cfg = configs[-1]
+        cfg["w"] = cfg["h"]
+        oh = (cfg["h"] + 2 * cfg["pad_h"] - cfg["r"]) // cfg["stride"] + 1
+        ow = (cfg["w"] + 2 * cfg["pad_w"] - cfg["s"]) // cfg["stride"] + 1
+        if oh <= 0 or ow <= 0:
+            configs.pop()
+            continue
+        cfg["gemm_m"] = cfg["n"] * oh * ow
+        cfg["gemm_k"] = cfg["c"] * cfg["r"] * cfg["s"]
+    return configs
+
+
+def batchnorm_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Batch-norm configurations (CV extension)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(8, int(300 * scale))
+    for _ in range(count):
+        configs.append(
+            {
+                "n": int(rng.choice([8, 16, 32, 64, 128])),
+                "c": _log_choice(rng, 16, 2048),
+                "h": int(rng.choice([7, 14, 28, 56, 112])),
+                "w": 0,
+            }
+        )
+        configs[-1]["w"] = configs[-1]["h"]
+    return configs
+
+
+SPACES = {
+    KernelType.GEMM: gemm_space,
+    KernelType.EMBEDDING_FWD: embedding_space,
+    KernelType.EMBEDDING_BWD: embedding_space,
+    KernelType.CONCAT: concat_space,
+    KernelType.MEMCPY: memcpy_space,
+    KernelType.TRANSPOSE: transpose_space,
+    KernelType.TRIL_FWD: tril_space,
+    KernelType.TRIL_BWD: tril_space,
+    KernelType.ELEMENTWISE: elementwise_space,
+    KernelType.CONV: conv_space,
+    KernelType.BATCHNORM: batchnorm_space,
+}
+
+
+def space_for(kernel_type: str, scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Sweep space for ``kernel_type`` at the given scale."""
+    try:
+        return SPACES[kernel_type](scale, seed)
+    except KeyError:
+        known = ", ".join(sorted(SPACES))
+        raise KeyError(
+            f"no sweep space for kernel type {kernel_type!r}; known: {known}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Workload zoo: the six models of Figure 1 plus builders and configs."""
+
+from repro.graph import ExecutionGraph
+from repro.models.dlrm import (
+    DLRM_CONFIGS,
+    DLRM_DDP,
+    DLRM_DEFAULT,
+    DLRM_MLPERF,
+    DlrmConfig,
+    build_dlrm,
+    build_dlrm_graph,
+)
+from repro.models.inception import build_inception_v3_graph
+from repro.models.recommenders import (
+    DCN_CONFIG,
+    DEEPFM_CONFIG,
+    WIDE_AND_DEEP_CONFIG,
+    RecommenderConfig,
+    build_dcn_graph,
+    build_deepfm_graph,
+    build_wide_and_deep_graph,
+)
+from repro.models.resnet import build_resnet50_graph
+from repro.models.transformer import (
+    TRANSFORMER_BASE,
+    TransformerConfig,
+    build_transformer_graph,
+)
+
+#: Figure 1 workloads and the batch sizes "commonly used in training".
+FIGURE1_BATCH_SIZES: dict[str, tuple[int, ...]] = {
+    "DLRM_default": (512, 1024, 2048, 4096),
+    "DLRM_MLPerf": (512, 1024, 2048, 4096),
+    "DLRM_DDP": (512, 1024, 2048, 4096),
+    "resnet50": (16, 32, 64, 128),
+    "inception_v3": (16, 32, 64, 128),
+    "Transformer": (64, 128, 256, 512),
+}
+
+
+def build_model(name: str, batch_size: int) -> ExecutionGraph:
+    """Build any zoo workload by its Figure 1 name."""
+    if name in DLRM_CONFIGS:
+        return build_dlrm(name, batch_size)
+    if name == "resnet50":
+        return build_resnet50_graph(batch_size)
+    if name == "inception_v3":
+        return build_inception_v3_graph(batch_size)
+    if name == "Transformer":
+        return build_transformer_graph(batch_size)
+    if name == "DeepFM":
+        return build_deepfm_graph(batch_size)
+    if name == "DCN":
+        return build_dcn_graph(batch_size)
+    if name == "WideAndDeep":
+        return build_wide_and_deep_graph(batch_size)
+    known = ", ".join(sorted(FIGURE1_BATCH_SIZES))
+    raise KeyError(f"unknown model {name!r}; known: {known}")
+
+
+__all__ = [
+    "DCN_CONFIG",
+    "DEEPFM_CONFIG",
+    "DLRM_CONFIGS",
+    "DLRM_DDP",
+    "DLRM_DEFAULT",
+    "DLRM_MLPERF",
+    "DlrmConfig",
+    "FIGURE1_BATCH_SIZES",
+    "RecommenderConfig",
+    "TRANSFORMER_BASE",
+    "TransformerConfig",
+    "WIDE_AND_DEEP_CONFIG",
+    "build_dcn_graph",
+    "build_deepfm_graph",
+    "build_dlrm",
+    "build_dlrm_graph",
+    "build_inception_v3_graph",
+    "build_model",
+    "build_resnet50_graph",
+    "build_transformer_graph",
+    "build_wide_and_deep_graph",
+]

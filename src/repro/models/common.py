@@ -1,0 +1,179 @@
+"""Shared scaffolding for workload graph builders.
+
+Each model in the zoo records one training iteration — forward pass,
+loss, backward pass, optimizer — through the execution-graph observer,
+exactly what the paper's PyTorch hook captures during real training.
+:class:`ModelBuilder` wraps :class:`~repro.graph.observer.Observer`
+with parameter bookkeeping (for the optimizer ops) and an MLP-stack
+helper used by DLRM, the Transformer FFN and classifier heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import ExecutionGraph, Observer
+from repro.ops import (
+    AccumulateGrad,
+    AddmmBackward,
+    Linear,
+    Op,
+    OptimizerStep,
+    OptimizerZeroGrad,
+    Relu,
+    ReluBackward,
+    Sigmoid,
+    SigmoidBackward,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass
+class LayerRecord:
+    """Forward-pass bookkeeping needed to emit one layer's backward ops."""
+
+    kind: str
+    input_id: int
+    output_id: int
+    extra: dict = field(default_factory=dict)
+
+
+class ModelBuilder:
+    """Observer wrapper that also tracks trainable dense parameters."""
+
+    def __init__(self, name: str) -> None:
+        self.obs = Observer(name)
+        self.param_shapes: list[tuple[int, ...]] = []
+        self._param_ids: list[int] = []
+
+    # -- recording primitives -------------------------------------------
+    def input(self, meta: TensorMeta) -> int:
+        """Register a graph input tensor."""
+        return self.obs.input(meta)
+
+    def param(self, shape: tuple[int, ...]) -> int:
+        """Register a trainable dense parameter (weight/bias)."""
+        tid = self.obs.input(TensorMeta(shape))
+        self.param_shapes.append(tuple(shape))
+        self._param_ids.append(tid)
+        return tid
+
+    def grad_buffer(self, shape: tuple[int, ...]) -> int:
+        """Register a gradient accumulator tensor for AccumulateGrad."""
+        return self.obs.input(TensorMeta(shape))
+
+    def call(self, op: Op, input_ids: list[int], **kwargs) -> list[int]:
+        """Record one op call (see :meth:`Observer.call`)."""
+        return self.obs.call(op, input_ids, **kwargs)
+
+    # -- common layer patterns ------------------------------------------
+    def linear_forward(
+        self, x_id: int, batch: int, in_features: int, out_features: int
+    ) -> tuple[int, LayerRecord]:
+        """Record ``aten::linear`` and return (output id, layer record)."""
+        op = Linear(batch, in_features, out_features)
+        w = self.param((out_features, in_features))
+        b = self.param((out_features,))
+        (y,) = self.call(op, [x_id, w, b])
+        record = LayerRecord(
+            "linear",
+            x_id,
+            y,
+            {"batch": batch, "in": in_features, "out": out_features,
+             "w_id": w, "b_id": b},
+        )
+        return y, record
+
+    def linear_backward(self, grad_id: int, record: LayerRecord) -> int:
+        """Record ``AddmmBackward0`` + AccumulateGrads; returns dx id."""
+        extra = record.extra
+        op = AddmmBackward(extra["batch"], extra["in"], extra["out"])
+        dx, dw, db = self.call(op, [grad_id, record.input_id, extra["w_id"]])
+        acc_w = self.grad_buffer((extra["out"], extra["in"]))
+        self.call(AccumulateGrad((extra["out"], extra["in"])), [dw, acc_w],
+                  inplace=False)
+        acc_b = self.grad_buffer((extra["out"],))
+        self.call(AccumulateGrad((extra["out"],)), [db, acc_b], inplace=False)
+        return dx
+
+    def relu_forward(self, x_id: int, shape: tuple[int, ...]) -> tuple[int, LayerRecord]:
+        """Record ``aten::relu``."""
+        (y,) = self.call(Relu(shape), [x_id])
+        return y, LayerRecord("relu", x_id, y, {"shape": shape})
+
+    def relu_backward(self, grad_id: int, record: LayerRecord) -> int:
+        """Record ``ReluBackward0``."""
+        shape = record.extra["shape"]
+        (dx,) = self.call(ReluBackward(shape), [grad_id, record.output_id])
+        return dx
+
+    def sigmoid_forward(self, x_id: int, shape: tuple[int, ...]) -> tuple[int, LayerRecord]:
+        """Record ``aten::sigmoid``."""
+        (y,) = self.call(Sigmoid(shape), [x_id])
+        return y, LayerRecord("sigmoid", x_id, y, {"shape": shape})
+
+    def sigmoid_backward(self, grad_id: int, record: LayerRecord) -> int:
+        """Record ``SigmoidBackward0``."""
+        shape = record.extra["shape"]
+        (dx,) = self.call(SigmoidBackward(shape), [grad_id, record.output_id])
+        return dx
+
+    def mlp_forward(
+        self,
+        x_id: int,
+        batch: int,
+        layer_sizes: list[int],
+        final_relu: bool = True,
+    ) -> tuple[int, list[LayerRecord]]:
+        """Record a stack of linear(+relu) layers.
+
+        ``layer_sizes`` includes the input width first, e.g. DLRM's
+        bottom MLP ``512-512-64`` is ``[512, 512, 64]``.
+        """
+        if len(layer_sizes) < 2:
+            raise ValueError("an MLP needs at least input and output widths")
+        records: list[LayerRecord] = []
+        current = x_id
+        for i in range(len(layer_sizes) - 1):
+            current, rec = self.linear_forward(
+                current, batch, layer_sizes[i], layer_sizes[i + 1]
+            )
+            records.append(rec)
+            is_last = i == len(layer_sizes) - 2
+            if final_relu or not is_last:
+                current, rec = self.relu_forward(
+                    current, (batch, layer_sizes[i + 1])
+                )
+                records.append(rec)
+        return current, records
+
+    def mlp_backward(self, grad_id: int, records: list[LayerRecord]) -> int:
+        """Record backward ops for an :meth:`mlp_forward` stack."""
+        grad = grad_id
+        for record in reversed(records):
+            if record.kind == "relu":
+                grad = self.relu_backward(grad, record)
+            elif record.kind == "linear":
+                grad = self.linear_backward(grad, record)
+            elif record.kind == "sigmoid":
+                grad = self.sigmoid_backward(grad, record)
+            else:
+                raise ValueError(f"unknown layer record kind {record.kind!r}")
+        return grad
+
+    def optimizer_ops(self) -> None:
+        """Record ``Optimizer.zero_grad`` and ``Optimizer.step``.
+
+        Embedding tables are excluded: their update is fused into
+        ``LookupFunctionBackward`` (SGD inside the backward kernel).
+        """
+        if not self.param_shapes:
+            return
+        zero = OptimizerZeroGrad(list(self.param_shapes))
+        self.call(zero, list(self._param_ids), inplace=True)
+        step = OptimizerStep(list(self.param_shapes))
+        self.call(step, list(self._param_ids), inplace=True)
+
+    def finish(self) -> ExecutionGraph:
+        """Validate and return the recorded graph."""
+        return self.obs.finish()

@@ -1,0 +1,319 @@
+"""DLRM workload graphs (Table III configurations).
+
+Builds one training iteration of DLRM — dense features through a bottom
+MLP, sparse features through (batched) embedding lookups, dot-product
+feature interaction, top MLP, loss, full backward pass and optimizer —
+as an execution graph, in the eager order PyTorch would record.
+
+The three open-source configurations evaluated by the paper:
+
+=============  ==============  ===================  ==================
+field          DLRM_default    DLRM_MLPerf          DLRM_DDP
+=============  ==============  ===================  ==================
+Bot MLP        512-512-64      13-512-256-128       128-128-128-128
+EL tables      8               26                   8
+rows (E)       1,000,000       up to 14M (varying)  80,000
+EL dim (D)     64              128                  128
+Top MLP        1024-1024-      1024-1024-512-       512-512-512-
+               1024-1          256-1                256-1
+=============  ==============  ===================  ==================
+
+``DLRM_MLPerf`` trains on Criteo (one-hot, ``L = 1``) with a binary
+cross-entropy loss; the other two use multi-hot lookups and MSE, which
+matches the op mix in the paper's Figures 5 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.graph import ExecutionGraph
+from repro.models.common import ModelBuilder
+from repro.ops import (
+    Add,
+    BatchedTranspose,
+    Bmm,
+    BmmBackward,
+    BinaryCrossEntropy,
+    BinaryCrossEntropyBackward,
+    Cat,
+    EmbeddingBag,
+    EmbeddingBagBackward,
+    Index,
+    IndexBackward,
+    LookupFunction,
+    LookupFunctionBackward,
+    MseLoss,
+    MseLossBackward,
+    SliceBackward,
+    ToDevice,
+    View,
+    tril_output_size,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass(frozen=True)
+class DlrmConfig:
+    """One DLRM model configuration.
+
+    Attributes:
+        name: Workload name used in reports.
+        bot_mlp: Bottom-MLP widths including the dense input width, so
+            ``(512, 512, 64)`` is the paper's ``512-512-64``.
+        num_tables: Number of embedding tables ``T``.
+        rows_per_table: Embedding rows ``E`` per table.  A single int
+            means uniform tables; a tuple gives per-table sizes (the
+            MLPerf case, where the performance model must fall back to
+            the average size).
+        embedding_dim: Embedding vector length ``D``; must equal the
+            bottom MLP's output width.
+        top_mlp: Top-MLP widths *excluding* the input width, which is
+            derived from the interaction output; the final width is 1.
+        lookups_per_table: Pooling factor ``L``.
+        loss: ``"mse"`` or ``"bce"``.
+        fused_embedding: Use the batched ``LookupFunction`` (paper
+            integrates Tulloch's kernel); ``False`` emits per-table
+            ``aten::embedding_bag`` ops (the Figure 11 unfused form).
+    """
+
+    name: str
+    bot_mlp: tuple[int, ...]
+    num_tables: int
+    rows_per_table: int | tuple[int, ...]
+    embedding_dim: int
+    top_mlp: tuple[int, ...]
+    lookups_per_table: int = 1
+    loss: str = "mse"
+    fused_embedding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bot_mlp[-1] != self.embedding_dim:
+            raise ValueError(
+                f"{self.name}: bottom MLP output {self.bot_mlp[-1]} must "
+                f"equal embedding dim {self.embedding_dim}"
+            )
+        if self.top_mlp[-1] != 1:
+            raise ValueError(f"{self.name}: top MLP must end in width 1")
+        if self.loss not in ("mse", "bce"):
+            raise ValueError(f"{self.name}: loss must be 'mse' or 'bce'")
+        if isinstance(self.rows_per_table, tuple):
+            if len(self.rows_per_table) != self.num_tables:
+                raise ValueError(
+                    f"{self.name}: {len(self.rows_per_table)} table sizes "
+                    f"for {self.num_tables} tables"
+                )
+
+    @property
+    def dense_dim(self) -> int:
+        """Width of the dense input feature vector."""
+        return self.bot_mlp[0]
+
+    @property
+    def table_rows(self) -> tuple[int, ...]:
+        """Per-table row counts, expanded to a tuple."""
+        if isinstance(self.rows_per_table, tuple):
+            return self.rows_per_table
+        return (self.rows_per_table,) * self.num_tables
+
+    @property
+    def avg_rows(self) -> int:
+        """Average table size (what the perf model must use for MLPerf)."""
+        rows = self.table_rows
+        return max(1, round(sum(rows) / len(rows)))
+
+    @property
+    def num_interaction_features(self) -> int:
+        """``F = T + 1`` feature vectors entering the interaction."""
+        return self.num_tables + 1
+
+    def with_overrides(self, **kwargs) -> "DlrmConfig":
+        """Copy with selected fields replaced (iterative tuning)."""
+        return replace(self, **kwargs)
+
+
+def _mlperf_table_rows() -> tuple[int, ...]:
+    """Criteo-Kaggle-like spread of 26 table sizes, up to ~14M rows."""
+    sizes = [
+        14_000_000, 9_980_333, 5_461_306, 2_202_608, 581_000, 305_000,
+        285_000, 122_000, 38_000, 21_000, 14_000, 10_131, 7_112, 5_554,
+        3_014, 1_543, 976, 305, 142, 63, 27, 14, 10, 4, 3, 2,
+    ]
+    return tuple(sizes)
+
+
+DLRM_DEFAULT = DlrmConfig(
+    name="DLRM_default",
+    bot_mlp=(512, 512, 64),
+    num_tables=8,
+    rows_per_table=1_000_000,
+    embedding_dim=64,
+    top_mlp=(1024, 1024, 1024, 1),
+    lookups_per_table=100,
+    loss="mse",
+)
+
+DLRM_MLPERF = DlrmConfig(
+    name="DLRM_MLPerf",
+    bot_mlp=(13, 512, 256, 128),
+    num_tables=26,
+    rows_per_table=_mlperf_table_rows(),
+    embedding_dim=128,
+    top_mlp=(1024, 1024, 512, 256, 1),
+    lookups_per_table=1,
+    loss="bce",
+)
+
+DLRM_DDP = DlrmConfig(
+    name="DLRM_DDP",
+    bot_mlp=(128, 128, 128, 128),
+    num_tables=8,
+    rows_per_table=80_000,
+    embedding_dim=128,
+    top_mlp=(512, 512, 512, 256, 1),
+    lookups_per_table=100,
+    loss="mse",
+)
+
+DLRM_CONFIGS: dict[str, DlrmConfig] = {
+    cfg.name: cfg for cfg in (DLRM_DEFAULT, DLRM_MLPERF, DLRM_DDP)
+}
+
+
+def _embedding_spread(config: DlrmConfig) -> float:
+    """Max/mean table-size ratio; >1 only for non-uniform tables."""
+    rows = config.table_rows
+    return max(rows) / (sum(rows) / len(rows))
+
+
+def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> ExecutionGraph:
+    """Record one DLRM training iteration as an execution graph.
+
+    The recorded op order follows eager PyTorch: input copies, bottom
+    MLP, embedding lookups, interaction, top MLP, loss, backward in
+    reverse, then ``Optimizer.zero_grad`` / ``Optimizer.step`` for the
+    dense parameters (embedding updates are fused into the lookup
+    backward kernel).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    B = batch_size
+    T = config.num_tables
+    L = config.lookups_per_table
+    D = config.embedding_dim
+    E = config.avg_rows
+    F = config.num_interaction_features
+    tril = tril_output_size(F)
+
+    b = ModelBuilder(f"{config.name}_b{B}")
+
+    # ---------------- forward ----------------
+    dense_host = b.input(TensorMeta((B, config.dense_dim), device="cpu"))
+    (dense,) = b.call(ToDevice((B, config.dense_dim)), [dense_host])
+    indices_host = b.input(TensorMeta((B * T * L,), "int64", device="cpu"))
+    (indices,) = b.call(ToDevice((B * T * L,), "int64", batch=B), [indices_host])
+    target = b.input(TensorMeta((B, 1)))
+
+    bot_out, bot_records = b.mlp_forward(
+        dense, B, list(config.bot_mlp), final_relu=True
+    )
+
+    if config.fused_embedding:
+        lookup = LookupFunction(B, E, T, L, D)
+        weights = b.input(lookup.inputs[0])
+        offsets = b.input(lookup.inputs[2])
+        (emb,) = b.call(lookup, [weights, indices, offsets])
+    else:
+        per_table_outs = []
+        table_weights = []
+        for rows in config.table_rows:
+            bag = EmbeddingBag(B, rows, L, D)
+            w = b.input(bag.inputs[0])
+            table_weights.append(w)
+            offs = b.input(bag.inputs[2])
+            # Unfused form indexes a per-table slice of the indices; we
+            # reuse the full indices tensor id as the data dependency.
+            idx = b.input(bag.inputs[1])
+            (out,) = b.call(bag, [w, idx, offs])
+            per_table_outs.append(out)
+        cat_tables = Cat([(B, 1, D)] * T, dim=1)
+        viewed = []
+        for out in per_table_outs:
+            (v,) = b.call(View((B, D), (B, 1, D)), [out])
+            viewed.append(v)
+        (emb,) = b.call(cat_tables, viewed)
+
+    (bot_3d,) = b.call(View((B, D), (B, 1, D)), [bot_out])
+    (cat_feats,) = b.call(Cat([(B, 1, D), (B, T, D)], dim=1), [bot_3d, emb])
+    (cat_t,) = b.call(BatchedTranspose(B, F, D), [cat_feats])
+    (scores,) = b.call(Bmm(B, F, D, F), [cat_feats, cat_t])
+    (flat,) = b.call(Index(B, F), [scores])
+    (top_in,) = b.call(Cat([(B, D), (B, tril)], dim=1), [bot_out, flat])
+
+    top_sizes = [D + tril] + list(config.top_mlp)
+    top_out, top_records = b.mlp_forward(top_in, B, top_sizes, final_relu=False)
+
+    if config.loss == "bce":
+        pred, sig_record = b.sigmoid_forward(top_out, (B, 1))
+        b.call(BinaryCrossEntropy((B, 1)), [pred, target])
+    else:
+        pred, sig_record = top_out, None
+        b.call(MseLoss((B, 1)), [pred, target])
+
+    # ---------------- backward ----------------
+    if config.loss == "bce":
+        (grad,) = b.call(BinaryCrossEntropyBackward((B, 1)), [pred, target])
+        grad = b.sigmoid_backward(grad, sig_record)
+    else:
+        (grad,) = b.call(MseLossBackward((B, 1)), [pred, target])
+
+    grad = b.mlp_backward(grad, top_records)
+
+    # Cat backward: split the top-input gradient into its two segments.
+    (bot_grad_direct,) = b.call(
+        SliceBackward((B, D + tril), (B, D)), [grad]
+    )
+    (flat_grad,) = b.call(SliceBackward((B, D + tril), (B, tril)), [grad])
+
+    (scores_grad,) = b.call(IndexBackward(B, F), [flat_grad])
+    cat_grad, cat_t_grad = b.call(
+        BmmBackward(B, F, D, F), [scores_grad, cat_feats, cat_t]
+    )
+    # Gradient through the materialised transpose: transpose back.
+    (cat_t_grad_t,) = b.call(BatchedTranspose(B, D, F), [cat_t_grad])
+    (cat_grad_total,) = b.call(Add((B, F, D)), [cat_grad, cat_t_grad_t])
+
+    # Cat-of-features backward: split into bottom (B,1,D) and emb (B,T,D).
+    (bot3d_grad,) = b.call(SliceBackward((B, F, D), (B, 1, D)), [cat_grad_total])
+    (emb_grad,) = b.call(SliceBackward((B, F, D), (B, T, D)), [cat_grad_total])
+    (bot_grad_interact,) = b.call(View((B, 1, D), (B, D)), [bot3d_grad])
+    (bot_grad,) = b.call(Add((B, D)), [bot_grad_direct, bot_grad_interact])
+
+    if config.fused_embedding:
+        lookup_bwd = LookupFunctionBackward(B, E, T, L, D)
+        b.call(lookup_bwd, [emb_grad, weights, indices], inplace=(1,))
+    else:
+        for w, rows in zip(table_weights, config.table_rows):
+            bag_bwd = EmbeddingBagBackward(B, rows, L, D)
+            # Per-table gradient slice out of the (B, T, D) embedding grad.
+            (gslice,) = b.call(SliceBackward((B, T, D), (B, D)), [emb_grad])
+            idx = b.input(bag_bwd.inputs[2])
+            b.call(bag_bwd, [gslice, w, idx], inplace=(1,))
+
+    b.mlp_backward(bot_grad, bot_records)
+
+    # ---------------- optimizer ----------------
+    b.optimizer_ops()
+
+    graph = b.finish()
+    return graph
+
+
+def build_dlrm(name: str, batch_size: int) -> ExecutionGraph:
+    """Build a Table III DLRM by name (``DLRM_default`` etc.)."""
+    try:
+        config = DLRM_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(DLRM_CONFIGS))
+        raise KeyError(f"unknown DLRM config {name!r}; known: {known}") from None
+    return build_dlrm_graph(config, batch_size)

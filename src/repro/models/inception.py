@@ -1,0 +1,211 @@
+"""Inception-V3 training-iteration graph (Figure 10 comparison model).
+
+Follows the torchvision structure: 299x299 stem, three InceptionA
+blocks, a grid reduction, four InceptionC blocks (with the 1x7 / 7x1
+factorized convolutions that the paper notes MLPredict mishandles),
+another reduction, two InceptionE blocks, global pool and FC head.
+Branch merges are channel-wise concats, which exercise the concat
+kernel model on a non-DLRM workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph import ExecutionGraph
+from repro.models.common import LayerRecord
+from repro.models.vision import ConvNetBuilder, FeatureMap
+from repro.ops import Add, Conv2d, View
+from repro.tensormeta import TensorMeta
+
+
+def _conv_rect(
+    b: ConvNetBuilder, x: FeatureMap, k: int, r: int, s: int,
+    stride: int = 1, pad_h: int = 0, pad_w: int = 0,
+) -> FeatureMap:
+    """Rectangular conv (1x7 / 7x1) + BN + ReLU with asymmetric padding."""
+    return b.conv_bn_relu(x, k, (r, s), stride=stride, pad=(pad_h, pad_w))
+
+
+def _branch_module(
+    b: ConvNetBuilder,
+    x: FeatureMap,
+    branch_fns: list[Callable[[FeatureMap], FeatureMap]],
+) -> tuple[FeatureMap, dict]:
+    """Run branches on ``x``, concat channel-wise, return merge context."""
+    branch_maps: list[FeatureMap] = []
+    branch_records: list[list[LayerRecord]] = []
+    for fn in branch_fns:
+        m0 = len(b.records)
+        branch_maps.append(fn(x))
+        branch_records.append(b.records[m0:])
+    merged = b.concat_maps(branch_maps)
+    ctx = {
+        "input_shape": x.shape,
+        "merged_shape": merged.shape,
+        "branch_shapes": [m.shape for m in branch_maps],
+        "branch_records": branch_records,
+    }
+    return merged, ctx
+
+
+def _branch_module_backward(b: ConvNetBuilder, grad_id: int, ctx: dict) -> int:
+    """Backward of a branch module: split, per-branch chain, grad sum."""
+    grads = b.cat_backward(grad_id, ctx["merged_shape"], ctx["branch_shapes"])
+    input_grads = [
+        b.backward_chain(g, recs)
+        for g, recs in zip(grads, ctx["branch_records"])
+    ]
+    total = input_grads[0]
+    for g in input_grads[1:]:
+        (total,) = b.call(Add(ctx["input_shape"]), [total, g])
+    return total
+
+
+def _inception_a(b: ConvNetBuilder, x: FeatureMap, pool_features: int):
+    """35x35 module: 1x1 / 5x5 / double-3x3 / pool branches."""
+    return _branch_module(
+        b,
+        x,
+        [
+            lambda t: b.conv_bn_relu(t, 64, 1),
+            lambda t: b.conv_bn_relu(b.conv_bn_relu(t, 48, 1), 64, 5, pad=2),
+            lambda t: b.conv_bn_relu(
+                b.conv_bn_relu(b.conv_bn_relu(t, 64, 1), 96, 3, pad=1),
+                96, 3, pad=1,
+            ),
+            lambda t: b.conv_bn_relu(b.max_pool(t, 3, 1, pad=1), pool_features, 1),
+        ],
+    )
+
+
+def _reduction_b(b: ConvNetBuilder, x: FeatureMap):
+    """Grid reduction 35x35 -> 17x17."""
+    return _branch_module(
+        b,
+        x,
+        [
+            lambda t: b.conv_bn_relu(t, 384, 3, stride=2),
+            lambda t: b.conv_bn_relu(
+                b.conv_bn_relu(b.conv_bn_relu(t, 64, 1), 96, 3, pad=1),
+                96, 3, stride=2,
+            ),
+            lambda t: b.max_pool(t, 3, 2),
+        ],
+    )
+
+
+def _inception_c(b: ConvNetBuilder, x: FeatureMap, c7: int):
+    """17x17 module with factorized 1x7 / 7x1 convolutions."""
+    return _branch_module(
+        b,
+        x,
+        [
+            lambda t: b.conv_bn_relu(t, 192, 1),
+            lambda t: _conv_rect(
+                b, _conv_rect(b, b.conv_bn_relu(t, c7, 1), c7, 1, 7, pad_w=3),
+                192, 7, 1, pad_h=3,
+            ),
+            lambda t: _conv_rect(
+                b,
+                _conv_rect(
+                    b,
+                    _conv_rect(
+                        b,
+                        _conv_rect(b, b.conv_bn_relu(t, c7, 1), c7, 7, 1, pad_h=3),
+                        c7, 1, 7, pad_w=3,
+                    ),
+                    c7, 7, 1, pad_h=3,
+                ),
+                192, 1, 7, pad_w=3,
+            ),
+            lambda t: b.conv_bn_relu(b.max_pool(t, 3, 1, pad=1), 192, 1),
+        ],
+    )
+
+
+def _reduction_d(b: ConvNetBuilder, x: FeatureMap):
+    """Grid reduction 17x17 -> 8x8."""
+    return _branch_module(
+        b,
+        x,
+        [
+            lambda t: b.conv_bn_relu(b.conv_bn_relu(t, 192, 1), 320, 3, stride=2),
+            lambda t: b.conv_bn_relu(
+                _conv_rect(
+                    b,
+                    _conv_rect(b, b.conv_bn_relu(t, 192, 1), 192, 1, 7, pad_w=3),
+                    192, 7, 1, pad_h=3,
+                ),
+                192, 3, stride=2,
+            ),
+            lambda t: b.max_pool(t, 3, 2),
+        ],
+    )
+
+
+def _inception_e(b: ConvNetBuilder, x: FeatureMap):
+    """8x8 module with expanded 1x3/3x1 branch pairs."""
+    return _branch_module(
+        b,
+        x,
+        [
+            lambda t: b.conv_bn_relu(t, 320, 1),
+            lambda t: _conv_rect(b, b.conv_bn_relu(t, 384, 1), 384, 1, 3, pad_w=1),
+            lambda t: _conv_rect(b, b.conv_bn_relu(t, 384, 1), 384, 3, 1, pad_h=1),
+            lambda t: b.conv_bn_relu(
+                b.conv_bn_relu(b.conv_bn_relu(t, 448, 1), 384, 3, pad=1), 384, 1
+            ),
+            lambda t: b.conv_bn_relu(b.max_pool(t, 3, 1, pad=1), 192, 1),
+        ],
+    )
+
+
+def build_inception_v3_graph(batch_size: int, num_classes: int = 1000) -> ExecutionGraph:
+    """Record one Inception-V3 training iteration."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    b = ConvNetBuilder(f"inception_v3_b{batch_size}")
+    x = b.image_input(batch_size, 3, 299)
+
+    stem0 = len(b.records)
+    x = b.conv_bn_relu(x, 32, 3, stride=2)          # 149
+    x = b.conv_bn_relu(x, 32, 3)                    # 147
+    x = b.conv_bn_relu(x, 64, 3, pad=1)             # 147
+    x = b.max_pool(x, 3, 2)                         # 73
+    x = b.conv_bn_relu(x, 80, 1)                    # 73
+    x = b.conv_bn_relu(x, 192, 3)                   # 71
+    x = b.max_pool(x, 3, 2)                         # 35
+    stem_records = b.records[stem0:]
+
+    module_ctxs = []
+    for pool_features in (32, 64, 64):
+        x, ctx = _inception_a(b, x, pool_features)
+        module_ctxs.append(ctx)
+    x, ctx = _reduction_b(b, x)
+    module_ctxs.append(ctx)
+    for c7 in (128, 160, 160, 192):
+        x, ctx = _inception_c(b, x, c7)
+        module_ctxs.append(ctx)
+    x, ctx = _reduction_d(b, x)
+    module_ctxs.append(ctx)
+    for _ in range(2):
+        x, ctx = _inception_e(b, x)
+        module_ctxs.append(ctx)
+
+    pool_marker = len(b.records)
+    pred, fc_records, flat_id, target = b.classifier_and_loss(x, num_classes)
+    pooled_record = b.records[pool_marker]
+
+    # ----- backward -----
+    grad = b.loss_backward(pred, target, (batch_size, num_classes))
+    for rec in reversed(fc_records):
+        grad = b.linear_backward(grad, rec)
+    (grad,) = b.call(View((batch_size, x.c), (batch_size, x.c, 1, 1)), [grad])
+    grad = b.backward_layer(grad, pooled_record)
+    for ctx in reversed(module_ctxs):
+        grad = _branch_module_backward(b, grad, ctx)
+    b.backward_chain(grad, stem_records)
+
+    b.optimizer_ops()
+    return b.finish()

@@ -1,0 +1,321 @@
+"""Additional recommendation-model workloads (DeepFM, DCN, Wide&Deep).
+
+The paper positions DLRM as "a common and effective paradigm ... that
+generalize[s] to RM design" and stresses that its pipeline extends to
+other workloads by reusing the same kernel models (Section II-A, V-B).
+These three classic RMs — DeepFM (Guo et al.), Deep & Cross (Wang et
+al.) and Wide & Deep (Cheng et al.) — exercise that claim: they are
+built entirely from the existing operator library, so the DLRM-trained
+kernel models predict them with no new microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph import ExecutionGraph
+from repro.models.common import ModelBuilder
+from repro.ops import (
+    Add,
+    BatchedTranspose,
+    BinaryCrossEntropy,
+    BinaryCrossEntropyBackward,
+    Bmm,
+    BmmBackward,
+    Cat,
+    Index,
+    IndexBackward,
+    LookupFunction,
+    LookupFunctionBackward,
+    SliceBackward,
+    Sum,
+    ToDevice,
+    View,
+    tril_output_size,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass(frozen=True)
+class RecommenderConfig:
+    """Shared hyperparameters of the extra RM workloads."""
+
+    name: str
+    num_tables: int = 26
+    rows_per_table: int = 100_000
+    embedding_dim: int = 16
+    dense_dim: int = 13
+    mlp: tuple[int, ...] = (400, 400, 400)
+    cross_layers: int = 3  # DCN only
+    lookups_per_table: int = 1
+
+
+DEEPFM_CONFIG = RecommenderConfig(name="DeepFM")
+DCN_CONFIG = RecommenderConfig(name="DCN")
+WIDE_AND_DEEP_CONFIG = RecommenderConfig(name="WideAndDeep", mlp=(256, 128))
+
+
+def _inputs_and_embeddings(
+    b: ModelBuilder, config: RecommenderConfig, batch: int
+) -> tuple[int, int, int, int]:
+    """Record input copies + the batched embedding lookup.
+
+    Returns (dense id, embeddings id, weights id, indices id).
+    """
+    B, T, L, D = batch, config.num_tables, config.lookups_per_table, \
+        config.embedding_dim
+    dense_host = b.input(TensorMeta((B, config.dense_dim), device="cpu"))
+    (dense,) = b.call(ToDevice((B, config.dense_dim)), [dense_host])
+    idx_host = b.input(TensorMeta((B * T * L,), "int64", device="cpu"))
+    (indices,) = b.call(
+        ToDevice((B * T * L,), "int64", batch=B), [idx_host]
+    )
+    lookup = LookupFunction(B, config.rows_per_table, T, L, D)
+    weights = b.input(lookup.inputs[0])
+    offsets = b.input(lookup.inputs[2])
+    (emb,) = b.call(lookup, [weights, indices, offsets])
+    return dense, emb, weights, indices
+
+
+def _lookup_backward(
+    b: ModelBuilder, config: RecommenderConfig, batch: int,
+    emb_grad: int, weights: int, indices: int,
+) -> None:
+    bwd = LookupFunctionBackward(
+        batch, config.rows_per_table, config.num_tables,
+        config.lookups_per_table, config.embedding_dim,
+    )
+    b.call(bwd, [emb_grad, weights, indices], inplace=(1,))
+
+
+def _bce_head(
+    b: ModelBuilder, batch: int, logit: int
+) -> int:
+    """Sigmoid + BCE forward and backward; returns the logit gradient."""
+    target = b.input(TensorMeta((batch, 1)))
+    pred, sig_rec = b.sigmoid_forward(logit, (batch, 1))
+    b.call(BinaryCrossEntropy((batch, 1)), [pred, target])
+    (grad,) = b.call(BinaryCrossEntropyBackward((batch, 1)), [pred, target])
+    return b.sigmoid_backward(grad, sig_rec)
+
+
+def build_deepfm_graph(
+    batch_size: int, config: RecommenderConfig = DEEPFM_CONFIG
+) -> ExecutionGraph:
+    """One DeepFM training iteration.
+
+    FM component: pairwise dot products of the field embeddings (the
+    same bmm + tril pattern as DLRM's interaction) reduced to a scalar
+    logit; deep component: an MLP over the concatenated embeddings.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    B, T, D = batch_size, config.num_tables, config.embedding_dim
+    F = T
+    tril = tril_output_size(F)
+    b = ModelBuilder(f"deepfm_b{B}")
+
+    dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
+
+    # FM interaction on the embedding fields.
+    (emb_t,) = b.call(BatchedTranspose(B, T, D), [emb])
+    (scores,) = b.call(Bmm(B, T, D, T), [emb, emb_t])
+    (flat,) = b.call(Index(B, F), [scores])
+    fm_logit, fm_rec = b.linear_forward(flat, B, tril, 1)
+
+    # Deep component over flattened embeddings + dense features.
+    (emb_flat,) = b.call(View((B, T, D), (B, T * D)), [emb])
+    (deep_in,) = b.call(
+        Cat([(B, T * D), (B, config.dense_dim)], dim=1), [emb_flat, dense]
+    )
+    deep_sizes = [T * D + config.dense_dim] + list(config.mlp) + [1]
+    deep_logit, deep_records = b.mlp_forward(deep_in, B, deep_sizes,
+                                             final_relu=False)
+    (logit,) = b.call(Add((B, 1)), [fm_logit, deep_logit])
+
+    grad = _bce_head(b, B, logit)
+
+    # Backward: deep branch.
+    deep_grad = b.mlp_backward(grad, deep_records)
+    (demb_flat,) = b.call(
+        SliceBackward((B, T * D + config.dense_dim), (B, T * D)), [deep_grad]
+    )
+    (demb_deep,) = b.call(View((B, T * D), (B, T, D)), [demb_flat])
+    # Backward: FM branch.
+    fm_grad = b.linear_backward(grad, fm_rec)
+    (dscores,) = b.call(IndexBackward(B, F), [fm_grad])
+    demb_a, demb_bt = b.call(BmmBackward(B, T, D, T), [dscores, emb, emb_t])
+    (demb_b,) = b.call(BatchedTranspose(B, D, T), [demb_bt])
+    (demb_fm,) = b.call(Add((B, T, D)), [demb_a, demb_b])
+    (emb_grad,) = b.call(Add((B, T, D)), [demb_deep, demb_fm])
+    _lookup_backward(b, config, B, emb_grad, weights, indices)
+
+    b.optimizer_ops()
+    return b.finish()
+
+
+def build_dcn_graph(
+    batch_size: int, config: RecommenderConfig = DCN_CONFIG
+) -> ExecutionGraph:
+    """One Deep & Cross Network training iteration.
+
+    The cross network computes ``x_{l+1} = x0 (x_l . w_l) + b_l + x_l``
+    per layer — a rank-one feature crossing lowered to a width-1 linear
+    plus element-wise ops; the deep network is a standard MLP.  Both
+    run on the concatenation of dense features and embeddings.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    B, T, D = batch_size, config.num_tables, config.embedding_dim
+    d_in = T * D + config.dense_dim
+    b = ModelBuilder(f"dcn_b{B}")
+
+    dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
+    (emb_flat,) = b.call(View((B, T, D), (B, T * D)), [emb])
+    (x0,) = b.call(Cat([(B, T * D), (B, config.dense_dim)], dim=1),
+                   [emb_flat, dense])
+
+    # Cross network.
+    cross_records = []
+    x = x0
+    for _ in range(config.cross_layers):
+        proj, rec = b.linear_forward(x, B, d_in, 1)  # x_l . w_l + b_l
+        # x0 * proj (broadcast multiply) then + x_l.
+        from repro.ops import elementwise_kernel  # local import for clarity
+        mult = _BroadcastMultiply(B, d_in)
+        (crossed,) = b.call(mult, [x0, proj])
+        (x_next,) = b.call(Add((B, d_in)), [crossed, x])
+        cross_records.append((rec, x))
+        x = x_next
+    cross_out = x
+
+    # Deep network.
+    deep_sizes = [d_in] + list(config.mlp)
+    deep_out, deep_records = b.mlp_forward(x0, B, deep_sizes, final_relu=True)
+
+    (both,) = b.call(
+        Cat([(B, d_in), (B, config.mlp[-1])], dim=1), [cross_out, deep_out]
+    )
+    logit, head_rec = b.linear_forward(both, B, d_in + config.mlp[-1], 1)
+    grad = _bce_head(b, B, logit)
+
+    # Backward.
+    grad = b.linear_backward(grad, head_rec)
+    (dcross,) = b.call(
+        SliceBackward((B, d_in + config.mlp[-1]), (B, d_in)), [grad]
+    )
+    (ddeep,) = b.call(
+        SliceBackward((B, d_in + config.mlp[-1]), (B, config.mlp[-1])), [grad]
+    )
+    dx0_deep = b.mlp_backward(ddeep, deep_records)
+    dx = dcross
+    for rec, x_l in reversed(cross_records):
+        mult_bwd = _BroadcastMultiplyBackward(B, d_in)
+        (dproj,) = b.call(mult_bwd, [dx])
+        dproj_x = b.linear_backward(dproj, rec)
+        (dx,) = b.call(Add((B, d_in)), [dx, dproj_x])
+    (dx0,) = b.call(Add((B, d_in)), [dx, dx0_deep])
+
+    (demb_flat,) = b.call(SliceBackward((B, d_in), (B, T * D)), [dx0])
+    (emb_grad,) = b.call(View((B, T * D), (B, T, D)), [demb_flat])
+    _lookup_backward(b, config, B, emb_grad, weights, indices)
+
+    b.optimizer_ops()
+    return b.finish()
+
+
+def build_wide_and_deep_graph(
+    batch_size: int, config: RecommenderConfig = WIDE_AND_DEEP_CONFIG
+) -> ExecutionGraph:
+    """One Wide & Deep training iteration.
+
+    The wide component is a linear model over the dense features; the
+    deep component is an MLP over the concatenated embeddings; their
+    logits add before the sigmoid/BCE head.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    B, T, D = batch_size, config.num_tables, config.embedding_dim
+    b = ModelBuilder(f"wide_and_deep_b{B}")
+
+    dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
+    wide_logit, wide_rec = b.linear_forward(dense, B, config.dense_dim, 1)
+
+    (emb_flat,) = b.call(View((B, T, D), (B, T * D)), [emb])
+    deep_sizes = [T * D] + list(config.mlp) + [1]
+    deep_logit, deep_records = b.mlp_forward(emb_flat, B, deep_sizes,
+                                             final_relu=False)
+    (logit,) = b.call(Add((B, 1)), [wide_logit, deep_logit])
+
+    grad = _bce_head(b, B, logit)
+    b.linear_backward(grad, wide_rec)
+    demb_flat = b.mlp_backward(grad, deep_records)
+    (emb_grad,) = b.call(View((B, T * D), (B, T, D)), [demb_flat])
+    _lookup_backward(b, config, B, emb_grad, weights, indices)
+
+    b.optimizer_ops()
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# DCN's broadcast multiply as first-class ops.
+# ----------------------------------------------------------------------
+from repro.ops.base import Op, elementwise_kernel  # noqa: E402
+
+
+class _BroadcastMultiply(Op):
+    """``aten::mul`` — ``(B, d) * (B, 1)`` broadcast multiply."""
+
+    op_name = "aten::mul"
+
+    def __init__(self, batch: int, width: int) -> None:
+        self.batch, self.width = int(batch), int(width)
+        x0 = TensorMeta((batch, width))
+        proj = TensorMeta((batch, 1))
+        out = TensorMeta((batch, width))
+        super().__init__((x0, proj), (out,))
+
+    def kernel_calls(self):
+        (out,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(out.numel),
+                bytes_read=self.inputs[0].nbytes + self.inputs[1].nbytes,
+                bytes_write=out.nbytes,
+                name="mul",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int):
+        if self.batch == old_batch:
+            return _BroadcastMultiply(new_batch, self.width)
+        return self
+
+
+class _BroadcastMultiplyBackward(Op):
+    """``MulBackward0`` — reduce the broadcast gradient back to (B, 1)."""
+
+    op_name = "MulBackward0"
+
+    def __init__(self, batch: int, width: int) -> None:
+        self.batch, self.width = int(batch), int(width)
+        dy = TensorMeta((batch, width))
+        dproj = TensorMeta((batch, 1))
+        super().__init__((dy,), (dproj,))
+
+    def kernel_calls(self):
+        (dy,) = self.inputs
+        (dproj,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(dy.numel),
+                bytes_read=dy.nbytes,
+                bytes_write=dproj.nbytes,
+                name="mul_backward",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int):
+        if self.batch == old_batch:
+            return _BroadcastMultiplyBackward(new_batch, self.width)
+        return self

@@ -1,0 +1,116 @@
+"""ResNet-50 training-iteration graph (Figure 10 comparison model).
+
+Standard He et al. ResNet-50: 7x7 stem, four stages of bottleneck
+blocks ([3, 4, 6, 3] with widths 64/128/256/512 and 4x expansion),
+global average pool and a 1000-way FC head.  High GPU utilization makes
+it the contrast case to DLRM in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import ExecutionGraph
+from repro.models.common import LayerRecord
+from repro.models.vision import ConvNetBuilder, FeatureMap
+from repro.ops import Add, View
+
+_STAGES = (
+    # (num_blocks, mid_channels, out_channels, first_stride)
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+@dataclass
+class _BlockContext:
+    """Everything needed to emit one bottleneck block's backward ops."""
+
+    input_shape: tuple[int, int, int, int]
+    main_records: list[LayerRecord]
+    down_records: list[LayerRecord]
+    final_relu: LayerRecord
+    add_shape: tuple[int, int, int, int]
+
+
+def _bottleneck(
+    b: ConvNetBuilder, x: FeatureMap, mid: int, out_c: int, stride: int
+) -> tuple[FeatureMap, _BlockContext]:
+    """Record one bottleneck block (1x1 -> 3x3 -> 1x1 + skip)."""
+    input_shape = x.shape
+    m0 = len(b.records)
+    y = b.conv_bn_relu(x, mid, 1)
+    y = b.conv_bn_relu(y, mid, 3, stride=stride, pad=1)
+    y = b.conv_bn_relu(y, out_c, 1, relu=False)
+    main_records = b.records[m0:]
+
+    if stride != 1 or x.c != out_c:
+        d0 = len(b.records)
+        identity = b.conv_bn_relu(x, out_c, 1, stride=stride, relu=False)
+        down_records = b.records[d0:]
+    else:
+        identity = x
+        down_records = []
+
+    z = b.residual_add(y, identity)
+    z = b.relu(z)
+    final_relu = b.records[-1]
+    ctx = _BlockContext(input_shape, main_records, down_records, final_relu,
+                        z.shape)
+    return z, ctx
+
+
+def _bottleneck_backward(
+    b: ConvNetBuilder, grad_id: int, ctx: _BlockContext
+) -> int:
+    """Emit the backward ops of one bottleneck block; returns dx id."""
+    grad_id = b.backward_layer(grad_id, ctx.final_relu)
+    g_main, g_skip = b.add_backward(grad_id, ctx.add_shape)
+    dx_main = b.backward_chain(g_main, ctx.main_records)
+    if ctx.down_records:
+        dx_skip = b.backward_chain(g_skip, ctx.down_records)
+    else:
+        dx_skip = g_skip
+    (dx,) = b.call(Add(ctx.input_shape), [dx_main, dx_skip])
+    return dx
+
+
+def build_resnet50_graph(batch_size: int, num_classes: int = 1000) -> ExecutionGraph:
+    """Record one ResNet-50 training iteration (forward+backward+SGD)."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    b = ConvNetBuilder(f"resnet50_b{batch_size}")
+    x = b.image_input(batch_size, 3, 224)
+
+    stem0 = len(b.records)
+    x = b.conv_bn_relu(x, 64, 7, stride=2, pad=3)
+    x = b.max_pool(x, 3, 2, pad=1)
+    stem_records = b.records[stem0:]
+
+    block_ctxs: list[_BlockContext] = []
+    for num_blocks, mid, out_c, first_stride in _STAGES:
+        for i in range(num_blocks):
+            stride = first_stride if i == 0 else 1
+            x, ctx = _bottleneck(b, x, mid, out_c, stride)
+            block_ctxs.append(ctx)
+
+    pool_marker = len(b.records)
+    pred, fc_records, flat_id, target = b.classifier_and_loss(x, num_classes)
+    pooled_record = b.records[pool_marker]  # the global avg pool
+
+    # ----- backward -----
+    grad = b.loss_backward(pred, target, (batch_size, num_classes))
+    for rec in reversed(fc_records):
+        grad = b.linear_backward(grad, rec)
+    (grad,) = b.call(
+        View((batch_size, x.c), (batch_size, x.c, 1, 1)), [grad]
+    )
+    grad = b.backward_layer(grad, pooled_record)
+    for ctx in reversed(block_ctxs):
+        grad = _bottleneck_backward(b, grad, ctx)
+    b.backward_chain(grad, stem_records)
+
+    b.optimizer_ops()
+    return b.finish()

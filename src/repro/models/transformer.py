@@ -1,0 +1,176 @@
+"""Transformer encoder training-iteration graph (Figure 1 workload).
+
+A standard post-norm encoder stack (Vaswani et al.): multi-head
+self-attention (QKV projections, batched score/context matmuls,
+softmax), residual adds, layer norms and a GeLU FFN.  GEMM-dominated
+and close to 100% GPU utilization at the Figure 1 batch sizes, it is
+the NLP contrast case to DLRM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph import ExecutionGraph
+from repro.models.common import LayerRecord, ModelBuilder
+from repro.ops import (
+    Add,
+    AddBackward,
+    BatchedTranspose,
+    Bmm,
+    BmmBackward,
+    LayerNorm,
+    LayerNormBackward,
+    MseLoss,
+    MseLossBackward,
+    Softmax,
+    SoftmaxBackward,
+    ToDevice,
+    View,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Encoder hyperparameters (defaults follow the base model)."""
+
+    num_layers: int = 6
+    d_model: int = 1024
+    num_heads: int = 16
+    d_ff: int = 4096
+    seq_len: int = 256
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"d_model {self.d_model} not divisible by "
+                f"{self.num_heads} heads"
+            )
+
+    @property
+    def d_head(self) -> int:
+        """Per-head feature width."""
+        return self.d_model // self.num_heads
+
+
+TRANSFORMER_BASE = TransformerConfig()
+
+
+def _attention_layer(
+    b: ModelBuilder, x_id: int, B: int, cfg: TransformerConfig
+) -> tuple[int, dict]:
+    """Record one encoder layer forward; return (output id, context)."""
+    S, d, H, dh = cfg.seq_len, cfg.d_model, cfg.num_heads, cfg.d_head
+    tokens = B * S
+    ctx: dict = {}
+
+    # QKV + output projections as (B*S, d) linears.
+    q_id, ctx["q_rec"] = b.linear_forward(x_id, tokens, d, d)
+    k_id, ctx["k_rec"] = b.linear_forward(x_id, tokens, d, d)
+    v_id, ctx["v_rec"] = b.linear_forward(x_id, tokens, d, d)
+
+    # Reshape to (B*H, S, dh) for the batched attention matmuls.
+    def to_heads(tid: int) -> int:
+        (r,) = b.call(View((tokens, d), (B * H, S, dh)), [tid])
+        return r
+
+    qh, kh, vh = to_heads(q_id), to_heads(k_id), to_heads(v_id)
+    (kh_t,) = b.call(BatchedTranspose(B * H, S, dh), [kh])
+    ctx["kh_t"] = kh_t
+    (scores,) = b.call(Bmm(B * H, S, dh, S), [qh, kh_t])
+    ctx["score_inputs"] = (qh, kh_t)
+    (probs,) = b.call(Softmax((B * H, S, S)), [scores])
+    ctx["probs"] = probs
+    (context,) = b.call(Bmm(B * H, S, S, dh), [probs, vh])
+    ctx["context_inputs"] = (probs, vh)
+    ctx["vh"] = vh
+    (merged,) = b.call(View((B * H, S, dh), (tokens, d)), [context])
+    out_id, ctx["o_rec"] = b.linear_forward(merged, tokens, d, d)
+    ctx["o_input"] = merged
+
+    # Residual + layer norm.
+    (res1,) = b.call(Add((tokens, d)), [x_id, out_id])
+    (ln1,) = b.call(LayerNorm((tokens, d)), [res1])
+    ctx["ln1_in"] = res1
+
+    # FFN with GeLU.
+    from repro.ops import GeLU, GeLUBackward  # local to avoid wide import
+
+    ff1, ctx["ff1_rec"] = b.linear_forward(ln1, tokens, d, cfg.d_ff)
+    (act,) = b.call(GeLU((tokens, cfg.d_ff)), [ff1])
+    ctx["gelu_in"] = ff1
+    ff2, ctx["ff2_rec"] = b.linear_forward(act, tokens, cfg.d_ff, d)
+    (res2,) = b.call(Add((tokens, d)), [ln1, ff2])
+    (ln2,) = b.call(LayerNorm((tokens, d)), [res2])
+    ctx["ln2_in"] = res2
+    ctx["dims"] = (B, S, d, H, dh, tokens)
+    return ln2, ctx
+
+
+def _attention_layer_backward(b: ModelBuilder, grad_id: int, ctx: dict) -> int:
+    """Record one encoder layer's backward ops; returns dx id."""
+    from repro.ops import GeLUBackward
+
+    B, S, d, H, dh, tokens = ctx["dims"]
+
+    (grad,) = b.call(LayerNormBackward((tokens, d)), [grad_id, ctx["ln2_in"]])
+    g_ln1, g_ff2 = b.call(AddBackward((tokens, d)), [grad])
+    g = b.linear_backward(g_ff2, ctx["ff2_rec"])
+    (g,) = b.call(GeLUBackward((tokens, b.obs.graph.tensor(ctx["gelu_in"]).shape[1])),
+                  [g, ctx["gelu_in"]])
+    g = b.linear_backward(g, ctx["ff1_rec"])
+    (g,) = b.call(Add((tokens, d)), [g, g_ln1])
+
+    (g,) = b.call(LayerNormBackward((tokens, d)), [g, ctx["ln1_in"]])
+    g_x_res, g_attn = b.call(AddBackward((tokens, d)), [g])
+    g = b.linear_backward(g_attn, ctx["o_rec"])
+    (g,) = b.call(View((tokens, d), (B * H, S, dh)), [g])
+
+    probs, vh = ctx["context_inputs"]
+    g_probs, g_vh = b.call(BmmBackward(B * H, S, S, dh), [g, probs, vh])
+    (g_scores,) = b.call(SoftmaxBackward((B * H, S, S)), [g_probs, ctx["probs"]])
+    qh, kh_t = ctx["score_inputs"]
+    g_qh, g_kht = b.call(BmmBackward(B * H, S, dh, S), [g_scores, qh, kh_t])
+    (g_kh,) = b.call(BatchedTranspose(B * H, dh, S), [g_kht])
+
+    def from_heads(tid: int) -> int:
+        (r,) = b.call(View((B * H, S, dh), (tokens, d)), [tid])
+        return r
+
+    g_q = b.linear_backward(from_heads(g_qh), ctx["q_rec"])
+    g_k = b.linear_backward(from_heads(g_kh), ctx["k_rec"])
+    g_v = b.linear_backward(from_heads(g_vh), ctx["v_rec"])
+    (g_qk,) = b.call(Add((tokens, d)), [g_q, g_k])
+    (g_qkv,) = b.call(Add((tokens, d)), [g_qk, g_v])
+    (dx,) = b.call(Add((tokens, d)), [g_qkv, g_x_res])
+    return dx
+
+
+def build_transformer_graph(
+    batch_size: int, config: TransformerConfig = TRANSFORMER_BASE
+) -> ExecutionGraph:
+    """Record one Transformer-encoder training iteration."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    B, S, d = batch_size, config.seq_len, config.d_model
+    tokens = B * S
+    b = ModelBuilder(f"transformer_b{B}")
+
+    host = b.input(TensorMeta((B, S, d), device="cpu"))
+    (x3d,) = b.call(ToDevice((B, S, d)), [host])
+    (x,) = b.call(View((B, S, d), (tokens, d)), [x3d])
+    target = b.input(TensorMeta((tokens, d)))
+
+    layer_ctxs = []
+    for _ in range(config.num_layers):
+        x, ctx = _attention_layer(b, x, B, config)
+        layer_ctxs.append(ctx)
+
+    b.call(MseLoss((tokens, d)), [x, target])
+    (grad,) = b.call(MseLossBackward((tokens, d)), [x, target])
+    for ctx in reversed(layer_ctxs):
+        grad = _attention_layer_backward(b, grad, ctx)
+
+    b.optimizer_ops()
+    return b.finish()

@@ -1,0 +1,234 @@
+"""Shared scaffolding for convolutional-network graph builders.
+
+ResNet-50 and Inception-V3 (the Figure 10 comparison models) are built
+from conv → batch-norm → relu stacks with pooling, concatenation and
+residual joins.  :class:`ConvNetBuilder` records the forward ops while
+keeping per-layer records, then replays them in reverse to emit the
+backward pass — the order autograd produces in a real trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.common import LayerRecord, ModelBuilder
+from repro.ops import (
+    AccumulateGrad,
+    Add,
+    AddBackward,
+    AvgPool2d,
+    AvgPool2dBackward,
+    BatchNorm2d,
+    BatchNormBackward,
+    Cat,
+    Conv2d,
+    Conv2dBackward,
+    MaxPool2d,
+    MaxPool2dBackward,
+    MseLoss,
+    MseLossBackward,
+    Relu,
+    ReluBackward,
+    SliceBackward,
+    ToDevice,
+    View,
+    conv_output_hw,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass
+class FeatureMap:
+    """A tensor id together with its NCHW dimensions."""
+
+    tid: int
+    n: int
+    c: int
+    h: int
+    w: int
+
+    @property
+    def shape(self) -> tuple[int, int, int, int]:
+        return (self.n, self.c, self.h, self.w)
+
+
+class ConvNetBuilder(ModelBuilder):
+    """Model builder with conv-net forward/backward layer patterns."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.records: list[LayerRecord] = []
+
+    # -- forward building blocks ----------------------------------------
+    def image_input(self, batch: int, channels: int, hw: int) -> FeatureMap:
+        """Record the input H2D copy and return the device feature map."""
+        host = self.input(TensorMeta((batch, channels, hw, hw), device="cpu"))
+        (dev,) = self.call(ToDevice((batch, channels, hw, hw)), [host])
+        return FeatureMap(dev, batch, channels, hw, hw)
+
+    def conv(self, x: FeatureMap, k: int, r, stride: int = 1,
+             pad=0) -> FeatureMap:
+        """Record ``aten::conv2d`` and its layer record.
+
+        ``r`` may be an int (square kernel) or an ``(r, s)`` pair for
+        rectangular kernels; ``pad`` likewise may be asymmetric.
+        """
+        r_h, r_w = (r, r) if isinstance(r, int) else (r[0], r[1])
+        op = Conv2d(x.n, x.c, x.h, x.w, k, r_h, r_w, stride, pad)
+        w = self.param((k, x.c, r_h, r_w))
+        (y,) = self.call(op, [x.tid, w])
+        out = FeatureMap(y, x.n, k, op.oh, op.ow)
+        self.records.append(
+            LayerRecord(
+                "conv", x.tid, y,
+                {"in": x.shape, "k": k, "r": r_h, "s": r_w,
+                 "stride": stride, "pad": op.pad,
+                 "w_shape": (k, x.c, r_h, r_w)},
+            )
+        )
+        return out
+
+    def batch_norm(self, x: FeatureMap) -> FeatureMap:
+        """Record ``aten::batch_norm``."""
+        op = BatchNorm2d(x.n, x.c, x.h, x.w)
+        (y,) = self.call(op, [x.tid])
+        self.records.append(LayerRecord("bn", x.tid, y, {"dims": x.shape}))
+        return FeatureMap(y, *x.shape[0:1], *x.shape[1:])
+
+    def relu(self, x: FeatureMap) -> FeatureMap:
+        """Record ``aten::relu``."""
+        (y,) = self.call(Relu(x.shape), [x.tid])
+        self.records.append(LayerRecord("relu", x.tid, y, {"shape": x.shape}))
+        return FeatureMap(y, x.n, x.c, x.h, x.w)
+
+    def conv_bn_relu(self, x: FeatureMap, k: int, r, stride: int = 1,
+                     pad=0, relu: bool = True) -> FeatureMap:
+        """Conv → BN (→ ReLU) — the basic unit of both CV models."""
+        out = self.conv(x, k, r, stride, pad)
+        out = self.batch_norm(out)
+        if relu:
+            out = self.relu(out)
+        return out
+
+    def max_pool(self, x: FeatureMap, kernel: int, stride: int,
+                 pad: int = 0) -> FeatureMap:
+        """Record ``aten::max_pool2d``."""
+        op = MaxPool2d(x.n, x.c, x.h, x.w, kernel, stride, pad)
+        (y,) = self.call(op, [x.tid])
+        oh, ow = conv_output_hw(x.h, x.w, kernel, kernel, stride, pad)
+        self.records.append(
+            LayerRecord("maxpool", x.tid, y,
+                        {"dims": x.shape, "kernel": kernel, "stride": stride,
+                         "pad": pad})
+        )
+        return FeatureMap(y, x.n, x.c, oh, ow)
+
+    def global_avg_pool(self, x: FeatureMap) -> FeatureMap:
+        """Record an adaptive average pool to 1x1."""
+        op = AvgPool2d(x.n, x.c, x.h, x.w, out_hw=1)
+        (y,) = self.call(op, [x.tid])
+        self.records.append(
+            LayerRecord("avgpool", x.tid, y, {"dims": x.shape})
+        )
+        return FeatureMap(y, x.n, x.c, 1, 1)
+
+    def residual_add(self, a: FeatureMap, b_map: FeatureMap) -> FeatureMap:
+        """Record the skip-connection ``aten::add``."""
+        (y,) = self.call(Add(a.shape), [a.tid, b_map.tid])
+        self.records.append(
+            LayerRecord("add", a.tid, y, {"shape": a.shape, "rhs": b_map.tid})
+        )
+        return FeatureMap(y, a.n, a.c, a.h, a.w)
+
+    def concat_maps(self, maps: list[FeatureMap]) -> FeatureMap:
+        """Record channel-wise ``aten::cat`` (Inception branch merge)."""
+        shapes = [m.shape for m in maps]
+        op = Cat(shapes, dim=1)
+        (y,) = self.call(op, [m.tid for m in maps])
+        total_c = sum(m.c for m in maps)
+        self.records.append(
+            LayerRecord("cat", maps[0].tid, y,
+                        {"shapes": shapes, "num": len(maps)})
+        )
+        return FeatureMap(y, maps[0].n, total_c, maps[0].h, maps[0].w)
+
+    # -- backward --------------------------------------------------------
+    def backward_layer(self, grad_id: int, record: LayerRecord) -> int:
+        """Emit the backward op(s) for one recorded forward layer."""
+        kind = record.kind
+        if kind == "conv":
+            n, c, h, w = record.extra["in"]
+            op = Conv2dBackward(
+                n, c, h, w, record.extra["k"], record.extra["r"],
+                record.extra["s"], record.extra["stride"], record.extra["pad"],
+            )
+            dx, dw = self.call(op, [grad_id, record.input_id])
+            acc = self.grad_buffer(record.extra["w_shape"])
+            self.call(AccumulateGrad(record.extra["w_shape"]), [dw, acc])
+            return dx
+        if kind == "bn":
+            n, c, h, w = record.extra["dims"]
+            (dx,) = self.call(
+                BatchNormBackward(n, c, h, w), [grad_id, record.input_id]
+            )
+            return dx
+        if kind == "relu":
+            (dx,) = self.call(
+                ReluBackward(record.extra["shape"]), [grad_id, record.output_id]
+            )
+            return dx
+        if kind == "maxpool":
+            n, c, h, w = record.extra["dims"]
+            op = MaxPool2dBackward(
+                n, c, h, w, record.extra["kernel"], record.extra["stride"],
+                record.extra["pad"],
+            )
+            (dx,) = self.call(op, [grad_id, record.input_id])
+            return dx
+        if kind == "avgpool":
+            n, c, h, w = record.extra["dims"]
+            (dx,) = self.call(AvgPool2dBackward(n, c, h, w), [grad_id])
+            return dx
+        raise ValueError(f"no generic backward for layer kind {kind!r}")
+
+    def backward_chain(self, grad_id: int, records: list[LayerRecord]) -> int:
+        """Backward through a linear chain of recorded layers."""
+        grad = grad_id
+        for record in reversed(records):
+            grad = self.backward_layer(grad, record)
+        return grad
+
+    def cat_backward(self, grad_id: int, full_shape: tuple[int, ...],
+                     part_shapes: list[tuple[int, ...]]) -> list[int]:
+        """Split a concat gradient into per-branch slices."""
+        grads = []
+        for shape in part_shapes:
+            (g,) = self.call(SliceBackward(full_shape, shape), [grad_id])
+            grads.append(g)
+        return grads
+
+    def add_backward(self, grad_id: int, shape: tuple[int, ...]) -> tuple[int, int]:
+        """Pass-through gradient of a residual add (no kernel)."""
+        ga, gb = self.call(AddBackward(shape), [grad_id])
+        return ga, gb
+
+    def classifier_and_loss(self, features: FeatureMap,
+                            num_classes: int) -> tuple[int, list[LayerRecord], int, int]:
+        """Global pool → flatten → FC → MSE loss; returns backward context.
+
+        Returns ``(pred_id, fc_records, flat_id, target_id)``.
+        """
+        pooled = self.global_avg_pool(features)
+        (flat,) = self.call(
+            View((pooled.n, pooled.c, 1, 1), (pooled.n, pooled.c)), [pooled.tid]
+        )
+        pred, rec = self.linear_forward(flat, pooled.n, pooled.c, num_classes)
+        target = self.input(TensorMeta((pooled.n, num_classes)))
+        self.call(MseLoss((pooled.n, num_classes)), [pred, target])
+        return pred, [rec], flat, target
+
+    def loss_backward(self, pred_id: int, target_id: int,
+                      shape: tuple[int, ...]) -> int:
+        """MSE loss gradient."""
+        (grad,) = self.call(MseLossBackward(shape), [pred_id, target_id])
+        return grad

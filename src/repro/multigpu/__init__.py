@@ -1,0 +1,42 @@
+"""Multi-GPU extension: collectives, hybrid-parallel plans, prediction."""
+
+from repro.multigpu.interconnect import (
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    GroundTruthCollectives,
+    InterconnectSpec,
+    all2all_wire_bytes,
+    allreduce_wire_bytes,
+)
+from repro.multigpu.plan import (
+    CollectivePhase,
+    MultiGpuPlan,
+    build_multi_gpu_dlrm_plan,
+    dense_parameter_bytes,
+)
+from repro.multigpu.predict import (
+    MultiGpuPrediction,
+    predict_multi_gpu,
+    scaling_curve,
+)
+from repro.multigpu.simulate import MultiGpuResult, MultiGpuSimulator
+
+__all__ = [
+    "CollectiveModel",
+    "CollectivePhase",
+    "GroundTruthCollectives",
+    "InterconnectSpec",
+    "MultiGpuPlan",
+    "MultiGpuPrediction",
+    "MultiGpuResult",
+    "MultiGpuSimulator",
+    "NVLINK",
+    "PCIE_FABRIC",
+    "all2all_wire_bytes",
+    "allreduce_wire_bytes",
+    "build_multi_gpu_dlrm_plan",
+    "dense_parameter_bytes",
+    "predict_multi_gpu",
+    "scaling_curve",
+]

@@ -1,0 +1,151 @@
+"""Interconnect specs and communication-collective models.
+
+The paper's extension to distributed training "requires kernel
+performance models of communication collectives (e.g., all_to_all,
+all_reduce)" (Section V-B); this module provides them, in the same
+two-sided style as the single-GPU kernels:
+
+* :class:`GroundTruthCollectives` — the hidden "hardware": ring/butterfly
+  latency-bandwidth models with efficiency factors and noise.  Only the
+  multi-GPU simulator may use it.
+* :class:`CollectiveModel` — the predictor-side heuristic using the
+  measured (achieved) link bandwidth, analogous to the corrected-peak
+  rooflines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Datasheet description of the inter-GPU fabric.
+
+    Attributes:
+        name: Fabric name used in reports.
+        link_bw_gbs: Per-direction peer bandwidth in GB/s.
+        base_latency_us: Per-collective software + wire latency.
+    """
+
+    name: str
+    link_bw_gbs: float
+    base_latency_us: float = 8.0
+
+
+NVLINK = InterconnectSpec(name="NVLink", link_bw_gbs=150.0, base_latency_us=6.0)
+PCIE_FABRIC = InterconnectSpec(name="PCIe", link_bw_gbs=12.0, base_latency_us=10.0)
+
+
+def all2all_wire_bytes(bytes_per_device: float, num_devices: int) -> float:
+    """Bytes each device sends in an all-to-all exchange.
+
+    Each device keeps its own ``1/n`` shard and sends the remaining
+    ``(n-1)/n`` of its buffer.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    return bytes_per_device * (num_devices - 1) / num_devices
+
+
+def allreduce_wire_bytes(bytes_per_device: float, num_devices: int) -> float:
+    """Bytes each device moves in a ring all-reduce: ``2 (n-1)/n``."""
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    return 2.0 * bytes_per_device * (num_devices - 1) / num_devices
+
+
+class GroundTruthCollectives:
+    """Hidden true collective latencies (the simulator's fabric)."""
+
+    #: Achieved fraction of datasheet link bandwidth.
+    _EFFICIENCY = 0.85
+    #: Message size (bytes) at which bandwidth reaches half its peak.
+    _HALF_POINT = 256 * 1024
+    #: Extra per-hop latency in the ring (µs per device).
+    _HOP_LATENCY_US = 1.4
+
+    def __init__(self, fabric: InterconnectSpec, noise_sigma: float = 0.03) -> None:
+        self.fabric = fabric
+        self.noise_sigma = noise_sigma
+
+    def _time(self, wire_bytes: float, num_devices: int) -> float:
+        ramp = wire_bytes / (wire_bytes + self._HALF_POINT)
+        bw = self.fabric.link_bw_gbs * self._EFFICIENCY * max(ramp, 1e-3)
+        return (
+            self.fabric.base_latency_us
+            + self._HOP_LATENCY_US * max(num_devices - 1, 0)
+            + wire_bytes / (bw * 1e3)
+        )
+
+    def duration_us(
+        self,
+        kind: str,
+        bytes_per_device: float,
+        num_devices: int,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """True duration of one collective, in µs."""
+        if kind == "all2all":
+            wire = all2all_wire_bytes(bytes_per_device, num_devices)
+        elif kind == "allreduce":
+            wire = allreduce_wire_bytes(bytes_per_device, num_devices)
+        else:
+            raise ValueError(f"unknown collective kind {kind!r}")
+        t = self._time(wire, num_devices)
+        if rng is not None and self.noise_sigma > 0:
+            t *= float(rng.lognormal(0.0, self.noise_sigma))
+        return t
+
+    def measure_us(
+        self, kind: str, bytes_per_device: float, num_devices: int,
+        iterations: int = 30, seed: int = 0,
+    ) -> float:
+        """Microbenchmark-style mean over timed iterations."""
+        rng = np.random.default_rng(seed)
+        samples = [
+            self.duration_us(kind, bytes_per_device, num_devices, rng)
+            for _ in range(iterations)
+        ]
+        return float(np.mean(samples))
+
+
+class CollectiveModel:
+    """Predictor-side collective model using a measured link bandwidth.
+
+    Calibrated like the paper's corrected-peak rooflines: the achieved
+    bandwidth and base latency come from a large- and a tiny-message
+    microbenchmark against the fabric.
+    """
+
+    def __init__(self, measured_bw_gbs: float, base_latency_us: float) -> None:
+        if measured_bw_gbs <= 0:
+            raise ValueError("measured bandwidth must be positive")
+        self.measured_bw_gbs = measured_bw_gbs
+        self.base_latency_us = base_latency_us
+
+    @classmethod
+    def calibrate(
+        cls, truth: GroundTruthCollectives, num_devices: int, seed: int = 0
+    ) -> "CollectiveModel":
+        """Measure achieved link rates from the fabric microbenchmark."""
+        big = 256 * 1024 * 1024
+        t_big = truth.measure_us("all2all", big, num_devices, seed=seed)
+        wire = all2all_wire_bytes(big, num_devices)
+        tiny = truth.measure_us("all2all", 1024, num_devices, seed=seed + 1)
+        bw = wire / max(t_big - tiny, 1e-6) / 1e3
+        return cls(measured_bw_gbs=bw, base_latency_us=tiny)
+
+    def predict_us(
+        self, kind: str, bytes_per_device: float, num_devices: int
+    ) -> float:
+        """Predicted collective duration in µs."""
+        if kind == "all2all":
+            wire = all2all_wire_bytes(bytes_per_device, num_devices)
+        elif kind == "allreduce":
+            wire = allreduce_wire_bytes(bytes_per_device, num_devices)
+        else:
+            raise ValueError(f"unknown collective kind {kind!r}")
+        return self.base_latency_us + wire / (self.measured_bw_gbs * 1e3)

@@ -1,0 +1,281 @@
+"""Hybrid-parallel DLRM execution plans.
+
+Industrial DLRM trains with the classic hybrid scheme: embedding tables
+are *model-parallel* (each device owns a shard of tables and looks up
+the **full** batch for them) while the MLPs are *data-parallel* (each
+device processes its ``B / n`` slice).  An all-to-all exchanges
+embedding outputs between the two regimes, and an all-reduce
+synchronises dense gradients.
+
+A :class:`MultiGpuPlan` captures one iteration as alternating compute
+phases (per-device execution-graph segments) and collective phases.
+The simulator and the predictor both consume this plan, so every
+single-GPU asset (kernel models, overhead databases) is reused
+unchanged — the paper's intended extension path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import ExecutionGraph
+from repro.models.common import ModelBuilder
+from repro.models.dlrm import DlrmConfig
+from repro.ops import (
+    Add,
+    BatchedTranspose,
+    BinaryCrossEntropy,
+    BinaryCrossEntropyBackward,
+    Bmm,
+    BmmBackward,
+    Cat,
+    Index,
+    IndexBackward,
+    LookupFunction,
+    LookupFunctionBackward,
+    MseLoss,
+    MseLossBackward,
+    SliceBackward,
+    ToDevice,
+    View,
+    tril_output_size,
+)
+from repro.tensormeta import TensorMeta
+
+
+@dataclass(frozen=True)
+class CollectivePhase:
+    """One synchronous collective between compute phases."""
+
+    kind: str  # "all2all" or "allreduce"
+    bytes_per_device: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("all2all", "allreduce"):
+            raise ValueError(f"unknown collective kind {self.kind!r}")
+        if self.bytes_per_device < 0:
+            raise ValueError("bytes_per_device must be non-negative")
+
+
+@dataclass
+class MultiGpuPlan:
+    """Alternating compute/collective phases for ``num_devices`` GPUs.
+
+    ``compute_phases[p][d]`` is device ``d``'s execution-graph segment
+    in phase ``p``; ``collectives[p]`` runs after compute phase ``p``.
+    """
+
+    num_devices: int
+    compute_phases: list[list[ExecutionGraph]]
+    collectives: list[CollectivePhase]
+    table_assignment: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        for p, phase in enumerate(self.compute_phases):
+            if len(phase) != self.num_devices:
+                raise ValueError(
+                    f"phase {p} has {len(phase)} device segments for "
+                    f"{self.num_devices} devices"
+                )
+        if len(self.collectives) > len(self.compute_phases):
+            raise ValueError("more collectives than compute phases")
+
+    @property
+    def num_phases(self) -> int:
+        """Number of compute phases."""
+        return len(self.compute_phases)
+
+
+def _phase_a(config: DlrmConfig, local_batch: int, full_batch: int,
+             local_tables: list[int], device: int) -> ExecutionGraph:
+    """Input copies + bottom MLP (local batch) + local-table lookups."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_phaseA")
+    dense_host = b.input(TensorMeta((local_batch, config.dense_dim), device="cpu"))
+    (dense,) = b.call(ToDevice((local_batch, config.dense_dim)), [dense_host])
+    T_local = max(len(local_tables), 1)
+    L = config.lookups_per_table
+    idx_host = b.input(
+        TensorMeta((full_batch * T_local * L,), "int64", device="cpu")
+    )
+    (indices,) = b.call(
+        ToDevice((full_batch * T_local * L,), "int64", batch=full_batch),
+        [idx_host],
+    )
+    b.mlp_forward(dense, local_batch, list(config.bot_mlp), final_relu=True)
+    if local_tables:
+        rows = [config.table_rows[i] for i in local_tables]
+        avg_e = max(1, round(sum(rows) / len(rows)))
+        lookup = LookupFunction(
+            full_batch, avg_e, len(local_tables), L, config.embedding_dim
+        )
+        weights = b.input(lookup.inputs[0])
+        offsets = b.input(lookup.inputs[2])
+        b.call(lookup, [weights, indices, offsets])
+    return b.finish()
+
+
+def _phase_b(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGraph:
+    """Interaction + top MLP + loss + their backward (local batch)."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_phaseB")
+    B = local_batch
+    T = config.num_tables
+    D = config.embedding_dim
+    F = config.num_interaction_features
+    tril = tril_output_size(F)
+
+    bot_out = b.input(TensorMeta((B, D)))
+    emb = b.input(TensorMeta((B, T, D)))
+    target = b.input(TensorMeta((B, 1)))
+
+    (bot_3d,) = b.call(View((B, D), (B, 1, D)), [bot_out])
+    (cat_feats,) = b.call(Cat([(B, 1, D), (B, T, D)], dim=1), [bot_3d, emb])
+    (cat_t,) = b.call(BatchedTranspose(B, F, D), [cat_feats])
+    (scores,) = b.call(Bmm(B, F, D, F), [cat_feats, cat_t])
+    (flat,) = b.call(Index(B, F), [scores])
+    (top_in,) = b.call(Cat([(B, D), (B, tril)], dim=1), [bot_out, flat])
+    top_sizes = [D + tril] + list(config.top_mlp)
+    top_out, top_records = b.mlp_forward(top_in, B, top_sizes, final_relu=False)
+
+    if config.loss == "bce":
+        pred, sig_record = b.sigmoid_forward(top_out, (B, 1))
+        b.call(BinaryCrossEntropy((B, 1)), [pred, target])
+        (grad,) = b.call(BinaryCrossEntropyBackward((B, 1)), [pred, target])
+        grad = b.sigmoid_backward(grad, sig_record)
+    else:
+        b.call(MseLoss((B, 1)), [top_out, target])
+        (grad,) = b.call(MseLossBackward((B, 1)), [top_out, target])
+
+    grad = b.mlp_backward(grad, top_records)
+    (bot_grad_direct,) = b.call(SliceBackward((B, D + tril), (B, D)), [grad])
+    (flat_grad,) = b.call(SliceBackward((B, D + tril), (B, tril)), [grad])
+    (scores_grad,) = b.call(IndexBackward(B, F), [flat_grad])
+    cat_grad, cat_t_grad = b.call(
+        BmmBackward(B, F, D, F), [scores_grad, cat_feats, cat_t]
+    )
+    (cat_t_grad_t,) = b.call(BatchedTranspose(B, D, F), [cat_t_grad])
+    (cat_grad_total,) = b.call(Add((B, F, D)), [cat_grad, cat_t_grad_t])
+    (bot3d_grad,) = b.call(SliceBackward((B, F, D), (B, 1, D)), [cat_grad_total])
+    b.call(SliceBackward((B, F, D), (B, T, D)), [cat_grad_total])
+    (bot_grad_i,) = b.call(View((B, 1, D), (B, D)), [bot3d_grad])
+    b.call(Add((B, D)), [bot_grad_direct, bot_grad_i])
+    return b.finish()
+
+
+def _phase_c(config: DlrmConfig, local_batch: int, full_batch: int,
+             local_tables: list[int], device: int) -> ExecutionGraph:
+    """Lookup backward (local tables, full batch) + bottom MLP backward."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_phaseC")
+    D = config.embedding_dim
+    L = config.lookups_per_table
+    if local_tables:
+        rows = [config.table_rows[i] for i in local_tables]
+        avg_e = max(1, round(sum(rows) / len(rows)))
+        T_local = len(local_tables)
+        bwd = LookupFunctionBackward(full_batch, avg_e, T_local, L, D)
+        grad = b.input(bwd.inputs[0])
+        weights = b.input(bwd.inputs[1])
+        indices = b.input(bwd.inputs[2])
+        b.call(bwd, [grad, weights, indices], inplace=(1,))
+    # Bottom MLP backward on the local batch.
+    grad_in = b.input(TensorMeta((local_batch, D)))
+    _, records = b.mlp_forward(
+        b.input(TensorMeta((local_batch, config.dense_dim))),
+        local_batch, list(config.bot_mlp), final_relu=True,
+    )
+    b.mlp_backward(grad_in, records)
+    return b.finish()
+
+
+def _phase_d(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGraph:
+    """Optimizer step for the (replicated) dense parameters."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_phaseD")
+    # Reconstruct dense-parameter shapes from the MLP widths.
+    sizes = list(config.bot_mlp)
+    tril = tril_output_size(config.num_interaction_features)
+    top_sizes = [config.embedding_dim + tril] + list(config.top_mlp)
+    for widths in (sizes, top_sizes):
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            b.param((fan_out, fan_in))
+            b.param((fan_out,))
+    b.optimizer_ops()
+    return b.finish()
+
+
+def dense_parameter_bytes(config: DlrmConfig) -> float:
+    """Bytes of the data-parallel (replicated) dense parameters."""
+    total = 0
+    tril = tril_output_size(config.num_interaction_features)
+    top_sizes = [config.embedding_dim + tril] + list(config.top_mlp)
+    for widths in (list(config.bot_mlp), top_sizes):
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            total += fan_out * fan_in + fan_out
+    return 4.0 * total
+
+
+def build_multi_gpu_dlrm_plan(
+    config: DlrmConfig,
+    batch_size: int,
+    num_devices: int,
+    table_assignment: list[list[int]] | None = None,
+) -> MultiGpuPlan:
+    """Build the hybrid-parallel plan for one DLRM iteration.
+
+    Args:
+        config: DLRM configuration (Table III or custom).
+        batch_size: Global batch size; must divide by ``num_devices``.
+        num_devices: Number of GPUs.
+        table_assignment: Per-device table indices; defaults to
+            round-robin.  Use :func:`repro.codesign.greedy_balance` for
+            a predicted-cost-balanced assignment.
+
+    Returns:
+        A four-compute-phase plan with all2all / all2all / allreduce
+        collectives between them.
+    """
+    if batch_size % num_devices != 0:
+        raise ValueError(
+            f"batch {batch_size} not divisible by {num_devices} devices"
+        )
+    if table_assignment is None:
+        table_assignment = [
+            [i for i in range(config.num_tables) if i % num_devices == d]
+            for d in range(num_devices)
+        ]
+    assigned = sorted(i for dev in table_assignment for i in dev)
+    if assigned != list(range(config.num_tables)):
+        raise ValueError("table_assignment must cover every table exactly once")
+
+    local_batch = batch_size // num_devices
+    D = config.embedding_dim
+
+    phase_a = [
+        _phase_a(config, local_batch, batch_size, table_assignment[d], d)
+        for d in range(num_devices)
+    ]
+    phase_b = [_phase_b(config, local_batch, d) for d in range(num_devices)]
+    phase_c = [
+        _phase_c(config, local_batch, batch_size, table_assignment[d], d)
+        for d in range(num_devices)
+    ]
+    phase_d = [_phase_d(config, local_batch, d) for d in range(num_devices)]
+
+    # Each device exchanges its local-table outputs for the full batch:
+    # buffer = B * T_local * D floats (max over devices gates the wire).
+    max_local_tables = max((len(t) for t in table_assignment), default=0)
+    emb_bytes = 4.0 * batch_size * max_local_tables * D
+    collectives = [
+        CollectivePhase("all2all", emb_bytes, label="embedding forward"),
+        CollectivePhase("all2all", emb_bytes, label="embedding gradient"),
+        CollectivePhase(
+            "allreduce", dense_parameter_bytes(config), label="dense grads"
+        ),
+    ]
+    return MultiGpuPlan(
+        num_devices=num_devices,
+        compute_phases=[phase_a, phase_b, phase_c, phase_d],
+        collectives=collectives,
+        table_assignment=table_assignment,
+    )

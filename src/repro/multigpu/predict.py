@@ -1,0 +1,107 @@
+"""Multi-GPU E2E prediction for hybrid-parallel plans.
+
+Applies Algorithm 1 to every device's compute segment (reusing the
+single-GPU kernel models and overhead databases unchanged) and the
+calibrated collective model to the communication phases; phase
+boundaries gate at the slowest predicted device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.e2e import predict_e2e
+from repro.multigpu.interconnect import CollectiveModel
+from repro.multigpu.plan import MultiGpuPlan
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import PerfModelRegistry
+
+
+@dataclass(frozen=True)
+class MultiGpuPrediction:
+    """Predicted timing of one multi-GPU iteration."""
+
+    iteration_us: float
+    phase_us: tuple[float, ...]
+    collective_us: tuple[float, ...]
+    per_device_phase_us: tuple[tuple[float, ...], ...]
+
+    @property
+    def compute_us(self) -> float:
+        """Total gated compute time."""
+        return sum(self.phase_us)
+
+    @property
+    def communication_us(self) -> float:
+        """Total predicted collective time."""
+        return sum(self.collective_us)
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration spent in collectives."""
+        return (
+            self.communication_us / self.iteration_us
+            if self.iteration_us > 0
+            else 0.0
+        )
+
+
+def predict_multi_gpu(
+    plan: MultiGpuPlan,
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+    collective_model: CollectiveModel,
+) -> MultiGpuPrediction:
+    """Predict one hybrid-parallel iteration's time.
+
+    Args:
+        plan: The multi-GPU execution plan.
+        registry: Single-GPU kernel performance models (reused as-is).
+        overheads: Host-overhead database (reused as-is).
+        collective_model: Calibrated communication model.
+    """
+    phase_times = []
+    per_device = []
+    for phase in plan.compute_phases:
+        device_times = tuple(
+            predict_e2e(segment, registry, overheads, sync_h2d=True).total_us
+            for segment in phase
+        )
+        per_device.append(device_times)
+        phase_times.append(max(device_times))
+
+    collective_times = tuple(
+        collective_model.predict_us(c.kind, c.bytes_per_device, plan.num_devices)
+        for c in plan.collectives
+    )
+    return MultiGpuPrediction(
+        iteration_us=sum(phase_times) + sum(collective_times),
+        phase_us=tuple(phase_times),
+        collective_us=collective_times,
+        per_device_phase_us=tuple(per_device),
+    )
+
+
+def scaling_curve(
+    build_plan,
+    device_counts: tuple[int, ...],
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+    collective_model_for,
+) -> dict[int, MultiGpuPrediction]:
+    """Predict iteration time across device counts (weak/strong scaling).
+
+    Args:
+        build_plan: Callable mapping a device count to a plan.
+        device_counts: Counts to evaluate.
+        registry: Kernel models.
+        overheads: Overhead database.
+        collective_model_for: Callable mapping a device count to a
+            calibrated :class:`CollectiveModel`.
+    """
+    return {
+        n: predict_multi_gpu(
+            build_plan(n), registry, overheads, collective_model_for(n)
+        )
+        for n in device_counts
+    }

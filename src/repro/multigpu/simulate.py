@@ -1,0 +1,103 @@
+"""Multi-GPU ground-truth simulation of a hybrid-parallel plan.
+
+Each device runs its compute segments on its own
+:class:`~repro.simulator.engine.SimulatedDevice`; synchronous
+collectives gate phase boundaries at the *slowest* device plus the true
+collective duration — the straggler effect that makes embedding-table
+load balance matter (Section V-A(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware import DEFAULT_CPU, CpuSpec, GpuSpec
+from repro.multigpu.interconnect import GroundTruthCollectives, InterconnectSpec
+from repro.multigpu.plan import MultiGpuPlan
+from repro.simulator import SimulatedDevice
+
+
+@dataclass
+class MultiGpuResult:
+    """Ground-truth timing of one multi-GPU training iteration."""
+
+    iteration_us: float
+    phase_us: list[float]
+    collective_us: list[float]
+    per_device_phase_us: list[list[float]]  # [phase][device]
+
+    @property
+    def compute_us(self) -> float:
+        """Total gated compute time."""
+        return sum(self.phase_us)
+
+    @property
+    def communication_us(self) -> float:
+        """Total collective time."""
+        return sum(self.collective_us)
+
+    @property
+    def straggler_loss_us(self) -> float:
+        """Time lost to imbalance: gated minus mean per-phase time."""
+        loss = 0.0
+        for phase, devices in zip(self.phase_us, self.per_device_phase_us):
+            loss += phase - float(np.mean(devices))
+        return loss
+
+
+class MultiGpuSimulator:
+    """Simulates a :class:`MultiGpuPlan` on ``num_devices`` equal GPUs."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        fabric: InterconnectSpec,
+        cpu: CpuSpec = DEFAULT_CPU,
+        seed: int = 0,
+    ) -> None:
+        self.gpu = gpu
+        self.fabric = fabric
+        self.cpu = cpu
+        self.seed = seed
+        self.collectives = GroundTruthCollectives(fabric)
+
+    def run(self, plan: MultiGpuPlan, iterations: int = 3) -> MultiGpuResult:
+        """Simulate ``iterations`` iterations; returns mean-phase timing."""
+        devices = [
+            SimulatedDevice(self.gpu, self.cpu, seed=self.seed + 17 * d)
+            for d in range(plan.num_devices)
+        ]
+        rng = np.random.default_rng(self.seed + 999)
+
+        per_device_phase: list[list[float]] = []
+        phase_times: list[float] = []
+        for p, phase in enumerate(plan.compute_phases):
+            device_times = []
+            for d, segment in enumerate(phase):
+                result = devices[d].run(segment, iterations=iterations, warmup=1)
+                device_times.append(result.mean_e2e_us)
+            per_device_phase.append(device_times)
+            phase_times.append(max(device_times))
+
+        collective_times = [
+            float(
+                np.mean(
+                    [
+                        self.collectives.duration_us(
+                            c.kind, c.bytes_per_device, plan.num_devices, rng
+                        )
+                        for _ in range(iterations)
+                    ]
+                )
+            )
+            for c in plan.collectives
+        ]
+
+        return MultiGpuResult(
+            iteration_us=sum(phase_times) + sum(collective_times),
+            phase_us=phase_times,
+            collective_us=collective_times,
+            per_device_phase_us=per_device_phase,
+        )

@@ -1,0 +1,293 @@
+"""Convolution / batch-norm / pooling operators (CV extension).
+
+Section IV-C extends the microbenchmark to cover convolution and
+batch-normalization so the pipeline can predict ResNet-50 and
+Inception-V3 (Figure 10).  Convolutions get their own kernel type
+(ML-modeled in the paper, since cuDNN is opaque); pooling is
+bandwidth-bound and treated as element-wise.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op, elementwise_kernel
+from repro.tensormeta import TensorMeta
+
+
+def _pad_pair(pad: "int | tuple[int, int]") -> tuple[int, int]:
+    """Normalise symmetric or (pad_h, pad_w) padding to a pair."""
+    if isinstance(pad, tuple):
+        return int(pad[0]), int(pad[1])
+    return int(pad), int(pad)
+
+
+def conv_output_hw(
+    h: int, w: int, r: int, s: int, stride: int, pad: "int | tuple[int, int]"
+) -> tuple[int, int]:
+    """Spatial output size of a convolution (``pad`` may be asymmetric)."""
+    pad_h, pad_w = _pad_pair(pad)
+    oh = (h + 2 * pad_h - r) // stride + 1
+    ow = (w + 2 * pad_w - s) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"conv produces empty output: h={h} w={w} r={r} s={s} "
+            f"stride={stride} pad={pad}"
+        )
+    return oh, ow
+
+
+class Conv2d(Op):
+    """``aten::conv2d`` — 2-D convolution, one conv kernel."""
+
+    op_name = "aten::conv2d"
+
+    def __init__(
+        self,
+        n: int,
+        c: int,
+        h: int,
+        w: int,
+        k: int,
+        r: int,
+        s: int,
+        stride: int = 1,
+        pad: "int | tuple[int, int]" = 0,
+    ) -> None:
+        self.n, self.c, self.h, self.w = int(n), int(c), int(h), int(w)
+        self.k, self.r, self.s = int(k), int(r), int(s)
+        self.stride = int(stride)
+        self.pad = _pad_pair(pad)
+        oh, ow = conv_output_hw(h, w, r, s, stride, self.pad)
+        self.oh, self.ow = oh, ow
+        x = TensorMeta((n, c, h, w))
+        weight = TensorMeta((k, c, r, s))
+        y = TensorMeta((n, k, oh, ow))
+        super().__init__((x, weight), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            KernelCall(
+                KernelType.CONV,
+                {
+                    "n": self.n, "c": self.c, "h": self.h, "w": self.w,
+                    "k": self.k, "r": self.r, "s": self.s,
+                    "stride": self.stride,
+                    "pad_h": self.pad[0], "pad_w": self.pad[1],
+                    # Implicit-GEMM equivalent dims: derived features
+                    # that make the kernel learnable for the MLP model.
+                    "gemm_m": self.n * self.oh * self.ow,
+                    "gemm_k": self.c * self.r * self.s,
+                },
+                name="conv2d",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Conv2d":
+        if self.n == old_batch:
+            return Conv2d(new_batch, self.c, self.h, self.w, self.k,
+                          self.r, self.s, self.stride, self.pad)
+        return self
+
+
+class Conv2dBackward(Op):
+    """``ConvolutionBackward0`` — dgrad + wgrad, two conv-type kernels."""
+
+    op_name = "ConvolutionBackward0"
+
+    def __init__(
+        self,
+        n: int,
+        c: int,
+        h: int,
+        w: int,
+        k: int,
+        r: int,
+        s: int,
+        stride: int = 1,
+        pad: "int | tuple[int, int]" = 0,
+    ) -> None:
+        self.n, self.c, self.h, self.w = int(n), int(c), int(h), int(w)
+        self.k, self.r, self.s = int(k), int(r), int(s)
+        self.stride = int(stride)
+        self.pad = _pad_pair(pad)
+        oh, ow = conv_output_hw(h, w, r, s, stride, self.pad)
+        self.oh, self.ow = oh, ow
+        dy = TensorMeta((n, k, oh, ow))
+        x = TensorMeta((n, c, h, w))
+        dx = TensorMeta((n, c, h, w))
+        dw = TensorMeta((k, c, r, s))
+        super().__init__((dy, x), (dx, dw))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        params = {
+            "n": self.n, "c": self.c, "h": self.h, "w": self.w,
+            "k": self.k, "r": self.r, "s": self.s,
+            "stride": self.stride,
+            "pad_h": self.pad[0], "pad_w": self.pad[1],
+            "gemm_m": self.n * self.oh * self.ow,
+            "gemm_k": self.c * self.r * self.s,
+        }
+        return (
+            KernelCall(KernelType.CONV, params, name="conv2d_dgrad"),
+            KernelCall(KernelType.CONV, params, name="conv2d_wgrad"),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Conv2dBackward":
+        if self.n == old_batch:
+            return Conv2dBackward(new_batch, self.c, self.h, self.w, self.k,
+                                  self.r, self.s, self.stride, self.pad)
+        return self
+
+
+class BatchNorm2d(Op):
+    """``aten::batch_norm`` — training-mode batch normalisation."""
+
+    op_name = "aten::batch_norm"
+
+    def __init__(self, n: int, c: int, h: int, w: int) -> None:
+        self.n, self.c, self.h, self.w = int(n), int(c), int(h), int(w)
+        x = TensorMeta((n, c, h, w))
+        y = TensorMeta((n, c, h, w))
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            KernelCall(
+                KernelType.BATCHNORM,
+                {"n": self.n, "c": self.c, "h": self.h, "w": self.w},
+                name="batch_norm",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchNorm2d":
+        if self.n == old_batch:
+            return BatchNorm2d(new_batch, self.c, self.h, self.w)
+        return self
+
+
+class BatchNormBackward(Op):
+    """``NativeBatchNormBackward0``."""
+
+    op_name = "NativeBatchNormBackward0"
+
+    def __init__(self, n: int, c: int, h: int, w: int) -> None:
+        self.n, self.c, self.h, self.w = int(n), int(c), int(h), int(w)
+        dy = TensorMeta((n, c, h, w))
+        x = TensorMeta((n, c, h, w))
+        dx = TensorMeta((n, c, h, w))
+        super().__init__((dy, x), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            KernelCall(
+                KernelType.BATCHNORM,
+                {"n": self.n, "c": self.c, "h": self.h, "w": self.w},
+                name="batch_norm_backward",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchNormBackward":
+        if self.n == old_batch:
+            return BatchNormBackward(new_batch, self.c, self.h, self.w)
+        return self
+
+
+class MaxPool2d(Op):
+    """``aten::max_pool2d`` — bandwidth-bound, element-wise kernel."""
+
+    op_name = "aten::max_pool2d"
+
+    def __init__(self, n: int, c: int, h: int, w: int, kernel: int, stride: int,
+                 pad: int = 0) -> None:
+        self.n, self.c = int(n), int(c)
+        oh, ow = conv_output_hw(h, w, kernel, kernel, stride, pad)
+        x = TensorMeta((n, c, h, w))
+        y = TensorMeta((n, c, oh, ow))
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        (y,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(x.numel),
+                bytes_read=x.nbytes,
+                bytes_write=y.nbytes,
+                name="max_pool2d",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "MaxPool2d":
+        clone = super().rescale_batch(old_batch, new_batch)
+        return clone
+
+
+class AvgPool2d(Op):
+    """``aten::avg_pool2d`` / adaptive average pool."""
+
+    op_name = "aten::avg_pool2d"
+
+    def __init__(self, n: int, c: int, h: int, w: int, out_hw: int = 1) -> None:
+        x = TensorMeta((n, c, h, w))
+        y = TensorMeta((n, c, out_hw, out_hw))
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        (y,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(x.numel),
+                bytes_read=x.nbytes,
+                bytes_write=y.nbytes,
+                name="avg_pool2d",
+            ),
+        )
+
+
+class MaxPool2dBackward(Op):
+    """``MaxPool2DWithIndicesBackward0`` — scatter grads to max positions."""
+
+    op_name = "MaxPool2DWithIndicesBackward0"
+
+    def __init__(self, n: int, c: int, h: int, w: int, kernel: int, stride: int,
+                 pad: int = 0) -> None:
+        oh, ow = conv_output_hw(h, w, kernel, kernel, stride, pad)
+        dy = TensorMeta((n, c, oh, ow))
+        x = TensorMeta((n, c, h, w))
+        dx = TensorMeta((n, c, h, w))
+        super().__init__((dy, x), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, x = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(dx.numel),
+                bytes_read=dy.nbytes + x.nbytes,
+                bytes_write=dx.nbytes,
+                name="max_pool2d_backward",
+            ),
+        )
+
+
+class AvgPool2dBackward(Op):
+    """``AvgPool2DBackward0`` / ``MeanBackward`` for adaptive pools."""
+
+    op_name = "AvgPool2DBackward0"
+
+    def __init__(self, n: int, c: int, h: int, w: int, out_hw: int = 1) -> None:
+        dy = TensorMeta((n, c, out_hw, out_hw))
+        dx = TensorMeta((n, c, h, w))
+        super().__init__((dy,), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (dy,) = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=float(dx.numel),
+                bytes_read=dy.nbytes,
+                bytes_write=dx.nbytes,
+                name="avg_pool2d_backward",
+            ),
+        )

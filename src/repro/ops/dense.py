@@ -1,0 +1,183 @@
+"""GEMM-backed dense operators (MLP layers and feature interaction).
+
+With the PyTorch release the paper targets, MLP layers lower to cuBLAS
+GEMM kernels via ``aten::linear``/``aten::addmm``/``aten::bmm``; their
+backward counterparts (``AddmmBackward0``, ``BmmBackward0``) are each
+dominated by **two** GEMM kernels (Section III-A).  All of them share
+one GEMM kernel performance model.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op
+from repro.tensormeta import TensorMeta
+
+
+def gemm_kernel(m: int, n: int, k: int, batch: int = 1, name: str = "") -> KernelCall:
+    """Build a GEMM kernel call computing a ``batch``-ed ``(m,k)@(k,n)``."""
+    if min(m, n, k, batch) <= 0:
+        raise ValueError(f"GEMM dims must be positive, got m={m} n={n} k={k} batch={batch}")
+    return KernelCall(
+        KernelType.GEMM,
+        {"m": int(m), "n": int(n), "k": int(k), "batch": int(batch)},
+        name=name or f"gemm_{batch}x{m}x{n}x{k}",
+    )
+
+
+class Linear(Op):
+    """``aten::linear`` — ``y = x @ W.T + b``, one GEMM kernel."""
+
+    op_name = "aten::linear"
+
+    def __init__(self, batch: int, in_features: int, out_features: int) -> None:
+        self.batch = int(batch)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        x = TensorMeta((batch, in_features))
+        w = TensorMeta((out_features, in_features))
+        b = TensorMeta((out_features,))
+        y = TensorMeta((batch, out_features))
+        super().__init__((x, w, b), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (gemm_kernel(self.batch, self.out_features, self.in_features),)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Linear":
+        if self.batch == old_batch:
+            return Linear(new_batch, self.in_features, self.out_features)
+        return self
+
+
+class Addmm(Op):
+    """``aten::addmm`` — bias-added matrix multiply, one GEMM kernel."""
+
+    op_name = "aten::addmm"
+
+    def __init__(self, m: int, k: int, n: int) -> None:
+        self.m, self.k, self.n = int(m), int(k), int(n)
+        bias = TensorMeta((n,))
+        a = TensorMeta((m, k))
+        b = TensorMeta((k, n))
+        out = TensorMeta((m, n))
+        super().__init__((bias, a, b), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (gemm_kernel(self.m, self.n, self.k),)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Addmm":
+        if self.m == old_batch:
+            return Addmm(new_batch, self.k, self.n)
+        return self
+
+
+class AddmmBackward(Op):
+    """``AddmmBackward0`` — gradients of a linear layer, two GEMM kernels.
+
+    For ``y = x @ W.T`` with ``x: (B, in)`` and ``W: (out, in)``:
+    ``dx = dy @ W`` is a ``(B, out) @ (out, in)`` GEMM and
+    ``dW = dy.T @ x`` is a ``(out, B) @ (B, in)`` GEMM.
+    """
+
+    op_name = "AddmmBackward0"
+
+    def __init__(self, batch: int, in_features: int, out_features: int) -> None:
+        self.batch = int(batch)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        dy = TensorMeta((batch, out_features))
+        x = TensorMeta((batch, in_features))
+        w = TensorMeta((out_features, in_features))
+        dx = TensorMeta((batch, in_features))
+        dw = TensorMeta((out_features, in_features))
+        db = TensorMeta((out_features,))
+        super().__init__((dy, x, w), (dx, dw, db))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            gemm_kernel(self.batch, self.in_features, self.out_features,
+                        name="gemm_dgrad"),
+            gemm_kernel(self.out_features, self.in_features, self.batch,
+                        name="gemm_wgrad"),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "AddmmBackward":
+        if self.batch == old_batch:
+            return AddmmBackward(new_batch, self.in_features, self.out_features)
+        return self
+
+
+class Bmm(Op):
+    """``aten::bmm`` — batched matrix multiply, one batched GEMM kernel.
+
+    In DLRM this implements the dot-product feature interaction:
+    ``(B, F, D) @ (B, D, F) -> (B, F, F)``.
+    """
+
+    op_name = "aten::bmm"
+
+    def __init__(self, batch: int, m: int, k: int, n: int) -> None:
+        self.batch, self.m, self.k, self.n = int(batch), int(m), int(k), int(n)
+        a = TensorMeta((batch, m, k))
+        b = TensorMeta((batch, k, n))
+        out = TensorMeta((batch, m, n))
+        super().__init__((a, b), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (gemm_kernel(self.m, self.n, self.k, batch=self.batch),)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Bmm":
+        if self.batch == old_batch:
+            return Bmm(new_batch, self.m, self.k, self.n)
+        return self
+
+
+class BmmBackward(Op):
+    """``BmmBackward0`` — gradients of ``bmm``, two batched GEMM kernels.
+
+    For ``c = a @ b`` with ``a: (B, m, k)``, ``b: (B, k, n)``:
+    ``da = dc @ b.T`` (``m×n×k`` shape ``(m,k)`` result) and
+    ``db = a.T @ dc`` (``k×m×n``).
+    """
+
+    op_name = "BmmBackward0"
+
+    def __init__(self, batch: int, m: int, k: int, n: int) -> None:
+        self.batch, self.m, self.k, self.n = int(batch), int(m), int(k), int(n)
+        dc = TensorMeta((batch, m, n))
+        a = TensorMeta((batch, m, k))
+        b = TensorMeta((batch, k, n))
+        da = TensorMeta((batch, m, k))
+        db = TensorMeta((batch, k, n))
+        super().__init__((dc, a, b), (da, db))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            gemm_kernel(self.m, self.k, self.n, batch=self.batch, name="bmm_dgrad_a"),
+            gemm_kernel(self.k, self.n, self.m, batch=self.batch, name="bmm_dgrad_b"),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "BmmBackward":
+        if self.batch == old_batch:
+            return BmmBackward(new_batch, self.m, self.k, self.n)
+        return self
+
+
+class Matmul(Op):
+    """``aten::matmul`` — plain 2-D matrix multiply, one GEMM kernel."""
+
+    op_name = "aten::matmul"
+
+    def __init__(self, m: int, k: int, n: int) -> None:
+        self.m, self.k, self.n = int(m), int(k), int(n)
+        a = TensorMeta((m, k))
+        b = TensorMeta((k, n))
+        out = TensorMeta((m, n))
+        super().__init__((a, b), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (gemm_kernel(self.m, self.n, self.k),)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Matmul":
+        if self.m == old_batch:
+            return Matmul(new_batch, self.k, self.n)
+        return self

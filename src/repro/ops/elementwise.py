@@ -1,0 +1,496 @@
+"""Element-wise and reduction operators.
+
+The paper notes that trivial/element-wise ops (relu, MseLoss, ...) sum
+to around 5% of E2E time and must not be omitted (Section III-A).  All
+of them are predicted with the roofline model (Section III-B-1b), so
+each op here reduces to one ``elementwise`` kernel parameterised by
+FLOPs and bytes moved.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import CpuOnlyOp, KernelCall, Op, elementwise_kernel
+from repro.tensormeta import TensorMeta
+
+
+class _UnaryElementwise(Op):
+    """Shared scaffolding for unary element-wise ops ``y = f(x)``."""
+
+    #: FLOPs charged per element; subclasses override.
+    flops_per_element: float = 1.0
+    kernel_name: str = "elementwise"
+
+    def __init__(self, shape: tuple[int, ...], dtype: str = "float32") -> None:
+        x = TensorMeta(shape, dtype)
+        y = TensorMeta(shape, dtype)
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        x, y = self.inputs[0], self.outputs[0]
+        return (
+            elementwise_kernel(
+                flop=self.flops_per_element * x.numel,
+                bytes_read=x.nbytes,
+                bytes_write=y.nbytes,
+                name=self.kernel_name,
+            ),
+        )
+
+
+class Relu(_UnaryElementwise):
+    """``aten::relu``."""
+
+    op_name = "aten::relu"
+    flops_per_element = 1.0
+    kernel_name = "relu"
+
+
+class ReluBackward(Op):
+    """``ReluBackward0`` — ``dx = dy * (x > 0)``; reads dy and mask."""
+
+    op_name = "ReluBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        y = TensorMeta(shape)
+        dx = TensorMeta(shape)
+        super().__init__((dy, y), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, y = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=2.0 * dx.numel,
+                bytes_read=dy.nbytes + y.nbytes,
+                bytes_write=dx.nbytes,
+                name="relu_backward",
+            ),
+        )
+
+
+class Sigmoid(_UnaryElementwise):
+    """``aten::sigmoid`` — exp + reciprocal, ~4 FLOPs/element."""
+
+    op_name = "aten::sigmoid"
+    flops_per_element = 4.0
+    kernel_name = "sigmoid"
+
+
+class SigmoidBackward(Op):
+    """``SigmoidBackward0`` — ``dx = dy * y * (1 - y)``."""
+
+    op_name = "SigmoidBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        y = TensorMeta(shape)
+        dx = TensorMeta(shape)
+        super().__init__((dy, y), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, y = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=3.0 * dx.numel,
+                bytes_read=dy.nbytes + y.nbytes,
+                bytes_write=dx.nbytes,
+                name="sigmoid_backward",
+            ),
+        )
+
+
+class Add(Op):
+    """``aten::add`` — binary element-wise addition."""
+
+    op_name = "aten::add"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        a = TensorMeta(shape)
+        b = TensorMeta(shape)
+        out = TensorMeta(shape)
+        super().__init__((a, b), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        a, b = self.inputs
+        (out,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=out.numel,
+                bytes_read=a.nbytes + b.nbytes,
+                bytes_write=out.nbytes,
+                name="add",
+            ),
+        )
+
+
+class AddInplace(Op):
+    """``aten::add_`` — in-place accumulate, common in backward passes."""
+
+    op_name = "aten::add_"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        a = TensorMeta(shape)
+        b = TensorMeta(shape)
+        out = TensorMeta(shape)
+        super().__init__((a, b), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        a, b = self.inputs
+        (out,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=out.numel,
+                bytes_read=a.nbytes + b.nbytes,
+                bytes_write=out.nbytes,
+                name="add_",
+            ),
+        )
+
+
+class MseLoss(Op):
+    """``aten::mse_loss`` — mean squared error reduced to a scalar."""
+
+    op_name = "aten::mse_loss"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        pred = TensorMeta(shape)
+        target = TensorMeta(shape)
+        loss = TensorMeta(())
+        super().__init__((pred, target), (loss,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        pred, target = self.inputs
+        return (
+            elementwise_kernel(
+                flop=3.0 * pred.numel,
+                bytes_read=pred.nbytes + target.nbytes,
+                bytes_write=4.0,
+                name="mse_loss",
+            ),
+        )
+
+
+class MseLossBackward(Op):
+    """``MseLossBackward0`` — ``dpred = 2 (pred - target) / N``."""
+
+    op_name = "MseLossBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        pred = TensorMeta(shape)
+        target = TensorMeta(shape)
+        dpred = TensorMeta(shape)
+        super().__init__((pred, target), (dpred,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        pred, target = self.inputs
+        (dpred,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=3.0 * dpred.numel,
+                bytes_read=pred.nbytes + target.nbytes,
+                bytes_write=dpred.nbytes,
+                name="mse_loss_backward",
+            ),
+        )
+
+
+class BinaryCrossEntropy(Op):
+    """``aten::binary_cross_entropy`` (used by DLRM_MLPerf)."""
+
+    op_name = "aten::binary_cross_entropy"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        pred = TensorMeta(shape)
+        target = TensorMeta(shape)
+        loss = TensorMeta(())
+        super().__init__((pred, target), (loss,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        pred, target = self.inputs
+        return (
+            elementwise_kernel(
+                flop=6.0 * pred.numel,
+                bytes_read=pred.nbytes + target.nbytes,
+                bytes_write=4.0,
+                name="binary_cross_entropy",
+            ),
+        )
+
+
+class BinaryCrossEntropyBackward(Op):
+    """``BinaryCrossEntropyBackward0``."""
+
+    op_name = "BinaryCrossEntropyBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        pred = TensorMeta(shape)
+        target = TensorMeta(shape)
+        dpred = TensorMeta(shape)
+        super().__init__((pred, target), (dpred,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        pred, target = self.inputs
+        (dpred,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=5.0 * dpred.numel,
+                bytes_read=pred.nbytes + target.nbytes,
+                bytes_write=dpred.nbytes,
+                name="binary_cross_entropy_backward",
+            ),
+        )
+
+
+class Sum(Op):
+    """``aten::sum`` — full reduction to a scalar."""
+
+    op_name = "aten::sum"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        x = TensorMeta(shape)
+        out = TensorMeta(())
+        super().__init__((x,), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        return (
+            elementwise_kernel(
+                flop=float(x.numel),
+                bytes_read=x.nbytes,
+                bytes_write=4.0,
+                name="sum",
+            ),
+        )
+
+
+class ZeroInplace(Op):
+    """``aten::zero_`` — zero-fill, write-only traffic."""
+
+    op_name = "aten::zero_"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        x = TensorMeta(shape)
+        super().__init__((x,), (x,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        return (
+            elementwise_kernel(
+                flop=0.0, bytes_read=0.0, bytes_write=x.nbytes, name="zero_"
+            ),
+        )
+
+
+class Zeros(Op):
+    """``aten::zeros`` — allocate + zero-fill a fresh tensor."""
+
+    op_name = "aten::zeros"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        out = TensorMeta(shape)
+        super().__init__((), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (out,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=0.0, bytes_read=0.0, bytes_write=out.nbytes, name="zeros"
+            ),
+        )
+
+
+class AccumulateGrad(Op):
+    """``AccumulateGrad`` — autograd leaf-gradient accumulation.
+
+    Operates on parameter-shaped tensors, so batch resizing leaves it
+    untouched even when a weight dimension coincides with the batch.
+    """
+
+    op_name = "AccumulateGrad"
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "AccumulateGrad":
+        return self
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        grad = TensorMeta(shape)
+        acc = TensorMeta(shape)
+        super().__init__((grad, acc), (acc,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        grad, acc = self.inputs
+        return (
+            elementwise_kernel(
+                flop=float(acc.numel),
+                bytes_read=grad.nbytes + acc.nbytes,
+                bytes_write=acc.nbytes,
+                name="accumulate_grad",
+            ),
+        )
+
+
+class View(CpuOnlyOp):
+    """``aten::view`` — metadata-only reshape, no device kernel."""
+
+    op_name = "aten::view"
+
+    def __init__(self, in_shape: tuple[int, ...], out_shape: tuple[int, ...]) -> None:
+        x = TensorMeta(in_shape)
+        y = TensorMeta(out_shape)
+        if x.numel != y.numel:
+            raise ValueError(
+                f"view cannot change element count: {in_shape} -> {out_shape}"
+            )
+        super().__init__((x,), (y,))
+
+
+class TBackward(CpuOnlyOp):
+    """``TBackward0`` — transpose backward is a metadata-only op."""
+
+    op_name = "TBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        x = TensorMeta(shape)
+        y = TensorMeta(tuple(reversed(shape)))
+        super().__init__((x,), (y,))
+
+
+class Softmax(Op):
+    """``aten::softmax`` — two-pass element-wise kernel (Transformer)."""
+
+    op_name = "aten::softmax"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        x = TensorMeta(shape)
+        y = TensorMeta(shape)
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        (y,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=5.0 * x.numel,
+                bytes_read=2.0 * x.nbytes,
+                bytes_write=y.nbytes,
+                name="softmax",
+            ),
+        )
+
+
+class SoftmaxBackward(Op):
+    """``SoftmaxBackward0``."""
+
+    op_name = "SoftmaxBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        y = TensorMeta(shape)
+        dx = TensorMeta(shape)
+        super().__init__((dy, y), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, y = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=4.0 * dx.numel,
+                bytes_read=dy.nbytes + y.nbytes,
+                bytes_write=dx.nbytes,
+                name="softmax_backward",
+            ),
+        )
+
+
+class LayerNorm(Op):
+    """``aten::layer_norm`` — two-pass normalisation (Transformer)."""
+
+    op_name = "aten::layer_norm"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        x = TensorMeta(shape)
+        y = TensorMeta(shape)
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        (y,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=6.0 * x.numel,
+                bytes_read=2.0 * x.nbytes,
+                bytes_write=y.nbytes,
+                name="layer_norm",
+            ),
+        )
+
+
+class LayerNormBackward(Op):
+    """``NativeLayerNormBackward0``."""
+
+    op_name = "NativeLayerNormBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        x = TensorMeta(shape)
+        dx = TensorMeta(shape)
+        super().__init__((dy, x), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, x = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=8.0 * dx.numel,
+                bytes_read=dy.nbytes + x.nbytes,
+                bytes_write=dx.nbytes,
+                name="layer_norm_backward",
+            ),
+        )
+
+
+class GeLU(_UnaryElementwise):
+    """``aten::gelu`` (Transformer FFN activation)."""
+
+    op_name = "aten::gelu"
+    flops_per_element = 8.0
+    kernel_name = "gelu"
+
+
+class GeLUBackward(Op):
+    """``GeluBackward0``."""
+
+    op_name = "GeluBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        x = TensorMeta(shape)
+        dx = TensorMeta(shape)
+        super().__init__((dy, x), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        dy, x = self.inputs
+        (dx,) = self.outputs
+        return (
+            elementwise_kernel(
+                flop=10.0 * dx.numel,
+                bytes_read=dy.nbytes + x.nbytes,
+                bytes_write=dx.nbytes,
+                name="gelu_backward",
+            ),
+        )
+
+
+class AddBackward(CpuOnlyOp):
+    """``AddBackward0`` — gradient pass-through of an addition.
+
+    For same-shape operands PyTorch's add backward launches no kernel;
+    only host overheads apply.
+    """
+
+    op_name = "AddBackward0"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        dy = TensorMeta(shape)
+        super().__init__((dy,), (dy, dy))

@@ -1,0 +1,219 @@
+"""Embedding-lookup operators.
+
+DLRM maps each sparse (categorical) feature to a dense vector with an
+embedding-table lookup — intrinsically an SpMM ``S = A.T @ W`` with
+``A`` multi-hot and ``W`` the ``E x D`` table (Section III-B-1a).  The
+paper integrates Tulloch's *batched* embedding kernel, which processes
+all ``T`` tables in one kernel launch (``LookupFunction`` /
+``LookupFunctionBackward`` in traces); the per-table
+``aten::embedding_bag`` op remains the unfused form and is the subject
+of the op-fusion co-design case (Figure 11).
+
+Kernel parameters follow the paper's notation:
+
+* ``B`` — batch size,
+* ``E`` — number of embedding rows per table,
+* ``T`` — number of tables processed by the launch,
+* ``L`` — lookups (pooling factor) per output vector,
+* ``D`` — embedding vector length,
+* ``rows_per_block`` — kernel tile argument used by the enhanced
+  L2-hit-rate heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op
+from repro.tensormeta import TensorMeta
+
+DEFAULT_ROWS_PER_BLOCK = 32
+
+
+def embedding_kernel(
+    direction: str,
+    B: int,
+    E: int,
+    T: int,
+    L: int,
+    D: int,
+    rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+) -> KernelCall:
+    """Build a batched embedding-lookup kernel call.
+
+    Args:
+        direction: ``"fwd"`` or ``"bwd"``.
+        B, E, T, L, D: Paper-notation kernel parameters (see module doc).
+        rows_per_block: Output rows computed per CTA.
+    """
+    if direction not in ("fwd", "bwd"):
+        raise ValueError(f"direction must be 'fwd' or 'bwd', got {direction!r}")
+    if min(B, E, T, L, D, rows_per_block) <= 0:
+        raise ValueError(
+            f"embedding params must be positive: B={B} E={E} T={T} L={L} D={D}"
+        )
+    kernel_type = (
+        KernelType.EMBEDDING_FWD if direction == "fwd" else KernelType.EMBEDDING_BWD
+    )
+    return KernelCall(
+        kernel_type,
+        {
+            "B": int(B),
+            "E": int(E),
+            "T": int(T),
+            "L": int(L),
+            "D": int(D),
+            "rows_per_block": int(rows_per_block),
+        },
+        name=f"batched_embedding_{direction}",
+    )
+
+
+class LookupFunction(Op):
+    """``LookupFunction`` — batched embedding lookup over ``T`` tables."""
+
+    op_name = "LookupFunction"
+
+    def __init__(
+        self,
+        B: int,
+        E: int,
+        T: int,
+        L: int,
+        D: int,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ) -> None:
+        self.B, self.E, self.T, self.L, self.D = (
+            int(B), int(E), int(T), int(L), int(D),
+        )
+        self.rows_per_block = int(rows_per_block)
+        weights = TensorMeta((T * E, D))
+        indices = TensorMeta((B * T * L,), "int64")
+        offsets = TensorMeta((B * T + 1,), "int64")
+        out = TensorMeta((B, T, D))
+        super().__init__((weights, indices, offsets), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            embedding_kernel(
+                "fwd", self.B, self.E, self.T, self.L, self.D, self.rows_per_block
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "LookupFunction":
+        if self.B == old_batch:
+            return LookupFunction(
+                new_batch, self.E, self.T, self.L, self.D, self.rows_per_block
+            )
+        return self
+
+
+class LookupFunctionBackward(Op):
+    """``LookupFunctionBackward`` — fused backward + SGD table update."""
+
+    op_name = "LookupFunctionBackward"
+
+    def __init__(
+        self,
+        B: int,
+        E: int,
+        T: int,
+        L: int,
+        D: int,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ) -> None:
+        self.B, self.E, self.T, self.L, self.D = (
+            int(B), int(E), int(T), int(L), int(D),
+        )
+        self.rows_per_block = int(rows_per_block)
+        grad_out = TensorMeta((B, T, D))
+        weights = TensorMeta((T * E, D))
+        indices = TensorMeta((B * T * L,), "int64")
+        super().__init__((grad_out, weights, indices), (weights,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            embedding_kernel(
+                "bwd", self.B, self.E, self.T, self.L, self.D, self.rows_per_block
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "LookupFunctionBackward":
+        if self.B == old_batch:
+            return LookupFunctionBackward(
+                new_batch, self.E, self.T, self.L, self.D, self.rows_per_block
+            )
+        return self
+
+
+class EmbeddingBag(Op):
+    """``aten::embedding_bag`` — single-table lookup (unfused form).
+
+    A DLRM built from per-table ``embedding_bag`` ops launches ``T``
+    small kernels and pays ``T`` ops' worth of host overhead; fusing
+    them into one :class:`LookupFunction` is the paper's Figure 11
+    co-design example.
+    """
+
+    op_name = "aten::embedding_bag"
+
+    def __init__(
+        self,
+        B: int,
+        E: int,
+        L: int,
+        D: int,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ) -> None:
+        self.B, self.E, self.L, self.D = int(B), int(E), int(L), int(D)
+        self.rows_per_block = int(rows_per_block)
+        weights = TensorMeta((E, D))
+        indices = TensorMeta((B * L,), "int64")
+        offsets = TensorMeta((B + 1,), "int64")
+        out = TensorMeta((B, D))
+        super().__init__((weights, indices, offsets), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            embedding_kernel(
+                "fwd", self.B, self.E, 1, self.L, self.D, self.rows_per_block
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "EmbeddingBag":
+        if self.B == old_batch:
+            return EmbeddingBag(new_batch, self.E, self.L, self.D, self.rows_per_block)
+        return self
+
+
+class EmbeddingBagBackward(Op):
+    """``EmbeddingBagBackward0`` — single-table backward (unfused form)."""
+
+    op_name = "EmbeddingBagBackward0"
+
+    def __init__(
+        self,
+        B: int,
+        E: int,
+        L: int,
+        D: int,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ) -> None:
+        self.B, self.E, self.L, self.D = int(B), int(E), int(L), int(D)
+        self.rows_per_block = int(rows_per_block)
+        grad_out = TensorMeta((B, D))
+        weights = TensorMeta((E, D))
+        indices = TensorMeta((B * L,), "int64")
+        super().__init__((grad_out, weights, indices), (weights,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            embedding_kernel(
+                "bwd", self.B, self.E, 1, self.L, self.D, self.rows_per_block
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "EmbeddingBagBackward":
+        if self.B == old_batch:
+            return EmbeddingBagBackward(
+                new_batch, self.E, self.L, self.D, self.rows_per_block
+            )
+        return self

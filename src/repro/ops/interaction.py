@@ -1,0 +1,73 @@
+"""Feature-interaction operators (lower-triangular extraction).
+
+DLRM's dot-product interaction computes pairwise dot products between
+the ``F = T + 1`` feature vectors (``T`` embeddings + the bottom-MLP
+output) as a ``(B, F, F)`` bmm, then extracts the strictly lower
+triangle and flattens it to ``(B, F(F-1)/2)`` — the ``aten::index`` op
+in traces, with ``IndexBackward`` as its counterpart.  Both kernels are
+JIT-generated and modeled with ML-based performance models in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op
+from repro.tensormeta import TensorMeta
+
+
+def tril_output_size(F: int) -> int:
+    """Number of strictly-lower-triangular entries of an ``F x F`` matrix."""
+    if F < 1:
+        raise ValueError(f"F must be >= 1, got {F}")
+    return F * (F - 1) // 2
+
+
+class Index(Op):
+    """``aten::index`` — strict lower-triangle extraction + flatten."""
+
+    op_name = "aten::index"
+
+    def __init__(self, B: int, F: int) -> None:
+        self.B, self.F = int(B), int(F)
+        x = TensorMeta((B, F, F))
+        out = TensorMeta((B, tril_output_size(F)))
+        super().__init__((x,), (out,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            KernelCall(
+                KernelType.TRIL_FWD,
+                {"B": self.B, "F": self.F},
+                name="tril_forward",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "Index":
+        if self.B == old_batch:
+            return Index(new_batch, self.F)
+        return self
+
+
+class IndexBackward(Op):
+    """``IndexBackward0`` — scatter the flat gradient back to (B, F, F)."""
+
+    op_name = "IndexBackward0"
+
+    def __init__(self, B: int, F: int) -> None:
+        self.B, self.F = int(B), int(F)
+        dy = TensorMeta((B, tril_output_size(F)))
+        dx = TensorMeta((B, F, F))
+        super().__init__((dy,), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        return (
+            KernelCall(
+                KernelType.TRIL_BWD,
+                {"B": self.B, "F": self.F},
+                name="tril_backward",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "IndexBackward":
+        if self.B == old_batch:
+            return IndexBackward(new_batch, self.F)
+        return self

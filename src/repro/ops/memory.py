@@ -1,0 +1,187 @@
+"""Memory-movement operators: concat, host/device copies, transposes.
+
+The paper identifies four dominating memory kernels: concatenation,
+data copy, tensor permutation, and IndexBackward (Section III-A).  The
+only permutation occurring in DLRM is the batched matrix transpose —
+swapping the second and third axes of a 3-D tensor — so that is the one
+the transpose kernel model is trained on (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op
+from repro.tensormeta import TensorMeta, total_bytes
+
+
+class Cat(Op):
+    """``aten::cat`` — concatenate tensors along an axis.
+
+    The kernel reads every input tensor once and writes the output once;
+    total traffic is twice the combined input volume.
+    """
+
+    op_name = "aten::cat"
+
+    def __init__(self, shapes: list[tuple[int, ...]], dim: int = 1) -> None:
+        if not shapes:
+            raise ValueError("cat requires at least one input tensor")
+        ndim = len(shapes[0])
+        if not (-ndim <= dim < ndim):
+            raise ValueError(f"dim {dim} out of range for {ndim}-D inputs")
+        dim = dim % ndim
+        for shape in shapes:
+            if len(shape) != ndim:
+                raise ValueError("cat inputs must have the same rank")
+            for axis in range(ndim):
+                if axis != dim and shape[axis] != shapes[0][axis]:
+                    raise ValueError(
+                        f"cat inputs disagree on non-concat axis {axis}: {shapes}"
+                    )
+        self.dim = dim
+        out_shape = list(shapes[0])
+        out_shape[dim] = sum(shape[dim] for shape in shapes)
+        inputs = tuple(TensorMeta(s) for s in shapes)
+        super().__init__(inputs, (TensorMeta(tuple(out_shape)),))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        bytes_in = float(total_bytes(self.inputs))
+        return (
+            KernelCall(
+                KernelType.CONCAT,
+                {
+                    "bytes_total": 2.0 * bytes_in,
+                    "num_inputs": len(self.inputs),
+                },
+                name="cat",
+            ),
+        )
+
+
+class ToDevice(Op):
+    """``aten::to`` — host-to-device copy of a tensor (e.g. input batch).
+
+    ``batch`` annotates the training batch size when the copied tensor
+    scales with it but its leading dimension is not the batch itself
+    (DLRM's flattened ``(B*T*L,)`` index tensor); the resize transform
+    then rescales the volume proportionally.
+    """
+
+    op_name = "aten::to"
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: str = "float32",
+        batch: int | None = None,
+    ) -> None:
+        self.batch = batch
+        src = TensorMeta(shape, dtype, device="cpu")
+        dst = TensorMeta(shape, dtype, device="gpu")
+        super().__init__((src,), (dst,))
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "ToDevice":
+        shape = self.inputs[0].shape
+        dtype = self.inputs[0].dtype
+        if self.batch == old_batch and shape and shape[0] % old_batch == 0:
+            scaled = (shape[0] // old_batch * new_batch,) + shape[1:]
+            return ToDevice(scaled, dtype, batch=new_batch)
+        if shape and shape[0] == old_batch:
+            return ToDevice((new_batch,) + shape[1:], dtype, batch=self.batch)
+        return self
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (src,) = self.inputs
+        return (
+            KernelCall(
+                KernelType.MEMCPY,
+                {"bytes": float(src.nbytes), "h2d": 1},
+                name="memcpy_h2d",
+            ),
+        )
+
+
+class CopyDeviceToDevice(Op):
+    """``aten::copy_`` — device-to-device copy (e.g. ``.contiguous()``)."""
+
+    op_name = "aten::copy_"
+
+    def __init__(self, shape: tuple[int, ...], dtype: str = "float32") -> None:
+        src = TensorMeta(shape, dtype)
+        dst = TensorMeta(shape, dtype)
+        super().__init__((src,), (dst,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (src,) = self.inputs
+        return (
+            KernelCall(
+                KernelType.MEMCPY,
+                {"bytes": float(src.nbytes), "h2d": 0},
+                name="memcpy_d2d",
+            ),
+        )
+
+
+class BatchedTranspose(Op):
+    """``aten::transpose`` + materialisation — batched matrix transpose.
+
+    Permutes axes 1 and 2 of a ``(b, m, n)`` tensor.  Its kernel is
+    JIT-generated in PyTorch and opaque, which is why the paper models
+    it with an ML-based performance model.
+    """
+
+    op_name = "aten::transpose"
+
+    def __init__(self, b: int, m: int, n: int, dtype: str = "float32") -> None:
+        self.b, self.m, self.n = int(b), int(m), int(n)
+        x = TensorMeta((b, m, n), dtype)
+        y = TensorMeta((b, n, m), dtype)
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (x,) = self.inputs
+        return (
+            KernelCall(
+                KernelType.TRANSPOSE,
+                {
+                    "b": self.b,
+                    "m": self.m,
+                    "n": self.n,
+                    "elem_size": float(x.nbytes // max(x.numel, 1)),
+                },
+                name="batched_transpose",
+            ),
+        )
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchedTranspose":
+        if self.b == old_batch:
+            return BatchedTranspose(new_batch, self.m, self.n)
+        return self
+
+
+class SliceBackward(Op):
+    """``SliceBackward`` — route a gradient across a slice/cat boundary.
+
+    Covers both directions: padding a sliced gradient back to the full
+    shape, and extracting one concatenated segment's gradient.  Either
+    way the kernel is a strided copy reading ``dy`` and writing ``dx``.
+    """
+
+    op_name = "SliceBackward"
+
+    def __init__(
+        self, grad_shape: tuple[int, ...], full_shape: tuple[int, ...]
+    ) -> None:
+        dy = TensorMeta(grad_shape)
+        dx = TensorMeta(full_shape)
+        super().__init__((dy,), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        (dy,) = self.inputs
+        (dx,) = self.outputs
+        return (
+            KernelCall(
+                KernelType.MEMCPY,
+                {"bytes": float(dy.nbytes + dx.nbytes), "h2d": 0},
+                name="slice_backward",
+            ),
+        )

@@ -1,0 +1,70 @@
+"""Optimizer-step operators.
+
+The paper's breakdown finds the optimizer's forward/backward ops are
+"dominated by a series of element-wise kernels" and handles them "by
+predicting their sum of kernel time as a whole" (Section III-A).  We
+model ``Optimizer.step`` as one element-wise kernel per parameter
+tensor (SGD reads param + grad and writes param) and
+``Optimizer.zero_grad`` as one zero-fill kernel per gradient tensor.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, Op, elementwise_kernel
+from repro.tensormeta import TensorMeta
+
+
+class OptimizerStep(Op):
+    """``Optimizer.step#SGD.step`` — dense-parameter SGD update."""
+
+    op_name = "Optimizer.step"
+
+    def __init__(self, param_shapes: list[tuple[int, ...]]) -> None:
+        if not param_shapes:
+            raise ValueError("optimizer step needs at least one parameter")
+        params = tuple(TensorMeta(s) for s in param_shapes)
+        super().__init__(params, params)
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        calls = []
+        for param in self.inputs:
+            calls.append(
+                elementwise_kernel(
+                    flop=2.0 * param.numel,
+                    bytes_read=2.0 * param.nbytes,
+                    bytes_write=param.nbytes,
+                    name="sgd_step",
+                )
+            )
+        return tuple(calls)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "OptimizerStep":
+        return self  # parameters do not scale with batch size
+
+
+class OptimizerZeroGrad(Op):
+    """``Optimizer.zero_grad#SGD.zero_grad`` — gradient zero-fill."""
+
+    op_name = "Optimizer.zero_grad"
+
+    def __init__(self, param_shapes: list[tuple[int, ...]]) -> None:
+        if not param_shapes:
+            raise ValueError("zero_grad needs at least one parameter")
+        params = tuple(TensorMeta(s) for s in param_shapes)
+        super().__init__(params, params)
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        calls = []
+        for param in self.inputs:
+            calls.append(
+                elementwise_kernel(
+                    flop=0.0,
+                    bytes_read=0.0,
+                    bytes_write=param.nbytes,
+                    name="zero_grad",
+                )
+            )
+        return tuple(calls)
+
+    def rescale_batch(self, old_batch: int, new_batch: int) -> "OptimizerZeroGrad":
+        return self  # parameters do not scale with batch size

@@ -1,0 +1,18 @@
+"""Host-overhead analysis: extraction, filtering, databases."""
+
+from repro.overheads.database import OverheadDatabase
+from repro.overheads.extract import (
+    OverheadSamples,
+    extract_overhead_samples,
+    merge_samples,
+)
+from repro.overheads.stats import OverheadStats, remove_outliers
+
+__all__ = [
+    "OverheadDatabase",
+    "OverheadSamples",
+    "OverheadStats",
+    "extract_overhead_samples",
+    "merge_samples",
+    "remove_outliers",
+]

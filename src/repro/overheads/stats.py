@@ -1,0 +1,53 @@
+"""Overhead statistics with IQR outlier removal (Section IV-B).
+
+The paper removes per-type outliers outside the whiskers
+``(Q1 - 1.5 IQR, Q3 + 1.5 IQR)`` for each individual workload, then
+keeps the mean value per overhead type per op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def remove_outliers(samples: list[float]) -> list[float]:
+    """Drop samples outside the (Q1 - 1.5 IQR, Q3 + 1.5 IQR) whiskers."""
+    if len(samples) < 4:
+        return list(samples)
+    arr = np.asarray(samples, dtype=np.float64)
+    q1, q3 = np.percentile(arr, [25, 75])
+    iqr = q3 - q1
+    lo, hi = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    kept = arr[(arr >= lo) & (arr <= hi)]
+    return kept.tolist() if len(kept) else list(samples)
+
+
+@dataclass(frozen=True)
+class OverheadStats:
+    """Mean/std/count of one (op, overhead-type) pair after filtering."""
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def from_samples(
+        cls, samples: list[float], filter_outliers: bool = True
+    ) -> "OverheadStats":
+        """Aggregate raw samples, optionally removing IQR outliers."""
+        if not samples:
+            raise ValueError("cannot aggregate zero overhead samples")
+        kept = remove_outliers(samples) if filter_outliers else list(samples)
+        arr = np.asarray(kept, dtype=np.float64)
+        return cls(mean=float(arr.mean()), std=float(arr.std()), count=len(arr))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {"mean": self.mean, "std": self.std, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OverheadStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(mean=data["mean"], std=data["std"], count=data["count"])

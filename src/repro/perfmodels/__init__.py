@@ -1,0 +1,61 @@
+"""Kernel performance models: heuristic + ML-based + registry."""
+
+from repro.perfmodels.base import KernelPerfModel, PerfModelRegistry
+from repro.perfmodels.factory import (
+    CV_ML_KERNELS,
+    DEFAULT_ML_KERNELS,
+    RegistryBuildReport,
+    build_perf_models,
+)
+from repro.perfmodels.heuristic.embedding import (
+    EnhancedEmbeddingModel,
+    PlainEmbeddingModel,
+    warp_traffic_bytes,
+)
+from repro.perfmodels.heuristic.roofline import (
+    BatchNormRooflineModel,
+    ConcatModel,
+    MemcpyModel,
+    RooflineElementwiseModel,
+)
+from repro.perfmodels.mlbased.gridsearch import (
+    QUICK_SPACE,
+    TABLE2_SPACE,
+    GridSearchResult,
+    grid_search,
+)
+from repro.perfmodels.mlbased.mlp import MlpConfig, MlpRegressor
+from repro.perfmodels.mlbased.model import MlKernelModel
+from repro.perfmodels.persistence import (
+    load_registry,
+    registry_from_dict,
+    registry_to_dict,
+    save_registry,
+)
+
+__all__ = [
+    "BatchNormRooflineModel",
+    "CV_ML_KERNELS",
+    "ConcatModel",
+    "DEFAULT_ML_KERNELS",
+    "EnhancedEmbeddingModel",
+    "GridSearchResult",
+    "KernelPerfModel",
+    "MemcpyModel",
+    "MlKernelModel",
+    "MlpConfig",
+    "MlpRegressor",
+    "PerfModelRegistry",
+    "PlainEmbeddingModel",
+    "QUICK_SPACE",
+    "RegistryBuildReport",
+    "RooflineElementwiseModel",
+    "TABLE2_SPACE",
+    "build_perf_models",
+    "grid_search",
+    "load_registry",
+    "registry_from_dict",
+    "registry_to_dict",
+    "save_registry",
+    "warp_traffic_bytes",
+]

@@ -1,0 +1,70 @@
+"""Kernel performance model interface and registry.
+
+A kernel performance model predicts the execution time of one kernel
+type from its parameters.  Models are shared across all ops that call
+the same kernel type (the paper's key cost saving: ``addmm``, ``bmm``
+and their backwards all use the one GEMM model).  The registry maps
+kernel types to models and is what the E2E predictor dispatches
+through (Algorithm 1's ``{M}``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.ops import KernelCall
+
+
+class KernelPerfModel(ABC):
+    """Predicts execution time (µs) of one kernel type."""
+
+    #: Kernel type this model covers (a :class:`repro.ops.KernelType` key).
+    kernel_type: str = ""
+
+    @abstractmethod
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted kernel execution time in microseconds."""
+
+    def predict_kernel(self, kernel: KernelCall) -> float:
+        """Predict for a :class:`KernelCall`, validating its type."""
+        if kernel.kernel_type != self.kernel_type:
+            raise ValueError(
+                f"model for {self.kernel_type!r} got a "
+                f"{kernel.kernel_type!r} kernel"
+            )
+        return self.predict_us(kernel.params)
+
+
+class PerfModelRegistry:
+    """Kernel-type -> performance-model dispatch table."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, KernelPerfModel] = {}
+
+    def register(self, model: KernelPerfModel) -> "PerfModelRegistry":
+        """Add (or replace) the model for its kernel type; chainable."""
+        if not model.kernel_type:
+            raise ValueError("model does not declare a kernel_type")
+        self._models[model.kernel_type] = model
+        return self
+
+    def model_for(self, kernel_type: str) -> KernelPerfModel:
+        """The registered model for ``kernel_type``."""
+        try:
+            return self._models[kernel_type]
+        except KeyError:
+            known = ", ".join(sorted(self._models))
+            raise KeyError(
+                f"no performance model registered for {kernel_type!r}; "
+                f"registered: {known or '(none)'}"
+            ) from None
+
+    def predict_us(self, kernel: KernelCall) -> float:
+        """Predict execution time of one kernel call."""
+        return self.model_for(kernel.kernel_type).predict_kernel(kernel)
+
+    @property
+    def kernel_types(self) -> tuple[str, ...]:
+        """Registered kernel types."""
+        return tuple(sorted(self._models))

@@ -1,0 +1,108 @@
+"""One-call construction of the full performance-model suite.
+
+This is the "Analysis Track" of Figure 3 condensed: measure hardware
+peaks, microbenchmark the dominating kernels, train ML-based models
+where heuristics cannot reach (GEMM, transpose, tril, conv), and return
+a ready-to-dispatch :class:`~repro.perfmodels.base.PerfModelRegistry`
+together with a per-kernel accuracy report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.hardware import MeasuredPeaks
+from repro.metrics import ErrorStats
+from repro.microbench import measure_peaks, run_microbenchmark
+from repro.ops import KernelType
+from repro.perfmodels.base import PerfModelRegistry
+from repro.perfmodels.heuristic.embedding import (
+    EnhancedEmbeddingModel,
+    PlainEmbeddingModel,
+)
+from repro.perfmodels.heuristic.roofline import (
+    BatchNormRooflineModel,
+    ConcatModel,
+    MemcpyModel,
+    RooflineElementwiseModel,
+)
+from repro.perfmodels.mlbased.gridsearch import QUICK_SPACE
+from repro.perfmodels.mlbased.model import MlKernelModel
+from repro.simulator import SimulatedDevice
+
+#: Kernels the paper models with ML (opaque or JIT-generated sources).
+DEFAULT_ML_KERNELS = (
+    KernelType.GEMM,
+    KernelType.TRANSPOSE,
+    KernelType.TRIL_FWD,
+    KernelType.TRIL_BWD,
+)
+
+#: Extra ML kernels for the CV extension (Section IV-C).
+CV_ML_KERNELS = DEFAULT_ML_KERNELS + (KernelType.CONV,)
+
+
+@dataclass
+class RegistryBuildReport:
+    """What was measured and trained while building a registry."""
+
+    gpu_name: str
+    peaks: MeasuredPeaks
+    ml_val_gmae: dict[str, float] = field(default_factory=dict)
+    dataset_sizes: dict[str, int] = field(default_factory=dict)
+    build_seconds: float = 0.0
+
+
+def build_perf_models(
+    device: SimulatedDevice,
+    ml_kernels: tuple[str, ...] = DEFAULT_ML_KERNELS,
+    microbench_scale: float = 0.5,
+    space: dict = QUICK_SPACE,
+    epochs: int = 120,
+    seed: int = 0,
+    enhanced_embedding: bool = True,
+) -> tuple[PerfModelRegistry, RegistryBuildReport]:
+    """Build the complete kernel performance-model registry for a device.
+
+    Args:
+        device: Simulated testbed to microbenchmark against.
+        ml_kernels: Kernel types to model with trained MLPs.
+        microbench_scale: Sweep-space scale (1.0 = full default sweep).
+        space: MLP hyperparameter search space (Table II or a subspace).
+        epochs: Training epochs per grid point.
+        seed: Controls sweeps, splits and training.
+        enhanced_embedding: Use the L2-hit-rate embedding model (the
+            variant the paper adopts for E2E after Table IV).
+
+    Returns:
+        ``(registry, report)``.
+    """
+    started = time.perf_counter()
+    peaks = measure_peaks(device)
+    registry = PerfModelRegistry()
+
+    embedding_cls = (
+        EnhancedEmbeddingModel if enhanced_embedding else PlainEmbeddingModel
+    )
+    registry.register(embedding_cls(device.gpu, peaks, backward=False))
+    registry.register(embedding_cls(device.gpu, peaks, backward=True))
+    registry.register(RooflineElementwiseModel(peaks))
+    registry.register(ConcatModel(peaks))
+    registry.register(MemcpyModel(peaks))
+    registry.register(BatchNormRooflineModel(peaks))
+
+    report = RegistryBuildReport(gpu_name=device.gpu.name, peaks=peaks)
+    for kernel_type in ml_kernels:
+        dataset = run_microbenchmark(
+            device, kernel_type, scale=microbench_scale, seed=seed
+        )
+        model, result = MlKernelModel.train(
+            dataset, space=space, epochs=epochs, seed=seed
+        )
+        registry.register(model)
+        report.ml_val_gmae[kernel_type] = result.val_gmae
+        report.dataset_sizes[kernel_type] = len(dataset)
+
+    report.build_seconds = time.perf_counter() - started
+    return registry, report

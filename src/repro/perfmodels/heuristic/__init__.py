@@ -1,0 +1,1 @@
+"""Heuristic (roofline / traffic-analysis) kernel performance models."""

@@ -1,0 +1,85 @@
+"""Roofline models for element-wise, concat and memcpy kernels.
+
+Section III-B-1b: ``t = max(FLOP / peak_throughput, bytes / peak_BW)``
+with "the maximum measured bandwidth of the benchmark as the corrected
+peak bandwidth".  The measured launch latency (from the hardware
+microbenchmarks) is added as the kernel floor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hardware import MeasuredPeaks
+from repro.ops import KernelType
+from repro.perfmodels.base import KernelPerfModel
+
+
+class RooflineElementwiseModel(KernelPerfModel):
+    """Roofline prediction for element-wise kernels."""
+
+    kernel_type = KernelType.ELEMENTWISE
+
+    def __init__(self, peaks: MeasuredPeaks) -> None:
+        self.peaks = peaks
+        self.launch_us = float(peaks.extras.get("launch_us", 0.0))
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        flop = float(params.get("flop", 0.0))
+        bytes_moved = float(params.get("bytes_read", 0.0)) + float(
+            params.get("bytes_write", 0.0)
+        )
+        t_compute = flop / (self.peaks.fp32_gflops * 1e3)
+        t_memory = bytes_moved / (self.peaks.dram_bw_gbs * 1e3)
+        return self.launch_us + max(t_compute, t_memory)
+
+
+class ConcatModel(KernelPerfModel):
+    """Concat = pure memory traffic at corrected peak bandwidth."""
+
+    kernel_type = KernelType.CONCAT
+
+    def __init__(self, peaks: MeasuredPeaks) -> None:
+        self.peaks = peaks
+        self.launch_us = float(peaks.extras.get("launch_us", 0.0))
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        return self.launch_us + float(params["bytes_total"]) / (
+            self.peaks.dram_bw_gbs * 1e3
+        )
+
+
+class MemcpyModel(KernelPerfModel):
+    """Memcpy: PCIe bandwidth for H2D, 2x DRAM traffic for D2D."""
+
+    kernel_type = KernelType.MEMCPY
+
+    def __init__(self, peaks: MeasuredPeaks) -> None:
+        self.peaks = peaks
+        self.launch_us = float(peaks.extras.get("launch_us", 0.0))
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        bytes_moved = float(params["bytes"])
+        if params.get("h2d"):
+            return self.launch_us + bytes_moved / (self.peaks.pcie_bw_gbs * 1e3)
+        return self.launch_us + 2.0 * bytes_moved / (
+            self.peaks.dram_bw_gbs * 1e3
+        )
+
+
+class BatchNormRooflineModel(KernelPerfModel):
+    """Batch-norm as a two-pass bandwidth-bound kernel (CV extension)."""
+
+    kernel_type = KernelType.BATCHNORM
+
+    def __init__(self, peaks: MeasuredPeaks) -> None:
+        self.peaks = peaks
+        self.launch_us = float(peaks.extras.get("launch_us", 0.0))
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        numel = (
+            float(params["n"]) * float(params["c"])
+            * float(params["h"]) * float(params["w"])
+        )
+        bytes_moved = 4.0 * numel * 3.0
+        return self.launch_us + bytes_moved / (self.peaks.dram_bw_gbs * 1e3)

@@ -1,0 +1,1 @@
+"""ML-based (trained MLP) kernel performance models."""

@@ -1,0 +1,100 @@
+"""Hyperparameter grid search for ML-based kernel models (Table II).
+
+The paper grid-searches a universal space — layers {3..7}, neurons
+{128..1024}, optimizer {Adam, SGD}, learning rate {1e-4..1e-2} — per
+kernel, keeping the configuration with the lowest validation error.  A
+full search takes hours on a GPU; :func:`grid_search` supports the full
+Table II space and a ``quick`` subspace that benchmark runs use (the
+trade-off is documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics import gmae
+from repro.microbench import MicrobenchDataset
+from repro.perfmodels.mlbased.mlp import MlpConfig, MlpRegressor
+
+#: The paper's Table II search space.
+TABLE2_SPACE = {
+    "num_layers": (3, 4, 5, 6, 7),
+    "num_neurons": (128, 256, 512, 1024),
+    "optimizer": ("adam", "sgd"),
+    "learning_rate": (1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2),
+}
+
+#: Reduced subspace for time-bounded runs (still 2x2x1x2 = 8 points).
+QUICK_SPACE = {
+    "num_layers": (3, 4),
+    "num_neurons": (128, 256),
+    "optimizer": ("adam",),
+    "learning_rate": (1e-3, 5e-3),
+}
+
+
+@dataclass
+class GridSearchResult:
+    """Winning model plus its validation error and the full leaderboard."""
+
+    best_model: MlpRegressor
+    best_config: MlpConfig
+    val_gmae: float
+    leaderboard: list[tuple[MlpConfig, float]]
+
+
+def iter_configs(space: dict, epochs: int, seed: int):
+    """Yield :class:`MlpConfig` objects covering ``space``."""
+    keys = ("num_layers", "num_neurons", "optimizer", "learning_rate")
+    for values in itertools.product(*(space[k] for k in keys)):
+        yield MlpConfig(
+            num_layers=values[0],
+            num_neurons=values[1],
+            optimizer=values[2],
+            learning_rate=values[3],
+            epochs=epochs,
+            seed=seed,
+        )
+
+
+def grid_search(
+    dataset: MicrobenchDataset,
+    space: dict = QUICK_SPACE,
+    epochs: int = 120,
+    val_fraction: float = 0.2,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Search ``space`` for the best MLP on one microbenchmark dataset.
+
+    Trains each configuration on a deterministic train split and ranks
+    by validation GMAE, mirroring the paper's per-kernel selection.
+    """
+    if len(dataset) < 10:
+        raise ValueError(
+            f"dataset too small for a grid search ({len(dataset)} records)"
+        )
+    train, val = dataset.split(train_fraction=1.0 - val_fraction, seed=seed)
+    names = dataset.feature_names
+    x_train, y_train = train.features(names), train.targets()
+    x_val, y_val = val.features(names), val.targets()
+
+    leaderboard: list[tuple[MlpConfig, float]] = []
+    best: tuple[MlpConfig, MlpRegressor, float] | None = None
+    for config in iter_configs(space, epochs, seed):
+        model = MlpRegressor(config).fit(x_train, y_train)
+        error = gmae(model.predict(x_val).tolist(), y_val.tolist())
+        leaderboard.append((config, error))
+        if best is None or error < best[2]:
+            best = (config, model, error)
+
+    assert best is not None
+    leaderboard.sort(key=lambda item: item[1])
+    return GridSearchResult(
+        best_model=best[1],
+        best_config=best[0],
+        val_gmae=best[2],
+        leaderboard=leaderboard,
+    )

@@ -1,0 +1,158 @@
+"""Numpy MLP regressor for kernel performance modeling.
+
+Implements the paper's ML-based approach (Section III-B-2): an MLP
+takes the kernel's input dimensions as features and predicts execution
+time.  Following the paper's preprocessing, both the (almost
+exponentially scaled) sizes and the measured times are log-transformed;
+training minimises MSE in log space, and the learning rate is scaled by
+10 when SGD is chosen instead of Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MlpConfig:
+    """One MLP hyperparameter configuration (a Table II grid point)."""
+
+    num_layers: int = 4
+    num_neurons: int = 256
+    optimizer: str = "adam"
+    learning_rate: float = 1e-3
+    epochs: int = 150
+    batch_size: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"optimizer must be 'adam' or 'sgd', got {self.optimizer!r}")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.num_neurons < 1:
+            raise ValueError("num_neurons must be >= 1")
+
+    @property
+    def effective_learning_rate(self) -> float:
+        """Paper rule: scale the learning rate by 10 when using SGD."""
+        return self.learning_rate * (10.0 if self.optimizer == "sgd" else 1.0)
+
+
+def _log_features(X: np.ndarray) -> np.ndarray:
+    """Log-transform size features (clamped at 1 to keep flags sane)."""
+    return np.log2(np.maximum(np.asarray(X, dtype=np.float64), 1.0))
+
+
+class MlpRegressor:
+    """Feed-forward MLP trained on log(size) -> log(time)."""
+
+    def __init__(self, config: MlpConfig = MlpConfig()) -> None:
+        self.config = config
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # ------------------------------------------------------------------
+    def _init_params(self, in_dim: int, rng: np.random.Generator) -> None:
+        sizes = (
+            [in_dim]
+            + [self.config.num_neurons] * self.config.num_layers
+            + [1]
+        )
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            h = z if i == len(self._weights) - 1 else np.maximum(z, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def fit(self, X: np.ndarray, y_us: np.ndarray) -> "MlpRegressor":
+        """Train on raw kernel parameters and measured times (µs)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y_us = np.asarray(y_us, dtype=np.float64)
+        if len(X) != len(y_us):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y_us)}")
+        if np.any(y_us <= 0):
+            raise ValueError("measured times must be positive")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        Xl = _log_features(X)
+        self._x_mean = Xl.mean(axis=0)
+        self._x_std = np.where(Xl.std(axis=0) > 1e-9, Xl.std(axis=0), 1.0)
+        Xn = (Xl - self._x_mean) / self._x_std
+        yl = np.log(y_us)
+        self._y_mean = float(yl.mean())
+        self._y_std = float(yl.std()) or 1.0
+        yn = (yl - self._y_mean) / self._y_std
+
+        self._init_params(Xn.shape[1], rng)
+        lr = cfg.effective_learning_rate
+        n = len(Xn)
+        batch = min(cfg.batch_size, n)
+
+        # Adam state.
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(cfg.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                xb, yb = Xn[idx], yn[idx]
+                pred, acts = self._forward(xb)
+                delta = 2.0 * (pred.ravel() - yb)[:, None] / len(idx)
+
+                grads_w = [None] * len(self._weights)
+                grads_b = [None] * len(self._biases)
+                for i in range(len(self._weights) - 1, -1, -1):
+                    grads_w[i] = acts[i].T @ delta
+                    grads_b[i] = delta.sum(axis=0)
+                    if i > 0:
+                        delta = (delta @ self._weights[i].T) * (acts[i] > 0)
+
+                step += 1
+                for i in range(len(self._weights)):
+                    if cfg.optimizer == "adam":
+                        m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                        v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i] ** 2
+                        m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                        v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                        mw_hat = m_w[i] / (1 - beta1**step)
+                        vw_hat = v_w[i] / (1 - beta2**step)
+                        mb_hat = m_b[i] / (1 - beta1**step)
+                        vb_hat = v_b[i] / (1 - beta2**step)
+                        self._weights[i] -= lr * mw_hat / (np.sqrt(vw_hat) + eps)
+                        self._biases[i] -= lr * mb_hat / (np.sqrt(vb_hat) + eps)
+                    else:
+                        self._weights[i] -= lr * grads_w[i]
+                        self._biases[i] -= lr * grads_b[i]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted kernel times in µs."""
+        if self._x_mean is None:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Xn = (_log_features(X) - self._x_mean) / self._x_std
+        pred, _ = self._forward(Xn)
+        return np.exp(pred.ravel() * self._y_std + self._y_mean)

@@ -1,0 +1,53 @@
+"""Kernel performance model backed by a trained MLP regressor."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.microbench import MicrobenchDataset
+from repro.perfmodels.base import KernelPerfModel
+from repro.perfmodels.mlbased.gridsearch import (
+    QUICK_SPACE,
+    GridSearchResult,
+    grid_search,
+)
+from repro.perfmodels.mlbased.mlp import MlpRegressor
+
+
+class MlKernelModel(KernelPerfModel):
+    """Wraps a fitted :class:`MlpRegressor` behind the model interface."""
+
+    def __init__(
+        self,
+        kernel_type: str,
+        regressor: MlpRegressor,
+        feature_names: list[str],
+    ) -> None:
+        self.kernel_type = kernel_type
+        self.regressor = regressor
+        self.feature_names = list(feature_names)
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        try:
+            row = [float(params[name]) for name in self.feature_names]
+        except KeyError as missing:
+            raise KeyError(
+                f"{self.kernel_type} model needs feature {missing}, "
+                f"got params {sorted(params)}"
+            ) from None
+        return float(self.regressor.predict(np.array([row]))[0])
+
+    @classmethod
+    def train(
+        cls,
+        dataset: MicrobenchDataset,
+        space: dict = QUICK_SPACE,
+        epochs: int = 120,
+        seed: int = 0,
+    ) -> tuple["MlKernelModel", GridSearchResult]:
+        """Grid-search and train on a microbenchmark dataset."""
+        result = grid_search(dataset, space=space, epochs=epochs, seed=seed)
+        model = cls(dataset.kernel_type, result.best_model, dataset.feature_names)
+        return model, result

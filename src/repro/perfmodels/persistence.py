@@ -1,0 +1,169 @@
+"""Saving and loading trained performance-model registries.
+
+The paper envisions maintaining shared databases of model assets for
+"large-scale predictions for numerous workloads" (Section I): once the
+analysis track has run for a device, its kernel models should be
+reusable without re-benchmarking.  This module serializes a complete
+registry — measured peaks, heuristic model configuration, and trained
+MLP weights — to a single JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.hardware import GpuSpec, MeasuredPeaks, gpu_by_name
+from repro.perfmodels.base import PerfModelRegistry
+from repro.perfmodels.heuristic.embedding import (
+    EnhancedEmbeddingModel,
+    PlainEmbeddingModel,
+)
+from repro.perfmodels.heuristic.roofline import (
+    BatchNormRooflineModel,
+    ConcatModel,
+    MemcpyModel,
+    RooflineElementwiseModel,
+)
+from repro.perfmodels.mlbased.mlp import MlpConfig, MlpRegressor
+from repro.perfmodels.mlbased.model import MlKernelModel
+
+_FORMAT_VERSION = 1
+
+_HEURISTIC_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        RooflineElementwiseModel,
+        ConcatModel,
+        MemcpyModel,
+        BatchNormRooflineModel,
+    )
+}
+_EMBEDDING_CLASSES = {
+    cls.__name__: cls for cls in (PlainEmbeddingModel, EnhancedEmbeddingModel)
+}
+
+
+def _peaks_to_dict(peaks: MeasuredPeaks) -> dict:
+    return {
+        "gpu_name": peaks.gpu_name,
+        "dram_bw_gbs": peaks.dram_bw_gbs,
+        "l2_bw_gbs": peaks.l2_bw_gbs,
+        "fp32_gflops": peaks.fp32_gflops,
+        "pcie_bw_gbs": peaks.pcie_bw_gbs,
+        "extras": dict(peaks.extras),
+    }
+
+
+def _peaks_from_dict(data: dict) -> MeasuredPeaks:
+    return MeasuredPeaks(**data)
+
+
+def _mlp_to_dict(model: MlKernelModel) -> dict:
+    reg = model.regressor
+    cfg = reg.config
+    return {
+        "kind": "ml",
+        "kernel_type": model.kernel_type,
+        "feature_names": model.feature_names,
+        "config": {
+            "num_layers": cfg.num_layers,
+            "num_neurons": cfg.num_neurons,
+            "optimizer": cfg.optimizer,
+            "learning_rate": cfg.learning_rate,
+            "epochs": cfg.epochs,
+            "batch_size": cfg.batch_size,
+            "seed": cfg.seed,
+        },
+        "weights": [w.tolist() for w in reg._weights],
+        "biases": [b.tolist() for b in reg._biases],
+        "x_mean": reg._x_mean.tolist(),
+        "x_std": reg._x_std.tolist(),
+        "y_mean": reg._y_mean,
+        "y_std": reg._y_std,
+    }
+
+
+def _mlp_from_dict(data: dict) -> MlKernelModel:
+    reg = MlpRegressor(MlpConfig(**data["config"]))
+    reg._weights = [np.asarray(w) for w in data["weights"]]
+    reg._biases = [np.asarray(b) for b in data["biases"]]
+    reg._x_mean = np.asarray(data["x_mean"])
+    reg._x_std = np.asarray(data["x_std"])
+    reg._y_mean = float(data["y_mean"])
+    reg._y_std = float(data["y_std"])
+    return MlKernelModel(data["kernel_type"], reg, data["feature_names"])
+
+
+def registry_to_dict(
+    registry: PerfModelRegistry, gpu: GpuSpec, peaks: MeasuredPeaks
+) -> dict:
+    """Serialize a registry and the assets its models depend on."""
+    models = []
+    for kernel_type in registry.kernel_types:
+        model = registry.model_for(kernel_type)
+        if isinstance(model, MlKernelModel):
+            models.append(_mlp_to_dict(model))
+        elif isinstance(model, (PlainEmbeddingModel, EnhancedEmbeddingModel)):
+            models.append(
+                {
+                    "kind": "embedding",
+                    "class": type(model).__name__,
+                    "kernel_type": model.kernel_type,
+                    "backward": model.backward,
+                }
+            )
+        else:
+            models.append(
+                {
+                    "kind": "heuristic",
+                    "class": type(model).__name__,
+                    "kernel_type": model.kernel_type,
+                }
+            )
+    return {
+        "version": _FORMAT_VERSION,
+        "gpu_name": gpu.name,
+        "peaks": _peaks_to_dict(peaks),
+        "models": models,
+    }
+
+
+def registry_from_dict(data: dict) -> tuple[PerfModelRegistry, MeasuredPeaks]:
+    """Rebuild a registry serialized by :func:`registry_to_dict`."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported registry format {data.get('version')!r}")
+    gpu = gpu_by_name(data["gpu_name"])
+    peaks = _peaks_from_dict(data["peaks"])
+    registry = PerfModelRegistry()
+    for entry in data["models"]:
+        kind = entry["kind"]
+        if kind == "ml":
+            registry.register(_mlp_from_dict(entry))
+        elif kind == "embedding":
+            cls = _EMBEDDING_CLASSES[entry["class"]]
+            registry.register(cls(gpu, peaks, backward=entry["backward"]))
+        elif kind == "heuristic":
+            cls = _HEURISTIC_CLASSES[entry["class"]]
+            registry.register(cls(peaks))
+        else:
+            raise ValueError(f"unknown model kind {kind!r}")
+    return registry, peaks
+
+
+def save_registry(
+    registry: PerfModelRegistry,
+    gpu: GpuSpec,
+    peaks: MeasuredPeaks,
+    path: str,
+) -> None:
+    """Write a trained registry to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(registry_to_dict(registry, gpu, peaks), f)
+
+
+def load_registry(path: str) -> tuple[PerfModelRegistry, MeasuredPeaks]:
+    """Load a registry saved by :func:`save_registry`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return registry_from_dict(json.load(f))

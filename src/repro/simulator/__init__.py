@@ -1,0 +1,36 @@
+"""The simulated GPU testbed (ground truth; see module docstrings)."""
+
+from repro.simulator.engine import (
+    CPU_PROFILER_OVERHEAD_US,
+    GPU_PROFILER_OVERHEAD_US,
+    IterationStats,
+    SimulatedDevice,
+    SimulationResult,
+)
+from repro.simulator.host import (
+    OVERHEAD_TYPES,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    HostOverheadModel,
+)
+from repro.simulator.latency import DEFAULT_NOISE_SIGMA, GroundTruthLatency
+
+__all__ = [
+    "CPU_PROFILER_OVERHEAD_US",
+    "DEFAULT_NOISE_SIGMA",
+    "GPU_PROFILER_OVERHEAD_US",
+    "GroundTruthLatency",
+    "HostOverheadModel",
+    "IterationStats",
+    "OVERHEAD_TYPES",
+    "SimulatedDevice",
+    "SimulationResult",
+    "T1",
+    "T2",
+    "T3",
+    "T4",
+    "T5",
+]

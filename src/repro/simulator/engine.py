@@ -1,0 +1,287 @@
+"""Event-driven CPU/GPU execution engine — the simulated testbed.
+
+Replays an execution graph the way eager PyTorch drives a GPU: the host
+thread walks the ops sequentially, paying per-op overheads (T1–T5,
+sampled from the hidden :class:`~repro.simulator.host.HostOverheadModel`)
+and enqueueing kernels asynchronously; each kernel starts when both its
+stream is free and its launch has been issued, and runs for its hidden
+ground-truth duration.  Host-to-device copies of pageable memory are
+synchronous, stalling the host until the copy completes — one of the
+real sources of DLRM device idle time.
+
+The engine is the *only* producer of the two artifacts the prediction
+pipeline is allowed to consume: profiler traces and end-to-end
+iteration timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph import ExecutionGraph
+from repro.hardware import DEFAULT_CPU, CpuSpec, GpuSpec
+from repro.ops import KernelType
+from repro.simulator.host import T1, T2, T3, T4, T5, HostOverheadModel
+from repro.simulator.latency import DEFAULT_NOISE_SIGMA, GroundTruthLatency
+from repro.trace.events import EventCategory, Trace, TraceEvent
+
+#: True device-side gap between back-to-back kernels on one stream (µs).
+_TRUE_KERNEL_GAP_US = 1.25
+#: True fraction of the launch-call duration that elapses before the
+#: kernel can start on the device.
+_TRUE_LAUNCH_FRACTION = 0.52
+#: Profiler overheads baked into recorded event durations when
+#: profiling is enabled (the values the paper subtracts).
+CPU_PROFILER_OVERHEAD_US = 2.0
+GPU_PROFILER_OVERHEAD_US = 4.0
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Ground-truth timing of one training iteration."""
+
+    e2e_us: float
+    gpu_active_us: float
+    cpu_busy_us: float
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Device active time over per-batch time (the Figure 1 metric)."""
+        return self.gpu_active_us / self.e2e_us if self.e2e_us > 0 else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulated training run."""
+
+    workload: str
+    gpu_name: str
+    batch_size: int
+    iterations: list[IterationStats]
+    trace: Trace | None = None
+
+    @property
+    def mean_e2e_us(self) -> float:
+        """Mean per-batch training time in µs."""
+        return float(np.mean([it.e2e_us for it in self.iterations]))
+
+    @property
+    def mean_gpu_active_us(self) -> float:
+        """Mean per-batch device active time in µs."""
+        return float(np.mean([it.gpu_active_us for it in self.iterations]))
+
+    @property
+    def mean_gpu_utilization(self) -> float:
+        """Mean GPU utilization across iterations."""
+        return float(np.mean([it.gpu_utilization for it in self.iterations]))
+
+
+class SimulatedDevice:
+    """A (GPU, CPU) testbed that can run execution graphs.
+
+    Deterministic given ``(gpu, cpu, seed)``: repeated runs reproduce
+    identical traces, like re-running a well-controlled benchmark box
+    (application clocks fixed, turbo boost off — Section III-B).
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        cpu: CpuSpec = DEFAULT_CPU,
+        seed: int = 0,
+        noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    ) -> None:
+        self.gpu = gpu
+        self.cpu = cpu
+        self.seed = seed
+        self.latency = GroundTruthLatency(gpu, noise_sigma)
+        self.host = HostOverheadModel(cpu)
+
+    def run(
+        self,
+        graph: ExecutionGraph,
+        iterations: int = 1,
+        batch_size: int = 0,
+        with_profiler: bool = False,
+        warmup: int = 0,
+    ) -> SimulationResult:
+        """Simulate ``iterations`` training iterations of ``graph``.
+
+        Args:
+            graph: The execution graph to run.
+            iterations: Timed iterations.
+            batch_size: Recorded in metadata (informational).
+            with_profiler: Emit a trace; profiling also slows the host
+                and inflates recorded durations by the usual per-event
+                profiler overheads, exactly as a real profiler does.
+            warmup: Untimed, untraced warm-up iterations.
+
+        Returns:
+            A :class:`SimulationResult`; ``result.trace`` is populated
+            only when ``with_profiler`` is true.
+        """
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        rng = np.random.default_rng(self.seed)
+        events: list[TraceEvent] = []
+        stats: list[IterationStats] = []
+        cpu_time = 0.0
+        gpu_free: dict[int, float] = {}
+        correlation = 0
+
+        for it in range(-warmup, iterations):
+            timed = it >= 0
+            iter_start = cpu_time
+            gpu_active = 0.0
+            cpu_busy = 0.0
+
+            for node in graph.nodes:
+                t1 = self.host.sample(node.op_name, T1, rng)
+                cpu_time += t1
+                op_start = cpu_time
+                kernels = node.op.kernel_calls()
+
+                if kernels:
+                    t2 = self.host.sample(node.op_name, T2, rng)
+                    cpu_time += t2
+                    if with_profiler:
+                        cpu_time += CPU_PROFILER_OVERHEAD_US
+                    for ki, kernel in enumerate(kernels):
+                        is_memcpy = kernel.kernel_type == KernelType.MEMCPY
+                        is_sync_copy = bool(
+                            is_memcpy and kernel.params.get("h2d")
+                        )
+                        t4 = self.host.sample(
+                            node.op_name, T4, rng, is_memcpy=is_memcpy
+                        )
+                        launch_issued = cpu_time + _TRUE_LAUNCH_FRACTION * t4
+                        runtime_name = (
+                            "cudaMemcpyAsync" if is_memcpy else "cudaLaunchKernel"
+                        )
+                        correlation += 1
+                        runtime_start = cpu_time
+                        cpu_time += t4
+
+                        duration = self.latency.duration_us(kernel, rng)
+                        stream_free = gpu_free.get(node.stream, 0.0)
+                        start = max(
+                            stream_free + _TRUE_KERNEL_GAP_US, launch_issued
+                        )
+                        end = start + duration
+                        if with_profiler:
+                            end += GPU_PROFILER_OVERHEAD_US
+                        gpu_free[node.stream] = end
+                        if timed:
+                            gpu_active += duration
+                        # Pageable host-to-device copies block inside the
+                        # runtime call until the transfer completes — in
+                        # real traces this shows up as a long
+                        # cudaMemcpyAsync, i.e. it belongs to T4 (the
+                        # long-tailed case the paper calls out).
+                        if is_sync_copy:
+                            cpu_time = max(cpu_time, end)
+                        if timed and with_profiler:
+                            events.append(
+                                TraceEvent(
+                                    runtime_name,
+                                    EventCategory.RUNTIME,
+                                    runtime_start,
+                                    cpu_time - runtime_start,
+                                    it,
+                                    node.node_id,
+                                    node.op_name,
+                                    correlation=correlation,
+                                )
+                            )
+                        if timed and with_profiler:
+                            events.append(
+                                TraceEvent(
+                                    kernel.name,
+                                    EventCategory.KERNEL,
+                                    start,
+                                    end - start,
+                                    it,
+                                    node.node_id,
+                                    node.op_name,
+                                    stream=node.stream,
+                                    correlation=correlation,
+                                )
+                            )
+                        if ki < len(kernels) - 1:
+                            cpu_time += self.host.sample(node.op_name, T5, rng)
+                    t3 = self.host.sample(node.op_name, T3, rng)
+                    cpu_time += t3
+                else:
+                    # CPU-only op: Algorithm 1's "else: cpu_time += T5".
+                    cpu_time += self.host.sample(node.op_name, T5, rng)
+                    if with_profiler:
+                        cpu_time += CPU_PROFILER_OVERHEAD_US
+
+                if timed and with_profiler:
+                    events.append(
+                        TraceEvent(
+                            node.op_name,
+                            EventCategory.OP,
+                            op_start,
+                            cpu_time - op_start,
+                            it,
+                            node.node_id,
+                            node.op_name,
+                        )
+                    )
+
+            # The training loop synchronizes at the iteration boundary
+            # (loss readout), so per-batch time is max(CPU, GPU) span.
+            cpu_busy = cpu_time - iter_start
+            cpu_time = max(cpu_time, max(gpu_free.values(), default=cpu_time))
+            if timed:
+                stats.append(
+                    IterationStats(
+                        e2e_us=cpu_time - iter_start,
+                        gpu_active_us=gpu_active,
+                        cpu_busy_us=cpu_busy,
+                    )
+                )
+
+        trace = None
+        if with_profiler:
+            trace = Trace(
+                workload=graph.name,
+                gpu_name=self.gpu.name,
+                batch_size=batch_size,
+                num_iterations=iterations,
+                events=events,
+                cpu_profiler_overhead_us=CPU_PROFILER_OVERHEAD_US,
+                gpu_profiler_overhead_us=GPU_PROFILER_OVERHEAD_US,
+            )
+        return SimulationResult(
+            workload=graph.name,
+            gpu_name=self.gpu.name,
+            batch_size=batch_size,
+            iterations=stats,
+            trace=trace,
+        )
+
+    def measure_kernel_us(
+        self,
+        kernel,
+        warmup: int = 5,
+        timed_iterations: int = 30,
+        seed: int | None = None,
+    ) -> float:
+        """Microbenchmark one kernel: mean over timed iterations.
+
+        Mirrors the paper's procedure — warm up, then profile the
+        dominating kernel alone for 30 iterations and take its mean
+        execution time.  This is the sanctioned way for performance
+        models to observe ground truth.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        for _ in range(warmup):
+            self.latency.duration_us(kernel, rng)
+        samples = [
+            self.latency.duration_us(kernel, rng) for _ in range(timed_iterations)
+        ]
+        return float(np.mean(samples))

@@ -1,0 +1,280 @@
+"""Hidden ground-truth kernel latency model.
+
+This module plays the role of *the GPU hardware* in the paper's
+methodology.  It computes "true" kernel durations from device physics —
+tile/wave quantization for GEMM (the cuBLAS effect that defeats plain
+rooflines, Section II-B), a probabilistic L2/DRAM traffic split for
+embedding lookups, bandwidth ramps for memory kernels — plus
+multiplicative run-to-run noise.
+
+.. warning::
+   Performance models must never import this module.  They may only
+   observe it the way the paper observes hardware: through
+   microbenchmark timings (:mod:`repro.microbench`) and profiler traces
+   (:mod:`repro.trace`).  The deliberate differences between these
+   ground-truth formulas and the published heuristics (hidden occupancy
+   factors, bandwidth efficiency curves, quantization) are what create
+   realistic single-digit prediction errors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hardware import GpuSpec
+from repro.ops import KernelCall, KernelType
+
+#: Fraction of datasheet DRAM bandwidth achievable by real kernels.
+_DRAM_EFFICIENCY = 0.88
+#: Fraction of datasheet L2 bandwidth achievable by real kernels.
+_L2_EFFICIENCY = 0.85
+#: Fraction of peak FLOPs achievable by non-GEMM (element-wise) kernels.
+_EW_COMPUTE_EFFICIENCY = 0.70
+#: Fraction of peak FLOPs a well-tuned GEMM tile sustains.
+_GEMM_EFFICIENCY = 0.82
+#: Transfer size (bytes) at which bandwidth reaches half its peak.
+_BW_HALF_POINT = 32 * 1024
+#: CTAs resident per SM assumed by the true cache-occupancy model; the
+#: published heuristic assumes 1 ("only one CTA resides on each SM").
+_TRUE_CTA_OCCUPANCY = 1.35
+#: Usable fraction of L2 for embedding rows (tags, other data compete).
+_TRUE_L2_USABLE = 0.82
+
+#: GEMM tile footprint of the (hidden) cuBLAS-like kernel.
+_TILE_M = 128
+_TILE_N = 64
+
+#: Relative run-to-run noise (lognormal sigma).
+DEFAULT_NOISE_SIGMA = 0.03
+
+
+def _bw_ramp(bytes_moved: float) -> float:
+    """Achieved-bandwidth fraction as a function of transfer size.
+
+    Small transfers cannot saturate DRAM; the ramp ``s / (s + s_half)``
+    matches the shape measured by bandwidth microbenchmarks.
+    """
+    return bytes_moved / (bytes_moved + _BW_HALF_POINT)
+
+
+def _hypergeometric_all_hit(cached: float, total: float, lookups: int) -> float:
+    """P(all ``lookups`` rows are among the ``cached`` ones)."""
+    if cached >= total:
+        return 1.0
+    if cached <= 0:
+        return 0.0
+    p = 1.0
+    for i in range(lookups):
+        num = cached - i
+        den = total - i
+        if num <= 0 or den <= 0:
+            return 0.0
+        p *= num / den
+    return min(1.0, p)
+
+
+class GroundTruthLatency:
+    """True (hidden) kernel duration model for one GPU."""
+
+    def __init__(self, gpu: GpuSpec, noise_sigma: float = DEFAULT_NOISE_SIGMA) -> None:
+        self.gpu = gpu
+        self.noise_sigma = noise_sigma
+        self._dispatch = {
+            KernelType.GEMM: self._gemm,
+            KernelType.ELEMENTWISE: self._elementwise,
+            KernelType.CONCAT: self._concat,
+            KernelType.MEMCPY: self._memcpy,
+            KernelType.TRANSPOSE: self._transpose,
+            KernelType.EMBEDDING_FWD: self._embedding_fwd,
+            KernelType.EMBEDDING_BWD: self._embedding_bwd,
+            KernelType.TRIL_FWD: self._tril_fwd,
+            KernelType.TRIL_BWD: self._tril_bwd,
+            KernelType.CONV: self._conv,
+            KernelType.BATCHNORM: self._batchnorm,
+        }
+
+    # ------------------------------------------------------------------
+    def duration_us(self, kernel: KernelCall, rng: np.random.Generator | None = None) -> float:
+        """True duration of one kernel execution, in microseconds.
+
+        With ``rng`` given, multiplicative lognormal noise models
+        run-to-run variation; without it the noiseless mean is returned
+        (useful for calibration tests).
+        """
+        try:
+            mean = self._dispatch[kernel.kernel_type](dict(kernel.params))
+        except KeyError:
+            raise ValueError(
+                f"no ground-truth model for kernel type {kernel.kernel_type!r}"
+            ) from None
+        if rng is not None and self.noise_sigma > 0:
+            mean *= float(rng.lognormal(0.0, self.noise_sigma))
+        return max(mean, 0.3)
+
+    # -- dense -----------------------------------------------------------
+    def _gemm(self, p: dict) -> float:
+        m, n, k, batch = p["m"], p["n"], p["k"], p.get("batch", 1)
+        tiles = math.ceil(m / _TILE_M) * math.ceil(n / _TILE_N) * batch
+        # Wave quantization with a partially-parallel tail: the last,
+        # underfilled wave still finishes faster than a full one.
+        full, tail = divmod(tiles, self.gpu.num_sms)
+        waves = full + (tail / self.gpu.num_sms) ** 0.7 if tail else float(full)
+        # Pipeline efficiency ramps with depth k; short accumulations
+        # cannot hide latencies.
+        k_eff = k / (k + 64.0)
+        tile_flops = 2.0 * _TILE_M * _TILE_N * k
+        sm_gflops = self.gpu.peak_fp32_gflops / self.gpu.num_sms
+        compute_us = waves * tile_flops / (sm_gflops * 1e3) / (
+            _GEMM_EFFICIENCY * k_eff
+        )
+        bytes_moved = 4.0 * batch * (m * k + k * n + m * n)
+        bw = self.gpu.peak_dram_bw_gbs * _DRAM_EFFICIENCY * _bw_ramp(bytes_moved)
+        memory_us = bytes_moved / (bw * 1e3)
+        return self.gpu.kernel_launch_us + max(compute_us, memory_us)
+
+    # -- memory ----------------------------------------------------------
+    def _bandwidth_us(self, bytes_moved: float, efficiency: float = 1.0) -> float:
+        bw = (
+            self.gpu.peak_dram_bw_gbs
+            * _DRAM_EFFICIENCY
+            * efficiency
+            * _bw_ramp(bytes_moved)
+        )
+        return bytes_moved / (bw * 1e3)
+
+    def _elementwise(self, p: dict) -> float:
+        bytes_moved = p["bytes_read"] + p["bytes_write"]
+        flops = p["flop"]
+        compute_us = flops / (
+            self.gpu.peak_fp32_gflops * _EW_COMPUTE_EFFICIENCY * 1e3
+        )
+        memory_us = self._bandwidth_us(max(bytes_moved, 1.0))
+        return self.gpu.kernel_launch_us + max(compute_us, memory_us)
+
+    def _concat(self, p: dict) -> float:
+        # Each extra input adds a little launch/setup work.
+        setup = 0.08 * p.get("num_inputs", 1)
+        return (
+            self.gpu.kernel_launch_us
+            + setup
+            + self._bandwidth_us(p["bytes_total"], efficiency=0.95)
+        )
+
+    def _memcpy(self, p: dict) -> float:
+        if p.get("h2d"):
+            bw = self.gpu.pcie_bw_gbs * 0.9 * _bw_ramp(p["bytes"] * 4.0)
+            return self.gpu.kernel_launch_us + p["bytes"] / (bw * 1e3)
+        # D2D copies read + write device memory.
+        return self.gpu.kernel_launch_us + self._bandwidth_us(2.0 * p["bytes"])
+
+    def _transpose(self, p: dict) -> float:
+        b, m, n = p["b"], p["m"], p["n"]
+        elem = p.get("elem_size", 4.0)
+        bytes_moved = 2.0 * b * m * n * elem
+        # Coalescing suffers when either matrix dimension is small; this
+        # shape-dependent efficiency is what makes transpose hard to
+        # model heuristically (and why the paper uses an ML model).
+        short = min(m, n)
+        eff = 0.9 * short / (short + 24.0) + 0.1
+        return self.gpu.kernel_launch_us + self._bandwidth_us(
+            bytes_moved, efficiency=eff
+        )
+
+    # -- embedding lookup --------------------------------------------------
+    def _embedding_traffic(self, p: dict, backward: bool) -> tuple[float, float]:
+        """Per-launch (DRAM bytes, L2 bytes), following warp traffic."""
+        B, E, T, L, D = p["B"], p["E"], p["T"], p["L"], p["D"]
+        rows_per_block = p.get("rows_per_block", 32)
+        tr_table_offsets = 32.0
+        tr_offsets = 64.0
+        tr_indices = math.ceil(4.0 * L / 32.0) * 32.0
+        if backward:
+            tr_weights = math.ceil(2.0 * 4.0 * L * D / 32.0) * 32.0
+        else:
+            tr_weights = math.ceil(4.0 * D / 32.0) * 32.0 * L
+        tr_outputs = math.ceil(4.0 * D / 32.0) * 32.0
+
+        # True cache model: more CTAs are resident than the published
+        # heuristic assumes, and only part of L2 holds embedding rows.
+        num_tables = max(
+            1.0,
+            rows_per_block * self.gpu.num_sms * _TRUE_CTA_OCCUPANCY / B,
+        )
+        cached_rows = min(
+            _TRUE_L2_USABLE * self.gpu.l2_cache_bytes / (num_tables * D * 4.0),
+            float(E),
+        )
+        p_hit = _hypergeometric_all_hit(cached_rows, float(E), int(L))
+
+        l2_bytes = tr_table_offsets + tr_offsets + p_hit * tr_weights
+        dram_bytes = tr_indices + tr_outputs + (1.0 - p_hit) * tr_weights
+        warps = float(B * T)
+        return warps * dram_bytes, warps * l2_bytes
+
+    def _embedding_time(self, p: dict, backward: bool) -> float:
+        dram_bytes, l2_bytes = self._embedding_traffic(p, backward)
+        dram_bw = (
+            self.gpu.peak_dram_bw_gbs * _DRAM_EFFICIENCY * _bw_ramp(dram_bytes + l2_bytes)
+        )
+        l2_bw = self.gpu.peak_l2_bw_gbs * _L2_EFFICIENCY
+        t = dram_bytes / (dram_bw * 1e3) + l2_bytes / (l2_bw * 1e3)
+        if backward:
+            # Atomic update contention adds a small per-warp cost.
+            t *= 1.06
+        return self.gpu.kernel_launch_us + t
+
+    def _embedding_fwd(self, p: dict) -> float:
+        return self._embedding_time(p, backward=False)
+
+    def _embedding_bwd(self, p: dict) -> float:
+        return self._embedding_time(p, backward=True)
+
+    # -- interaction ------------------------------------------------------
+    def _tril_fwd(self, p: dict) -> float:
+        B, F = p["B"], p["F"]
+        tril = F * (F - 1) / 2.0
+        bytes_moved = 4.0 * B * (F * F + tril)
+        # The JIT-generated gather resolves one int64 index pair per
+        # element; effective bandwidth is a small, F-dependent fraction
+        # of peak — hard to predict heuristically, easy for an MLP.
+        eff = 0.28 * F / (F + 20.0) + 0.04
+        return self.gpu.kernel_launch_us + self._bandwidth_us(
+            bytes_moved, efficiency=eff
+        )
+
+    def _tril_bwd(self, p: dict) -> float:
+        B, F = p["B"], p["F"]
+        tril = F * (F - 1) / 2.0
+        # index_put with accumulation: zero-fill + atomic scatter; the
+        # atomics keep effective bandwidth in the tens of GB/s.
+        bytes_moved = 4.0 * B * (2.0 * F * F + tril)
+        eff = 0.10 * F / (F + 25.0) + 0.025
+        return self.gpu.kernel_launch_us + self._bandwidth_us(
+            bytes_moved, efficiency=eff
+        )
+
+    # -- CV extension -------------------------------------------------------
+    def _conv(self, p: dict) -> float:
+        n, c, h, w = p["n"], p["c"], p["h"], p["w"]
+        k, r, s = p["k"], p["r"], p["s"]
+        stride = p.get("stride", 1)
+        pad_h = p.get("pad_h", 0)
+        pad_w = p.get("pad_w", 0)
+        oh = (h + 2 * pad_h - r) // stride + 1
+        ow = (w + 2 * pad_w - s) // stride + 1
+        # Implicit-GEMM equivalence: (n*oh*ow) x k x (c*r*s).
+        gemm_params = {"m": n * oh * ow, "n": k, "k": c * r * s, "batch": 1}
+        t = self._gemm(gemm_params)
+        # Extra input-replay traffic of the implicit im2col.
+        replay_bytes = 4.0 * n * c * h * w * 0.6
+        return t + self._bandwidth_us(replay_bytes)
+
+    def _batchnorm(self, p: dict) -> float:
+        numel = p["n"] * p["c"] * p["h"] * p["w"]
+        # Two passes over the feature map (stats + normalize).
+        bytes_moved = 4.0 * numel * 3.0
+        return self.gpu.kernel_launch_us + self._bandwidth_us(
+            bytes_moved, efficiency=0.92
+        )

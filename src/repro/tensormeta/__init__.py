@@ -1,0 +1,17 @@
+"""Tensor shape/dtype metadata used by the execution graph and ops."""
+
+from repro.tensormeta.meta import (
+    DTYPE_SIZES,
+    TensorMeta,
+    dtype_size,
+    total_bytes,
+    total_numel,
+)
+
+__all__ = [
+    "DTYPE_SIZES",
+    "TensorMeta",
+    "dtype_size",
+    "total_bytes",
+    "total_numel",
+]

@@ -1,0 +1,99 @@
+"""Lightweight tensor metadata.
+
+Performance models never need tensor *values* — only shapes and dtypes,
+from which byte volumes and FLOP counts are derived.  The execution
+graph observer records one :class:`TensorMeta` per tensor flowing
+between operators, mirroring what the paper's PyTorch observer captures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+DTYPE_SIZES: dict[str, int] = {
+    "float32": 4,
+    "float16": 2,
+    "float64": 8,
+    "int64": 8,
+    "int32": 4,
+    "int8": 1,
+    "bool": 1,
+}
+
+
+def dtype_size(dtype: str) -> int:
+    """Size in bytes of one element of ``dtype``."""
+    try:
+        return DTYPE_SIZES[dtype]
+    except KeyError:
+        known = ", ".join(sorted(DTYPE_SIZES))
+        raise KeyError(f"unknown dtype {dtype!r}; known dtypes: {known}") from None
+
+
+@dataclass(frozen=True)
+class TensorMeta:
+    """Shape + dtype description of one tensor.
+
+    Attributes:
+        shape: Tensor dimensions; an empty tuple denotes a scalar.
+        dtype: Element type name, a key of :data:`DTYPE_SIZES`.
+        device: ``"cpu"`` or ``"gpu"``; memcpy ops move tensors between
+            the two and the distinction drives H2D traffic accounting.
+    """
+
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+    device: str = "gpu"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if any(d < 0 for d in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+        dtype_size(self.dtype)  # validate eagerly
+        if self.device not in ("cpu", "gpu"):
+            raise ValueError(f"device must be 'cpu' or 'gpu', got {self.device!r}")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements (1 for scalars, 0 if any dim is 0)."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage in bytes."""
+        return self.numel * dtype_size(self.dtype)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    def with_shape(self, shape: Sequence[int]) -> "TensorMeta":
+        """Copy with a new shape (used by graph resize transforms)."""
+        return TensorMeta(tuple(shape), self.dtype, self.device)
+
+    def with_device(self, device: str) -> "TensorMeta":
+        """Copy placed on another device (used by memcpy ops)."""
+        return TensorMeta(self.shape, self.dtype, device)
+
+    def with_batch(self, old_batch: int, new_batch: int) -> "TensorMeta":
+        """Copy with the leading dimension rescaled from ``old_batch``.
+
+        Tensors whose leading dimension does not equal ``old_batch``
+        (e.g. weights) are returned unchanged.
+        """
+        if self.shape and self.shape[0] == old_batch:
+            return self.with_shape((new_batch,) + self.shape[1:])
+        return self
+
+
+def total_numel(tensors: Iterable[TensorMeta]) -> int:
+    """Sum of element counts over ``tensors``."""
+    return sum(t.numel for t in tensors)
+
+
+def total_bytes(tensors: Iterable[TensorMeta]) -> int:
+    """Sum of byte sizes over ``tensors``."""
+    return sum(t.nbytes for t in tensors)

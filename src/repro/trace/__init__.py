@@ -1,0 +1,31 @@
+"""Profiler traces: events, event tree, breakdown analysis."""
+
+from repro.trace.breakdown import (
+    IterationBreakdown,
+    TraceBreakdown,
+    dominating_ops,
+    gpu_utilization,
+    iteration_breakdown,
+    trace_breakdown,
+)
+from repro.trace.events import EventCategory, Trace, TraceEvent
+from repro.trace.export import diff_breakdowns, save_chrome_trace, trace_to_chrome
+from repro.trace.tree import EventNode, build_event_tree, top_level_ops
+
+__all__ = [
+    "EventCategory",
+    "EventNode",
+    "IterationBreakdown",
+    "Trace",
+    "TraceBreakdown",
+    "TraceEvent",
+    "build_event_tree",
+    "diff_breakdowns",
+    "dominating_ops",
+    "gpu_utilization",
+    "iteration_breakdown",
+    "save_chrome_trace",
+    "top_level_ops",
+    "trace_breakdown",
+    "trace_to_chrome",
+]

@@ -1,0 +1,163 @@
+"""Per-batch training-time breakdown (Figures 1 and 5).
+
+Computes, from a profiler trace:
+
+* per-iteration **device active time** — the union of kernel intervals;
+* per-iteration **total device time** (per-batch time);
+* **GPU utilization** = active / total (the Figure 1 metric);
+* per-op attribution of device time including the **Idle** share
+  (Figure 5), with profiler overheads excluded as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.trace.events import EventCategory, Trace, TraceEvent
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping [start, end) intervals."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Timing decomposition of one training iteration."""
+
+    iteration: int
+    e2e_us: float
+    active_us: float
+    per_op_device_us: dict[str, float]
+
+    @property
+    def idle_us(self) -> float:
+        """Device idle time within the iteration span."""
+        return max(self.e2e_us - self.active_us, 0.0)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Active time over per-batch time."""
+        return self.active_us / self.e2e_us if self.e2e_us > 0 else 0.0
+
+
+def iteration_breakdown(trace: Trace, iteration: int) -> IterationBreakdown:
+    """Break one iteration down into active/idle and per-op device time.
+
+    Profiler overheads are subtracted from every event duration before
+    aggregation, as the paper does to guarantee accuracy.
+    """
+    events = trace.iteration_events(iteration)
+    if not events:
+        raise ValueError(f"trace has no events for iteration {iteration}")
+
+    kernel_events = [e for e in events if e.cat == EventCategory.KERNEL]
+    host_events = [e for e in events if e.cat != EventCategory.KERNEL]
+
+    per_op: dict[str, float] = defaultdict(float)
+    intervals = []
+    for k in kernel_events:
+        dur = trace.corrected_duration(k)
+        per_op[k.op_name] += dur
+        intervals.append((k.ts, k.ts + dur))
+    active = sum(end - start for start, end in _merge_intervals(intervals))
+
+    # Per-batch span: first host activity to the later of last host /
+    # last kernel activity (the iteration-end synchronization point).
+    start = min(e.ts for e in events)
+    end = max(e.end for e in events)
+    host_overhead = trace.cpu_profiler_overhead_us * len(host_events)
+    e2e = max(end - start - host_overhead, active)
+    return IterationBreakdown(
+        iteration=iteration,
+        e2e_us=e2e,
+        active_us=active,
+        per_op_device_us=dict(per_op),
+    )
+
+
+@dataclass(frozen=True)
+class TraceBreakdown:
+    """Mean breakdown over all iterations of a trace."""
+
+    workload: str
+    gpu_name: str
+    batch_size: int
+    mean_e2e_us: float
+    mean_active_us: float
+    per_op_device_us: dict[str, float]
+
+    @property
+    def mean_idle_us(self) -> float:
+        """Mean device idle time per iteration."""
+        return max(self.mean_e2e_us - self.mean_active_us, 0.0)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Figure 1's utilization metric."""
+        return self.mean_active_us / self.mean_e2e_us if self.mean_e2e_us else 0.0
+
+    def device_time_shares(self, top_k: int = 19) -> dict[str, float]:
+        """Figure 5's per-op shares of total device time, incl. Idle.
+
+        Returns fractions of the per-batch device time for the ``top_k``
+        ops by device time, an ``others`` bucket, and ``Idle``.
+        """
+        total = self.mean_e2e_us
+        if total <= 0:
+            return {}
+        ranked = sorted(
+            self.per_op_device_us.items(), key=lambda kv: kv[1], reverse=True
+        )
+        shares = {name: t / total for name, t in ranked[:top_k]}
+        others = sum(t for _, t in ranked[top_k:]) / total
+        if others > 0:
+            shares["others"] = others
+        shares["Idle"] = self.mean_idle_us / total
+        return shares
+
+
+def trace_breakdown(trace: Trace) -> TraceBreakdown:
+    """Aggregate :func:`iteration_breakdown` over all iterations."""
+    iterations = sorted({e.iteration for e in trace.events})
+    if not iterations:
+        raise ValueError("empty trace")
+    parts = [iteration_breakdown(trace, it) for it in iterations]
+    per_op: dict[str, float] = defaultdict(float)
+    for part in parts:
+        for name, value in part.per_op_device_us.items():
+            per_op[name] += value / len(parts)
+    return TraceBreakdown(
+        workload=trace.workload,
+        gpu_name=trace.gpu_name,
+        batch_size=trace.batch_size,
+        mean_e2e_us=sum(p.e2e_us for p in parts) / len(parts),
+        mean_active_us=sum(p.active_us for p in parts) / len(parts),
+        per_op_device_us=dict(per_op),
+    )
+
+
+def gpu_utilization(trace: Trace) -> float:
+    """Convenience: the Figure 1 utilization of a trace."""
+    return trace_breakdown(trace).gpu_utilization
+
+
+def dominating_ops(trace: Trace, top_k: int = 10) -> list[tuple[str, float]]:
+    """Ops ranked by attributed device time (identifies the kernels to
+    microbenchmark, per the Analysis Track of Figure 3)."""
+    breakdown = trace_breakdown(trace)
+    ranked = sorted(
+        breakdown.per_op_device_us.items(), key=lambda kv: kv[1], reverse=True
+    )
+    return ranked[:top_k]

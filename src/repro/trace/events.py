@@ -1,0 +1,115 @@
+"""Profiler trace events.
+
+The simulator emits Kineto-style flattened events: host-side operator
+events, CUDA-runtime events (``cudaLaunchKernel`` / ``cudaMemcpyAsync``)
+nested inside them, and device-side kernel events linked to their
+launching runtime call by a correlation id — the same structure the
+paper's trace analysis consumes (Section III-A).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator
+
+
+class EventCategory:
+    """Trace event categories."""
+
+    OP = "op"
+    RUNTIME = "runtime"
+    KERNEL = "kernel"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One profiler event.
+
+    Attributes:
+        name: Display name (op name, runtime function, or kernel name).
+        cat: One of :class:`EventCategory`.
+        ts: Start timestamp in µs on the event's timeline (host events
+            on the CPU timeline, kernel events on the GPU timeline; the
+            two share one clock).
+        dur: Duration in µs *as recorded by the profiler* (i.e.
+            including profiler overhead when profiling was on).
+        iteration: Training iteration index the event belongs to.
+        node_id: Execution-graph node that produced the event.
+        op_name: Trace-visible name of that node's operator.
+        stream: GPU stream (kernel events only; -1 for host events).
+        correlation: Links a kernel event to its launching runtime
+            event (-1 when not applicable).
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    iteration: int
+    node_id: int
+    op_name: str
+    stream: int = -1
+    correlation: int = -1
+
+    @property
+    def end(self) -> float:
+        """End timestamp in µs."""
+        return self.ts + self.dur
+
+
+@dataclass
+class Trace:
+    """A full profiler trace plus collection metadata."""
+
+    workload: str
+    gpu_name: str
+    batch_size: int
+    num_iterations: int
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Per-event profiler overheads baked into recorded durations
+    #: (0 when profiling was off); analysis subtracts these.
+    cpu_profiler_overhead_us: float = 0.0
+    gpu_profiler_overhead_us: float = 0.0
+
+    def iter_category(self, cat: str) -> Iterator[TraceEvent]:
+        """Iterate events of one category."""
+        return (e for e in self.events if e.cat == cat)
+
+    def iteration_events(self, iteration: int) -> list[TraceEvent]:
+        """All events of one training iteration."""
+        return [e for e in self.events if e.iteration == iteration]
+
+    def corrected_duration(self, event: TraceEvent) -> float:
+        """Event duration with profiler overhead subtracted.
+
+        The paper subtracts 4 µs from GPU events and an empirical 2 µs
+        from CPU events; we subtract exactly what the collection baked
+        in, clamped at a small positive floor.
+        """
+        if event.cat == EventCategory.KERNEL:
+            overhead = self.gpu_profiler_overhead_us
+        else:
+            overhead = self.cpu_profiler_overhead_us
+        return max(event.dur - overhead, 0.1)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (Chrome-trace-like)."""
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "gpu_name": self.gpu_name,
+                "batch_size": self.batch_size,
+                "num_iterations": self.num_iterations,
+                "cpu_profiler_overhead_us": self.cpu_profiler_overhead_us,
+                "gpu_profiler_overhead_us": self.gpu_profiler_overhead_us,
+                "events": [asdict(e) for e in self.events],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Deserialize a trace written by :meth:`to_json`."""
+        data = json.loads(text)
+        events = [TraceEvent(**e) for e in data.pop("events")]
+        return cls(events=events, **data)

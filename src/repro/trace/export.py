@@ -1,0 +1,97 @@
+"""Chrome-trace export and trace comparison utilities.
+
+``chrome://tracing`` / Perfetto JSON export makes the simulated traces
+inspectable with the same tooling engineers point at real PyTorch
+profiles; :func:`diff_breakdowns` compares two traces op-by-op, the
+manual workflow behind before/after optimization studies.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.breakdown import TraceBreakdown, trace_breakdown
+from repro.trace.events import EventCategory, Trace
+
+#: chrome://tracing pid/tid layout.
+_PID = 1
+_TID_CPU = 1
+_TID_GPU_BASE = 100
+
+
+def trace_to_chrome(trace: Trace) -> str:
+    """Render a trace as a Chrome-trace JSON string.
+
+    Host events go on one CPU row; each GPU stream gets its own row.
+    Timestamps are microseconds, as Chrome expects.
+    """
+    events = []
+    for event in trace.events:
+        if event.cat == EventCategory.KERNEL:
+            tid = _TID_GPU_BASE + max(event.stream, 0)
+        else:
+            tid = _TID_CPU
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "X",
+                "ts": event.ts,
+                "dur": event.dur,
+                "pid": _PID,
+                "tid": tid,
+                "args": {
+                    "iteration": event.iteration,
+                    "op": event.op_name,
+                    "correlation": event.correlation,
+                },
+            }
+        )
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": _PID,
+         "args": {"name": f"{trace.workload} on {trace.gpu_name}"}},
+        {"name": "thread_name", "ph": "M", "pid": _PID, "tid": _TID_CPU,
+         "args": {"name": "CPU"}},
+    ]
+    streams = sorted(
+        {e.stream for e in trace.events if e.cat == EventCategory.KERNEL}
+    )
+    for stream in streams:
+        meta.append(
+            {"name": "thread_name", "ph": "M", "pid": _PID,
+             "tid": _TID_GPU_BASE + max(stream, 0),
+             "args": {"name": f"GPU stream {stream}"}}
+        )
+    return json.dumps({"traceEvents": meta + events})
+
+
+def save_chrome_trace(trace: Trace, path: str) -> None:
+    """Write a chrome://tracing-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(trace_to_chrome(trace))
+
+
+def diff_breakdowns(
+    before: Trace, after: Trace, top_k: int = 10
+) -> list[tuple[str, float, float, float]]:
+    """Per-op device-time deltas between two traces.
+
+    Returns ``(op name, before µs, after µs, delta µs)`` rows sorted by
+    absolute delta, plus a final ``("<e2e>", ...)`` row — the summary an
+    engineer reads after applying an optimization.
+    """
+    bd_before = trace_breakdown(before)
+    bd_after = trace_breakdown(after)
+    ops = set(bd_before.per_op_device_us) | set(bd_after.per_op_device_us)
+    rows = []
+    for op in ops:
+        b = bd_before.per_op_device_us.get(op, 0.0)
+        a = bd_after.per_op_device_us.get(op, 0.0)
+        rows.append((op, b, a, a - b))
+    rows.sort(key=lambda r: -abs(r[3]))
+    rows = rows[:top_k]
+    rows.append(
+        ("<e2e>", bd_before.mean_e2e_us, bd_after.mean_e2e_us,
+         bd_after.mean_e2e_us - bd_before.mean_e2e_us)
+    )
+    return rows

@@ -1,0 +1,104 @@
+"""Event-tree construction from flattened trace events.
+
+The paper "construct[s] an event tree to represent the calling stack of
+each op so that the device execution time of each kernel is attributed
+to the corresponding op" (Section III-A).  Host events nest by time
+containment; kernel events attach to the host-side call that launched
+them via the correlation id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import EventCategory, Trace, TraceEvent
+
+
+@dataclass
+class EventNode:
+    """One node of the event tree."""
+
+    event: TraceEvent
+    children: list["EventNode"] = field(default_factory=list)
+    kernels: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Event display name."""
+        return self.event.name
+
+    def device_time(self) -> float:
+        """Total kernel time attributed to this subtree (µs)."""
+        total = sum(k.dur for k in self.kernels)
+        for child in self.children:
+            total += child.device_time()
+        return total
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_event_tree(trace: Trace, iteration: int | None = None) -> list[EventNode]:
+    """Build per-iteration event trees from a flattened trace.
+
+    Args:
+        trace: The profiler trace.
+        iteration: Restrict to one iteration; ``None`` uses all.
+
+    Returns:
+        Top-level :class:`EventNode` roots in start-time order.  Host
+        events nest by time containment; each kernel event hangs off
+        the host event whose runtime call shares its correlation id
+        (falling back to the node id when correlations are missing).
+    """
+    events = (
+        trace.events
+        if iteration is None
+        else [e for e in trace.events if e.iteration == iteration]
+    )
+    host = sorted(
+        (e for e in events if e.cat != EventCategory.KERNEL),
+        key=lambda e: (e.ts, -e.dur),
+    )
+    kernels = [e for e in events if e.cat == EventCategory.KERNEL]
+
+    roots: list[EventNode] = []
+    stack: list[EventNode] = []
+    nodes_by_correlation: dict[int, EventNode] = {}
+    nodes_by_graph_node: dict[int, EventNode] = {}
+
+    for event in host:
+        node = EventNode(event)
+        if event.correlation >= 0:
+            nodes_by_correlation[event.correlation] = node
+        while stack and event.ts >= stack[-1].event.end - 1e-9:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+            if event.cat == EventCategory.OP:
+                nodes_by_graph_node.setdefault(
+                    (event.iteration, event.node_id), node
+                )
+        stack.append(node)
+
+    for kernel in kernels:
+        owner = nodes_by_correlation.get(kernel.correlation)
+        if owner is None:
+            owner = nodes_by_graph_node.get((kernel.iteration, kernel.node_id))
+        if owner is not None:
+            owner.kernels.append(kernel)
+    return roots
+
+
+def top_level_ops(trace: Trace, iteration: int | None = None) -> list[EventNode]:
+    """Top-level operator nodes of the event tree."""
+    return [
+        root
+        for root in build_event_tree(trace, iteration)
+        if root.event.cat == EventCategory.OP
+    ]

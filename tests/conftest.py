@@ -1,0 +1,58 @@
+"""Shared fixtures: one small simulated testbed and trained models.
+
+Session-scoped so the expensive pieces (microbenchmark sweeps, MLP
+training, profiled runs) happen once per test session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import TESLA_V100
+from repro.models import build_model
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import build_perf_models
+from repro.simulator import SimulatedDevice
+
+#: Single-point "grid" keeping test-time training fast.
+TINY_SPACE = {
+    "num_layers": (3,),
+    "num_neurons": (128,),
+    "optimizer": ("adam",),
+    "learning_rate": (2e-3,),
+}
+
+
+@pytest.fixture(scope="session")
+def device():
+    """A deterministic simulated V100 testbed."""
+    return SimulatedDevice(TESLA_V100, seed=11)
+
+
+@pytest.fixture(scope="session")
+def registry(device):
+    """Kernel performance models trained at reduced scale."""
+    reg, _ = build_perf_models(
+        device, microbench_scale=0.25, epochs=150, space=TINY_SPACE, seed=1
+    )
+    return reg
+
+
+@pytest.fixture(scope="session")
+def dlrm_graph():
+    """DLRM_default at batch 512."""
+    return build_model("DLRM_default", 512)
+
+
+@pytest.fixture(scope="session")
+def profiled_run(device, dlrm_graph):
+    """One profiled simulated run of the DLRM graph."""
+    return device.run(
+        dlrm_graph, iterations=8, batch_size=512, with_profiler=True, warmup=1
+    )
+
+
+@pytest.fixture(scope="session")
+def overhead_db(profiled_run):
+    """Individual-workload overhead database from the profiled run."""
+    return OverheadDatabase.from_trace(profiled_run.trace)

@@ -1,0 +1,82 @@
+"""Unit tests for the comparator baselines."""
+
+import pytest
+
+from repro.baselines import (
+    HabitatPredictor,
+    MLPredictPredictor,
+    predict_kernel_only_us,
+)
+from repro.hardware import TESLA_P100, TESLA_V100
+from repro.models import build_model
+from repro.simulator import SimulatedDevice
+
+
+class TestKernelOnly:
+    def test_positive(self, dlrm_graph, registry):
+        assert predict_kernel_only_us(dlrm_graph, registry) > 0
+
+    def test_underestimates_low_util_workload(self, device, dlrm_graph, registry):
+        truth = device.run(dlrm_graph, iterations=5, warmup=1)
+        assert predict_kernel_only_us(dlrm_graph, registry) < truth.mean_e2e_us
+
+
+class TestHabitat:
+    @pytest.fixture(scope="class")
+    def habitat(self, device):
+        return HabitatPredictor(device, TESLA_P100)
+
+    def test_scales_kernels_to_slower_gpu(self, device, habitat):
+        from repro.ops import gemm_kernel
+
+        k = gemm_kernel(1024, 1024, 1024)
+        origin = device.measure_kernel_us(k)
+        scaled = habitat.predict_kernel_us(k)
+        assert scaled > origin  # P100 is slower than V100
+
+    def test_e2e_reasonable_on_cnn(self, habitat):
+        """Habitat's regime: compute-bound CNNs."""
+        g = build_model("resnet50", 4)
+        target = SimulatedDevice(TESLA_P100, seed=99)
+        truth = target.run(g, iterations=2, warmup=1)
+        pred = habitat.predict_e2e_us(g)
+        err = abs(pred - truth.mean_e2e_us) / truth.mean_e2e_us
+        assert err < 0.40
+
+    def test_poor_on_dlrm(self, habitat):
+        """No overhead modeling -> large error on low-utilization DLRM."""
+        g = build_model("DLRM_default", 512)
+        target = SimulatedDevice(TESLA_P100, seed=99)
+        truth = target.run(g, iterations=3, warmup=1)
+        pred = habitat.predict_e2e_us(g)
+        assert pred < truth.mean_e2e_us  # underestimates (misses idle)
+
+
+class TestMLPredict:
+    @pytest.fixture(scope="class")
+    def mlpredict(self, device):
+        return MLPredictPredictor(
+            device,
+            lambda b: build_model("resnet50", b),
+            coverage=(2, 4, 8),
+        )
+
+    def test_in_coverage_decent(self, device, mlpredict):
+        g = build_model("resnet50", 8)
+        truth = device.run(g, iterations=2, warmup=1)
+        pred = mlpredict.predict_e2e_us(g, 8)
+        err = abs(pred - truth.mean_e2e_us) / truth.mean_e2e_us
+        assert err < 0.35
+
+    def test_out_of_coverage_fails(self, device, mlpredict):
+        """The paper's observed MLPredict failure at uncovered batches."""
+        g = build_model("resnet50", 32)
+        truth = device.run(g, iterations=2, warmup=1)
+        pred = mlpredict.predict_e2e_us(g, 32)
+        err = abs(pred - truth.mean_e2e_us) / truth.mean_e2e_us
+        assert err > 0.40
+        assert pred < truth.mean_e2e_us  # clamped to batch 8 time
+
+    def test_unseen_op_gets_floor(self, device, mlpredict):
+        g = build_model("DLRM_default", 64)  # ops never pretrained
+        assert mlpredict.predict_e2e_us(g, 64) > 0

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "--model", "DLRM_default", "--batch", "512"]
+        )
+        assert args.model == "DLRM_default"
+        assert args.batch == 512
+        assert args.gpu == "V100"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["predict", "--model", "bert", "--batch", "4"]
+            )
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["breakdown", "--gpu", "H100", "--model", "DLRM_DDP",
+                 "--batch", "4"]
+            )
+
+
+class TestCommands:
+    def test_memory_command(self, capsys):
+        assert main(["memory", "--model", "DLRM_default", "--batch", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out
+        assert "GiB" in out
+
+    def test_breakdown_command(self, capsys):
+        assert main(
+            ["breakdown", "--model", "DLRM_DDP", "--batch", "256",
+             "--top", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "Idle" in out
+
+    def test_export_trace_command(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.json")
+        assert main(
+            ["export-trace", "--model", "DLRM_default", "--batch", "256",
+             "--iterations", "2", "--out", out_path]
+        ) == 0
+        import json
+
+        with open(out_path) as f:
+            assert "traceEvents" in json.load(f)
+
+    def test_analyze_then_predict(self, tmp_path, capsys, monkeypatch):
+        """Full CLI round trip at tiny scale."""
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        assets = str(tmp_path / "assets.json")
+        assert main(["analyze", "--out", assets, "--scale", "0.1"]) == 0
+        assert main(
+            ["predict", "--model", "DLRM_default", "--batch", "256",
+             "--assets", assets, "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted per-batch time" in out
+        assert "ground truth" in out

@@ -1,0 +1,136 @@
+"""Unit + integration tests for the co-design tools."""
+
+import pytest
+
+from repro.codesign import (
+    TableSpec,
+    batch_size_sweep,
+    best_throughput_batch,
+    evaluate_embedding_fusion,
+    evaluate_sharding,
+    greedy_balance,
+    predict_table_cost_us,
+    widest_mlp_within_budget,
+)
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+
+
+@pytest.fixture(scope="module")
+def unfused_graph():
+    cfg = DLRM_DEFAULT.with_overrides(fused_embedding=False, name="unfused")
+    return build_dlrm_graph(cfg, 256)
+
+
+class TestFusion:
+    def test_fusion_predicts_speedup(self, unfused_graph, registry, overhead_db):
+        report = evaluate_embedding_fusion(unfused_graph, registry, overhead_db)
+        assert report.speedup > 1.0
+        assert report.overhead_saved_us > 0
+
+    def test_fusion_prediction_matches_truth(
+        self, device, unfused_graph, registry, overhead_db
+    ):
+        """The Figure 11 what-if validated against the simulator."""
+        report = evaluate_embedding_fusion(unfused_graph, registry, overhead_db)
+        true_before = device.run(unfused_graph, iterations=5, warmup=1).mean_e2e_us
+        true_after = device.run(report.fused_graph, iterations=5, warmup=1).mean_e2e_us
+        true_speedup = true_before / true_after
+        assert report.speedup == pytest.approx(true_speedup, rel=0.20)
+
+    def test_fused_graph_rejected(self, registry, overhead_db):
+        g = build_model("DLRM_default", 128)  # already fused
+        with pytest.raises(ValueError):
+            evaluate_embedding_fusion(g, registry, overhead_db)
+
+
+class TestBatchSweep:
+    def test_sweep_points(self, dlrm_graph, registry, overhead_db):
+        points = batch_size_sweep(
+            dlrm_graph, 512, [256, 512, 1024], registry, overhead_db
+        )
+        assert [p.batch_size for p in points] == [256, 512, 1024]
+        times = [p.prediction.total_us for p in points]
+        assert times == sorted(times)
+
+    def test_throughput_improves_with_batch(self, dlrm_graph, registry, overhead_db):
+        points = batch_size_sweep(
+            dlrm_graph, 512, [256, 4096], registry, overhead_db
+        )
+        assert points[1].samples_per_second > points[0].samples_per_second
+
+    def test_best_throughput(self, dlrm_graph, registry, overhead_db):
+        points = batch_size_sweep(
+            dlrm_graph, 512, [256, 1024], registry, overhead_db
+        )
+        assert best_throughput_batch(points).batch_size == 1024
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            best_throughput_batch([])
+
+
+class TestSharding:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return [
+            TableSpec(rows=r, dim=64, lookups=8)
+            for r in (10_000_000, 4_000_000, 1_000_000, 200_000, 50_000, 1_000)
+        ]
+
+    def test_table_cost_positive(self, tables, registry):
+        assert predict_table_cost_us(tables[0], 1024, registry) > 0
+
+    def test_greedy_beats_naive(self, tables, registry):
+        greedy = greedy_balance(tables, 2, 1024, registry)
+        naive = evaluate_sharding(
+            tables, [[0, 1, 2], [3, 4, 5]], 1024, registry
+        )
+        assert greedy.max_cost_us <= naive.max_cost_us
+
+    def test_greedy_assignment_complete(self, tables, registry):
+        plan = greedy_balance(tables, 3, 1024, registry)
+        assigned = sorted(i for dev in plan.assignment for i in dev)
+        assert assigned == list(range(len(tables)))
+
+    def test_imbalance_at_least_one(self, tables, registry):
+        plan = greedy_balance(tables, 2, 1024, registry)
+        assert plan.imbalance >= 1.0
+
+    def test_duplicate_assignment_rejected(self, tables, registry):
+        with pytest.raises(ValueError):
+            evaluate_sharding(tables, [[0, 1], [1, 2, 3, 4, 5]], 1024, registry)
+
+    def test_missing_assignment_rejected(self, tables, registry):
+        with pytest.raises(ValueError):
+            evaluate_sharding(tables, [[0], [1]], 1024, registry)
+
+    def test_bad_device_count(self, tables, registry):
+        with pytest.raises(ValueError):
+            greedy_balance(tables, 0, 1024, registry)
+
+
+class TestTuning:
+    def test_budget_respected(self, registry, overhead_db):
+        result = widest_mlp_within_budget(
+            DLRM_DEFAULT, 512, budget_us=8000.0, registry=registry,
+            overheads=overhead_db, candidate_widths=(128, 512, 2048),
+        )
+        assert result.predicted_us <= 8000.0 or result.config.top_mlp[0] == 128
+
+    def test_wider_costs_more(self, registry, overhead_db):
+        # Large batch so the device, not the host, is the critical path.
+        result = widest_mlp_within_budget(
+            DLRM_DEFAULT, 4096, budget_us=1e9, registry=registry,
+            overheads=overhead_db, candidate_widths=(128, 1024),
+        )
+        times = dict(result.evaluated)
+        assert times[1024] > times[128]
+        assert result.config.top_mlp[0] == 1024
+
+    def test_impossible_budget_falls_back(self, registry, overhead_db):
+        result = widest_mlp_within_budget(
+            DLRM_DEFAULT, 512, budget_us=1.0, registry=registry,
+            overheads=overhead_db, candidate_widths=(128, 256),
+        )
+        assert result.config.top_mlp[0] == 128

@@ -1,0 +1,61 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.graph import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+
+
+class TestRoundTrip:
+    def test_dlrm_graph_roundtrips(self):
+        g = build_model("DLRM_default", 128)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert len(g2) == len(g)
+        assert g2.num_kernels() == g.num_kernels()
+        assert [n.op_name for n in g2] == [n.op_name for n in g]
+
+    def test_kernel_params_survive(self):
+        g = build_model("DLRM_default", 128)
+        g2 = graph_from_dict(graph_to_dict(g))
+        for a, b in zip(g.nodes, g2.nodes):
+            ka = [dict(k.params) for k in a.op.kernel_calls()]
+            kb = [dict(k.params) for k in b.op.kernel_calls()]
+            assert ka == kb
+
+    def test_tensors_survive(self):
+        g = build_model("DLRM_default", 128)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.tensors == g.tensors
+
+    def test_streams_survive(self):
+        from repro.graph.transforms import parallelize_independent_branches
+
+        g = parallelize_independent_branches(build_model("DLRM_default", 128), 2)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert [n.stream for n in g2] == [n.stream for n in g]
+
+    def test_file_roundtrip(self, tmp_path):
+        g = build_model("DLRM_DDP", 64)
+        path = str(tmp_path / "graph.json")
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert len(g2) == len(g)
+
+    def test_conv_model_roundtrips(self):
+        g = build_model("resnet50", 2)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.num_kernels() == g.num_kernels()
+
+    def test_version_check(self):
+        g = build_model("DLRM_default", 64)
+        data = graph_to_dict(g)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict(data)
+
+    def test_unfused_dlrm_roundtrips(self):
+        cfg = DLRM_DEFAULT.with_overrides(fused_embedding=False, name="uf")
+        g = build_dlrm_graph(cfg, 64)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert len(g2) == len(g)

@@ -1,0 +1,142 @@
+"""Unit tests for graph transforms (fuse / resize / reorder / streams)."""
+
+import pytest
+
+from repro.graph import GraphError
+from repro.graph.transforms import (
+    assign_streams,
+    fuse_embedding_bags,
+    fuse_nodes,
+    move_independent_earlier,
+    parallelize_independent_branches,
+    reorder,
+    rescale_batch,
+)
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+from repro.ops import EmbeddingBag, LookupFunction, LookupFunctionBackward
+
+
+@pytest.fixture(scope="module")
+def unfused_graph():
+    cfg = DLRM_DEFAULT.with_overrides(fused_embedding=False, name="unfused")
+    return build_dlrm_graph(cfg, 128)
+
+
+class TestFusion:
+    def test_fuse_embedding_bags_reduces_nodes(self, unfused_graph):
+        fused = fuse_embedding_bags(unfused_graph)
+        t = DLRM_DEFAULT.num_tables
+        # T forward bags -> 1, T backward bags -> 1.
+        assert len(fused) == len(unfused_graph) - 2 * (t - 1)
+
+    def test_fused_ops_present(self, unfused_graph):
+        fused = fuse_embedding_bags(unfused_graph)
+        ops = [n.op for n in fused]
+        assert any(isinstance(op, LookupFunction) for op in ops)
+        assert any(isinstance(op, LookupFunctionBackward) for op in ops)
+        assert not any(isinstance(op, EmbeddingBag) for op in ops)
+
+    def test_fused_graph_valid(self, unfused_graph):
+        fused = fuse_embedding_bags(unfused_graph)
+        fused.validate()
+
+    def test_fuse_noop_without_bags(self):
+        g = build_model("DLRM_default", 64)  # already fused
+        assert fuse_embedding_bags(g) is g
+
+    def test_fuse_nodes_rejects_unknown(self, unfused_graph):
+        op = LookupFunction(128, 100, 2, 1, 64)
+        with pytest.raises(GraphError):
+            fuse_nodes(unfused_graph, [99999], op)
+
+    def test_fuse_nodes_rejects_empty(self, unfused_graph):
+        op = LookupFunction(128, 100, 2, 1, 64)
+        with pytest.raises(GraphError):
+            fuse_nodes(unfused_graph, [], op)
+
+
+class TestResize:
+    def test_rescale_changes_kernels(self):
+        g = build_model("DLRM_default", 512)
+        g2 = rescale_batch(g, 512, 1024)
+        resized = build_model("DLRM_default", 1024)
+        k1 = [dict(k.params) for n in g2 for k in n.op.kernel_calls()]
+        k2 = [dict(k.params) for n in resized for k in n.op.kernel_calls()]
+        assert k1 == k2
+
+    def test_rescale_same_batch_is_identity(self):
+        g = build_model("DLRM_default", 512)
+        assert rescale_batch(g, 512, 512) is g
+
+    def test_rescale_rejects_nonpositive(self):
+        g = build_model("DLRM_default", 512)
+        with pytest.raises(ValueError):
+            rescale_batch(g, 512, 0)
+
+    def test_weights_untouched(self):
+        g = build_model("DLRM_default", 512)
+        g2 = rescale_batch(g, 512, 256)
+        # Embedding weights keep their (T*E, D) shape.
+        lookup = next(n for n in g2 if isinstance(n.op, LookupFunction))
+        assert lookup.op.inputs[0].shape[0] == 8 * 1_000_000
+
+
+class TestReorder:
+    def test_identity_reorder(self):
+        g = build_model("DLRM_default", 64)
+        same = reorder(g, [n.node_id for n in g.nodes])
+        assert [n.node_id for n in same] == [n.node_id for n in g]
+
+    def test_illegal_reorder_rejected(self):
+        g = build_model("DLRM_default", 64)
+        ids = [n.node_id for n in g.nodes]
+        ids[0], ids[-1] = ids[-1], ids[0]
+        with pytest.raises(GraphError):
+            reorder(g, ids)
+
+    def test_not_a_permutation_rejected(self):
+        g = build_model("DLRM_default", 64)
+        with pytest.raises(GraphError):
+            reorder(g, [0, 0, 1])
+
+    def test_move_independent_earlier(self):
+        g = build_model("DLRM_default", 64)
+        # The second H2D copy (indices) has no dependency on the first.
+        target = g.nodes[1].node_id
+        moved = move_independent_earlier(g, target)
+        moved.validate()
+
+    def test_move_unknown_rejected(self):
+        g = build_model("DLRM_default", 64)
+        with pytest.raises(GraphError):
+            move_independent_earlier(g, 10_000)
+
+
+class TestStreams:
+    def test_assign_streams(self):
+        g = build_model("DLRM_default", 64)
+        g2 = assign_streams(g, {0: 1, 1: 2})
+        assert g2.nodes[0].stream == 1
+        assert g2.nodes[1].stream == 2
+        assert g2.nodes[2].stream == 0
+
+    def test_assign_unknown_rejected(self):
+        g = build_model("DLRM_default", 64)
+        with pytest.raises(GraphError):
+            assign_streams(g, {12345: 1})
+
+    def test_parallelize_keeps_validity(self):
+        g = build_model("DLRM_default", 64)
+        g2 = parallelize_independent_branches(g, num_streams=2)
+        g2.validate()
+        assert any(n.stream != 0 for n in g2) or True  # never invalid
+
+    def test_single_stream_is_identity(self):
+        g = build_model("DLRM_default", 64)
+        assert parallelize_independent_branches(g, 1) is g
+
+    def test_bad_stream_count(self):
+        g = build_model("DLRM_default", 64)
+        with pytest.raises(ValueError):
+            parallelize_independent_branches(g, 0)

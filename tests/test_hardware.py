@@ -1,0 +1,47 @@
+"""Unit tests for hardware spec sheets."""
+
+import pytest
+
+from repro.hardware import (
+    ALL_GPUS,
+    PAPER_GPUS,
+    TESLA_P100,
+    TESLA_V100,
+    TITAN_XP,
+    GpuSpec,
+    gpu_by_name,
+)
+
+
+class TestSpecs:
+    def test_paper_gpus_present(self):
+        assert set(PAPER_GPUS) == {"V100", "TITAN_Xp", "P100"}
+
+    def test_v100_datasheet(self):
+        assert TESLA_V100.num_sms == 80
+        assert TESLA_V100.peak_dram_bw_gbs == pytest.approx(900.0)
+        assert TESLA_V100.l2_cache_bytes == 6 * 1024 * 1024
+
+    def test_gflops_property(self):
+        assert TESLA_V100.peak_fp32_gflops == pytest.approx(15700.0)
+
+    def test_relative_ordering(self):
+        """V100 should dominate P100 and Xp on compute and bandwidth."""
+        assert TESLA_V100.peak_fp32_tflops > TESLA_P100.peak_fp32_tflops
+        assert TESLA_V100.peak_dram_bw_gbs > TITAN_XP.peak_dram_bw_gbs
+
+    def test_lookup_by_name(self):
+        assert gpu_by_name("V100") is TESLA_V100
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="known GPUs"):
+            gpu_by_name("H100")
+
+    def test_with_overrides_returns_new_spec(self):
+        faster = TESLA_V100.with_overrides(peak_dram_bw_gbs=1800.0)
+        assert faster.peak_dram_bw_gbs == 1800.0
+        assert TESLA_V100.peak_dram_bw_gbs == 900.0
+        assert isinstance(faster, GpuSpec)
+
+    def test_all_gpus_superset(self):
+        assert set(PAPER_GPUS) < set(ALL_GPUS)

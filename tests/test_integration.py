@@ -1,0 +1,119 @@
+"""Integration tests across the full pipeline (Figure 3's two tracks)."""
+
+import pytest
+
+from repro.baselines import predict_kernel_only_us
+from repro.e2e import predict_e2e
+from repro.graph import graph_from_dict, graph_to_dict
+from repro.metrics import geomean
+from repro.models import build_model
+from repro.overheads import OverheadDatabase
+from repro.trace import trace_breakdown
+
+
+class TestAnalysisThenPrediction:
+    """Analysis track feeds the prediction track end to end."""
+
+    def test_predict_from_serialized_graph(
+        self, device, dlrm_graph, registry, overhead_db
+    ):
+        """Prediction works on a graph round-tripped through JSON —
+        the 'subsequent models skip the hardware' workflow."""
+        restored = graph_from_dict(graph_to_dict(dlrm_graph))
+        direct = predict_e2e(dlrm_graph, registry, overhead_db)
+        via_json = predict_e2e(restored, registry, overhead_db)
+        assert via_json.total_us == pytest.approx(direct.total_us)
+
+    def test_three_dlrms_geomean_error(self, device, registry):
+        """Mini Table V: geomean E2E error across variants and batches."""
+        errors = []
+        for name in ("DLRM_default", "DLRM_DDP"):
+            for batch in (256, 1024):
+                graph = build_model(name, batch)
+                prof = device.run(
+                    graph, iterations=6, batch_size=batch,
+                    with_profiler=True, warmup=1,
+                )
+                truth = device.run(graph, iterations=6, warmup=1)
+                db = OverheadDatabase.from_trace(prof.trace)
+                pred = predict_e2e(graph, registry, db)
+                errors.append(
+                    abs(pred.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
+                )
+        assert geomean(errors) < 0.15
+
+    def test_shared_overheads_small_penalty(self, device, registry):
+        """The paper's shared-overhead result: small accuracy cost."""
+        names = ("DLRM_default", "DLRM_DDP")
+        traces, graphs, truths = [], {}, {}
+        for name in names:
+            graph = build_model(name, 512)
+            graphs[name] = graph
+            traces.append(
+                device.run(graph, iterations=6, with_profiler=True, warmup=1).trace
+            )
+            truths[name] = device.run(graph, iterations=6, warmup=1).mean_e2e_us
+        shared = OverheadDatabase.shared(traces)
+        indiv_errs, shared_errs = [], []
+        for trace, name in zip(traces, names):
+            indiv = OverheadDatabase.from_trace(trace)
+            p_i = predict_e2e(graphs[name], registry, indiv)
+            p_s = predict_e2e(graphs[name], registry, shared)
+            indiv_errs.append(abs(p_i.total_us - truths[name]) / truths[name])
+            shared_errs.append(abs(p_s.total_us - truths[name]) / truths[name])
+        # Shared DB costs at most a handful of points of extra error.
+        assert geomean(shared_errs) < geomean(indiv_errs) + 0.06
+
+    def test_breakdown_agrees_with_prediction_shape(
+        self, device, dlrm_graph, registry, overhead_db
+    ):
+        """Predicted per-op active time ranks ops like the trace does."""
+        prof = device.run(
+            dlrm_graph, iterations=6, batch_size=512,
+            with_profiler=True, warmup=1,
+        )
+        measured = trace_breakdown(prof.trace).per_op_device_us
+        predicted = predict_e2e(dlrm_graph, registry, overhead_db).per_op_active_us
+        top_measured = max(measured, key=measured.get)
+        top_predicted = max(predicted, key=predicted.get)
+        assert top_measured == top_predicted
+
+    def test_cross_gpu_prediction(self, registry):
+        """Build assets for another GPU and predict there too."""
+        from repro.hardware import TITAN_XP
+        from repro.perfmodels import build_perf_models
+        from repro.simulator import SimulatedDevice
+        from tests.conftest import TINY_SPACE
+
+        device = SimulatedDevice(TITAN_XP, seed=21)
+        xp_registry, _ = build_perf_models(
+            device, microbench_scale=0.2, epochs=120, space=TINY_SPACE, seed=2
+        )
+        graph = build_model("DLRM_default", 512)
+        prof = device.run(graph, iterations=6, with_profiler=True, warmup=1)
+        truth = device.run(graph, iterations=6, warmup=1)
+        db = OverheadDatabase.from_trace(prof.trace)
+        pred = predict_e2e(graph, xp_registry, db)
+        err = abs(pred.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
+        assert err < 0.25
+
+    def test_prediction_is_fast(self, dlrm_graph, registry, overhead_db):
+        """'Our performance model ... finishes a single E2E prediction
+        in a few seconds' — ours should be well under one."""
+        import time
+
+        start = time.perf_counter()
+        predict_e2e(dlrm_graph, registry, overhead_db)
+        assert time.perf_counter() - start < 2.0
+
+    def test_kernel_only_vs_e2e_across_batches(self, device, registry):
+        """Kernel-only degrades as utilization drops (small batch)."""
+        gaps = []
+        for batch in (256, 2048):
+            graph = build_model("DLRM_default", batch)
+            prof = device.run(graph, iterations=5, with_profiler=True, warmup=1)
+            truth = device.run(graph, iterations=5, warmup=1)
+            db = OverheadDatabase.from_trace(prof.trace)
+            ko = predict_kernel_only_us(graph, registry)
+            gaps.append((truth.mean_e2e_us - ko) / truth.mean_e2e_us)
+        assert gaps[0] > gaps[1]  # bigger gap at smaller batch

@@ -1,0 +1,82 @@
+"""Unit tests for training-memory prediction."""
+
+import pytest
+
+from repro.e2e.memory import (
+    MemoryPrediction,
+    max_batch_within_memory,
+    predict_memory,
+)
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+
+
+class TestMemoryPrediction:
+    def test_components_positive(self):
+        pred = predict_memory(build_model("DLRM_default", 512))
+        assert pred.parameter_bytes > 0
+        assert pred.peak_activation_bytes > 0
+        assert pred.input_bytes > 0
+        assert pred.total_bytes == (
+            pred.parameter_bytes + pred.gradient_bytes
+            + pred.optimizer_state_bytes + pred.peak_activation_bytes
+            + pred.input_bytes
+        )
+
+    def test_embedding_tables_dominate_parameters(self):
+        """DLRM_default: 8 x 1M x 64 floats = ~2 GiB of tables."""
+        pred = predict_memory(build_model("DLRM_default", 512))
+        table_bytes = 8 * 1_000_000 * 64 * 4
+        assert pred.parameter_bytes >= table_bytes
+
+    def test_activations_scale_with_batch(self):
+        small = predict_memory(build_model("DLRM_default", 512))
+        large = predict_memory(build_model("DLRM_default", 2048))
+        assert large.peak_activation_bytes > 2 * small.peak_activation_bytes
+        # Parameters do not scale with batch.
+        assert large.parameter_bytes == small.parameter_bytes
+
+    def test_optimizer_state_multipliers(self):
+        g = build_model("DLRM_default", 512)
+        sgd = predict_memory(g, "sgd")
+        adam = predict_memory(g, "adam")
+        assert sgd.optimizer_state_bytes == 0
+        assert adam.optimizer_state_bytes == 2 * adam.parameter_bytes
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(KeyError):
+            predict_memory(build_model("DLRM_default", 64), "lamb")
+
+    def test_gradients_match_parameters(self):
+        pred = predict_memory(build_model("resnet50", 4))
+        assert pred.gradient_bytes == pred.parameter_bytes
+
+    def test_fits(self):
+        pred = MemoryPrediction(2**30, 2**30, 0, 2**30, 0)
+        assert pred.fits(4 * 2**30)
+        assert not pred.fits(3 * 2**30)  # 3 GiB * 0.9 headroom < 3 GiB
+
+    def test_fits_bad_headroom(self):
+        pred = MemoryPrediction(1, 1, 0, 1, 0)
+        with pytest.raises(ValueError):
+            pred.fits(100, headroom=0.0)
+
+    def test_total_gib(self):
+        pred = MemoryPrediction(2**30, 0, 0, 0, 0)
+        assert pred.total_gib == pytest.approx(1.0)
+
+
+class TestMaxBatch:
+    def test_monotone_selection(self):
+        build = lambda b: build_dlrm_graph(DLRM_DEFAULT, b)
+        cap = predict_memory(build(1024)).total_bytes / 0.9 + 1
+        best = max_batch_within_memory(
+            build, int(cap), candidate_batches=(256, 1024, 4096)
+        )
+        assert best == 1024
+
+    def test_none_when_nothing_fits(self):
+        build = lambda b: build_dlrm_graph(DLRM_DEFAULT, b)
+        assert max_batch_within_memory(
+            build, 1024, candidate_batches=(256,)
+        ) is None

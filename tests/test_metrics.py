@@ -1,0 +1,100 @@
+"""Unit tests for error metrics (GMAE & friends)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ErrorStats,
+    absolute_relative_errors,
+    geomean,
+    gmae,
+    mean_absolute_relative_error,
+    relative_error,
+    std_absolute_relative_error,
+)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_exact_prediction(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+
+class TestGmae:
+    def test_single_sample(self):
+        assert gmae([11.0], [10.0]) == pytest.approx(0.1)
+
+    def test_is_geometric_mean(self):
+        # errors 10% and 40% -> sqrt(0.1 * 0.4) = 0.2
+        value = gmae([1.1, 1.4], [1.0, 1.0])
+        assert value == pytest.approx(math.sqrt(0.04), rel=1e-9)
+
+    def test_under_and_over_prediction_symmetric(self):
+        assert gmae([0.9], [1.0]) == pytest.approx(gmae([1.1], [1.0]))
+
+    def test_perfect_prediction_does_not_crash(self):
+        assert gmae([1.0, 2.0], [1.0, 2.0]) < 1e-6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gmae([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gmae([1.0], [1.0, 2.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_gmae_below_mean_error(self, actuals):
+        """AM-GM: the geometric mean never exceeds the arithmetic mean."""
+        predicted = [a * 1.25 for a in actuals]
+        g = gmae(predicted, actuals)
+        m = mean_absolute_relative_error(predicted, actuals)
+        assert g <= m + 1e-9
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean_absolute_relative_error([1.1, 0.8], [1.0, 1.0]) == pytest.approx(0.15)
+
+    def test_std_zero_for_constant_error(self):
+        assert std_absolute_relative_error([2.0, 4.0], [1.0, 2.0]) == pytest.approx(0.0)
+
+    def test_error_stats_bundle(self):
+        stats = ErrorStats.from_samples([1.1, 1.2], [1.0, 1.0])
+        assert stats.mean == pytest.approx(0.15)
+        assert stats.gmae == pytest.approx(math.sqrt(0.1 * 0.2))
+        assert "%" in stats.as_percentages()
+
+    def test_absolute_errors_list(self):
+        errs = absolute_relative_errors([2.0, 0.5], [1.0, 1.0])
+        assert errs == [1.0, 0.5]
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

@@ -1,0 +1,100 @@
+"""Unit tests for microbenchmark spaces, runner and datasets."""
+
+import pytest
+
+from repro.metrics import ErrorStats
+from repro.microbench import (
+    MicrobenchDataset,
+    measure_peaks,
+    run_microbenchmark,
+    space_for,
+)
+from repro.ops import KernelType
+
+
+class TestSpaces:
+    @pytest.mark.parametrize("kt", list(KernelType.ALL))
+    def test_every_kernel_type_has_space(self, kt):
+        configs = space_for(kt, scale=0.05, seed=0)
+        assert configs
+
+    def test_scale_shrinks(self):
+        small = space_for(KernelType.GEMM, scale=0.05)
+        large = space_for(KernelType.GEMM, scale=0.2)
+        assert len(small) < len(large)
+
+    def test_deterministic_given_seed(self):
+        a = space_for(KernelType.GEMM, scale=0.05, seed=3)
+        b = space_for(KernelType.GEMM, scale=0.05, seed=3)
+        assert a == b
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(KeyError):
+            space_for("fft")
+
+    def test_gemm_space_covers_batched(self):
+        configs = space_for(KernelType.GEMM, scale=0.3, seed=0)
+        assert any(c["batch"] > 64 for c in configs)
+        assert any(c["batch"] == 1 for c in configs)
+
+
+class TestRunner:
+    def test_measurements_positive(self, device):
+        ds = run_microbenchmark(device, KernelType.CONCAT, scale=0.03, seed=0)
+        assert len(ds) > 0
+        assert all(r.measured_us > 0 for r in ds.records)
+
+    def test_repeatable(self, device):
+        a = run_microbenchmark(device, KernelType.CONCAT, scale=0.03, seed=0)
+        b = run_microbenchmark(device, KernelType.CONCAT, scale=0.03, seed=0)
+        assert a.targets().tolist() == b.targets().tolist()
+
+    def test_explicit_configs(self, device):
+        configs = [{"bytes_total": 1e6, "num_inputs": 2}]
+        ds = run_microbenchmark(device, KernelType.CONCAT, configs=configs)
+        assert len(ds) == 1
+
+    def test_measurement_near_truth(self, device):
+        """30-iteration means sit within noise of the true mean."""
+        from repro.ops import gemm_kernel
+
+        k = gemm_kernel(512, 512, 512)
+        measured = device.measure_kernel_us(k)
+        true = device.latency.duration_us(k)
+        assert measured == pytest.approx(true, rel=0.05)
+
+
+class TestDataset:
+    def test_features_and_targets(self, device):
+        ds = run_microbenchmark(device, KernelType.GEMM, scale=0.03, seed=0)
+        X = ds.features()
+        assert X.shape == (len(ds), len(ds.feature_names))
+        assert len(ds.targets()) == len(ds)
+
+    def test_split_partitions(self, device):
+        ds = run_microbenchmark(device, KernelType.GEMM, scale=0.05, seed=0)
+        train, test = ds.split(0.8, seed=1)
+        assert len(train) + len(test) == len(ds)
+        assert len(train) > len(test)
+
+    def test_split_bad_fraction(self, device):
+        ds = run_microbenchmark(device, KernelType.GEMM, scale=0.03, seed=0)
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+    def test_json_roundtrip(self, device):
+        ds = run_microbenchmark(device, KernelType.GEMM, scale=0.03, seed=0)
+        restored = MicrobenchDataset.from_json(ds.to_json())
+        assert restored.targets().tolist() == ds.targets().tolist()
+        assert restored.feature_names == ds.feature_names
+
+
+class TestHardwarePeaks:
+    def test_measured_peaks_plausible(self, device):
+        peaks = measure_peaks(device)
+        gpu = device.gpu
+        # Achieved peaks land below datasheet but within a 2x band.
+        assert 0.5 * gpu.peak_dram_bw_gbs < peaks.dram_bw_gbs < gpu.peak_dram_bw_gbs
+        assert 0.4 * gpu.peak_fp32_gflops < peaks.fp32_gflops < gpu.peak_fp32_gflops
+        assert peaks.pcie_bw_gbs < gpu.pcie_bw_gbs
+        assert peaks.extras["launch_us"] > 0

@@ -1,0 +1,159 @@
+"""Unit tests for the workload zoo graph builders."""
+
+import pytest
+
+from repro.models import (
+    DLRM_CONFIGS,
+    FIGURE1_BATCH_SIZES,
+    build_model,
+)
+from repro.models.dlrm import (
+    DLRM_DDP,
+    DLRM_DEFAULT,
+    DLRM_MLPERF,
+    DlrmConfig,
+    build_dlrm,
+    build_dlrm_graph,
+)
+from repro.models.transformer import TRANSFORMER_BASE, TransformerConfig
+from repro.ops import (
+    BinaryCrossEntropy,
+    Conv2d,
+    LookupFunction,
+    LookupFunctionBackward,
+    MseLoss,
+)
+
+
+class TestDlrmConfigs:
+    def test_table3_default(self):
+        assert DLRM_DEFAULT.bot_mlp == (512, 512, 64)
+        assert DLRM_DEFAULT.num_tables == 8
+        assert DLRM_DEFAULT.rows_per_table == 1_000_000
+        assert DLRM_DEFAULT.embedding_dim == 64
+        assert DLRM_DEFAULT.top_mlp == (1024, 1024, 1024, 1)
+
+    def test_table3_mlperf(self):
+        assert DLRM_MLPERF.bot_mlp == (13, 512, 256, 128)
+        assert DLRM_MLPERF.num_tables == 26
+        assert max(DLRM_MLPERF.table_rows) == 14_000_000
+        assert DLRM_MLPERF.loss == "bce"
+
+    def test_table3_ddp(self):
+        assert DLRM_DDP.bot_mlp == (128, 128, 128, 128)
+        assert DLRM_DDP.rows_per_table == 80_000
+        assert DLRM_DDP.top_mlp == (512, 512, 512, 256, 1)
+
+    def test_interaction_features(self):
+        assert DLRM_DEFAULT.num_interaction_features == 9
+        assert DLRM_MLPERF.num_interaction_features == 27
+
+    def test_avg_rows(self):
+        assert DLRM_DEFAULT.avg_rows == 1_000_000
+        assert 1_000_000 < DLRM_MLPERF.avg_rows < 14_000_000
+
+    def test_bad_bottom_mlp_rejected(self):
+        with pytest.raises(ValueError, match="embedding dim"):
+            DlrmConfig("bad", (16, 32), 2, 100, 64, (8, 1))
+
+    def test_bad_top_mlp_rejected(self):
+        with pytest.raises(ValueError, match="width 1"):
+            DlrmConfig("bad", (16, 64), 2, 100, 64, (8, 2))
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(ValueError, match="loss"):
+            DlrmConfig("bad", (16, 64), 2, 100, 64, (8, 1), loss="hinge")
+
+    def test_mismatched_table_list_rejected(self):
+        with pytest.raises(ValueError):
+            DlrmConfig("bad", (16, 64), 3, (10, 20), 64, (8, 1))
+
+
+class TestDlrmGraphs:
+    @pytest.mark.parametrize("name", sorted(DLRM_CONFIGS))
+    def test_builds_and_validates(self, name):
+        g = build_dlrm(name, 256)
+        g.validate()
+        assert len(g) > 40
+
+    def test_loss_op_matches_config(self):
+        g_default = build_dlrm("DLRM_default", 64)
+        g_mlperf = build_dlrm("DLRM_MLPerf", 64)
+        assert any(isinstance(n.op, MseLoss) for n in g_default)
+        assert any(isinstance(n.op, BinaryCrossEntropy) for n in g_mlperf)
+
+    def test_fused_lookup_present(self):
+        g = build_dlrm("DLRM_default", 64)
+        lookups = [n for n in g if isinstance(n.op, LookupFunction)]
+        bwd = [n for n in g if isinstance(n.op, LookupFunctionBackward)]
+        assert len(lookups) == 1
+        assert len(bwd) == 1
+        assert lookups[0].op.T == 8
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_dlrm("DLRM_unknown", 64)
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_dlrm_graph(DLRM_DEFAULT, 0)
+
+    def test_mlperf_uses_average_table_size(self):
+        g = build_dlrm("DLRM_MLPerf", 64)
+        lookup = next(n for n in g if isinstance(n.op, LookupFunction))
+        assert lookup.op.E == DLRM_MLPERF.avg_rows
+
+    def test_batch_scaling_monotone_kernels(self):
+        small = build_dlrm("DLRM_default", 64).num_kernels()
+        large = build_dlrm("DLRM_default", 4096).num_kernels()
+        assert small == large  # kernel count is batch-independent
+
+
+class TestVisionModels:
+    def test_resnet50_conv_count(self):
+        g = build_model("resnet50", 2)
+        convs = [n for n in g if isinstance(n.op, Conv2d)]
+        assert len(convs) == 53  # 1 stem + 3*16 blocks + 4 downsamples
+
+    def test_resnet50_validates(self):
+        g = build_model("resnet50", 2)
+        g.validate()
+
+    def test_inception_bigger_than_resnet(self):
+        r = build_model("resnet50", 2)
+        i = build_model("inception_v3", 2)
+        assert len(i) > len(r)
+
+    def test_inception_has_rect_convs(self):
+        g = build_model("inception_v3", 2)
+        rect = [
+            n for n in g
+            if isinstance(n.op, Conv2d) and n.op.r != n.op.s
+        ]
+        assert rect, "Inception-V3 must contain 1x7/7x1 convolutions"
+
+
+class TestTransformer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(d_model=100, num_heads=3)
+
+    def test_d_head(self):
+        assert TRANSFORMER_BASE.d_head * TRANSFORMER_BASE.num_heads == \
+            TRANSFORMER_BASE.d_model
+
+    def test_builds(self):
+        g = build_model("Transformer", 2)
+        g.validate()
+        assert g.num_kernels() > 100
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(FIGURE1_BATCH_SIZES))
+    def test_every_figure1_model_builds(self, name):
+        g = build_model(name, 2 if name not in DLRM_CONFIGS else 64)
+        assert len(g) > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("bert", 2)

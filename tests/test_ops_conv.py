@@ -1,0 +1,90 @@
+"""Unit tests for convolution / batch-norm / pooling operators."""
+
+import pytest
+
+from repro.ops import (
+    AvgPool2d,
+    AvgPool2dBackward,
+    BatchNorm2d,
+    BatchNormBackward,
+    Conv2d,
+    Conv2dBackward,
+    KernelType,
+    MaxPool2d,
+    MaxPool2dBackward,
+    conv_output_hw,
+)
+
+
+class TestConvOutput:
+    def test_same_padding(self):
+        assert conv_output_hw(56, 56, 3, 3, 1, 1) == (56, 56)
+
+    def test_stride_two(self):
+        assert conv_output_hw(224, 224, 7, 7, 2, 3) == (112, 112)
+
+    def test_asymmetric_pad(self):
+        assert conv_output_hw(17, 17, 1, 7, 1, (0, 3)) == (17, 17)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 2, 5, 5, 1, 0)
+
+
+class TestConv2d:
+    def test_shapes(self):
+        op = Conv2d(8, 3, 224, 224, 64, 7, 7, stride=2, pad=3)
+        assert op.outputs[0].shape == (8, 64, 112, 112)
+        assert op.inputs[1].shape == (64, 3, 7, 7)
+
+    def test_kernel_params_include_pads(self):
+        op = Conv2d(8, 16, 17, 17, 32, 1, 7, pad=(0, 3))
+        (k,) = op.kernel_calls()
+        assert k.kernel_type == KernelType.CONV
+        assert k.params["pad_h"] == 0
+        assert k.params["pad_w"] == 3
+
+    def test_rescale(self):
+        op = Conv2d(8, 3, 32, 32, 16, 3, 3, pad=1).rescale_batch(8, 4)
+        assert op.n == 4
+
+
+class TestConvBackward:
+    def test_two_conv_kernels(self):
+        ks = Conv2dBackward(8, 3, 32, 32, 16, 3, 3, pad=1).kernel_calls()
+        assert len(ks) == 2
+        assert {k.name for k in ks} == {"conv2d_dgrad", "conv2d_wgrad"}
+
+    def test_output_shapes(self):
+        op = Conv2dBackward(8, 3, 32, 32, 16, 3, 3, pad=1)
+        dx, dw = op.outputs
+        assert dx.shape == (8, 3, 32, 32)
+        assert dw.shape == (16, 3, 3, 3)
+
+
+class TestBatchNorm:
+    def test_forward_own_kernel_type(self):
+        (k,) = BatchNorm2d(8, 64, 56, 56).kernel_calls()
+        assert k.kernel_type == KernelType.BATCHNORM
+
+    def test_backward(self):
+        op = BatchNormBackward(8, 64, 56, 56)
+        assert op.outputs[0].shape == (8, 64, 56, 56)
+
+
+class TestPooling:
+    def test_maxpool_shapes(self):
+        op = MaxPool2d(8, 64, 112, 112, kernel=3, stride=2, pad=1)
+        assert op.outputs[0].shape == (8, 64, 56, 56)
+
+    def test_maxpool_backward_restores_shape(self):
+        op = MaxPool2dBackward(8, 64, 112, 112, kernel=3, stride=2, pad=1)
+        assert op.outputs[0].shape == (8, 64, 112, 112)
+
+    def test_global_avgpool(self):
+        op = AvgPool2d(8, 2048, 7, 7)
+        assert op.outputs[0].shape == (8, 2048, 1, 1)
+
+    def test_avgpool_backward(self):
+        op = AvgPool2dBackward(8, 2048, 7, 7)
+        assert op.outputs[0].shape == (8, 2048, 7, 7)

@@ -1,0 +1,94 @@
+"""Unit tests for GEMM-backed dense operators."""
+
+import pytest
+
+from repro.ops import (
+    Addmm,
+    AddmmBackward,
+    Bmm,
+    BmmBackward,
+    KernelType,
+    Linear,
+    Matmul,
+    gemm_kernel,
+)
+
+
+class TestGemmKernel:
+    def test_params(self):
+        k = gemm_kernel(64, 32, 16, batch=4)
+        assert k.kernel_type == KernelType.GEMM
+        assert dict(k.params) == {"m": 64, "n": 32, "k": 16, "batch": 4}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gemm_kernel(0, 1, 1)
+
+
+class TestLinear:
+    def test_shapes(self):
+        op = Linear(32, 100, 50)
+        x, w, b = op.inputs
+        assert x.shape == (32, 100)
+        assert w.shape == (50, 100)
+        assert b.shape == (50,)
+        assert op.outputs[0].shape == (32, 50)
+
+    def test_single_gemm_kernel(self):
+        (k,) = Linear(32, 100, 50).kernel_calls()
+        assert k.params["m"] == 32
+        assert k.params["n"] == 50
+        assert k.params["k"] == 100
+
+    def test_rescale_batch(self):
+        op = Linear(32, 100, 50).rescale_batch(32, 64)
+        assert op.batch == 64
+        assert op.kernel_calls()[0].params["m"] == 64
+
+    def test_rescale_ignores_non_matching(self):
+        op = Linear(32, 100, 50).rescale_batch(100, 7)
+        assert op.batch == 32
+
+
+class TestAddmmBackward:
+    def test_two_gemm_kernels(self):
+        ks = AddmmBackward(32, 100, 50).kernel_calls()
+        assert len(ks) == 2
+        dgrad, wgrad = ks
+        # dx = dy @ W : (B, out) x (out, in)
+        assert (dgrad.params["m"], dgrad.params["n"], dgrad.params["k"]) == (32, 100, 50)
+        # dW = dy.T @ x : (out, B) x (B, in)
+        assert (wgrad.params["m"], wgrad.params["n"], wgrad.params["k"]) == (50, 100, 32)
+
+    def test_outputs(self):
+        op = AddmmBackward(8, 16, 4)
+        dx, dw, db = op.outputs
+        assert dx.shape == (8, 16)
+        assert dw.shape == (4, 16)
+        assert db.shape == (4,)
+
+
+class TestBmm:
+    def test_batched_kernel(self):
+        (k,) = Bmm(128, 27, 64, 27).kernel_calls()
+        assert k.params["batch"] == 128
+        assert k.params["m"] == 27
+
+    def test_backward_two_batched_gemms(self):
+        ks = BmmBackward(128, 27, 64, 27).kernel_calls()
+        assert len(ks) == 2
+        assert all(k.params["batch"] == 128 for k in ks)
+
+    def test_bmm_rescale(self):
+        op = Bmm(128, 27, 64, 27).rescale_batch(128, 256)
+        assert op.kernel_calls()[0].params["batch"] == 256
+
+
+class TestAddmmAndMatmul:
+    def test_addmm_kernel(self):
+        (k,) = Addmm(64, 32, 16).kernel_calls()
+        assert (k.params["m"], k.params["n"], k.params["k"]) == (64, 16, 32)
+
+    def test_matmul_kernel(self):
+        (k,) = Matmul(64, 32, 16).kernel_calls()
+        assert (k.params["m"], k.params["n"], k.params["k"]) == (64, 16, 32)

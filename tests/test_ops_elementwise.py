@@ -1,0 +1,122 @@
+"""Unit tests for element-wise / reduction / loss operators."""
+
+import pytest
+
+from repro.ops import (
+    AccumulateGrad,
+    Add,
+    AddBackward,
+    AddInplace,
+    BinaryCrossEntropy,
+    BinaryCrossEntropyBackward,
+    KernelType,
+    MseLoss,
+    MseLossBackward,
+    Relu,
+    ReluBackward,
+    Sigmoid,
+    Softmax,
+    Sum,
+    TBackward,
+    View,
+    ZeroInplace,
+    Zeros,
+)
+
+
+def kernel_of(op):
+    calls = op.kernel_calls()
+    assert len(calls) == 1
+    return calls[0]
+
+
+class TestRelu:
+    def test_traffic(self):
+        k = kernel_of(Relu((128, 64)))
+        n = 128 * 64
+        assert k.params["flop"] == n
+        assert k.params["bytes_read"] == 4 * n
+        assert k.params["bytes_write"] == 4 * n
+
+    def test_backward_reads_two_tensors(self):
+        k = kernel_of(ReluBackward((128, 64)))
+        assert k.params["bytes_read"] == 2 * 4 * 128 * 64
+
+
+class TestLosses:
+    def test_mse_scalar_output(self):
+        op = MseLoss((32, 1))
+        assert op.outputs[0].shape == ()
+        assert kernel_of(op).params["bytes_write"] == pytest.approx(4.0)
+
+    def test_mse_backward_full_gradient(self):
+        k = kernel_of(MseLossBackward((32, 1)))
+        assert k.params["bytes_write"] == 4 * 32
+
+    def test_bce_pair(self):
+        fwd = kernel_of(BinaryCrossEntropy((64, 1)))
+        bwd = kernel_of(BinaryCrossEntropyBackward((64, 1)))
+        assert fwd.params["flop"] > 0
+        assert bwd.params["bytes_write"] == 4 * 64
+
+
+class TestFillOps:
+    def test_zero_inplace_write_only(self):
+        k = kernel_of(ZeroInplace((100,)))
+        assert k.params["bytes_read"] == 0
+        assert k.params["bytes_write"] == 400
+
+    def test_zeros_allocates(self):
+        op = Zeros((10, 10))
+        assert op.inputs == ()
+        assert kernel_of(op).params["bytes_write"] == 400
+
+    def test_sum_reduces_to_scalar(self):
+        op = Sum((50, 2))
+        assert op.outputs[0].shape == ()
+        assert kernel_of(op).params["bytes_read"] == 400
+
+
+class TestCpuOnlyOps:
+    def test_view_no_kernels(self):
+        assert View((4, 4), (16,)).kernel_calls() == ()
+
+    def test_view_rejects_numel_change(self):
+        with pytest.raises(ValueError):
+            View((4, 4), (15,))
+
+    def test_tbackward_no_kernels(self):
+        assert TBackward((3, 5)).kernel_calls() == ()
+        assert TBackward((3, 5)).outputs[0].shape == (5, 3)
+
+    def test_add_backward_passthrough(self):
+        op = AddBackward((8, 8))
+        assert op.kernel_calls() == ()
+        assert len(op.outputs) == 2
+
+
+class TestBinaryOps:
+    def test_add_reads_both(self):
+        k = kernel_of(Add((10,)))
+        assert k.params["bytes_read"] == 80
+
+    def test_add_inplace_same(self):
+        k = kernel_of(AddInplace((10,)))
+        assert k.params["bytes_write"] == 40
+
+    def test_accumulate_grad(self):
+        k = kernel_of(AccumulateGrad((10,)))
+        assert k.params["flop"] == 10
+
+
+class TestActivations:
+    def test_sigmoid_flops(self):
+        assert kernel_of(Sigmoid((10,))).params["flop"] == 40
+
+    def test_softmax_multi_pass_reads(self):
+        k = kernel_of(Softmax((4, 16)))
+        assert k.params["bytes_read"] == 2 * 4 * 64
+
+    def test_all_elementwise_type(self):
+        for op in (Relu((4,)), Add((4,)), Sum((4,)), Sigmoid((4,))):
+            assert kernel_of(op).kernel_type == KernelType.ELEMENTWISE

@@ -1,0 +1,82 @@
+"""Unit tests for embedding-lookup operators."""
+
+import pytest
+
+from repro.ops import (
+    EmbeddingBag,
+    EmbeddingBagBackward,
+    KernelType,
+    LookupFunction,
+    LookupFunctionBackward,
+    embedding_kernel,
+)
+
+
+class TestEmbeddingKernel:
+    def test_fwd_type(self):
+        k = embedding_kernel("fwd", 512, 1000, 8, 10, 64)
+        assert k.kernel_type == KernelType.EMBEDDING_FWD
+        assert k.params["B"] == 512
+        assert k.params["rows_per_block"] == 32
+
+    def test_bwd_type(self):
+        k = embedding_kernel("bwd", 512, 1000, 8, 10, 64)
+        assert k.kernel_type == KernelType.EMBEDDING_BWD
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            embedding_kernel("sideways", 1, 1, 1, 1, 1)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            embedding_kernel("fwd", 0, 1, 1, 1, 1)
+
+
+class TestLookupFunction:
+    def test_tensor_signature(self):
+        op = LookupFunction(B=512, E=1000, T=8, L=10, D=64)
+        weights, indices, offsets = op.inputs
+        assert weights.shape == (8 * 1000, 64)
+        assert indices.shape == (512 * 8 * 10,)
+        assert indices.dtype == "int64"
+        assert offsets.shape == (512 * 8 + 1,)
+        assert op.outputs[0].shape == (512, 8, 64)
+
+    def test_single_batched_kernel(self):
+        op = LookupFunction(B=512, E=1000, T=8, L=10, D=64)
+        (k,) = op.kernel_calls()
+        assert k.params["T"] == 8
+
+    def test_rescale_batch(self):
+        op = LookupFunction(512, 1000, 8, 10, 64).rescale_batch(512, 1024)
+        assert op.B == 1024
+        assert op.inputs[1].shape == (1024 * 8 * 10,)
+
+
+class TestLookupFunctionBackward:
+    def test_updates_weights_inplace_signature(self):
+        op = LookupFunctionBackward(B=256, E=500, T=4, L=2, D=32)
+        grad, weights, indices = op.inputs
+        assert grad.shape == (256, 4, 32)
+        assert op.outputs[0].shape == weights.shape
+
+    def test_kernel_is_backward(self):
+        (k,) = LookupFunctionBackward(256, 500, 4, 2, 32).kernel_calls()
+        assert k.kernel_type == KernelType.EMBEDDING_BWD
+
+
+class TestEmbeddingBag:
+    def test_single_table(self):
+        op = EmbeddingBag(B=128, E=1000, L=5, D=16)
+        (k,) = op.kernel_calls()
+        assert k.params["T"] == 1
+        assert op.outputs[0].shape == (128, 16)
+
+    def test_backward_counterpart(self):
+        op = EmbeddingBagBackward(B=128, E=1000, L=5, D=16)
+        (k,) = op.kernel_calls()
+        assert k.kernel_type == KernelType.EMBEDDING_BWD
+        assert k.params["T"] == 1
+
+    def test_rescale(self):
+        assert EmbeddingBag(128, 1000, 5, 16).rescale_batch(128, 64).B == 64

@@ -1,0 +1,50 @@
+"""Unit tests for feature-interaction (tril) operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ops import Index, IndexBackward, KernelType, tril_output_size
+
+
+class TestTrilSize:
+    def test_known_values(self):
+        assert tril_output_size(1) == 0
+        assert tril_output_size(2) == 1
+        assert tril_output_size(9) == 36
+        assert tril_output_size(27) == 351
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            tril_output_size(0)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_matches_pair_count(self, f):
+        assert tril_output_size(f) == f * (f - 1) // 2
+
+
+class TestIndex:
+    def test_shapes(self):
+        op = Index(B=64, F=9)
+        assert op.inputs[0].shape == (64, 9, 9)
+        assert op.outputs[0].shape == (64, 36)
+
+    def test_kernel(self):
+        (k,) = Index(64, 9).kernel_calls()
+        assert k.kernel_type == KernelType.TRIL_FWD
+        assert k.params == {"B": 64, "F": 9}
+
+    def test_rescale(self):
+        assert Index(64, 9).rescale_batch(64, 32).B == 32
+
+
+class TestIndexBackward:
+    def test_shapes_inverse_of_forward(self):
+        fwd = Index(B=64, F=9)
+        bwd = IndexBackward(B=64, F=9)
+        assert bwd.inputs[0].shape == fwd.outputs[0].shape
+        assert bwd.outputs[0].shape == fwd.inputs[0].shape
+
+    def test_kernel(self):
+        (k,) = IndexBackward(64, 9).kernel_calls()
+        assert k.kernel_type == KernelType.TRIL_BWD

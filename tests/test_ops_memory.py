@@ -1,0 +1,101 @@
+"""Unit tests for memory-movement operators."""
+
+import pytest
+
+from repro.ops import (
+    BatchedTranspose,
+    Cat,
+    CopyDeviceToDevice,
+    KernelType,
+    SliceBackward,
+    ToDevice,
+)
+
+
+class TestCat:
+    def test_output_shape(self):
+        op = Cat([(4, 2, 8), (4, 3, 8)], dim=1)
+        assert op.outputs[0].shape == (4, 5, 8)
+
+    def test_traffic_is_twice_input(self):
+        op = Cat([(10,), (6,)], dim=0)
+        (k,) = op.kernel_calls()
+        assert k.kernel_type == KernelType.CONCAT
+        assert k.params["bytes_total"] == 2 * (40 + 24)
+        assert k.params["num_inputs"] == 2
+
+    def test_negative_dim(self):
+        op = Cat([(2, 3), (2, 4)], dim=-1)
+        assert op.outputs[0].shape == (2, 7)
+
+    def test_mismatched_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Cat([(2, 3), (2, 3, 1)])
+
+    def test_mismatched_other_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Cat([(2, 3), (3, 3)], dim=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cat([])
+
+    def test_dim_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cat([(2, 3)], dim=2)
+
+
+class TestToDevice:
+    def test_h2d_kernel(self):
+        op = ToDevice((128, 16))
+        (k,) = op.kernel_calls()
+        assert k.kernel_type == KernelType.MEMCPY
+        assert k.params["h2d"] == 1
+        assert k.params["bytes"] == 4 * 128 * 16
+
+    def test_device_transition(self):
+        op = ToDevice((4,), "int64")
+        assert op.inputs[0].device == "cpu"
+        assert op.outputs[0].device == "gpu"
+        assert k_bytes(op) == 32
+
+
+def k_bytes(op):
+    return op.kernel_calls()[0].params["bytes"]
+
+
+class TestD2DCopy:
+    def test_not_h2d(self):
+        op = CopyDeviceToDevice((16, 16))
+        (k,) = op.kernel_calls()
+        assert k.params["h2d"] == 0
+
+
+class TestBatchedTranspose:
+    def test_swaps_axes(self):
+        op = BatchedTranspose(8, 3, 5)
+        assert op.inputs[0].shape == (8, 3, 5)
+        assert op.outputs[0].shape == (8, 5, 3)
+
+    def test_kernel_params(self):
+        (k,) = BatchedTranspose(8, 3, 5).kernel_calls()
+        assert k.kernel_type == KernelType.TRANSPOSE
+        assert (k.params["b"], k.params["m"], k.params["n"]) == (8, 3, 5)
+        assert k.params["elem_size"] == 4.0
+
+    def test_rescale(self):
+        op = BatchedTranspose(8, 3, 5).rescale_batch(8, 16)
+        assert op.b == 16
+
+
+class TestSliceBackward:
+    def test_both_directions_allowed(self):
+        grow = SliceBackward((4, 2), (4, 10))
+        shrink = SliceBackward((4, 10), (4, 2))
+        assert grow.outputs[0].shape == (4, 10)
+        assert shrink.outputs[0].shape == (4, 2)
+
+    def test_kernel_moves_both_tensors(self):
+        op = SliceBackward((4, 2), (4, 10))
+        (k,) = op.kernel_calls()
+        assert k.params["bytes"] == 4 * (8 + 40)

@@ -1,0 +1,35 @@
+"""Unit tests for optimizer-step operators."""
+
+import pytest
+
+from repro.ops import OptimizerStep, OptimizerZeroGrad
+
+
+class TestOptimizerStep:
+    def test_one_kernel_per_parameter(self):
+        op = OptimizerStep([(10, 10), (10,), (5, 10)])
+        assert len(op.kernel_calls()) == 3
+
+    def test_sgd_traffic(self):
+        op = OptimizerStep([(100,)])
+        (k,) = op.kernel_calls()
+        assert k.params["bytes_read"] == 2 * 400  # param + grad
+        assert k.params["bytes_write"] == 400
+        assert k.params["flop"] == 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerStep([])
+
+
+class TestZeroGrad:
+    def test_write_only(self):
+        op = OptimizerZeroGrad([(100,), (2, 2)])
+        ks = op.kernel_calls()
+        assert len(ks) == 2
+        assert all(k.params["bytes_read"] == 0 for k in ks)
+        assert ks[0].params["bytes_write"] == 400
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerZeroGrad([])

@@ -1,0 +1,226 @@
+"""Unit tests for kernel performance models (heuristic + ML + registry)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ErrorStats, gmae
+from repro.microbench import measure_peaks, run_microbenchmark
+from repro.ops import KernelCall, KernelType, gemm_kernel
+from repro.perfmodels import (
+    ConcatModel,
+    EnhancedEmbeddingModel,
+    MemcpyModel,
+    MlKernelModel,
+    MlpConfig,
+    MlpRegressor,
+    PerfModelRegistry,
+    PlainEmbeddingModel,
+    RooflineElementwiseModel,
+    grid_search,
+    warp_traffic_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def peaks(device):
+    return measure_peaks(device)
+
+
+class TestWarpTraffic:
+    def test_forward_components(self):
+        t = warp_traffic_bytes({"L": 10, "D": 64}, backward=False)
+        assert t["table_offsets"] == 32.0
+        assert t["offsets"] == 64.0
+        assert t["indices"] == 64.0  # ceil(40/32)*32
+        assert t["outputs"] == 256.0
+        assert t["weights"] == 2560.0  # 256 per lookup * 10
+
+    def test_backward_weights(self):
+        t = warp_traffic_bytes({"L": 10, "D": 64}, backward=True)
+        assert t["weights"] == np.ceil(2 * 4 * 10 * 64 / 32) * 32
+
+
+class TestEmbeddingModels:
+    def test_plain_accurate_on_large_tables(self, device, peaks):
+        ds = run_microbenchmark(device, KernelType.EMBEDDING_FWD, scale=0.1, seed=2)
+        model = PlainEmbeddingModel(device.gpu, peaks, backward=False)
+        big = [r for r in ds.records if r.params["E"] > 100_000]
+        stats = ErrorStats.from_samples(
+            [model.predict_us(r.params) for r in big],
+            [r.measured_us for r in big],
+        )
+        assert stats.gmae < 0.10  # Table IV EL-FL band
+
+    def test_enhanced_beats_plain_overall(self, device, peaks):
+        ds = run_microbenchmark(device, KernelType.EMBEDDING_FWD, scale=0.1, seed=2)
+        plain = PlainEmbeddingModel(device.gpu, peaks, backward=False)
+        enhanced = EnhancedEmbeddingModel(device.gpu, peaks, backward=False)
+        acts = [r.measured_us for r in ds.records]
+        err_plain = ErrorStats.from_samples(
+            [plain.predict_us(r.params) for r in ds.records], acts
+        ).mean
+        err_enh = ErrorStats.from_samples(
+            [enhanced.predict_us(r.params) for r in ds.records], acts
+        ).mean
+        assert err_enh < err_plain  # the paper's Table IV conclusion
+
+    def test_hit_rate_bounds(self, device, peaks):
+        model = EnhancedEmbeddingModel(device.gpu, peaks, backward=False)
+        tiny = model.hit_rate({"B": 512, "E": 100, "L": 1, "D": 64,
+                               "rows_per_block": 32})
+        huge = model.hit_rate({"B": 512, "E": 50_000_000, "L": 1, "D": 64,
+                               "rows_per_block": 32})
+        assert 0.0 <= huge < tiny <= 1.0
+
+    def test_backward_model_type(self, device, peaks):
+        m = EnhancedEmbeddingModel(device.gpu, peaks, backward=True)
+        assert m.kernel_type == KernelType.EMBEDDING_BWD
+
+
+class TestRooflines:
+    def test_elementwise_accuracy(self, device, peaks):
+        ds = run_microbenchmark(device, KernelType.ELEMENTWISE, scale=0.1, seed=3)
+        model = RooflineElementwiseModel(peaks)
+        stats = ErrorStats.from_samples(
+            [model.predict_us(r.params) for r in ds.records],
+            [r.measured_us for r in ds.records],
+        )
+        assert stats.gmae < 0.10
+
+    def test_memcpy_accuracy(self, device, peaks):
+        ds = run_microbenchmark(device, KernelType.MEMCPY, scale=0.1, seed=3)
+        model = MemcpyModel(peaks)
+        stats = ErrorStats.from_samples(
+            [model.predict_us(r.params) for r in ds.records],
+            [r.measured_us for r in ds.records],
+        )
+        assert stats.gmae < 0.10
+
+    def test_concat_accuracy(self, device, peaks):
+        ds = run_microbenchmark(device, KernelType.CONCAT, scale=0.1, seed=3)
+        model = ConcatModel(peaks)
+        stats = ErrorStats.from_samples(
+            [model.predict_us(r.params) for r in ds.records],
+            [r.measured_us for r in ds.records],
+        )
+        assert stats.gmae < 0.12
+
+    def test_compute_bound_elementwise(self, peaks):
+        model = RooflineElementwiseModel(peaks)
+        memory = model.predict_us(
+            {"flop": 1.0, "bytes_read": 1e8, "bytes_write": 1e8}
+        )
+        compute = model.predict_us(
+            {"flop": 1e12, "bytes_read": 4.0, "bytes_write": 4.0}
+        )
+        assert compute > memory
+
+
+class TestMlp:
+    def test_fits_power_law(self):
+        """The regressor must capture a smooth log-log relationship."""
+        rng = np.random.default_rng(0)
+        X = rng.integers(16, 4096, size=(400, 2)).astype(float)
+        y = 0.01 * X[:, 0] ** 0.9 * X[:, 1] ** 0.5 + 2.0
+        model = MlpRegressor(MlpConfig(num_layers=3, num_neurons=64,
+                                       epochs=200, seed=0))
+        model.fit(X[:350], y[:350])
+        err = gmae(model.predict(X[350:]).tolist(), y[350:].tolist())
+        assert err < 0.08
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            MlpRegressor().predict(np.ones((1, 2)))
+
+    def test_nonpositive_targets_rejected(self):
+        with pytest.raises(ValueError):
+            MlpRegressor().fit(np.ones((3, 2)), np.array([1.0, 0.0, 2.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MlpRegressor().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_sgd_lr_scaling(self):
+        cfg = MlpConfig(optimizer="sgd", learning_rate=1e-3)
+        assert cfg.effective_learning_rate == pytest.approx(1e-2)
+
+    def test_bad_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            MlpConfig(optimizer="rmsprop")
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(1, 100, size=(100, 2))
+        y = X[:, 0] + X[:, 1]
+        cfg = MlpConfig(epochs=30, seed=5)
+        a = MlpRegressor(cfg).fit(X, y).predict(X[:5])
+        b = MlpRegressor(cfg).fit(X, y).predict(X[:5])
+        assert np.allclose(a, b)
+
+
+class TestGridSearch:
+    def test_small_dataset_rejected(self, device):
+        ds = run_microbenchmark(
+            device, KernelType.GEMM,
+            configs=[{"m": 64, "n": 64, "k": 64, "batch": 1}] * 5,
+        )
+        with pytest.raises(ValueError):
+            grid_search(ds)
+
+    def test_leaderboard_sorted(self, device):
+        ds = run_microbenchmark(device, KernelType.TRIL_FWD, scale=0.15, seed=4)
+        space = {"num_layers": (3,), "num_neurons": (64, 128),
+                 "optimizer": ("adam",), "learning_rate": (2e-3,)}
+        result = grid_search(ds, space=space, epochs=60, seed=0)
+        errors = [e for _, e in result.leaderboard]
+        assert errors == sorted(errors)
+        assert result.val_gmae == errors[0]
+
+
+class TestRegistry:
+    def test_dispatch(self, registry):
+        k = gemm_kernel(512, 512, 512)
+        assert registry.predict_us(k) > 0
+
+    def test_missing_model_rejected(self):
+        empty = PerfModelRegistry()
+        with pytest.raises(KeyError):
+            empty.predict_us(gemm_kernel(2, 2, 2))
+
+    def test_wrong_type_rejected(self, registry):
+        model = registry.model_for(KernelType.GEMM)
+        bad = KernelCall(KernelType.CONCAT, {"bytes_total": 8.0, "num_inputs": 2})
+        with pytest.raises(ValueError):
+            model.predict_kernel(bad)
+
+    def test_all_dlrm_kernel_types_covered(self, registry, dlrm_graph):
+        for node in dlrm_graph.nodes:
+            for kernel in node.op.kernel_calls():
+                assert registry.predict_us(kernel) > 0
+
+    def test_ml_model_missing_feature(self, registry):
+        model = registry.model_for(KernelType.GEMM)
+        with pytest.raises(KeyError):
+            model.predict_us({"m": 2, "n": 2})
+
+
+class TestMlKernelModelAccuracy:
+    def test_gemm_under_10pct_gmae(self, device, registry):
+        """The paper's headline kernel bar, on held-out configs."""
+        ds = run_microbenchmark(device, KernelType.GEMM, scale=0.08, seed=77)
+        model = registry.model_for(KernelType.GEMM)
+        stats = ErrorStats.from_samples(
+            [model.predict_us(r.params) for r in ds.records],
+            [r.measured_us for r in ds.records],
+        )
+        assert stats.gmae < 0.15  # relaxed: test registry trains tiny
+
+    def test_tril_models_accurate(self, device, registry):
+        for kt in (KernelType.TRIL_FWD, KernelType.TRIL_BWD):
+            ds = run_microbenchmark(device, kt, scale=0.08, seed=78)
+            model = registry.model_for(kt)
+            stats = ErrorStats.from_samples(
+                [model.predict_us(r.params) for r in ds.records],
+                [r.measured_us for r in ds.records],
+            )
+            assert stats.gmae < 0.10

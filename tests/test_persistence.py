@@ -1,0 +1,76 @@
+"""Round-trip tests for performance-model registry persistence."""
+
+import numpy as np
+import pytest
+
+from repro.microbench import measure_peaks, run_microbenchmark, space_for
+from repro.ops import KernelCall, KernelType, gemm_kernel
+from repro.perfmodels import build_perf_models
+from repro.perfmodels.persistence import (
+    load_registry,
+    registry_from_dict,
+    registry_to_dict,
+    save_registry,
+)
+from tests.conftest import TINY_SPACE
+
+
+@pytest.fixture(scope="module")
+def built(device):
+    registry, report = build_perf_models(
+        device, microbench_scale=0.15, epochs=100, space=TINY_SPACE, seed=3
+    )
+    return registry, report
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_predictions_identical(self, device, built):
+        registry, report = built
+        data = registry_to_dict(registry, device.gpu, report.peaks)
+        restored, peaks = registry_from_dict(data)
+        kernels = [
+            gemm_kernel(512, 256, 128),
+            gemm_kernel(64, 64, 64, batch=256),
+            KernelCall(KernelType.TRANSPOSE,
+                       {"b": 512, "m": 9, "n": 64, "elem_size": 4.0}),
+            KernelCall(KernelType.TRIL_FWD, {"B": 1024, "F": 9}),
+            KernelCall(KernelType.CONCAT,
+                       {"bytes_total": 2e6, "num_inputs": 2}),
+            KernelCall(KernelType.MEMCPY, {"bytes": 1e7, "h2d": 1}),
+            KernelCall(KernelType.EMBEDDING_FWD,
+                       {"B": 512, "E": 100_000, "T": 4, "L": 10, "D": 64,
+                        "rows_per_block": 32}),
+            KernelCall(KernelType.ELEMENTWISE,
+                       {"flop": 1e6, "bytes_read": 4e6, "bytes_write": 4e6}),
+        ]
+        for kernel in kernels:
+            assert restored.predict_us(kernel) == pytest.approx(
+                registry.predict_us(kernel), rel=1e-12
+            )
+
+    def test_file_roundtrip(self, device, built, tmp_path):
+        registry, report = built
+        path = str(tmp_path / "registry.json")
+        save_registry(registry, device.gpu, report.peaks, path)
+        restored, peaks = load_registry(path)
+        assert peaks.dram_bw_gbs == pytest.approx(report.peaks.dram_bw_gbs)
+        assert set(restored.kernel_types) == set(registry.kernel_types)
+
+    def test_version_check(self, device, built):
+        registry, report = built
+        data = registry_to_dict(registry, device.gpu, report.peaks)
+        data["version"] = 42
+        with pytest.raises(ValueError, match="format"):
+            registry_from_dict(data)
+
+    def test_loaded_registry_usable_for_e2e(self, device, built, overhead_db,
+                                            dlrm_graph, tmp_path):
+        from repro.e2e import predict_e2e
+
+        registry, report = built
+        path = str(tmp_path / "registry.json")
+        save_registry(registry, device.gpu, report.peaks, path)
+        restored, _ = load_registry(path)
+        a = predict_e2e(dlrm_graph, registry, overhead_db)
+        b = predict_e2e(dlrm_graph, restored, overhead_db)
+        assert b.total_us == pytest.approx(a.total_us, rel=1e-9)

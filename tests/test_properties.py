@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import graph_from_dict, graph_to_dict
+from repro.hardware import TESLA_V100
+from repro.models.dlrm import DlrmConfig, build_dlrm_graph
+from repro.ops import KernelCall, KernelType, gemm_kernel
+from repro.overheads import remove_outliers
+from repro.simulator import GroundTruthLatency
+
+_LAT = GroundTruthLatency(TESLA_V100)
+
+dlrm_configs = st.builds(
+    DlrmConfig,
+    name=st.just("prop"),
+    bot_mlp=st.tuples(
+        st.sampled_from([13, 64, 256]),
+        st.sampled_from([64, 128]),
+    ).map(lambda t: (t[0], t[1], 64)),
+    num_tables=st.integers(min_value=1, max_value=12),
+    rows_per_table=st.integers(min_value=100, max_value=1_000_000),
+    embedding_dim=st.just(64),
+    top_mlp=st.sampled_from([(64, 1), (256, 64, 1), (1024, 256, 1)]),
+    lookups_per_table=st.integers(min_value=1, max_value=64),
+    loss=st.sampled_from(["mse", "bce"]),
+)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(config=dlrm_configs, batch=st.sampled_from([32, 128, 1024]))
+    def test_any_dlrm_config_builds_valid_graph(self, config, batch):
+        graph = build_dlrm_graph(config, batch)
+        graph.validate()
+        # Forward + backward + optimizer always yields both directions.
+        names = {n.op_name for n in graph}
+        assert "LookupFunction" in names
+        assert "LookupFunctionBackward" in names
+        assert "Optimizer.step" in names
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(config=dlrm_configs)
+    def test_serialization_roundtrip_exact(self, config):
+        graph = build_dlrm_graph(config, 64)
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert [n.op_name for n in restored] == [n.op_name for n in graph]
+        assert restored.num_kernels() == graph.num_kernels()
+        assert restored.tensors == graph.tensors
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(config=dlrm_configs,
+           batches=st.tuples(st.sampled_from([64, 256]), st.sampled_from([512, 2048])))
+    def test_resize_equals_rebuild(self, config, batches):
+        """rescale_batch must produce exactly the rebuilt graph's kernels."""
+        from repro.graph.transforms import rescale_batch
+
+        b0, b1 = batches
+        resized = rescale_batch(build_dlrm_graph(config, b0), b0, b1)
+        rebuilt = build_dlrm_graph(config, b1)
+        k_resized = [dict(k.params) for n in resized for k in n.op.kernel_calls()]
+        k_rebuilt = [dict(k.params) for n in rebuilt for k in n.op.kernel_calls()]
+        assert k_resized == k_rebuilt
+
+
+class TestLatencyInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=8192),
+        n=st.integers(min_value=1, max_value=4096),
+        k=st.integers(min_value=1, max_value=4096),
+        batch=st.integers(min_value=1, max_value=512),
+    )
+    def test_gemm_time_positive_and_finite(self, m, n, k, batch):
+        t = _LAT.duration_us(gemm_kernel(m, n, k, batch))
+        assert np.isfinite(t)
+        assert t > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(min_value=16, max_value=2048),
+        n=st.integers(min_value=16, max_value=2048),
+        k=st.integers(min_value=16, max_value=2048),
+    )
+    def test_gemm_monotone_in_every_dim(self, m, n, k):
+        base = _LAT.duration_us(gemm_kernel(m, n, k))
+        assert _LAT.duration_us(gemm_kernel(2 * m, n, k)) >= base * 0.999
+        assert _LAT.duration_us(gemm_kernel(m, 2 * n, k)) >= base * 0.999
+        assert _LAT.duration_us(gemm_kernel(m, n, 2 * k)) >= base * 0.999
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        B=st.integers(min_value=32, max_value=8192),
+        E=st.integers(min_value=100, max_value=10_000_000),
+        T=st.integers(min_value=1, max_value=32),
+        L=st.integers(min_value=1, max_value=128),
+        D=st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_embedding_fwd_leq_bwd(self, B, E, T, L, D):
+        params = {"B": B, "E": E, "T": T, "L": L, "D": D, "rows_per_block": 32}
+        fwd = _LAT.duration_us(KernelCall(KernelType.EMBEDDING_FWD, params))
+        bwd = _LAT.duration_us(KernelCall(KernelType.EMBEDDING_BWD, params))
+        assert fwd <= bwd * 1.001
+
+    @settings(max_examples=40, deadline=None)
+    @given(bytes_total=st.floats(min_value=64, max_value=1e9),
+           num_inputs=st.integers(min_value=1, max_value=64))
+    def test_concat_monotone_in_bytes(self, bytes_total, num_inputs):
+        small = _LAT.duration_us(
+            KernelCall(KernelType.CONCAT,
+                       {"bytes_total": bytes_total, "num_inputs": num_inputs})
+        )
+        large = _LAT.duration_us(
+            KernelCall(KernelType.CONCAT,
+                       {"bytes_total": 2 * bytes_total, "num_inputs": num_inputs})
+        )
+        assert large >= small
+
+
+class TestOutlierInvariants:
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=200))
+    def test_filter_never_empties(self, samples):
+        kept = remove_outliers(samples)
+        assert kept
+        assert set(kept) <= set(samples)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=4, max_size=200))
+    def test_filter_tightens_range(self, samples):
+        kept = remove_outliers(samples)
+        assert min(kept) >= min(samples)
+        assert max(kept) <= max(samples)
+
+
+class TestMetricsInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e5),
+                st.floats(min_value=0.01, max_value=3.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_gmae_scale_invariant(self, pairs):
+        """GMAE depends only on error ratios, not absolute scale."""
+        from repro.metrics import gmae
+
+        actual = [a for a, _ in pairs]
+        predicted = [a * r for a, r in pairs]
+        g1 = gmae(predicted, actual)
+        g2 = gmae([p * 1000 for p in predicted], [a * 1000 for a in actual])
+        assert g1 == pytest.approx(g2, rel=1e-6)
+
+
+import pytest  # noqa: E402  (used by approx above)

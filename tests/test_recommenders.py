@@ -1,0 +1,105 @@
+"""Unit + integration tests for the extra RM workloads."""
+
+import pytest
+
+from repro.e2e import predict_e2e
+from repro.models import build_model
+from repro.models.recommenders import (
+    DCN_CONFIG,
+    DEEPFM_CONFIG,
+    WIDE_AND_DEEP_CONFIG,
+    RecommenderConfig,
+    build_dcn_graph,
+    build_deepfm_graph,
+    build_wide_and_deep_graph,
+)
+from repro.overheads import OverheadDatabase
+
+_BUILDERS = {
+    "DeepFM": build_deepfm_graph,
+    "DCN": build_dcn_graph,
+    "WideAndDeep": build_wide_and_deep_graph,
+}
+
+
+class TestGraphs:
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_builds_and_validates(self, name):
+        graph = _BUILDERS[name](256)
+        graph.validate()
+        assert len(graph) > 20
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_has_embedding_and_backward(self, name):
+        names = {n.op_name for n in _BUILDERS[name](64)}
+        assert "LookupFunction" in names
+        assert "LookupFunctionBackward" in names
+        assert "Optimizer.step" in names
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_bce_head(self, name):
+        names = {n.op_name for n in _BUILDERS[name](64)}
+        assert "aten::binary_cross_entropy" in names
+        assert "BinaryCrossEntropyBackward0" in names
+
+    def test_dcn_has_cross_layers(self):
+        graph = build_dcn_graph(64)
+        muls = [n for n in graph if n.op_name == "aten::mul"]
+        assert len(muls) == DCN_CONFIG.cross_layers
+
+    def test_deepfm_has_fm_interaction(self):
+        names = {n.op_name for n in build_deepfm_graph(64)}
+        assert "aten::bmm" in names
+        assert "aten::index" in names
+
+    def test_builders_reachable_from_zoo(self):
+        for name in _BUILDERS:
+            assert len(build_model(name, 64)) > 0
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_nonpositive_batch_rejected(self, name):
+        with pytest.raises(ValueError):
+            _BUILDERS[name](0)
+
+    def test_serialization_roundtrip(self):
+        from repro.graph import graph_from_dict, graph_to_dict
+
+        for fn in _BUILDERS.values():
+            graph = fn(64)
+            restored = graph_from_dict(graph_to_dict(graph))
+            assert restored.num_kernels() == graph.num_kernels()
+
+
+class TestPredictionWithDlrmAssets:
+    """The extendibility claim: DLRM-trained assets cover new RMs."""
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_all_kernels_covered_by_registry(self, name, registry):
+        graph = _BUILDERS[name](128)
+        for node in graph.nodes:
+            for kernel in node.op.kernel_calls():
+                assert registry.predict_us(kernel) > 0
+
+    @pytest.mark.parametrize("name", sorted(_BUILDERS))
+    def test_e2e_error_within_band(self, name, device, registry):
+        graph = _BUILDERS[name](512)
+        profiled = device.run(graph, iterations=6, with_profiler=True, warmup=1)
+        truth = device.run(graph, iterations=6, warmup=1)
+        db = OverheadDatabase.from_trace(profiled.trace)
+        pred = predict_e2e(graph, registry, db)
+        err = abs(pred.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
+        assert err < 0.20, f"{name}: {err:.1%}"
+
+
+class TestConfig:
+    def test_custom_config(self):
+        config = RecommenderConfig(name="tiny", num_tables=4,
+                                   rows_per_table=1000, embedding_dim=8,
+                                   mlp=(32,))
+        graph = build_deepfm_graph(32, config)
+        graph.validate()
+
+    def test_default_names(self):
+        assert DEEPFM_CONFIG.name == "DeepFM"
+        assert DCN_CONFIG.name == "DCN"
+        assert WIDE_AND_DEEP_CONFIG.name == "WideAndDeep"

@@ -1,0 +1,194 @@
+"""Unit tests for the ground-truth simulator (latency, host, engine)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DEFAULT_CPU, TESLA_P100, TESLA_V100, CpuSpec
+from repro.models import build_model
+from repro.ops import KernelCall, KernelType, gemm_kernel
+from repro.simulator import (
+    GroundTruthLatency,
+    HostOverheadModel,
+    SimulatedDevice,
+    T1,
+    T2,
+    T4,
+    T5,
+)
+
+
+class TestLatencyModel:
+    @pytest.fixture(scope="class")
+    def lat(self):
+        return GroundTruthLatency(TESLA_V100)
+
+    def test_noiseless_is_deterministic(self, lat):
+        k = gemm_kernel(512, 512, 512)
+        assert lat.duration_us(k) == lat.duration_us(k)
+
+    def test_noise_varies(self, lat):
+        k = gemm_kernel(512, 512, 512)
+        rng = np.random.default_rng(0)
+        samples = {lat.duration_us(k, rng) for _ in range(5)}
+        assert len(samples) == 5
+
+    def test_gemm_monotone_in_k(self, lat):
+        t1 = lat.duration_us(gemm_kernel(1024, 1024, 256))
+        t2 = lat.duration_us(gemm_kernel(1024, 1024, 1024))
+        assert t2 > t1
+
+    def test_gemm_wave_quantization_staircase(self, lat):
+        """Just past a full wave, time jumps disproportionately."""
+        # 80 SMs, 128x64 tiles: m=1280, n=512 -> 80 tiles = 1 wave.
+        t_full = lat.duration_us(gemm_kernel(1280, 512, 512))
+        t_plus = lat.duration_us(gemm_kernel(1408, 512, 512))  # 88 tiles
+        increase = (t_plus - t_full) / t_full
+        size_increase = (1408 - 1280) / 1280
+        assert increase > size_increase  # superlinear at the boundary
+
+    def test_embedding_small_table_faster_per_byte(self, lat):
+        """L2-resident tables beat DRAM-bound ones per unit traffic."""
+        params = {"B": 512, "T": 4, "L": 8, "D": 64, "rows_per_block": 32}
+        small = KernelCall(KernelType.EMBEDDING_FWD, dict(params, E=1_000))
+        big = KernelCall(KernelType.EMBEDDING_FWD, dict(params, E=5_000_000))
+        assert lat.duration_us(small) < lat.duration_us(big)
+
+    def test_embedding_backward_slower_than_forward(self, lat):
+        params = {"B": 512, "E": 1_000_000, "T": 4, "L": 8, "D": 64,
+                  "rows_per_block": 32}
+        fwd = KernelCall(KernelType.EMBEDDING_FWD, params)
+        bwd = KernelCall(KernelType.EMBEDDING_BWD, params)
+        assert lat.duration_us(bwd) > lat.duration_us(fwd)
+
+    def test_transpose_small_dim_penalty(self, lat):
+        wide = KernelCall(KernelType.TRANSPOSE,
+                          {"b": 256, "m": 128, "n": 128, "elem_size": 4.0})
+        thin = KernelCall(KernelType.TRANSPOSE,
+                          {"b": 256 * 32, "m": 4, "n": 128, "elem_size": 4.0})
+        # Same bytes, worse coalescing for the thin case.
+        assert lat.duration_us(thin) > lat.duration_us(wide)
+
+    def test_memcpy_directions(self, lat):
+        h2d = KernelCall(KernelType.MEMCPY, {"bytes": 64e6, "h2d": 1})
+        d2d = KernelCall(KernelType.MEMCPY, {"bytes": 64e6, "h2d": 0})
+        assert lat.duration_us(h2d) > lat.duration_us(d2d)  # PCIe slower
+
+    def test_unknown_kernel_type_rejected(self, lat):
+        bogus = KernelCall(KernelType.GEMM, {"m": 1, "n": 1, "k": 1, "batch": 1})
+        object.__setattr__(bogus, "kernel_type", "warp_shuffle")
+        with pytest.raises(ValueError):
+            lat.duration_us(bogus)
+
+    def test_faster_gpu_is_faster(self):
+        k = gemm_kernel(2048, 2048, 2048)
+        v100 = GroundTruthLatency(TESLA_V100).duration_us(k)
+        p100 = GroundTruthLatency(TESLA_P100).duration_us(k)
+        assert v100 < p100
+
+    def test_minimum_duration_floor(self, lat):
+        tiny = KernelCall(KernelType.ELEMENTWISE,
+                          {"flop": 0.0, "bytes_read": 0.0, "bytes_write": 1.0})
+        assert lat.duration_us(tiny) >= 0.3
+
+
+class TestHostModel:
+    @pytest.fixture(scope="class")
+    def host(self):
+        return HostOverheadModel(DEFAULT_CPU)
+
+    def test_t1_op_independent(self, host):
+        assert host.mean_us("aten::relu", T1) == host.mean_us("aten::bmm", T1)
+
+    def test_t2_op_dependent(self, host):
+        heavy = host.mean_us("LookupFunction", T2)
+        light = host.mean_us("aten::relu", T2)
+        assert heavy > light
+
+    def test_memcpy_t4_extra(self, host):
+        assert host.mean_us("aten::to", T4, is_memcpy=True) > \
+            host.mean_us("aten::to", T4, is_memcpy=False)
+
+    def test_unknown_type_rejected(self, host):
+        with pytest.raises(ValueError):
+            host.mean_us("aten::relu", "T9")
+
+    def test_samples_positive(self, host):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert host.sample("aten::relu", T5, rng) > 0
+
+    def test_overhead_scale(self):
+        slow = HostOverheadModel(CpuSpec("slow", overhead_scale=2.0))
+        fast = HostOverheadModel(CpuSpec("fast", overhead_scale=1.0))
+        assert slow.mean_us("aten::relu", T2) == pytest.approx(
+            2.0 * fast.mean_us("aten::relu", T2)
+        )
+
+    def test_sample_mean_close_to_mean_us(self, host):
+        rng = np.random.default_rng(2)
+        samples = [host.sample("aten::linear", T2, rng) for _ in range(4000)]
+        mean = host.mean_us("aten::linear", T2)
+        # Long tail pushes the sample mean slightly above mean_us.
+        assert mean < np.mean(samples) < mean * 1.35
+
+
+class TestEngine:
+    def test_determinism(self):
+        g = build_model("DLRM_default", 128)
+        a = SimulatedDevice(TESLA_V100, seed=7).run(g, iterations=3)
+        b = SimulatedDevice(TESLA_V100, seed=7).run(g, iterations=3)
+        assert [it.e2e_us for it in a.iterations] == [it.e2e_us for it in b.iterations]
+
+    def test_seed_changes_results(self):
+        g = build_model("DLRM_default", 128)
+        a = SimulatedDevice(TESLA_V100, seed=7).run(g, iterations=1)
+        b = SimulatedDevice(TESLA_V100, seed=8).run(g, iterations=1)
+        assert a.mean_e2e_us != b.mean_e2e_us
+
+    def test_e2e_at_least_active(self, device):
+        g = build_model("DLRM_default", 128)
+        r = device.run(g, iterations=3)
+        for it in r.iterations:
+            assert it.e2e_us >= it.gpu_active_us
+
+    def test_utilization_bounded(self, device):
+        g = build_model("DLRM_default", 128)
+        r = device.run(g, iterations=3)
+        assert 0.0 < r.mean_gpu_utilization <= 1.0
+
+    def test_trace_only_with_profiler(self, device):
+        g = build_model("DLRM_default", 128)
+        assert device.run(g, iterations=1).trace is None
+        assert device.run(g, iterations=1, with_profiler=True).trace is not None
+
+    def test_warmup_not_traced(self, device):
+        g = build_model("DLRM_default", 128)
+        r = device.run(g, iterations=2, with_profiler=True, warmup=2)
+        iterations = {e.iteration for e in r.trace.events}
+        assert iterations == {0, 1}
+
+    def test_profiler_slows_host(self, device):
+        g = build_model("DLRM_default", 128)
+        plain = device.run(g, iterations=3).mean_e2e_us
+        profiled = device.run(g, iterations=3, with_profiler=True).mean_e2e_us
+        assert profiled > plain * 0.99  # never faster (noise-tolerant)
+
+    def test_bad_iterations_rejected(self, device):
+        g = build_model("DLRM_default", 128)
+        with pytest.raises(ValueError):
+            device.run(g, iterations=0)
+
+    def test_measure_kernel_positive(self, device):
+        t = device.measure_kernel_us(gemm_kernel(256, 256, 256))
+        assert t > 0
+
+    def test_kernel_events_disjoint_per_stream(self, device):
+        g = build_model("DLRM_default", 128)
+        trace = device.run(g, iterations=2, with_profiler=True).trace
+        kernels = sorted(
+            (e for e in trace.events if e.cat == "kernel"),
+            key=lambda e: e.ts,
+        )
+        for a, b in zip(kernels[:-1], kernels[1:]):
+            if a.stream == b.stream:
+                assert b.ts >= a.end - 1e-6

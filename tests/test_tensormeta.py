@@ -1,0 +1,85 @@
+"""Unit + property tests for tensor metadata."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensormeta import TensorMeta, dtype_size, total_bytes, total_numel
+
+shapes = st.lists(st.integers(min_value=0, max_value=64), min_size=0, max_size=4).map(tuple)
+
+
+class TestDtype:
+    def test_known_sizes(self):
+        assert dtype_size("float32") == 4
+        assert dtype_size("int64") == 8
+        assert dtype_size("float16") == 2
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            dtype_size("complex128")
+
+
+class TestTensorMeta:
+    def test_numel_and_bytes(self):
+        t = TensorMeta((4, 8), "float32")
+        assert t.numel == 32
+        assert t.nbytes == 128
+        assert t.ndim == 2
+
+    def test_scalar(self):
+        t = TensorMeta(())
+        assert t.numel == 1
+        assert t.nbytes == 4
+
+    def test_zero_dim_tensor_has_zero_bytes(self):
+        assert TensorMeta((0, 5)).nbytes == 0
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorMeta((-1, 2))
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ValueError):
+            TensorMeta((1,), device="tpu")
+
+    def test_bad_dtype_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            TensorMeta((1,), dtype="bfloat64")
+
+    def test_with_shape_preserves_dtype_device(self):
+        t = TensorMeta((2, 2), "int64", "cpu").with_shape((4,))
+        assert t.shape == (4,)
+        assert t.dtype == "int64"
+        assert t.device == "cpu"
+
+    def test_with_device(self):
+        assert TensorMeta((1,)).with_device("cpu").device == "cpu"
+
+    def test_with_batch_rescales_leading_dim(self):
+        t = TensorMeta((32, 7)).with_batch(32, 64)
+        assert t.shape == (64, 7)
+
+    def test_with_batch_leaves_weights_alone(self):
+        t = TensorMeta((128, 7)).with_batch(32, 64)
+        assert t.shape == (128, 7)
+
+    @given(shapes)
+    def test_numel_is_product(self, shape):
+        t = TensorMeta(shape)
+        expected = 1
+        for d in shape:
+            expected *= d
+        assert t.numel == expected
+
+    @given(shapes, st.sampled_from(["float32", "int64", "float16"]))
+    def test_nbytes_consistent(self, shape, dtype):
+        t = TensorMeta(shape, dtype)
+        assert t.nbytes == t.numel * dtype_size(dtype)
+
+
+class TestAggregates:
+    def test_totals(self):
+        ts = [TensorMeta((2, 2)), TensorMeta((3,), "int64")]
+        assert total_numel(ts) == 7
+        assert total_bytes(ts) == 16 + 24

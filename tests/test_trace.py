@@ -1,0 +1,123 @@
+"""Unit tests for trace events, event tree and breakdown analysis."""
+
+import pytest
+
+from repro.models import build_model
+from repro.trace import (
+    EventCategory,
+    Trace,
+    TraceEvent,
+    build_event_tree,
+    dominating_ops,
+    gpu_utilization,
+    iteration_breakdown,
+    top_level_ops,
+    trace_breakdown,
+)
+
+
+class TestTraceEvents:
+    def test_end_property(self):
+        e = TraceEvent("k", "kernel", 10.0, 5.0, 0, 0, "op")
+        assert e.end == 15.0
+
+    def test_json_roundtrip(self, profiled_run):
+        trace = profiled_run.trace
+        restored = Trace.from_json(trace.to_json())
+        assert len(restored.events) == len(trace.events)
+        assert restored.gpu_name == trace.gpu_name
+        assert restored.events[0] == trace.events[0]
+
+    def test_corrected_duration_subtracts_overhead(self, profiled_run):
+        trace = profiled_run.trace
+        kernel = next(e for e in trace.events if e.cat == EventCategory.KERNEL)
+        assert trace.corrected_duration(kernel) == pytest.approx(
+            kernel.dur - trace.gpu_profiler_overhead_us
+        )
+
+    def test_iteration_filter(self, profiled_run):
+        events = profiled_run.trace.iteration_events(0)
+        assert events
+        assert all(e.iteration == 0 for e in events)
+
+
+class TestEventTree:
+    def test_roots_are_ops(self, profiled_run):
+        roots = top_level_ops(profiled_run.trace, iteration=0)
+        assert roots
+        assert all(r.event.cat == EventCategory.OP for r in roots)
+
+    def test_runtime_events_nested(self, profiled_run):
+        roots = build_event_tree(profiled_run.trace, iteration=0)
+        runtimes = [
+            c for r in roots for c in r.children
+            if c.event.cat == EventCategory.RUNTIME
+        ]
+        assert runtimes, "runtime events must nest under op events"
+
+    def test_kernels_attached_by_correlation(self, profiled_run):
+        roots = top_level_ops(profiled_run.trace, iteration=0)
+        attached = sum(len(list(n.kernels)) for r in roots for n in r.walk())
+        total = sum(
+            1 for e in profiled_run.trace.events
+            if e.cat == EventCategory.KERNEL and e.iteration == 0
+        )
+        assert attached == total
+
+    def test_device_time_positive_for_kernel_ops(self, profiled_run):
+        roots = top_level_ops(profiled_run.trace, iteration=0)
+        linear = next(r for r in roots if r.event.op_name == "aten::linear")
+        assert linear.device_time() > 0
+
+    def test_one_root_per_graph_op(self, profiled_run, dlrm_graph):
+        roots = top_level_ops(profiled_run.trace, iteration=0)
+        assert len(roots) == len(dlrm_graph)
+
+
+class TestBreakdown:
+    def test_iteration_breakdown_fields(self, profiled_run):
+        part = iteration_breakdown(profiled_run.trace, 0)
+        assert part.e2e_us > part.active_us > 0
+        assert part.idle_us >= 0
+        assert 0 < part.gpu_utilization <= 1
+
+    def test_unknown_iteration_rejected(self, profiled_run):
+        with pytest.raises(ValueError):
+            iteration_breakdown(profiled_run.trace, 999)
+
+    def test_trace_breakdown_consistency(self, profiled_run):
+        bd = trace_breakdown(profiled_run.trace)
+        assert bd.mean_e2e_us >= bd.mean_active_us
+        assert bd.mean_idle_us == pytest.approx(
+            bd.mean_e2e_us - bd.mean_active_us
+        )
+
+    def test_breakdown_close_to_engine_truth(self, device, dlrm_graph, profiled_run):
+        """Trace-derived timings should track the engine's own stats."""
+        bd = trace_breakdown(profiled_run.trace)
+        assert bd.mean_active_us == pytest.approx(
+            profiled_run.mean_gpu_active_us, rel=0.05
+        )
+
+    def test_shares_sum_to_one(self, profiled_run):
+        shares = trace_breakdown(profiled_run.trace).device_time_shares()
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.02)
+        assert "Idle" in shares
+
+    def test_dominating_ops_sorted(self, profiled_run):
+        ranked = dominating_ops(profiled_run.trace, top_k=5)
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        assert len(ranked) == 5
+
+    def test_gpu_utilization_convenience(self, profiled_run):
+        assert 0 < gpu_utilization(profiled_run.trace) <= 1
+
+    def test_dlrm_has_meaningful_idle(self, device):
+        """The Figure 1 premise: DLRM shows device idle time."""
+        g = build_model("DLRM_default", 512)
+        trace = device.run(
+            g, iterations=3, batch_size=512, with_profiler=True, warmup=1
+        ).trace
+        bd = trace_breakdown(trace)
+        assert bd.mean_idle_us > 0.05 * bd.mean_e2e_us

@@ -1,0 +1,63 @@
+"""Unit tests for Chrome-trace export and trace diffing."""
+
+import json
+
+import pytest
+
+from repro.trace import diff_breakdowns, save_chrome_trace, trace_to_chrome
+
+
+class TestChromeExport:
+    def test_valid_json_with_all_events(self, profiled_run):
+        data = json.loads(trace_to_chrome(profiled_run.trace))
+        events = data["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == len(profiled_run.trace.events)
+
+    def test_gpu_rows_separate_from_cpu(self, profiled_run):
+        data = json.loads(trace_to_chrome(profiled_run.trace))
+        tids = {
+            e["tid"] for e in data["traceEvents"]
+            if e.get("ph") == "X" and e["cat"] == "kernel"
+        }
+        cpu_tids = {
+            e["tid"] for e in data["traceEvents"]
+            if e.get("ph") == "X" and e["cat"] != "kernel"
+        }
+        assert tids.isdisjoint(cpu_tids)
+
+    def test_metadata_names_present(self, profiled_run):
+        data = json.loads(trace_to_chrome(profiled_run.trace))
+        meta = [e for e in data["traceEvents"] if e.get("ph") == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+    def test_file_export(self, profiled_run, tmp_path):
+        path = str(tmp_path / "trace.json")
+        save_chrome_trace(profiled_run.trace, path)
+        with open(path) as f:
+            assert "traceEvents" in json.load(f)
+
+
+class TestDiff:
+    def test_self_diff_is_zero(self, profiled_run):
+        rows = diff_breakdowns(profiled_run.trace, profiled_run.trace)
+        for _, before, after, delta in rows:
+            assert delta == pytest.approx(0.0, abs=1e-9)
+
+    def test_diff_detects_change(self, device, profiled_run):
+        from repro.models import build_model
+
+        other = device.run(
+            build_model("DLRM_default", 1024), iterations=4,
+            batch_size=1024, with_profiler=True, warmup=1,
+        )
+        rows = diff_breakdowns(profiled_run.trace, other.trace)
+        e2e_row = rows[-1]
+        assert e2e_row[0] == "<e2e>"
+        assert e2e_row[3] > 0  # larger batch -> longer iterations
+
+    def test_top_k_limit(self, profiled_run):
+        rows = diff_breakdowns(profiled_run.trace, profiled_run.trace, top_k=3)
+        assert len(rows) == 4  # 3 ops + the e2e summary
