@@ -1,0 +1,134 @@
+"""Sweep-engine speedup — the batched/cached pipeline's perf baseline.
+
+A 16-point DLRM batch-size sweep is the canonical what-if workload
+(Section V-A(a)).  The old pipeline dispatched every kernel through a
+scalar model call, one graph at a time, with no dedup or caching; the
+sweep engine predicts the whole grid's kernel population in
+deduplicated, vectorized batches behind one shared cache.  This
+benchmark times both pipelines over identical grids with the same
+trained models and enforces the acceptance floor: the sweep path must
+be >= 3x faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.assets import get_graph, get_overheads, get_registry, write_result
+from repro.graph.transforms import rescale_batch
+from repro.simulator.host import T1, T2, T3, T5
+from repro.sweep import sweep_batch_sizes
+
+#: 16 batch sizes spanning the DLRM training range.
+SWEEP_BATCHES = tuple(128 * i for i in range(1, 17))
+RECORDED_BATCH = 2048
+
+
+def _naive_predict_e2e_us(graph, registry, overheads, t4_us=10.0, gap=1.0):
+    """The seed pipeline: scalar per-kernel dispatch, no cache."""
+    cpu_time = 0.0
+    gpu_time = {}
+    for node in graph.nodes:
+        name = node.op_name
+        cpu_time += overheads.mean_us(name, T1)
+        kernels = node.op.kernel_calls()
+        if kernels:
+            cpu_time += overheads.mean_us(name, T2)
+            stream = node.stream
+            for ki, kernel in enumerate(kernels):
+                t_kernel = registry.model_for(
+                    kernel.kernel_type
+                ).predict_kernel(kernel)
+                current = gpu_time.get(stream, 0.0)
+                start = max(current + gap, cpu_time + t4_us / 2.0)
+                gpu_time[stream] = start + t_kernel
+                cpu_time += t4_us
+                if ki < len(kernels) - 1:
+                    cpu_time += overheads.mean_us(name, T5)
+            cpu_time += overheads.mean_us(name, T3)
+        else:
+            cpu_time += overheads.mean_us(name, T5)
+    return max(cpu_time, max(gpu_time.values(), default=0.0))
+
+
+def _time_naive(graph, registry, overheads):
+    started = time.perf_counter()
+    totals = [
+        _naive_predict_e2e_us(
+            rescale_batch(graph, RECORDED_BATCH, batch), registry, overheads
+        )
+        for batch in SWEEP_BATCHES
+    ]
+    return time.perf_counter() - started, totals
+
+
+def _time_swept(graph, registry, overheads):
+    registry.cache_clear()
+    started = time.perf_counter()
+    result = sweep_batch_sizes(
+        graph, RECORDED_BATCH, SWEEP_BATCHES, registry, overheads
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, [r.prediction.total_us for r in result]
+
+
+def test_sweep_speedup_floor(benchmark):
+    """16-point DLRM sweep: sweep engine >= 3x over scalar dispatch."""
+    registry, _ = get_registry("V100")
+    graph = get_graph("DLRM_default", RECORDED_BATCH)
+    overheads = get_overheads("V100", "DLRM_default", RECORDED_BATCH)
+
+    # Warm both paths once (imports, lazy state), then time.
+    _naive_predict_e2e_us(graph, registry, overheads)
+    naive_s, naive_totals = _time_naive(graph, registry, overheads)
+    swept_s, swept_totals = _time_swept(graph, registry, overheads)
+    speedup = naive_s / swept_s
+    info = registry.cache_info()
+
+    write_result(
+        "sweep_speedup",
+        {
+            "points": len(SWEEP_BATCHES),
+            "naive_seconds": naive_s,
+            "sweep_seconds": swept_s,
+            "speedup": speedup,
+            "cache_hits": info.hits,
+            "cache_misses": info.misses,
+        },
+    )
+    print(
+        f"\n16-point DLRM sweep: naive {naive_s * 1e3:.1f} ms, "
+        f"sweep engine {swept_s * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"(cache {info.hits} hits / {info.misses} misses)"
+    )
+
+    benchmark.pedantic(
+        lambda: _time_swept(graph, registry, overheads), rounds=3, iterations=1
+    )
+
+    # Same numbers, much faster.
+    for naive_total, swept_total in zip(naive_totals, swept_totals):
+        assert swept_total == naive_total
+    assert speedup >= 3.0, f"sweep speedup {speedup:.2f}x below the 3x floor"
+
+
+def test_repeat_sweep_is_nearly_free(benchmark):
+    """A re-run over a warmed cache must be far faster still."""
+    registry, _ = get_registry("V100")
+    graph = get_graph("DLRM_default", RECORDED_BATCH)
+    overheads = get_overheads("V100", "DLRM_default", RECORDED_BATCH)
+
+    cold_s, _ = _time_swept(graph, registry, overheads)
+
+    def rerun():
+        return sweep_batch_sizes(
+            graph, RECORDED_BATCH, SWEEP_BATCHES, registry, overheads
+        )
+
+    rerun()
+    started = time.perf_counter()
+    rerun()
+    warm_s = time.perf_counter() - started
+    benchmark.pedantic(rerun, rounds=3, iterations=1)
+    assert warm_s < cold_s
+    assert registry.cache_info().hit_rate > 0.9

@@ -83,6 +83,12 @@ from repro.perfmodels import (
     save_registry,
 )
 from repro.simulator import SimulatedDevice
+from repro.sweep import (
+    SweepEngine,
+    SweepResult,
+    evaluate_graphs,
+    sweep_batch_sizes,
+)
 from repro.trace import Trace, gpu_utilization, trace_breakdown
 
 __version__ = "1.0.0"
@@ -110,6 +116,8 @@ __all__ = [
     "PerfModelRegistry",
     "CollectiveModel",
     "SimulatedDevice",
+    "SweepEngine",
+    "SweepResult",
     "TESLA_P100",
     "TESLA_V100",
     "TITAN_XP",
@@ -122,6 +130,7 @@ __all__ = [
     "build_multi_gpu_dlrm_plan",
     "build_perf_models",
     "evaluate_embedding_fusion",
+    "evaluate_graphs",
     "evaluate_sharding",
     "geomean",
     "gmae",
@@ -139,6 +148,7 @@ __all__ = [
     "run_microbenchmark",
     "save_graph",
     "save_registry",
+    "sweep_batch_sizes",
     "trace_breakdown",
     "widest_mlp_within_budget",
 ]

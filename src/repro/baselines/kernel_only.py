@@ -8,6 +8,7 @@ up to the idle fraction on DLRM (the paper measures up to -78.5%).
 
 from __future__ import annotations
 
+from repro.e2e import collect_plan, plan_kernels
 from repro.graph import ExecutionGraph
 from repro.perfmodels import PerfModelRegistry
 
@@ -16,8 +17,8 @@ def predict_kernel_only_us(
     graph: ExecutionGraph, registry: PerfModelRegistry
 ) -> float:
     """Sum of predicted kernel times over the whole graph (µs)."""
+    kernels = plan_kernels(collect_plan(graph))
     total = 0.0
-    for node in graph.nodes:
-        for kernel in node.op.kernel_calls():
-            total += registry.predict_us(kernel)
+    for t in registry.predict_many(kernels):
+        total += float(t)
     return total

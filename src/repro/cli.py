@@ -5,6 +5,8 @@ Exposes the pipeline's everyday workflows without writing Python::
     python -m repro analyze  --gpu V100 --out assets.json
     python -m repro predict  --gpu V100 --model DLRM_default --batch 2048 \\
                              --assets assets.json
+    python -m repro sweep    --gpu V100 --model DLRM_default --batch 512 \\
+                             --batches 256,512,1024,2048 --assets assets.json
     python -m repro breakdown --gpu V100 --model DLRM_MLPerf --batch 2048
     python -m repro memory   --model DLRM_default --batch 4096
     python -m repro export-trace --gpu V100 --model DLRM_default \\
@@ -12,7 +14,9 @@ Exposes the pipeline's everyday workflows without writing Python::
 
 ``analyze`` runs the paper's Analysis Track once per device and saves
 the trained kernel models; ``predict`` is the Prediction Track —
-instantaneous once assets exist.
+instantaneous once assets exist.  ``sweep`` evaluates a what-if grid
+(graph transform x batch size) through the batched, cached sweep
+engine in :mod:`repro.sweep`.
 """
 
 from __future__ import annotations
@@ -21,11 +25,13 @@ import argparse
 import sys
 
 from repro.e2e import predict_e2e, predict_memory
+from repro.graph.transforms import fuse_embedding_bags
 from repro.hardware import ALL_GPUS, gpu_by_name
 from repro.models import FIGURE1_BATCH_SIZES, build_model
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import build_perf_models, load_registry, save_registry
 from repro.simulator import SimulatedDevice
+from repro.sweep import IDENTITY_TRANSFORM, SweepEngine
 from repro.trace import save_chrome_trace, trace_breakdown
 
 _MODEL_CHOICES = sorted(FIGURE1_BATCH_SIZES) + ["DeepFM", "DCN", "WideAndDeep"]
@@ -88,6 +94,57 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         err = (pred.total_us - truth.mean_e2e_us) / truth.mean_e2e_us
         print(f"  simulated (ground truth) : {truth.mean_e2e_us / 1e3:9.3f} ms "
               f"({err:+.1%})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        batches = sorted({int(b) for b in args.batches.split(",") if b})
+        if any(b <= 0 for b in batches):
+            raise ValueError
+    except ValueError:
+        print(f"bad --batches value {args.batches!r}; expected positive "
+              "sizes, e.g. 256,512,1024", file=sys.stderr)
+        return 2
+    if not batches:
+        print("--batches is empty", file=sys.stderr)
+        return 2
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    graph = build_model(args.model, args.batch)
+    if args.assets:
+        registry, _ = load_registry(args.assets)
+    else:
+        print("No --assets given; running the analysis track inline "
+              "(slow) ...", file=sys.stderr)
+        registry, _ = build_perf_models(device, microbench_scale=0.4)
+    overheads = _make_overheads(device, graph, args.batch)
+    transforms = {IDENTITY_TRANSFORM: lambda g: g}
+    if args.fuse_embeddings:
+        transforms["fuse_embeddings"] = fuse_embedding_bags
+    engine = SweepEngine(
+        registries={args.gpu: registry},
+        overhead_dbs={"individual": overheads},
+        transforms=transforms,
+    )
+    result = engine.run(graph, args.batch, batches)
+    info = registry.cache_info()
+    print(f"{args.model} sweep on {args.gpu} "
+          f"({len(result)} points; cache hit rate {info.hit_rate:.0%}):")
+    print(f"  {'transform':18s} {'batch':>6s} {'ms/iter':>9s} "
+          f"{'samples/s':>11s}")
+    for record in result:
+        print(f"  {record.point.transform:18s} "
+              f"{record.point.batch_size:6d} "
+              f"{record.prediction.total_us / 1e3:9.3f} "
+              f"{record.samples_per_second:11.0f}")
+    best = result.best()
+    print(f"best predicted throughput: batch {best.point.batch_size} "
+          f"({best.point.transform}) at {best.samples_per_second:.0f} "
+          f"samples/s")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+        print(f"Wrote {len(result)} sweep records to {args.out}")
     return 0
 
 
@@ -156,6 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare", action="store_true",
                    help="also simulate ground truth and report the error")
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "sweep", help="batched what-if grid over transforms and batch sizes"
+    )
+    _add_common(p, need_model=True)
+    p.add_argument("--batches", required=True,
+                   help="comma-separated batch sizes, e.g. 256,512,1024")
+    p.add_argument("--fuse-embeddings", action="store_true",
+                   help="also sweep the embedding-fusion transform")
+    p.add_argument("--assets", help="assets JSON from `analyze`")
+    p.add_argument("--out", help="write sweep records as JSON")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
     _add_common(p, need_model=True)

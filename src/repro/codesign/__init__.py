@@ -12,6 +12,7 @@ from repro.codesign.sharding import (
     evaluate_sharding,
     greedy_balance,
     predict_table_cost_us,
+    predict_table_costs_us,
 )
 from repro.codesign.tuning import TuningResult, widest_mlp_within_budget
 
@@ -27,5 +28,6 @@ __all__ = [
     "evaluate_sharding",
     "greedy_balance",
     "predict_table_cost_us",
+    "predict_table_costs_us",
     "widest_mlp_within_budget",
 ]

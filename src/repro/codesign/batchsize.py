@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.e2e import E2EPrediction, predict_e2e
+from repro.e2e import E2EPrediction
 from repro.graph import ExecutionGraph
-from repro.graph.transforms import rescale_batch
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
+from repro.sweep import sweep_batch_sizes
 
 
 @dataclass(frozen=True)
@@ -44,14 +44,18 @@ def batch_size_sweep(
         batch_sizes: Targets to evaluate.
         registry: Kernel performance models.
         overheads: Overhead database.
+
+    Sweep points run through :mod:`repro.sweep`, so the whole grid's
+    kernel population is predicted in batched, deduplicated registry
+    calls sharing one cache.
     """
-    points = []
-    for batch in batch_sizes:
-        resized = rescale_batch(graph, recorded_batch, batch)
-        points.append(
-            BatchPoint(batch, predict_e2e(resized, registry, overheads))
-        )
-    return points
+    result = sweep_batch_sizes(
+        graph, recorded_batch, batch_sizes, registry, overheads
+    )
+    return [
+        BatchPoint(record.point.batch_size, record.prediction)
+        for record in result
+    ]
 
 
 def best_throughput_batch(points: list[BatchPoint]) -> BatchPoint:

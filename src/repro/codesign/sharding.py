@@ -48,9 +48,31 @@ def predict_table_cost_us(
     table: TableSpec, batch_size: int, registry: PerfModelRegistry
 ) -> float:
     """Predicted forward+backward lookup time of one table."""
-    fwd = embedding_kernel("fwd", batch_size, table.rows, 1, table.lookups, table.dim)
-    bwd = embedding_kernel("bwd", batch_size, table.rows, 1, table.lookups, table.dim)
-    return registry.predict_us(fwd) + registry.predict_us(bwd)
+    return predict_table_costs_us([table], batch_size, registry)[0]
+
+
+def predict_table_costs_us(
+    tables: list[TableSpec], batch_size: int, registry: PerfModelRegistry
+) -> list[float]:
+    """Predicted fwd+bwd lookup time per table, batched in one call.
+
+    All 2N kernels go through one :meth:`PerfModelRegistry.predict_many`
+    dispatch (one vectorized batch per embedding direction), with
+    duplicate table shapes deduplicated by the registry cache.
+    """
+    kernels = []
+    for table in tables:
+        for direction in ("fwd", "bwd"):
+            kernels.append(
+                embedding_kernel(
+                    direction, batch_size, table.rows, 1,
+                    table.lookups, table.dim,
+                )
+            )
+    times = registry.predict_many(kernels)
+    return [
+        float(times[2 * i] + times[2 * i + 1]) for i in range(len(tables))
+    ]
 
 
 def evaluate_sharding(
@@ -60,6 +82,7 @@ def evaluate_sharding(
     registry: PerfModelRegistry,
 ) -> ShardingPlan:
     """Predict per-device cost of an explicit table assignment."""
+    table_costs = predict_table_costs_us(tables, batch_size, registry)
     costs = []
     seen: set[int] = set()
     for device_tables in assignment:
@@ -67,12 +90,7 @@ def evaluate_sharding(
             if idx in seen:
                 raise ValueError(f"table {idx} assigned to multiple devices")
             seen.add(idx)
-        costs.append(
-            sum(
-                predict_table_cost_us(tables[idx], batch_size, registry)
-                for idx in device_tables
-            )
-        )
+        costs.append(sum(table_costs[idx] for idx in device_tables))
     if seen != set(range(len(tables))):
         missing = sorted(set(range(len(tables))) - seen)
         raise ValueError(f"tables not assigned to any device: {missing}")
@@ -89,8 +107,10 @@ def greedy_balance(
     if num_devices < 1:
         raise ValueError(f"num_devices must be >= 1, got {num_devices}")
     costs = [
-        (predict_table_cost_us(t, batch_size, registry), i)
-        for i, t in enumerate(tables)
+        (cost, i)
+        for i, cost in enumerate(
+            predict_table_costs_us(tables, batch_size, registry)
+        )
     ]
     costs.sort(reverse=True)
     assignment: list[list[int]] = [[] for _ in range(num_devices)]

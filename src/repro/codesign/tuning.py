@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.e2e import predict_e2e
 from repro.models.dlrm import DlrmConfig, build_dlrm_graph
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
+from repro.sweep import evaluate_graphs
 
 
 @dataclass(frozen=True)
@@ -50,23 +50,29 @@ def widest_mlp_within_budget(
         narrowest candidate when none fits) and the evaluation log.
     """
     depth = len(base_config.top_mlp) - 1
-    evaluated: list[tuple[int, float]] = []
-    best: tuple[int, float, DlrmConfig] | None = None
+    configs: dict[str, DlrmConfig] = {}
+    graphs = {}
     for width in sorted(candidate_widths):
         config = base_config.with_overrides(
             name=f"{base_config.name}_w{width}",
             top_mlp=tuple([width] * depth + [1]),
         )
-        graph = build_dlrm_graph(config, batch_size)
-        predicted = predict_e2e(graph, registry, overheads).total_us
+        configs[str(width)] = config
+        graphs[str(width)] = build_dlrm_graph(config, batch_size)
+    # All candidates go through the sweep engine in one pass: their
+    # kernel populations overlap heavily (embedding/interaction ops are
+    # width-independent), so the shared cache pays for itself.
+    predictions = evaluate_graphs(
+        graphs, registry, overheads, batch_size=batch_size
+    )
+    evaluated: list[tuple[int, float]] = []
+    best: tuple[int, float, DlrmConfig] | None = None
+    for width in sorted(candidate_widths):
+        predicted = predictions[str(width)].total_us
         evaluated.append((width, predicted))
         if predicted <= budget_us:
-            best = (width, predicted, config)
+            best = (width, predicted, configs[str(width)])
     if best is None:
         width, predicted = evaluated[0]
-        config = base_config.with_overrides(
-            name=f"{base_config.name}_w{width}",
-            top_mlp=tuple([width] * depth + [1]),
-        )
-        return TuningResult(config, predicted, evaluated)
+        return TuningResult(configs[str(width)], predicted, evaluated)
     return TuningResult(best[2], best[1], evaluated)

@@ -9,7 +9,10 @@ from repro.e2e.predictor import (
     DEFAULT_T4_US,
     KERNEL_GAP_US,
     E2EPrediction,
+    collect_plan,
+    plan_kernels,
     predict_e2e,
+    traverse_plan,
 )
 
 __all__ = [
@@ -17,7 +20,10 @@ __all__ = [
     "E2EPrediction",
     "KERNEL_GAP_US",
     "MemoryPrediction",
+    "collect_plan",
     "max_batch_within_memory",
+    "plan_kernels",
     "predict_e2e",
     "predict_memory",
+    "traverse_plan",
 ]

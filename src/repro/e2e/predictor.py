@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.graph import ExecutionGraph
+from repro.ops import KernelType
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
 from repro.simulator.host import T1, T2, T3, T4, T5
@@ -79,24 +80,69 @@ def predict_e2e(
         The prediction, including the kernel-only baseline and per-op
         active-time attribution for breakdown-style reporting.
     """
+    # Collect the whole kernel population up front and predict it in one
+    # batched, memoized registry call; the traversal then only consumes
+    # precomputed times.  Grouping + dedup + caching happen inside
+    # ``predict_many`` — results are bit-identical to looped
+    # ``predict_us`` calls (the models' predict_batch contract).
+    plan = collect_plan(graph)
+    kernel_times = registry.predict_many(plan_kernels(plan))
+    return traverse_plan(
+        plan,
+        kernel_times,
+        overheads,
+        t4_us=t4_us,
+        kernel_gap_us=kernel_gap_us,
+        sync_h2d=sync_h2d,
+    )
+
+
+#: One traversal row: (op name, stream, the op's kernel calls).
+PlanRow = tuple[str, int, tuple]
+
+
+def collect_plan(graph: ExecutionGraph) -> list[PlanRow]:
+    """The traversal-relevant view of a graph: one row per node."""
+    return [
+        (node.op_name, node.stream, node.op.cached_kernel_calls())
+        for node in graph.nodes
+    ]
+
+
+def plan_kernels(plan: list[PlanRow]) -> list:
+    """All kernel calls of a plan, flattened in traversal order."""
+    return [k for _, _, kernels in plan for k in kernels]
+
+
+def traverse_plan(
+    plan: list[PlanRow],
+    kernel_times,
+    overheads: OverheadDatabase,
+    t4_us: float | None = DEFAULT_T4_US,
+    kernel_gap_us: float = KERNEL_GAP_US,
+    sync_h2d: bool = False,
+) -> E2EPrediction:
+    """Algorithm 1's traversal over precomputed kernel times.
+
+    ``kernel_times`` must align with :func:`plan_kernels` order — the
+    sweep engine uses this entry point directly so one batched
+    prediction pass can serve many traversals.
+    """
     cpu_time = 0.0
     gpu_time: dict[int, float] = {}
     active = 0.0
     per_op: dict[str, float] = {}
     num_kernels = 0
 
-    for node in graph.nodes:
-        name = node.op_name
+    for name, stream, kernels in plan:
         node_t4 = (
             overheads.mean_us(name, T4) if t4_us is None else t4_us
         )
         cpu_time += overheads.mean_us(name, T1)
-        kernels = node.op.kernel_calls()
         if kernels:
             cpu_time += overheads.mean_us(name, T2)
-            stream = node.stream
             for ki, kernel in enumerate(kernels):
-                t_kernel = registry.predict_us(kernel)
+                t_kernel = float(kernel_times[num_kernels])
                 current = gpu_time.get(stream, 0.0)
                 start = max(
                     current + kernel_gap_us, cpu_time + node_t4 / 2.0
@@ -108,7 +154,7 @@ def predict_e2e(
                 cpu_time += node_t4
                 if (
                     sync_h2d
-                    and kernel.kernel_type == "memcpy"
+                    and kernel.kernel_type == KernelType.MEMCPY
                     and kernel.params.get("h2d")
                 ):
                     cpu_time = max(cpu_time, gpu_time[stream])
@@ -125,6 +171,6 @@ def predict_e2e(
         gpu_us=gpu_max,
         active_us=active,
         per_op_active_us=per_op,
-        num_ops=len(graph),
+        num_ops=len(plan),
         num_kernels=num_kernels,
     )

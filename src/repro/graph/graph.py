@@ -137,7 +137,7 @@ class ExecutionGraph:
 
     def num_kernels(self) -> int:
         """Total device kernels launched per iteration."""
-        return sum(len(n.op.kernel_calls()) for n in self._nodes)
+        return sum(len(n.op.cached_kernel_calls()) for n in self._nodes)
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.e2e import predict_e2e
+from repro.e2e import collect_plan, plan_kernels, predict_e2e
 from repro.multigpu.interconnect import CollectiveModel
 from repro.multigpu.plan import MultiGpuPlan
 from repro.overheads import OverheadDatabase
@@ -99,9 +99,23 @@ def scaling_curve(
         collective_model_for: Callable mapping a device count to a
             calibrated :class:`CollectiveModel`.
     """
+    plans = {n: build_plan(n) for n in device_counts}
+    # Batch the whole curve's kernel population into one registry call:
+    # device segments across counts share most kernels, so the single
+    # deduplicated predict_many warms the cache every per-count
+    # prediction below then hits.
+    all_kernels = [
+        kernel
+        for plan in plans.values()
+        for phase in plan.compute_phases
+        for segment in phase
+        for kernel in plan_kernels(collect_plan(segment))
+    ]
+    if all_kernels:
+        registry.predict_many(all_kernels)
     return {
         n: predict_multi_gpu(
-            build_plan(n), registry, overheads, collective_model_for(n)
+            plans[n], registry, overheads, collective_model_for(n)
         )
         for n in device_counts
     }

@@ -84,16 +84,26 @@ class KernelCall:
         object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
         if not self.name:
             object.__setattr__(self, "name", self.kernel_type)
+        # Kernel calls are hashed constantly by the prediction cache;
+        # all fields are frozen, so compute the hash once.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (self.kernel_type, tuple(sorted(self.params.items())), self.name)
+            ),
+        )
 
     def __hash__(self) -> int:
-        return hash((self.kernel_type, tuple(sorted(self.params.items())), self.name))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KernelCall):
             return NotImplemented
         return (
-            self.kernel_type == other.kernel_type
-            and dict(self.params) == dict(other.params)
+            self._hash == other._hash
+            and self.kernel_type == other.kernel_type
+            and self.params == other.params
             and self.name == other.name
         )
 
@@ -150,6 +160,19 @@ class Op:
         """
         raise NotImplementedError
 
+    def cached_kernel_calls(self) -> tuple[KernelCall, ...]:
+        """:meth:`kernel_calls`, computed once per (immutable) op.
+
+        Hot loops — the E2E predictor, the sweep engine, the simulator's
+        per-iteration replay — ask for the same op's kernels repeatedly;
+        ops are immutable descriptors, so the tuple never changes.
+        """
+        cached = self.__dict__.get("_kernel_calls_cache")
+        if cached is None:
+            cached = self.kernel_calls()
+            self.__dict__["_kernel_calls_cache"] = cached
+        return cached
+
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Op":
         """Return a copy of this op with the batch dimension rescaled.
 
@@ -159,6 +182,7 @@ class Op:
         """
         clone = self.__class__.__new__(self.__class__)
         clone.__dict__.update(self.__dict__)
+        clone.__dict__.pop("_kernel_calls_cache", None)
         clone._inputs = tuple(t.with_batch(old_batch, new_batch) for t in self._inputs)
         clone._outputs = tuple(
             t.with_batch(old_batch, new_batch) for t in self._outputs
@@ -169,7 +193,7 @@ class Op:
     def device_bytes(self) -> float:
         """Total device bytes moved by this op's kernels (best effort)."""
         total = 0.0
-        for kc in self.kernel_calls():
+        for kc in self.cached_kernel_calls():
             p = kc.params
             total += p.get("bytes_read", 0.0) + p.get("bytes_write", 0.0)
             total += p.get("bytes", 0.0) + p.get("bytes_total", 0.0)

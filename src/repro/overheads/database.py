@@ -29,14 +29,18 @@ class OverheadDatabase:
     def __init__(self, stats: dict[str, dict[str, OverheadStats]]) -> None:
         self._stats = stats
         self._fallback: dict[str, float] = {}
-        pooled: dict[str, list[float]] = defaultdict(list)
+        # Count-weighted mean per type via running sums — O(1) memory,
+        # where materializing [mean] * count lists is O(total samples).
+        weighted_sum: dict[str, float] = defaultdict(float)
+        weight: dict[str, int] = defaultdict(int)
         for per_type in stats.values():
             for otype, st in per_type.items():
-                pooled[otype].extend([st.mean] * max(st.count, 1))
+                n = max(st.count, 1)
+                weighted_sum[otype] += st.mean * n
+                weight[otype] += n
         for otype in OVERHEAD_TYPES:
-            values = pooled.get(otype)
             self._fallback[otype] = (
-                sum(values) / len(values) if values else 5.0
+                weighted_sum[otype] / weight[otype] if weight[otype] else 5.0
             )
 
     # ------------------------------------------------------------------

@@ -6,14 +6,29 @@ the same kernel type (the paper's key cost saving: ``addmm``, ``bmm``
 and their backwards all use the one GEMM model).  The registry maps
 kernel types to models and is what the E2E predictor dispatches
 through (Algorithm 1's ``{M}``).
+
+Prediction is *batched and memoized*: :meth:`PerfModelRegistry.predict_many`
+groups a kernel population by type, deduplicates identical calls
+(:class:`~repro.ops.KernelCall` is hashable by design), dispatches one
+:meth:`KernelPerfModel.predict_batch` call per type, and caches results
+in a bounded per-registry LRU.  What-if sweeps that re-evaluate
+overlapping kernel populations (batch-size grids, fusion studies,
+scaling curves) therefore pay for each distinct kernel exactly once.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.ops import KernelCall
+
+#: Default bound on the per-registry prediction cache (distinct kernels).
+DEFAULT_CACHE_SIZE = 65536
 
 
 class KernelPerfModel(ABC):
@@ -26,6 +41,21 @@ class KernelPerfModel(ABC):
     def predict_us(self, params: Mapping[str, float]) -> float:
         """Predicted kernel execution time in microseconds."""
 
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        """Predicted times (µs) for many parameter sets at once.
+
+        The base implementation loops :meth:`predict_us`; vectorized
+        subclasses override it.  Overrides must stay bit-identical to
+        the looped scalar path (a property test enforces this for every
+        registered model).
+        """
+        return np.array(
+            [self.predict_us(params) for params in params_list],
+            dtype=np.float64,
+        )
+
     def predict_kernel(self, kernel: KernelCall) -> float:
         """Predict for a :class:`KernelCall`, validating its type."""
         if kernel.kernel_type != self.kernel_type:
@@ -36,17 +66,43 @@ class KernelPerfModel(ABC):
         return self.predict_us(kernel.params)
 
 
-class PerfModelRegistry:
-    """Kernel-type -> performance-model dispatch table."""
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of a registry's prediction cache."""
 
-    def __init__(self) -> None:
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PerfModelRegistry:
+    """Kernel-type -> performance-model dispatch table with a memo cache."""
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._models: dict[str, KernelPerfModel] = {}
+        self._cache: OrderedDict[KernelCall, float] = OrderedDict()
+        self._cache_size = max(int(cache_size), 0)
+        self._hits = 0
+        self._misses = 0
 
     def register(self, model: KernelPerfModel) -> "PerfModelRegistry":
         """Add (or replace) the model for its kernel type; chainable."""
         if not model.kernel_type:
             raise ValueError("model does not declare a kernel_type")
         self._models[model.kernel_type] = model
+        # A replaced model invalidates every memoized value of its type.
+        if self._cache:
+            for kernel in [
+                k for k in self._cache if k.kernel_type == model.kernel_type
+            ]:
+                del self._cache[kernel]
         return self
 
     def model_for(self, kernel_type: str) -> KernelPerfModel:
@@ -61,8 +117,63 @@ class PerfModelRegistry:
             ) from None
 
     def predict_us(self, kernel: KernelCall) -> float:
-        """Predict execution time of one kernel call."""
-        return self.model_for(kernel.kernel_type).predict_kernel(kernel)
+        """Predict execution time of one kernel call (memoized)."""
+        return float(self.predict_many([kernel])[0])
+
+    def predict_many(self, kernels: Sequence[KernelCall]) -> np.ndarray:
+        """Predict execution times (µs) of a population of kernel calls.
+
+        Deduplicates identical calls, serves repeats from the bounded
+        per-registry cache, groups the remaining misses by kernel type,
+        and dispatches one :meth:`KernelPerfModel.predict_batch` call
+        per type.  Returns one time per input kernel, in input order.
+        """
+        times: dict[KernelCall, float] = {}
+        by_type: dict[str, list[KernelCall]] = {}
+        for kernel in kernels:
+            if kernel in times:
+                continue
+            cached = self._cache.get(kernel)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(kernel)
+                times[kernel] = cached
+            else:
+                self._misses += 1
+                by_type.setdefault(kernel.kernel_type, []).append(kernel)
+                times[kernel] = 0.0  # placeholder; keeps dedup in one pass
+
+        for kernel_type, misses in by_type.items():
+            model = self.model_for(kernel_type)
+            predicted = model.predict_batch([k.params for k in misses])
+            if len(predicted) != len(misses):
+                raise ValueError(
+                    f"{kernel_type} model's predict_batch returned "
+                    f"{len(predicted)} values for {len(misses)} kernels"
+                )
+            for kernel, t in zip(misses, predicted):
+                t = float(t)
+                times[kernel] = t
+                self._cache[kernel] = t
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+        return np.array([times[k] for k in kernels], dtype=np.float64)
+
+    def cache_info(self) -> CacheInfo:
+        """Current prediction-cache statistics."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            max_size=self._cache_size,
+        )
+
+    def cache_clear(self) -> None:
+        """Drop all memoized predictions and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
 
     @property
     def kernel_types(self) -> tuple[str, ...]:

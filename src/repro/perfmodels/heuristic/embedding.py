@@ -21,7 +21,9 @@ the omission as a typo since the physics requires it.
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.hardware import GpuSpec, MeasuredPeaks
 from repro.ops import KernelType
@@ -45,6 +47,45 @@ def warp_traffic_bytes(params: Mapping[str, float], backward: bool) -> dict:
     return traffic
 
 
+def _params_column(
+    params_list: Sequence[Mapping[str, float]], name: str
+) -> np.ndarray:
+    """One required kernel parameter as a float64 column."""
+    return np.array([float(p[name]) for p in params_list], dtype=np.float64)
+
+
+def _warp_traffic_columns(
+    params_list: Sequence[Mapping[str, float]], backward: bool
+) -> dict:
+    """Vectorized :func:`warp_traffic_bytes` over a kernel population.
+
+    Keeps the exact scalar arithmetic (``ceil`` on float64 matches
+    ``math.ceil`` for these magnitudes) so the batched models remain
+    bit-identical to the looped path.
+    """
+    L = np.array([float(int(p["L"])) for p in params_list], dtype=np.float64)
+    D = np.array([float(int(p["D"])) for p in params_list], dtype=np.float64)
+    traffic = {
+        "table_offsets": np.full(len(L), 32.0),
+        "offsets": np.full(len(L), 64.0),
+        "indices": np.ceil(4.0 * L / 32.0) * 32.0,
+        "outputs": np.ceil(4.0 * D / 32.0) * 32.0,
+    }
+    if backward:
+        traffic["weights"] = np.ceil(2.0 * 4.0 * L * D / 32.0) * 32.0
+    else:
+        traffic["weights"] = np.ceil(4.0 * D / 32.0) * 32.0 * L
+    return traffic
+
+
+def _sum_traffic(traffic: dict) -> np.ndarray:
+    """Sum traffic components in dict insertion order (as ``sum`` does)."""
+    total = 0.0
+    for component in traffic.values():
+        total = total + component
+    return total
+
+
 class PlainEmbeddingModel(KernelPerfModel):
     """All weight traffic from DRAM: ``t = B*T*sum(traffic) / peak_BW``."""
 
@@ -60,6 +101,18 @@ class PlainEmbeddingModel(KernelPerfModel):
         traffic = warp_traffic_bytes(params, self.backward)
         per_warp = sum(traffic.values())
         warps = float(params["B"]) * float(params["T"])
+        return warps * per_warp / (self.peaks.dram_bw_gbs * 1e3)
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        if not params_list:
+            return np.empty(0, dtype=np.float64)
+        traffic = _warp_traffic_columns(params_list, self.backward)
+        per_warp = _sum_traffic(traffic)
+        warps = _params_column(params_list, "B") * _params_column(
+            params_list, "T"
+        )
         return warps * per_warp / (self.peaks.dram_bw_gbs * 1e3)
 
 
@@ -96,6 +149,38 @@ class EnhancedEmbeddingModel(KernelPerfModel):
             p *= num / den
         return min(1.0, p)
 
+    def hit_rate_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        """Vectorized :meth:`hit_rate` over a kernel population.
+
+        Each row multiplies its ``L`` hypergeometric factors in the
+        same order as the scalar loop, so results are bit-identical.
+        """
+        B = _params_column(params_list, "B")
+        E = _params_column(params_list, "E")
+        L = np.array([int(p["L"]) for p in params_list], dtype=np.int64)
+        D = _params_column(params_list, "D")
+        rows_per_block = np.array(
+            [float(p.get("rows_per_block", 32)) for p in params_list],
+            dtype=np.float64,
+        )
+        num_tables = np.maximum(1.0, rows_per_block * self.gpu.num_sms / B)
+        avg_cached = np.minimum(
+            self.gpu.l2_cache_bytes / (num_tables * D * 4.0), E
+        )
+        p = np.ones(len(B), dtype=np.float64)
+        dead = np.zeros(len(B), dtype=bool)
+        for i in range(int(L.max(initial=0))):
+            num = avg_cached - i
+            den = E - i
+            step = L > i
+            dead |= step & ((num <= 0) | (den <= 0))
+            alive = step & ~dead
+            p[alive] *= num[alive] / den[alive]
+        p[dead] = 0.0
+        return np.minimum(1.0, p)
+
     def predict_us(self, params: Mapping[str, float]) -> float:
         traffic = warp_traffic_bytes(params, self.backward)
         p = self.hit_rate(params)
@@ -105,6 +190,27 @@ class EnhancedEmbeddingModel(KernelPerfModel):
             traffic["indices"] + traffic["outputs"] + (1.0 - p) * traffic["weights"]
         )
         warps = float(params["B"]) * float(params["T"])
+        return warps * (
+            dram_bytes / (self.peaks.dram_bw_gbs * 1e3)
+            + l2_bytes / (self.peaks.l2_bw_gbs * 1e3)
+        )
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        if not params_list:
+            return np.empty(0, dtype=np.float64)
+        traffic = _warp_traffic_columns(params_list, self.backward)
+        p = self.hit_rate_batch(params_list)
+        l2_bytes = (
+            traffic["table_offsets"] + traffic["offsets"] + p * traffic["weights"]
+        )
+        dram_bytes = (
+            traffic["indices"] + traffic["outputs"] + (1.0 - p) * traffic["weights"]
+        )
+        warps = _params_column(params_list, "B") * _params_column(
+            params_list, "T"
+        )
         return warps * (
             dram_bytes / (self.peaks.dram_bw_gbs * 1e3)
             + l2_bytes / (self.peaks.l2_bw_gbs * 1e3)

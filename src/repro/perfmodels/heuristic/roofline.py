@@ -4,15 +4,30 @@ Section III-B-1b: ``t = max(FLOP / peak_throughput, bytes / peak_BW)``
 with "the maximum measured bandwidth of the benchmark as the corrected
 peak bandwidth".  The measured launch latency (from the hardware
 microbenchmarks) is added as the kernel floor.
+
+Every model also overrides :meth:`~KernelPerfModel.predict_batch` with
+a numpy-vectorized version; elementwise float64 arithmetic keeps the
+batched results bit-identical to the scalar path.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.hardware import MeasuredPeaks
 from repro.ops import KernelType
 from repro.perfmodels.base import KernelPerfModel
+
+
+def _column(
+    params_list: Sequence[Mapping[str, float]], name: str, default: float = 0.0
+) -> np.ndarray:
+    """One kernel parameter as a float64 column across a population."""
+    return np.array(
+        [float(p.get(name, default)) for p in params_list], dtype=np.float64
+    )
 
 
 class RooflineElementwiseModel(KernelPerfModel):
@@ -33,6 +48,17 @@ class RooflineElementwiseModel(KernelPerfModel):
         t_memory = bytes_moved / (self.peaks.dram_bw_gbs * 1e3)
         return self.launch_us + max(t_compute, t_memory)
 
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        flop = _column(params_list, "flop")
+        bytes_moved = _column(params_list, "bytes_read") + _column(
+            params_list, "bytes_write"
+        )
+        t_compute = flop / (self.peaks.fp32_gflops * 1e3)
+        t_memory = bytes_moved / (self.peaks.dram_bw_gbs * 1e3)
+        return self.launch_us + np.maximum(t_compute, t_memory)
+
 
 class ConcatModel(KernelPerfModel):
     """Concat = pure memory traffic at corrected peak bandwidth."""
@@ -47,6 +73,14 @@ class ConcatModel(KernelPerfModel):
         return self.launch_us + float(params["bytes_total"]) / (
             self.peaks.dram_bw_gbs * 1e3
         )
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        bytes_total = np.array(
+            [float(p["bytes_total"]) for p in params_list], dtype=np.float64
+        )
+        return self.launch_us + bytes_total / (self.peaks.dram_bw_gbs * 1e3)
 
 
 class MemcpyModel(KernelPerfModel):
@@ -66,6 +100,19 @@ class MemcpyModel(KernelPerfModel):
             self.peaks.dram_bw_gbs * 1e3
         )
 
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        bytes_moved = np.array(
+            [float(p["bytes"]) for p in params_list], dtype=np.float64
+        )
+        h2d = np.array([bool(p.get("h2d")) for p in params_list])
+        return self.launch_us + np.where(
+            h2d,
+            bytes_moved / (self.peaks.pcie_bw_gbs * 1e3),
+            2.0 * bytes_moved / (self.peaks.dram_bw_gbs * 1e3),
+        )
+
 
 class BatchNormRooflineModel(KernelPerfModel):
     """Batch-norm as a two-pass bandwidth-bound kernel (CV extension)."""
@@ -80,6 +127,19 @@ class BatchNormRooflineModel(KernelPerfModel):
         numel = (
             float(params["n"]) * float(params["c"])
             * float(params["h"]) * float(params["w"])
+        )
+        bytes_moved = 4.0 * numel * 3.0
+        return self.launch_us + bytes_moved / (self.peaks.dram_bw_gbs * 1e3)
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        numel = np.array(
+            [
+                float(p["n"]) * float(p["c"]) * float(p["h"]) * float(p["w"])
+                for p in params_list
+            ],
+            dtype=np.float64,
         )
         bytes_moved = 4.0 * numel * 3.0
         return self.launch_us + bytes_moved / (self.peaks.dram_bw_gbs * 1e3)

@@ -148,11 +148,38 @@ class MlpRegressor:
                         self._biases[i] -= lr * grads_b[i]
         return self
 
+    #: Inference row-block size.  Every forward pass — one sample or ten
+    #: thousand — runs as (BLOCK, features) GEMMs, with the last block
+    #: zero-padded.  A GEMM's per-row results depend only on that row's
+    #: values and the (shape-determined) kernel the BLAS picks, so
+    #: fixing the shape makes each row's prediction bit-identical
+    #: whether it is evaluated alone or inside any batch — the
+    #: invariant the batched/memoized prediction pipeline relies on.
+    #: (Plain full-batch GEMM breaks it: BLAS reblocks with row count.)
+    PREDICT_BLOCK = 32
+
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predicted kernel times in µs."""
+        """Predicted kernel times in µs.
+
+        Natively vectorized: one call predicts a whole kernel
+        population, in fixed-shape row blocks (see
+        :attr:`PREDICT_BLOCK`) so results are independent of how the
+        population is batched.  A property test enforces batch ≡ looped
+        equality for every registered model.
+        """
         if self._x_mean is None:
             raise RuntimeError("model is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        n = len(X)
+        block = self.PREDICT_BLOCK
         Xn = (_log_features(X) - self._x_mean) / self._x_std
-        pred, _ = self._forward(Xn)
+        if n % block:
+            Xn = np.vstack(
+                [Xn, np.zeros((block - n % block, Xn.shape[1]))]
+            )
+        outputs = [
+            self._forward(Xn[start:start + block])[0]
+            for start in range(0, len(Xn), block)
+        ]
+        pred = np.concatenate(outputs)[:n]
         return np.exp(pred.ravel() * self._y_std + self._y_mean)

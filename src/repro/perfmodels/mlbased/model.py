@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -38,6 +38,25 @@ class MlKernelModel(KernelPerfModel):
                 f"got params {sorted(params)}"
             ) from None
         return float(self.regressor.predict(np.array([row]))[0])
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        """One vectorized regressor call for a whole kernel population."""
+        if not params_list:
+            return np.empty(0, dtype=np.float64)
+        try:
+            rows = [
+                [float(params[name]) for name in self.feature_names]
+                for params in params_list
+            ]
+        except KeyError as missing:
+            raise KeyError(
+                f"{self.kernel_type} model needs feature {missing}"
+            ) from None
+        return np.asarray(
+            self.regressor.predict(np.array(rows)), dtype=np.float64
+        )
 
     @classmethod
     def train(

@@ -141,7 +141,7 @@ class SimulatedDevice:
                 t1 = self.host.sample(node.op_name, T1, rng)
                 cpu_time += t1
                 op_start = cpu_time
-                kernels = node.op.kernel_calls()
+                kernels = node.op.cached_kernel_calls()
 
                 if kernels:
                     t2 = self.host.sample(node.op_name, T2, rng)
@@ -169,9 +169,13 @@ class SimulatedDevice:
                         start = max(
                             stream_free + _TRUE_KERNEL_GAP_US, launch_issued
                         )
+                        # The profiler inflates *recorded* event durations
+                        # only; the device timeline (stream availability,
+                        # sync-copy blocking) uses the true end time.
                         end = start + duration
+                        recorded_dur = duration
                         if with_profiler:
-                            end += GPU_PROFILER_OVERHEAD_US
+                            recorded_dur += GPU_PROFILER_OVERHEAD_US
                         gpu_free[node.stream] = end
                         if timed:
                             gpu_active += duration
@@ -201,7 +205,7 @@ class SimulatedDevice:
                                     kernel.name,
                                     EventCategory.KERNEL,
                                     start,
-                                    end - start,
+                                    recorded_dur,
                                     it,
                                     node.node_id,
                                     node.op_name,

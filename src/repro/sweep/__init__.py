@@ -1,0 +1,19 @@
+"""Grid sweep engine: batched, cached what-if evaluation."""
+
+from repro.sweep.engine import (
+    IDENTITY_TRANSFORM,
+    SweepEngine,
+    evaluate_graphs,
+    sweep_batch_sizes,
+)
+from repro.sweep.result import SweepPoint, SweepRecord, SweepResult
+
+__all__ = [
+    "IDENTITY_TRANSFORM",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepResult",
+    "evaluate_graphs",
+    "sweep_batch_sizes",
+]

@@ -1,0 +1,219 @@
+"""Grid evaluation over (transform x batch size x GPU x overhead DB).
+
+The what-if studies the paper motivates (batch-size scans, fusion
+co-design, sharding balance, scaling curves) all evaluate *families* of
+closely related execution graphs.  The sweep engine runs the full grid
+through Algorithm 1 while sharing one prediction cache per registry
+across every point: the whole grid's kernel population is deduplicated
+and predicted in one vectorized batch per kernel type (see
+:meth:`PerfModelRegistry.predict_many`), then each point is a cheap
+cache-hit traversal.
+
+Per-point work is kept lean on purpose: instead of rebuilding a full
+:class:`ExecutionGraph` per batch size (tensor table remap, node
+revalidation), each point only rescales the *ops* and reuses the
+predictor's plan/traversal split (:func:`repro.e2e.traverse_plan`).
+Ops whose shapes are batch-independent (optimizer steps, weight-grad
+accumulation) return themselves from ``rescale_batch``, so their cached
+kernel tuples are shared across every point of the sweep.  Results are
+bit-identical to ``predict_e2e(rescale_batch(graph, ...), ...)`` — a
+test enforces it.
+
+A *transform* axis value is any ``ExecutionGraph -> ExecutionGraph``
+callable (identity, :func:`fuse_embedding_bags`, a reorder, ...); the
+*GPU* axis pairs a label with the registry trained for that device;
+the *overheads* axis selects between individual / shared databases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.e2e import (
+    DEFAULT_T4_US,
+    E2EPrediction,
+    KERNEL_GAP_US,
+    collect_plan,
+    plan_kernels,
+    traverse_plan,
+)
+from repro.graph import ExecutionGraph
+from repro.overheads import OverheadDatabase
+from repro.perfmodels import PerfModelRegistry
+from repro.sweep.result import SweepPoint, SweepRecord, SweepResult
+
+#: The identity transform (the "no rewrite" axis value).
+IDENTITY_TRANSFORM = "none"
+
+GraphTransform = Callable[[ExecutionGraph], ExecutionGraph]
+
+
+class SweepEngine:
+    """Evaluates prediction grids with shared, batched kernel prediction.
+
+    Args:
+        registries: GPU label -> kernel-model registry for that device.
+        overhead_dbs: Label -> overhead database (individual/shared).
+        transforms: Label -> graph transform.  ``None`` means just the
+            identity transform.
+        t4_us: Forwarded to the Algorithm 1 traversal.
+        kernel_gap_us: Forwarded to the Algorithm 1 traversal.
+        sync_h2d: Forwarded to the Algorithm 1 traversal.
+    """
+
+    def __init__(
+        self,
+        registries: Mapping[str, PerfModelRegistry],
+        overhead_dbs: Mapping[str, OverheadDatabase],
+        transforms: Mapping[str, GraphTransform] | None = None,
+        t4_us: float | None = DEFAULT_T4_US,
+        kernel_gap_us: float = KERNEL_GAP_US,
+        sync_h2d: bool = False,
+    ) -> None:
+        if not registries:
+            raise ValueError("sweep needs at least one registry")
+        if not overhead_dbs:
+            raise ValueError("sweep needs at least one overhead database")
+        self.registries = dict(registries)
+        self.overhead_dbs = dict(overhead_dbs)
+        self.transforms: dict[str, GraphTransform] = (
+            dict(transforms)
+            if transforms is not None
+            else {IDENTITY_TRANSFORM: lambda g: g}
+        )
+        if not self.transforms:
+            raise ValueError("sweep needs at least one transform")
+        self.t4_us = t4_us
+        self.kernel_gap_us = kernel_gap_us
+        self.sync_h2d = sync_h2d
+
+    def _traverse(
+        self, plan, kernel_times, overheads: OverheadDatabase
+    ) -> E2EPrediction:
+        return traverse_plan(
+            plan,
+            kernel_times,
+            overheads,
+            t4_us=self.t4_us,
+            kernel_gap_us=self.kernel_gap_us,
+            sync_h2d=self.sync_h2d,
+        )
+
+    def _evaluate(
+        self, labeled_plans: Sequence[tuple[str, int, list]]
+    ) -> SweepResult:
+        """Predict every (plan, registry, overheads) grid point.
+
+        One ``predict_many`` per registry covers the whole grid up
+        front (dedup + one vectorized batch per kernel type); the
+        per-point lookups below then run entirely on cache hits.
+        """
+        all_kernels = [
+            k for _, _, plan in labeled_plans for k in plan_kernels(plan)
+        ]
+        records: list[SweepRecord] = []
+        for gpu_name, registry in self.registries.items():
+            if all_kernels:
+                registry.predict_many(all_kernels)
+            for label, batch, plan in labeled_plans:
+                times = registry.predict_many(plan_kernels(plan))
+                for db_name, db in self.overhead_dbs.items():
+                    records.append(
+                        SweepRecord(
+                            SweepPoint(label, batch, gpu_name, db_name),
+                            self._traverse(plan, times, db),
+                        )
+                    )
+        return SweepResult(records)
+
+    def run(
+        self,
+        graph: ExecutionGraph,
+        recorded_batch: int,
+        batch_sizes: Sequence[int],
+    ) -> SweepResult:
+        """Evaluate the full grid for one recorded graph.
+
+        Grid order is GPU-major (one batched prediction pass per
+        registry), then transform, batch size and overhead DB exactly
+        as the axes were given.
+        """
+        if not batch_sizes:
+            raise ValueError("sweep needs at least one batch size")
+        if recorded_batch <= 0 or any(b <= 0 for b in batch_sizes):
+            raise ValueError("batch sizes must be positive")
+        labeled_plans: list[tuple[str, int, list]] = []
+        for tname, transform in self.transforms.items():
+            transformed = transform(graph)
+            base = [
+                (node.op_name, node.stream, node.op)
+                for node in transformed.nodes
+            ]
+            for batch in batch_sizes:
+                labeled_plans.append(
+                    (
+                        tname,
+                        batch,
+                        [
+                            (
+                                name,
+                                stream,
+                                (
+                                    op
+                                    if batch == recorded_batch
+                                    else op.rescale_batch(recorded_batch, batch)
+                                ).cached_kernel_calls(),
+                            )
+                            for name, stream, op in base
+                        ],
+                    )
+                )
+        return self._evaluate(labeled_plans)
+
+    def run_graphs(
+        self, graphs: Mapping[str, ExecutionGraph], batch_size: int
+    ) -> SweepResult:
+        """Evaluate explicit labeled graphs (the candidate-search mode).
+
+        Each graph label is recorded on the ``transform`` axis; batch
+        resizing is the caller's responsibility here.
+        """
+        labeled_plans = [
+            (label, batch_size, collect_plan(g)) for label, g in graphs.items()
+        ]
+        return self._evaluate(labeled_plans)
+
+
+def sweep_batch_sizes(
+    graph: ExecutionGraph,
+    recorded_batch: int,
+    batch_sizes: Sequence[int],
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+    gpu: str = "gpu",
+    **engine_kwargs,
+) -> SweepResult:
+    """One-registry, one-DB batch-size sweep (the everyday case)."""
+    engine = SweepEngine(
+        registries={gpu: registry},
+        overhead_dbs={"default": overheads},
+        **engine_kwargs,
+    )
+    return engine.run(graph, recorded_batch, batch_sizes)
+
+
+def evaluate_graphs(
+    graphs: Mapping[str, ExecutionGraph],
+    registry: PerfModelRegistry,
+    overheads: OverheadDatabase,
+    batch_size: int = 0,
+    **engine_kwargs,
+) -> dict[str, E2EPrediction]:
+    """Predict a set of labeled candidate graphs with one shared cache."""
+    engine = SweepEngine(
+        registries={"gpu": registry},
+        overhead_dbs={"default": overheads},
+        **engine_kwargs,
+    )
+    result = engine.run_graphs(graphs, batch_size)
+    return {r.point.transform: r.prediction for r in result}

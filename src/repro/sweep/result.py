@@ -1,0 +1,102 @@
+"""Sweep result table: one record per evaluated grid point."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.e2e import E2EPrediction
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Coordinates of one grid point (transform, batch, GPU, overheads)."""
+
+    transform: str
+    batch_size: int
+    gpu: str
+    overheads: str
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated grid point and its E2E prediction."""
+
+    point: SweepPoint
+    prediction: E2EPrediction
+
+    @property
+    def samples_per_second(self) -> float:
+        """Predicted training throughput at this point."""
+        return self.point.batch_size / (self.prediction.total_us * 1e-6)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row."""
+        return {
+            "transform": self.point.transform,
+            "batch_size": self.point.batch_size,
+            "gpu": self.point.gpu,
+            "overheads": self.point.overheads,
+            "total_us": self.prediction.total_us,
+            "cpu_us": self.prediction.cpu_us,
+            "gpu_us": self.prediction.gpu_us,
+            "active_us": self.prediction.active_us,
+            "samples_per_second": self.samples_per_second,
+        }
+
+
+class SweepResult:
+    """An ordered table of sweep records with simple query helpers."""
+
+    def __init__(self, records: list[SweepRecord]) -> None:
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SweepRecord]:
+        return iter(self.records)
+
+    def filter(
+        self,
+        transform: str | None = None,
+        batch_size: int | None = None,
+        gpu: str | None = None,
+        overheads: str | None = None,
+    ) -> "SweepResult":
+        """Sub-table matching the given axis values."""
+        kept = [
+            r
+            for r in self.records
+            if (transform is None or r.point.transform == transform)
+            and (batch_size is None or r.point.batch_size == batch_size)
+            and (gpu is None or r.point.gpu == gpu)
+            and (overheads is None or r.point.overheads == overheads)
+        ]
+        return SweepResult(kept)
+
+    def best(
+        self, key: Callable[[SweepRecord], float] | None = None
+    ) -> SweepRecord:
+        """Record maximizing ``key`` (default: predicted throughput)."""
+        if not self.records:
+            raise ValueError("empty sweep result")
+        if key is None:
+            key = lambda r: r.samples_per_second  # noqa: E731
+        return max(self.records, key=key)
+
+    def axis_values(self, axis: str) -> tuple:
+        """Distinct values of one grid axis, in first-seen order."""
+        seen: dict = {}
+        for r in self.records:
+            seen.setdefault(getattr(r.point, axis), None)
+        return tuple(seen)
+
+    def to_rows(self) -> list[dict]:
+        """All records as JSON-compatible rows."""
+        return [r.to_dict() for r in self.records]
+
+    def to_json(self, indent: int = 1) -> str:
+        """Serialize the table (one row per grid point)."""
+        return json.dumps(self.to_rows(), indent=indent)

@@ -11,7 +11,7 @@ import pytest
 from repro.hardware import TESLA_V100
 from repro.models import build_model
 from repro.overheads import OverheadDatabase
-from repro.perfmodels import build_perf_models
+from repro.perfmodels import CV_ML_KERNELS, build_perf_models
 from repro.simulator import SimulatedDevice
 
 #: Single-point "grid" keeping test-time training fast.
@@ -30,12 +30,27 @@ def device():
 
 
 @pytest.fixture(scope="session")
-def registry(device):
-    """Kernel performance models trained at reduced scale."""
-    reg, _ = build_perf_models(
-        device, microbench_scale=0.25, epochs=150, space=TINY_SPACE, seed=1
+def built_models(device):
+    """The one MLP grid-search build of the session: (registry, report).
+
+    Trained once per session (including the CV conv model so CNN graphs
+    are predictable too); every test needing trained models derives
+    from this fixture instead of re-running the grid search.
+    """
+    return build_perf_models(
+        device,
+        ml_kernels=CV_ML_KERNELS,
+        microbench_scale=0.25,
+        epochs=150,
+        space=TINY_SPACE,
+        seed=1,
     )
-    return reg
+
+
+@pytest.fixture(scope="session")
+def registry(built_models):
+    """Kernel performance models trained at reduced scale."""
+    return built_models[0]
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,202 @@
+"""Property tests for the batched + memoized prediction pipeline.
+
+Two invariants guard the refactor:
+
+* ``predict_batch`` ≡ looped ``predict_us`` — bit-identical — for every
+  registered model type, on real kernel populations.
+* ``predict_e2e`` (collect -> predict_many -> traversal) is bit-identical
+  to the seed implementation's one-kernel-at-a-time traversal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.e2e import E2EPrediction, predict_e2e
+from repro.models import build_model
+from repro.ops import KernelType
+from repro.perfmodels import PerfModelRegistry
+from repro.perfmodels.base import DEFAULT_CACHE_SIZE
+from repro.simulator.host import T1, T2, T3, T4, T5
+
+#: Graphs whose kernel populations exercise every registered model.
+PROPERTY_GRAPHS = (
+    ("DLRM_default", 512),
+    ("resnet50", 32),
+    ("Transformer", 128),
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_population(registry):
+    """Real kernels from the property graphs, grouped by type."""
+    by_type = {}
+    for name, batch in PROPERTY_GRAPHS:
+        graph = build_model(name, batch)
+        for node in graph.nodes:
+            for kernel in node.op.kernel_calls():
+                by_type.setdefault(kernel.kernel_type, []).append(kernel)
+    return by_type
+
+
+def _reference_predict_e2e(
+    graph, registry, overheads, t4_us=10.0, kernel_gap_us=1.0, sync_h2d=False
+) -> E2EPrediction:
+    """The seed implementation: per-kernel scalar model dispatch."""
+    cpu_time = 0.0
+    gpu_time = {}
+    active = 0.0
+    per_op = {}
+    num_kernels = 0
+    for node in graph.nodes:
+        name = node.op_name
+        node_t4 = overheads.mean_us(name, T4) if t4_us is None else t4_us
+        cpu_time += overheads.mean_us(name, T1)
+        kernels = node.op.kernel_calls()
+        if kernels:
+            cpu_time += overheads.mean_us(name, T2)
+            stream = node.stream
+            for ki, kernel in enumerate(kernels):
+                t_kernel = registry.model_for(
+                    kernel.kernel_type
+                ).predict_kernel(kernel)
+                current = gpu_time.get(stream, 0.0)
+                start = max(
+                    current + kernel_gap_us, cpu_time + node_t4 / 2.0
+                )
+                gpu_time[stream] = start + t_kernel
+                active += t_kernel
+                per_op[name] = per_op.get(name, 0.0) + t_kernel
+                num_kernels += 1
+                cpu_time += node_t4
+                if (
+                    sync_h2d
+                    and kernel.kernel_type == KernelType.MEMCPY
+                    and kernel.params.get("h2d")
+                ):
+                    cpu_time = max(cpu_time, gpu_time[stream])
+                if ki < len(kernels) - 1:
+                    cpu_time += overheads.mean_us(name, T5)
+            cpu_time += overheads.mean_us(name, T3)
+        else:
+            cpu_time += overheads.mean_us(name, T5)
+    gpu_max = max(gpu_time.values(), default=0.0)
+    return E2EPrediction(
+        total_us=max(cpu_time, gpu_max),
+        cpu_us=cpu_time,
+        gpu_us=gpu_max,
+        active_us=active,
+        per_op_active_us=per_op,
+        num_ops=len(graph),
+        num_kernels=num_kernels,
+    )
+
+
+class TestPredictBatchEquivalence:
+    def test_population_covers_all_registered_types(
+        self, registry, kernel_population
+    ):
+        assert set(registry.kernel_types) <= set(kernel_population)
+
+    def test_batch_matches_loop_for_every_model(
+        self, registry, kernel_population
+    ):
+        """predict_batch ≡ looped predict_us, bit for bit, per type."""
+        for kernel_type in registry.kernel_types:
+            model = registry.model_for(kernel_type)
+            params_list = [
+                k.params for k in kernel_population[kernel_type][:200]
+            ]
+            batched = model.predict_batch(params_list)
+            looped = np.array(
+                [model.predict_us(p) for p in params_list]
+            )
+            assert batched.shape == looped.shape
+            assert np.array_equal(batched, looped), kernel_type
+
+    def test_empty_batch(self, registry):
+        for kernel_type in registry.kernel_types:
+            out = registry.model_for(kernel_type).predict_batch([])
+            assert out.shape == (0,)
+
+
+class TestPredictMany:
+    def test_matches_scalar_path(self, registry, kernel_population):
+        kernels = [ks[0] for ks in kernel_population.values()]
+        many = registry.predict_many(kernels)
+        for kernel, t in zip(kernels, many):
+            assert registry.predict_us(kernel) == t
+
+    def test_dedup_and_memoization(self, kernel_population, registry):
+        fresh = PerfModelRegistry()
+        for kernel_type in registry.kernel_types:
+            fresh.register(registry.model_for(kernel_type))
+        kernels = kernel_population[KernelType.GEMM][:10]
+        fresh.predict_many(kernels + kernels)
+        misses_after_first = fresh.cache_info().misses
+        assert misses_after_first == len(set(kernels))
+        fresh.predict_many(kernels)
+        info = fresh.cache_info()
+        assert info.misses == misses_after_first
+        assert info.hits >= len(set(kernels))
+
+    def test_bounded_cache_evicts_but_stays_correct(
+        self, registry, kernel_population
+    ):
+        tiny = PerfModelRegistry(cache_size=4)
+        for kernel_type in registry.kernel_types:
+            tiny.register(registry.model_for(kernel_type))
+        kernels = kernel_population[KernelType.GEMM][:20]
+        expected = registry.predict_many(kernels)
+        got = tiny.predict_many(kernels)
+        assert np.array_equal(expected, got)
+        assert tiny.cache_info().size <= 4
+
+    def test_unknown_type_raises(self, registry):
+        empty = PerfModelRegistry()
+        from repro.ops import gemm_kernel
+
+        with pytest.raises(KeyError, match="no performance model"):
+            empty.predict_many([gemm_kernel(64, 64, 64)])
+
+    def test_default_cache_bound(self):
+        assert PerfModelRegistry().cache_info().max_size == DEFAULT_CACHE_SIZE
+
+    def test_cache_clear(self, registry, kernel_population):
+        reg = PerfModelRegistry()
+        for kernel_type in registry.kernel_types:
+            reg.register(registry.model_for(kernel_type))
+        reg.predict_many(kernel_population[KernelType.GEMM][:5])
+        assert reg.cache_info().size > 0
+        reg.cache_clear()
+        info = reg.cache_info()
+        assert (info.size, info.hits, info.misses) == (0, 0, 0)
+
+
+class TestE2EBitIdentical:
+    @pytest.mark.parametrize("name,batch", PROPERTY_GRAPHS)
+    def test_batched_path_matches_seed(
+        self, name, batch, registry, overhead_db
+    ):
+        graph = build_model(name, batch)
+        batched = predict_e2e(graph, registry, overhead_db)
+        reference = _reference_predict_e2e(graph, registry, overhead_db)
+        assert batched.total_us == reference.total_us
+        assert batched.cpu_us == reference.cpu_us
+        assert batched.gpu_us == reference.gpu_us
+        assert batched.active_us == reference.active_us
+        assert batched.per_op_active_us == reference.per_op_active_us
+        assert batched.num_kernels == reference.num_kernels
+
+    def test_sync_h2d_and_measured_t4_variants(self, registry, overhead_db):
+        graph = build_model("DLRM_default", 256)
+        for kwargs in (
+            {"sync_h2d": True},
+            {"t4_us": None},
+            {"t4_us": None, "sync_h2d": True, "kernel_gap_us": 2.5},
+        ):
+            batched = predict_e2e(graph, registry, overhead_db, **kwargs)
+            reference = _reference_predict_e2e(
+                graph, registry, overhead_db, **kwargs
+            )
+            assert batched.total_us == reference.total_us
+            assert batched.cpu_us == reference.cpu_us

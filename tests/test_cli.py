@@ -31,6 +31,14 @@ class TestParser:
                  "--batch", "4"]
             )
 
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--model", "DLRM_default", "--batch", "512",
+             "--batches", "256,512", "--fuse-embeddings"]
+        )
+        assert args.batches == "256,512"
+        assert args.fuse_embeddings
+
 
 class TestCommands:
     def test_memory_command(self, capsys):
@@ -81,3 +89,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "predicted per-batch time" in out
         assert "ground truth" in out
+
+    def test_sweep_command(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        out_path = str(tmp_path / "sweep.json")
+        assert main(
+            ["sweep", "--model", "DLRM_default", "--batch", "256",
+             "--batches", "128,256,512", "--out", out_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best predicted throughput" in out
+        with open(out_path) as f:
+            rows = json.load(f)
+        assert [row["batch_size"] for row in rows] == [128, 256, 512]
+        assert all(row["total_us"] > 0 for row in rows)
+
+    def test_sweep_bad_batches(self, capsys):
+        assert main(
+            ["sweep", "--model", "DLRM_default", "--batch", "256",
+             "--batches", "abc"]
+        ) == 2
+        assert "bad --batches" in capsys.readouterr().err

@@ -119,6 +119,39 @@ class TestDatabase:
     def test_stats_for_missing(self, overhead_db):
         assert overhead_db.stats_for("aten::never_seen", T2) is None
 
+    def test_fallback_is_count_weighted_mean(self):
+        """Regression: the running-sum fallback must equal the old
+        materialize-[mean]*count computation (without its O(total
+        samples) memory cost)."""
+        stats = {
+            "op_a": {T1: OverheadStats(mean=2.0, std=0.0, count=3)},
+            "op_b": {T1: OverheadStats(mean=10.0, std=0.0, count=1)},
+            "op_c": {T1: OverheadStats(mean=4.0, std=0.0, count=0)},
+        }
+        db = OverheadDatabase(stats)
+        values = [2.0] * 3 + [10.0] * 1 + [4.0] * 1  # count clamped to >= 1
+        assert db.mean_us("unknown_op", T1) == pytest.approx(
+            sum(values) / len(values), rel=1e-12
+        )
+
+    def test_fallback_unchanged_on_real_trace(self, profiled_run):
+        """Fallbacks from a real trace match the naive weighted mean."""
+        samples = extract_overhead_samples(profiled_run.trace)
+        db = OverheadDatabase.from_samples(samples)
+        for otype in (T1, T2, T4):
+            pooled = []
+            for op_name in db.op_names:
+                st = db.stats_for(op_name, otype)
+                if st is not None:
+                    pooled.extend([st.mean] * max(st.count, 1))
+            assert db.mean_us("aten::never_seen", otype) == pytest.approx(
+                sum(pooled) / len(pooled), rel=1e-12
+            )
+
+    def test_fallback_default_when_type_unobserved(self):
+        db = OverheadDatabase({"op": {T1: OverheadStats(1.0, 0.0, 5)}})
+        assert db.mean_us("op", T2) == 5.0
+
 
 class TestModelSizeIndependence:
     """The paper's two working assumptions (Section III-C)."""

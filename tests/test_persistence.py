@@ -1,26 +1,20 @@
 """Round-trip tests for performance-model registry persistence."""
 
-import numpy as np
 import pytest
 
-from repro.microbench import measure_peaks, run_microbenchmark, space_for
 from repro.ops import KernelCall, KernelType, gemm_kernel
-from repro.perfmodels import build_perf_models
 from repro.perfmodels.persistence import (
     load_registry,
     registry_from_dict,
     registry_to_dict,
     save_registry,
 )
-from tests.conftest import TINY_SPACE
 
 
 @pytest.fixture(scope="module")
-def built(device):
-    registry, report = build_perf_models(
-        device, microbench_scale=0.15, epochs=100, space=TINY_SPACE, seed=3
-    )
-    return registry, report
+def built(built_models):
+    """Reuse the session's one grid-search build (registry, report)."""
+    return built_models
 
 
 class TestRoundTrip:

@@ -183,12 +183,42 @@ class TestEngine:
         assert t > 0
 
     def test_kernel_events_disjoint_per_stream(self, device):
+        """True kernel execution windows never overlap on a stream.
+
+        Recorded durations carry the per-event profiler inflation (as
+        real profiler traces do), so the true window is the recorded
+        one minus the trace's advertised GPU profiler overhead.
+        """
         g = build_model("DLRM_default", 128)
         trace = device.run(g, iterations=2, with_profiler=True).trace
         kernels = sorted(
             (e for e in trace.events if e.cat == "kernel"),
             key=lambda e: e.ts,
         )
+        overhead = trace.gpu_profiler_overhead_us
         for a, b in zip(kernels[:-1], kernels[1:]):
             if a.stream == b.stream:
-                assert b.ts >= a.end - 1e-6
+                assert b.ts >= a.end - overhead - 1e-6
+
+    def test_profiler_does_not_perturb_device_timeline(self, device, monkeypatch):
+        """Regression: GPU profiler overhead must only inflate the
+        *recorded* event durations, never the simulated device
+        timeline (stream availability, sync-copy blocking, E2E)."""
+        from repro.simulator import engine as engine_mod
+
+        g = build_model("DLRM_default", 128)
+
+        def run_with_overhead(us):
+            monkeypatch.setattr(engine_mod, "GPU_PROFILER_OVERHEAD_US", us)
+            return device.run(g, iterations=3, with_profiler=True, warmup=1)
+
+        small = run_with_overhead(0.0)
+        huge = run_with_overhead(1000.0)
+        for a, b in zip(small.iterations, huge.iterations):
+            assert b.e2e_us == pytest.approx(a.e2e_us)
+            assert b.gpu_active_us == pytest.approx(a.gpu_active_us)
+        # ... while the recorded kernel durations do carry the overhead.
+        dur_small = [e.dur for e in small.trace.events if e.cat == "kernel"]
+        dur_huge = [e.dur for e in huge.trace.events if e.cat == "kernel"]
+        for ds, dh in zip(dur_small, dur_huge):
+            assert dh == pytest.approx(ds + 1000.0)

@@ -1,0 +1,189 @@
+"""Unit + integration tests for the repro.sweep grid engine."""
+
+import json
+
+import pytest
+
+from repro.e2e import predict_e2e
+from repro.graph.transforms import fuse_embedding_bags, rescale_batch
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT, build_dlrm_graph
+from repro.sweep import (
+    IDENTITY_TRANSFORM,
+    SweepEngine,
+    SweepResult,
+    evaluate_graphs,
+    sweep_batch_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def unfused_graph():
+    cfg = DLRM_DEFAULT.with_overrides(fused_embedding=False, name="unfused")
+    return build_dlrm_graph(cfg, 256)
+
+
+class TestSweepEngine:
+    def test_grid_shape_and_order(self, dlrm_graph, registry, overhead_db):
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"indiv": overhead_db, "shared": overhead_db},
+        )
+        result = engine.run(dlrm_graph, 512, [256, 512])
+        assert len(result) == 1 * 2 * 1 * 2  # transform x batch x gpu x db
+        assert result.axis_values("batch_size") == (256, 512)
+        assert result.axis_values("transform") == (IDENTITY_TRANSFORM,)
+        assert result.axis_values("overheads") == ("indiv", "shared")
+
+    def test_matches_direct_predict_e2e(self, dlrm_graph, registry, overhead_db):
+        result = sweep_batch_sizes(
+            dlrm_graph, 512, [256, 1024], registry, overhead_db
+        )
+        for record in result:
+            direct = predict_e2e(
+                rescale_batch(dlrm_graph, 512, record.point.batch_size),
+                registry,
+                overhead_db,
+            )
+            assert record.prediction.total_us == direct.total_us
+
+    def test_transform_axis(self, unfused_graph, registry, overhead_db):
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"indiv": overhead_db},
+            transforms={
+                IDENTITY_TRANSFORM: lambda g: g,
+                "fused": fuse_embedding_bags,
+            },
+        )
+        result = engine.run(unfused_graph, 256, [256])
+        plain = result.filter(transform=IDENTITY_TRANSFORM).records[0]
+        fused = result.filter(transform="fused").records[0]
+        assert fused.prediction.total_us < plain.prediction.total_us
+
+    def test_shared_cache_across_points(self, dlrm_graph, registry, overhead_db):
+        registry.cache_clear()
+        sweep_batch_sizes(
+            dlrm_graph, 512, [256, 512, 1024, 2048], registry, overhead_db
+        )
+        info = registry.cache_info()
+        # Within-graph duplicates (repeated layers/tables) guarantee
+        # cache hits even on the first pass; re-sweeping is all hits.
+        assert info.hits > 0
+        misses_first = info.misses
+        sweep_batch_sizes(
+            dlrm_graph, 512, [256, 512, 1024, 2048], registry, overhead_db
+        )
+        assert registry.cache_info().misses == misses_first
+
+    def test_empty_axes_rejected(self, dlrm_graph, registry, overhead_db):
+        with pytest.raises(ValueError):
+            SweepEngine(registries={}, overhead_dbs={"d": overhead_db})
+        with pytest.raises(ValueError):
+            SweepEngine(registries={"g": registry}, overhead_dbs={})
+        engine = SweepEngine(
+            registries={"g": registry}, overhead_dbs={"d": overhead_db}
+        )
+        with pytest.raises(ValueError):
+            engine.run(dlrm_graph, 512, [])
+
+    def test_run_graphs_mode(self, registry, overhead_db):
+        graphs = {
+            "b256": build_model("DLRM_default", 256),
+            "b2048": build_model("DLRM_default", 2048),
+        }
+        predictions = evaluate_graphs(graphs, registry, overhead_db)
+        assert set(predictions) == {"b256", "b2048"}
+        assert (
+            predictions["b2048"].total_us > predictions["b256"].total_us
+        )
+
+
+class TestSweepResult:
+    @pytest.fixture(scope="class")
+    def result(self, dlrm_graph, registry, overhead_db):
+        return sweep_batch_sizes(
+            dlrm_graph, 512, [256, 512, 1024], registry, overhead_db,
+            gpu="V100",
+        )
+
+    def test_best_is_max_throughput(self, result):
+        best = result.best()
+        assert best.samples_per_second == max(
+            r.samples_per_second for r in result
+        )
+
+    def test_best_custom_key(self, result):
+        fastest = result.best(key=lambda r: -r.prediction.total_us)
+        assert fastest.point.batch_size == 256
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepResult([]).best()
+
+    def test_filter(self, result):
+        sub = result.filter(batch_size=512)
+        assert len(sub) == 1
+        assert sub.records[0].point.batch_size == 512
+        assert len(result.filter(gpu="nope")) == 0
+
+    def test_json_rows(self, result):
+        rows = json.loads(result.to_json())
+        assert len(rows) == 3
+        for row in rows:
+            assert row["gpu"] == "V100"
+            assert row["total_us"] > 0
+            assert row["samples_per_second"] == pytest.approx(
+                row["batch_size"] / (row["total_us"] * 1e-6)
+            )
+
+
+class TestConsumersRewired:
+    def test_batch_size_sweep_unchanged_api(
+        self, dlrm_graph, registry, overhead_db
+    ):
+        from repro.codesign import batch_size_sweep
+
+        points = batch_size_sweep(
+            dlrm_graph, 512, [256, 512], registry, overhead_db
+        )
+        assert [p.batch_size for p in points] == [256, 512]
+        direct = predict_e2e(
+            rescale_batch(dlrm_graph, 512, 256), registry, overhead_db
+        )
+        assert points[0].prediction.total_us == direct.total_us
+
+    def test_sharding_batched_costs_match_scalar(self, registry):
+        from repro.codesign import (
+            TableSpec,
+            predict_table_cost_us,
+            predict_table_costs_us,
+        )
+
+        tables = [
+            TableSpec(rows=r, dim=64, lookups=8)
+            for r in (1_000_000, 200_000, 1_000)
+        ]
+        batched = predict_table_costs_us(tables, 1024, registry)
+        for table, cost in zip(tables, batched):
+            assert predict_table_cost_us(table, 1024, registry) == cost
+
+    def test_scaling_curve_prewarms_cache(self, registry, overhead_db):
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.multigpu.interconnect import CollectiveModel
+        from repro.multigpu.predict import scaling_curve
+
+        registry.cache_clear()
+        curve = scaling_curve(
+            lambda n: build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, n),
+            (1, 2),
+            registry,
+            overhead_db,
+            lambda n: CollectiveModel(
+                measured_bw_gbs=40.0, base_latency_us=5.0
+            ),
+        )
+        assert set(curve) == {1, 2}
+        assert all(p.iteration_us > 0 for p in curve.values())
+        assert registry.cache_info().hits > 0
