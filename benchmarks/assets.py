@@ -11,6 +11,7 @@ from __future__ import annotations
 import functools
 import json
 import os
+import zlib
 
 from repro.hardware import PAPER_GPUS
 from repro.models import build_model
@@ -39,8 +40,14 @@ CV_BATCHES = (16, 32, 64)
 
 @functools.lru_cache(maxsize=None)
 def get_device(gpu_name: str) -> SimulatedDevice:
-    """The simulated testbed for one paper GPU."""
-    return SimulatedDevice(PAPER_GPUS[gpu_name], seed=100 + hash(gpu_name) % 50)
+    """The simulated testbed for one paper GPU.
+
+    The seed digest must be process-stable (``hash()`` of a string is
+    randomized per interpreter), or every benchmark run measures a
+    different testbed and ``results/`` can never be diffed run-to-run.
+    """
+    seed = 100 + zlib.crc32(gpu_name.encode()) % 50
+    return SimulatedDevice(PAPER_GPUS[gpu_name], seed=seed)
 
 
 @functools.lru_cache(maxsize=None)

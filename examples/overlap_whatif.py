@@ -1,0 +1,100 @@
+"""Overlap + heterogeneity what-if for multi-GPU DLRM training.
+
+Three questions the synchronous model cannot answer:
+
+1. How much iteration time does overlapping collectives with compute
+   buy (all-to-all behind the bottom MLP, all-reduce behind the lookup
+   backward) — on a fast fabric vs. a slow one?
+2. How does a mixed fleet (e.g. half V100, half TITAN Xp) straggle,
+   and does overlap soften or amplify the skew?
+3. Which sharding wins once overlap is on (straggler-aware
+   rebalancing)?
+
+Run:  python examples/overlap_whatif.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TESLA_V100,
+    TITAN_XP,
+    OverheadDatabase,
+    SimulatedDevice,
+    build_model,
+    build_perf_models,
+)
+from repro.codesign import rebalance_under_overlap
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import (
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    GroundTruthCollectives,
+    MultiGpuSimulator,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=77)
+    registry, _ = build_perf_models(device, microbench_scale=0.4)
+    batch, devices = 4096, 4
+
+    graph = build_model("DLRM_default", batch)
+    profiled = device.run(
+        graph, iterations=8, batch_size=batch, with_profiler=True, warmup=2
+    )
+    overheads = OverheadDatabase.from_trace(profiled.trace)
+
+    sync_plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, batch, devices)
+    over_plan = build_multi_gpu_dlrm_plan(
+        DLRM_DEFAULT, batch, devices, overlap="full"
+    )
+
+    print(f"DLRM_default @ batch {batch} on {devices} GPUs\n")
+    print("1) Overlap savings by fabric (predicted)")
+    print("   fabric   sync ms   overlap ms   saved    hidden comm")
+    for fabric in (NVLINK, PCIE_FABRIC):
+        model = CollectiveModel.calibrate(
+            GroundTruthCollectives(fabric), devices
+        )
+        sync = predict_multi_gpu(sync_plan, registry, overheads, model)
+        over = predict_multi_gpu(over_plan, registry, overheads, model)
+        saved = 1.0 - over.iteration_us / sync.iteration_us
+        print(
+            f"   {fabric.name:7s} {sync.iteration_us / 1e3:8.2f} "
+            f"{over.iteration_us / 1e3:10.2f} {saved:8.1%} "
+            f"{over.hidden_comm_us / 1e3:10.2f}ms"
+        )
+
+    print("\n2) Heterogeneous fleet (simulated, NVLink, overlap on)")
+    print("   fleet                     iter ms   straggler loss")
+    fleets = {
+        "4x V100": TESLA_V100,
+        "2x V100 + 2x TITAN Xp": [TESLA_V100, TESLA_V100, TITAN_XP, TITAN_XP],
+    }
+    for label, fleet in fleets.items():
+        truth = MultiGpuSimulator(fleet, NVLINK, seed=5).run(over_plan, 3)
+        print(
+            f"   {label:24s} {truth.iteration_us / 1e3:8.2f} "
+            f"{truth.straggler_loss_us / 1e3:10.2f}ms"
+        )
+
+    print("\n3) Straggler-aware rebalancing under overlap (predicted)")
+    model = CollectiveModel.calibrate(
+        GroundTruthCollectives(NVLINK), devices
+    )
+    assignment, best = rebalance_under_overlap(
+        DLRM_DEFAULT, batch, devices, registry, overheads, model
+    )
+    round_robin = predict_multi_gpu(over_plan, registry, overheads, model)
+    print(f"   round-robin : {round_robin.iteration_us / 1e3:8.2f} ms")
+    print(f"   rebalanced  : {best.iteration_us / 1e3:8.2f} ms "
+          f"(tables per device: {[len(d) for d in assignment]})")
+    print("\nCollectives hide behind independent compute, so slow fabrics")
+    print("recover most; hardware skew becomes the new straggler source.")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ from repro.baselines import (
 from repro.codesign import (
     TableSpec,
     batch_size_sweep,
+    rebalance_under_overlap,
     best_throughput_batch,
     evaluate_embedding_fusion,
     evaluate_sharding,
@@ -69,11 +70,14 @@ from repro.models import (
 )
 from repro.multigpu import (
     NVLINK,
+    OVERLAP_POLICIES,
     PCIE_FABRIC,
     CollectiveModel,
     MultiGpuSimulator,
     build_multi_gpu_dlrm_plan,
     predict_multi_gpu,
+    scaling_curve,
+    schedule_iteration,
 )
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import (
@@ -109,6 +113,7 @@ __all__ = [
     "MemoryPrediction",
     "MultiGpuSimulator",
     "NVLINK",
+    "OVERLAP_POLICIES",
     "Observer",
     "OverheadDatabase",
     "PAPER_GPUS",
@@ -145,8 +150,11 @@ __all__ = [
     "predict_kernel_only_us",
     "predict_memory",
     "predict_multi_gpu",
+    "rebalance_under_overlap",
     "run_microbenchmark",
     "save_graph",
+    "scaling_curve",
+    "schedule_iteration",
     "save_registry",
     "sweep_batch_sizes",
     "trace_breakdown",

@@ -148,6 +148,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multigpu(args: argparse.Namespace) -> int:
+    from repro.hardware import DEFAULT_CPU
+    from repro.models.dlrm import DLRM_CONFIGS
+    from repro.multigpu import (
+        NVLINK,
+        PCIE_FABRIC,
+        CollectiveModel,
+        GroundTruthCollectives,
+        MultiGpuSimulator,
+        build_multi_gpu_dlrm_plan,
+        predict_multi_gpu,
+    )
+
+    if args.model not in DLRM_CONFIGS:
+        known = ", ".join(sorted(DLRM_CONFIGS))
+        print(f"multigpu needs a DLRM workload (hybrid-parallel plan); "
+              f"known: {known}", file=sys.stderr)
+        return 2
+    config = DLRM_CONFIGS[args.model]
+    if args.devices < 1:
+        print(f"--devices must be >= 1, got {args.devices}", file=sys.stderr)
+        return 2
+    fleet_names = (
+        [g.strip() for g in args.fleet.split(",") if g.strip()]
+        if args.fleet
+        else [args.gpu] * args.devices
+    )
+    if len(fleet_names) != args.devices:
+        print(f"--fleet lists {len(fleet_names)} GPUs but --devices is "
+              f"{args.devices}", file=sys.stderr)
+        return 2
+    if args.batch % args.devices != 0:
+        print(f"--batch {args.batch} not divisible by {args.devices} devices",
+              file=sys.stderr)
+        return 2
+    fleet_specs = [gpu_by_name(name) for name in fleet_names]
+    unique = sorted(set(fleet_names))
+
+    registries: dict[str, object] = {}
+    if args.assets and len(unique) == 1:
+        registries[unique[0]], _ = load_registry(args.assets)
+    else:
+        if args.assets:
+            print("--assets holds one GPU's models; heterogeneous fleet "
+                  "re-runs the analysis track per GPU (slow) ...",
+                  file=sys.stderr)
+        for name in unique:
+            print(f"Running the analysis track on {name} (inline, slow) ...",
+                  file=sys.stderr)
+            device = SimulatedDevice(gpu_by_name(name), seed=args.seed)
+            registries[name], _ = build_perf_models(
+                device, microbench_scale=0.4
+            )
+    per_device_registries = [registries[name] for name in fleet_names]
+
+    profiling_device = SimulatedDevice(fleet_specs[0], seed=args.seed)
+    graph = build_model(args.model, args.batch)
+    overheads = _make_overheads(profiling_device, graph, args.batch)
+
+    fabric = NVLINK if args.fabric == "NVLink" else PCIE_FABRIC
+    model = CollectiveModel.calibrate(
+        GroundTruthCollectives(fabric), args.devices
+    )
+    policies = ("none", "full") if args.overlap == "both" else (args.overlap,)
+    plans = {
+        policy: build_multi_gpu_dlrm_plan(
+            config, args.batch, args.devices, overlap=policy
+        )
+        for policy in policies
+    }
+
+    fleet_label = ",".join(fleet_names)
+    print(f"{args.model} @ batch {args.batch} on {args.devices}x "
+          f"[{fleet_label}] over {fabric.name}:")
+    print(f"  {'overlap':8s} {'ms/iter':>9s} {'compute':>9s} "
+          f"{'comm':>9s} {'hidden':>9s} {'comm%':>7s}")
+    for policy in policies:
+        pred = predict_multi_gpu(
+            plans[policy], per_device_registries, overheads, model
+        )
+        line = (f"  {policy:8s} {pred.iteration_us / 1e3:9.3f} "
+                f"{pred.compute_us / 1e3:9.3f} "
+                f"{pred.communication_us / 1e3:9.3f} "
+                f"{pred.hidden_comm_us / 1e3:9.3f} "
+                f"{pred.communication_fraction:7.1%}")
+        if args.compare:
+            sim = MultiGpuSimulator(
+                fleet_specs, fabric, DEFAULT_CPU, seed=args.seed
+            )
+            truth = sim.run(plans[policy], iterations=3)
+            err = (pred.iteration_us - truth.iteration_us) / truth.iteration_us
+            line += f"   simulated {truth.iteration_us / 1e3:9.3f} ({err:+.1%})"
+        print(line)
+    return 0
+
+
 def _cmd_breakdown(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -225,6 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--out", help="write sweep records as JSON")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "multigpu",
+        help="overlap-aware multi-GPU what-if (heterogeneous fleets)",
+    )
+    _add_common(p, need_model=True)
+    p.add_argument("--devices", type=int, default=4, help="fleet size")
+    p.add_argument("--fabric", default="NVLink", choices=("NVLink", "PCIe"),
+                   help="inter-GPU interconnect")
+    p.add_argument("--overlap", default="both",
+                   choices=("none", "full", "both"),
+                   help="overlap policy to evaluate")
+    p.add_argument("--fleet",
+                   help="comma-separated per-device GPU names for a "
+                        "heterogeneous fleet, e.g. V100,V100,A100,A100")
+    p.add_argument("--assets", help="assets JSON from `analyze` "
+                                    "(homogeneous fleets only)")
+    p.add_argument("--compare", action="store_true",
+                   help="also simulate ground truth and report the error")
+    p.set_defaults(func=_cmd_multigpu)
 
     p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
     _add_common(p, need_model=True)

@@ -13,6 +13,7 @@ from repro.codesign.sharding import (
     greedy_balance,
     predict_table_cost_us,
     predict_table_costs_us,
+    rebalance_under_overlap,
 )
 from repro.codesign.tuning import TuningResult, widest_mlp_within_budget
 
@@ -29,5 +30,6 @@ __all__ = [
     "greedy_balance",
     "predict_table_cost_us",
     "predict_table_costs_us",
+    "rebalance_under_overlap",
     "widest_mlp_within_budget",
 ]

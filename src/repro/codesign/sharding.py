@@ -102,10 +102,38 @@ def greedy_balance(
     num_devices: int,
     batch_size: int,
     registry: PerfModelRegistry,
+    device_weights: list[float] | None = None,
 ) -> ShardingPlan:
-    """Greedy longest-processing-time sharding using predicted costs."""
+    """Greedy longest-processing-time sharding using predicted costs.
+
+    Args:
+        tables: Tables to place.
+        num_devices: Devices to place them on.
+        batch_size: Global batch size the lookups serve.
+        registry: Kernel models predicting per-table cost.
+        device_weights: Optional relative device speeds for a
+            heterogeneous fleet (e.g. ``[1.0, 1.0, 0.6]`` when the
+            third GPU is 40% slower): each table lands on the device
+            minimizing its *local time* ``load / weight``, so faster
+            devices absorb more tables.  ``None`` keeps the
+            homogeneous behaviour unchanged.
+
+    Returns:
+        The plan; ``device_cost_us`` is each device's predicted local
+        lookup time (weight-adjusted when weights are given).
+    """
     if num_devices < 1:
         raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    if device_weights is None:
+        weights = [1.0] * num_devices
+    else:
+        if len(device_weights) != num_devices:
+            raise ValueError(
+                f"got {len(device_weights)} weights for {num_devices} devices"
+            )
+        if any(w <= 0 for w in device_weights):
+            raise ValueError("device weights must be positive")
+        weights = list(device_weights)
     costs = [
         (cost, i)
         for i, cost in enumerate(
@@ -116,7 +144,93 @@ def greedy_balance(
     assignment: list[list[int]] = [[] for _ in range(num_devices)]
     load = [0.0] * num_devices
     for cost, idx in costs:
-        device = load.index(min(load))
+        if device_weights is None:
+            # Homogeneous: least-loaded device (historical behaviour,
+            # kept verbatim so existing shardings stay bit-identical).
+            device = load.index(min(load))
+        else:
+            local_time = [
+                (load[d] + cost) / weights[d] for d in range(num_devices)
+            ]
+            device = local_time.index(min(local_time))
         assignment[device].append(idx)
         load[device] += cost
-    return ShardingPlan(assignment=assignment, device_cost_us=load)
+    if device_weights is None:
+        return ShardingPlan(assignment=assignment, device_cost_us=load)
+    return ShardingPlan(
+        assignment=assignment,
+        device_cost_us=[load[d] / weights[d] for d in range(num_devices)],
+    )
+
+
+def rebalance_under_overlap(
+    config,
+    batch_size: int,
+    num_devices: int,
+    registry,
+    overheads,
+    collective_model,
+    device_weights: list[float] | None = None,
+    overlap: str = "full",
+):
+    """Pick the sharding minimizing the *overlapped* iteration time.
+
+    Straggler-aware rebalancing under overlap: a sharding that merely
+    balances lookup cost can still straggle once collectives hide
+    behind compute, because the all-to-all starts only when the
+    *slowest* device finishes its lookups and the hiding budget is the
+    independent compute behind it.  This evaluates candidate
+    assignments (round-robin, greedy LPT, and — for heterogeneous
+    fleets — speed-weighted greedy) through the full overlap-aware
+    predictor and returns the winner.
+
+    Args:
+        config: :class:`~repro.models.dlrm.DlrmConfig` to shard.
+        batch_size: Global batch size.
+        num_devices: Fleet size.
+        registry: Kernel models — single or per-device sequence, as
+            accepted by :func:`~repro.multigpu.predict.predict_multi_gpu`.
+        overheads: Overhead database(s), likewise.
+        collective_model: Calibrated collective model for the fleet.
+        device_weights: Relative device speeds for the weighted
+            candidate (see :func:`greedy_balance`).
+        overlap: Scheduling policy to optimize under.
+
+    Returns:
+        ``(assignment, prediction)`` of the best candidate.
+    """
+    from repro.multigpu.plan import build_multi_gpu_dlrm_plan
+    from repro.multigpu.predict import predict_multi_gpu
+
+    cost_registry = registry[0] if isinstance(registry, (list, tuple)) else registry
+    tables = [
+        TableSpec(rows=config.table_rows[i], dim=config.embedding_dim,
+                  lookups=config.lookups_per_table)
+        for i in range(config.num_tables)
+    ]
+    candidates: dict[str, list[list[int]]] = {
+        "round_robin": [
+            [i for i in range(config.num_tables) if i % num_devices == d]
+            for d in range(num_devices)
+        ],
+        "greedy": greedy_balance(
+            tables, num_devices, batch_size, cost_registry
+        ).assignment,
+    }
+    if device_weights is not None:
+        candidates["greedy_weighted"] = greedy_balance(
+            tables, num_devices, batch_size, cost_registry,
+            device_weights=device_weights,
+        ).assignment
+    best: tuple[list[list[int]], object] | None = None
+    for assignment in candidates.values():
+        plan = build_multi_gpu_dlrm_plan(
+            config, batch_size, num_devices,
+            table_assignment=assignment, overlap=overlap,
+        )
+        prediction = predict_multi_gpu(
+            plan, registry, overheads, collective_model
+        )
+        if best is None or prediction.iteration_us < best[1].iteration_us:
+            best = (assignment, prediction)
+    return best

@@ -20,6 +20,11 @@ from repro.multigpu.predict import (
     predict_multi_gpu,
     scaling_curve,
 )
+from repro.multigpu.schedule import (
+    OVERLAP_POLICIES,
+    IterationSchedule,
+    schedule_iteration,
+)
 from repro.multigpu.simulate import MultiGpuResult, MultiGpuSimulator
 
 __all__ = [
@@ -27,11 +32,13 @@ __all__ = [
     "CollectivePhase",
     "GroundTruthCollectives",
     "InterconnectSpec",
+    "IterationSchedule",
     "MultiGpuPlan",
     "MultiGpuPrediction",
     "MultiGpuResult",
     "MultiGpuSimulator",
     "NVLINK",
+    "OVERLAP_POLICIES",
     "PCIE_FABRIC",
     "all2all_wire_bytes",
     "allreduce_wire_bytes",
@@ -39,4 +46,5 @@ __all__ = [
     "dense_parameter_bytes",
     "predict_multi_gpu",
     "scaling_curve",
+    "schedule_iteration",
 ]

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.graph import ExecutionGraph
 from repro.models.common import ModelBuilder
+from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.models.dlrm import DlrmConfig
 from repro.ops import (
     Add,
@@ -45,48 +46,121 @@ from repro.tensormeta import TensorMeta
 
 @dataclass(frozen=True)
 class CollectivePhase:
-    """One synchronous collective between compute phases."""
+    """One collective, with its dependency edges into the compute phases.
+
+    ``produced_by`` names the compute phase whose output the collective
+    exchanges and ``consumed_by`` the first compute phase that needs its
+    result.  When either is ``None`` the collective keeps its historical
+    barrier position: it is produced by the compute phase matching its
+    index in the plan's collective list and consumed by the next one.
+    Edges with ``consumed_by > produced_by + 1`` are what create overlap
+    opportunity — the phases in between are independent of the
+    collective and can hide it (the paper's Section V discussion of
+    communication cost is extended with this hiding axis).
+    """
 
     kind: str  # "all2all" or "allreduce"
     bytes_per_device: float
     label: str = ""
+    produced_by: int | None = None
+    consumed_by: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("all2all", "allreduce"):
             raise ValueError(f"unknown collective kind {self.kind!r}")
         if self.bytes_per_device < 0:
             raise ValueError("bytes_per_device must be non-negative")
+        if self.produced_by is not None and self.produced_by < 0:
+            raise ValueError("produced_by must be a phase index")
+        if (
+            self.produced_by is not None
+            and self.consumed_by is not None
+            and self.consumed_by <= self.produced_by
+        ):
+            raise ValueError(
+                f"consumed_by={self.consumed_by} must come after "
+                f"produced_by={self.produced_by}"
+            )
 
 
 @dataclass
 class MultiGpuPlan:
-    """Alternating compute/collective phases for ``num_devices`` GPUs.
+    """Compute phases, collectives and an overlap policy for a fleet.
 
     ``compute_phases[p][d]`` is device ``d``'s execution-graph segment
-    in phase ``p``; ``collectives[p]`` runs after compute phase ``p``.
+    in phase ``p``.  Without explicit dependency edges,
+    ``collectives[p]`` runs after compute phase ``p`` (the historical
+    barrier layout).  ``overlap`` selects the default scheduling policy
+    (see :mod:`repro.multigpu.schedule`): ``"none"`` reproduces the
+    paper's synchronous phase-gated model bit-identically, ``"full"``
+    hides collectives behind independent compute.
     """
 
     num_devices: int
     compute_phases: list[list[ExecutionGraph]]
     collectives: list[CollectivePhase]
     table_assignment: list[list[int]] = field(default_factory=list)
+    overlap: str = "none"
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        if self.overlap not in OVERLAP_POLICIES:
+            known = ", ".join(OVERLAP_POLICIES)
+            raise ValueError(
+                f"unknown overlap policy {self.overlap!r}; known: {known}"
+            )
         for p, phase in enumerate(self.compute_phases):
             if len(phase) != self.num_devices:
                 raise ValueError(
                     f"phase {p} has {len(phase)} device segments for "
                     f"{self.num_devices} devices"
                 )
-        if len(self.collectives) > len(self.compute_phases):
-            raise ValueError("more collectives than compute phases")
+        num_phases = len(self.compute_phases)
+        for i, collective in enumerate(self.collectives):
+            produced_by, consumed_by = self.resolve_edge(i)
+            if not 0 <= produced_by < num_phases:
+                raise ValueError(
+                    f"collective {i} ({collective.label!r}): produced_by="
+                    f"{produced_by} outside the {num_phases} compute phases"
+                )
+            if not produced_by < consumed_by <= num_phases:
+                raise ValueError(
+                    f"collective {i} ({collective.label!r}): consumed_by="
+                    f"{consumed_by} must satisfy produced_by < consumed_by "
+                    f"<= {num_phases}"
+                )
 
     @property
     def num_phases(self) -> int:
         """Number of compute phases."""
         return len(self.compute_phases)
+
+    def resolve_edge(self, index: int) -> tuple[int, int]:
+        """Resolved ``(produced_by, consumed_by)`` of one collective.
+
+        Defaults preserve the historical barrier layout: collective
+        ``i`` is produced by compute phase ``i`` and consumed by phase
+        ``i + 1`` (or the iteration end for the last collective).
+        """
+        collective = self.collectives[index]
+        produced_by = (
+            collective.produced_by
+            if collective.produced_by is not None
+            else index
+        )
+        consumed_by = (
+            collective.consumed_by
+            if collective.consumed_by is not None
+            else min(produced_by + 1, self.num_phases)
+        )
+        return produced_by, consumed_by
+
+    def resolved_collectives(self) -> list[tuple[int, int, CollectivePhase]]:
+        """Every collective with its resolved dependency edges."""
+        return [
+            (*self.resolve_edge(i), c) for i, c in enumerate(self.collectives)
+        ]
 
 
 def _phase_a(config: DlrmConfig, local_batch: int, full_batch: int,
@@ -189,6 +263,75 @@ def _phase_c(config: DlrmConfig, local_batch: int, full_batch: int,
     return b.finish()
 
 
+def _phase_lookup_fwd(config: DlrmConfig, full_batch: int,
+                      local_tables: list[int], device: int) -> ExecutionGraph:
+    """Index copies + local-table lookups only (overlap plan phase 0).
+
+    Splitting the lookups from the bottom MLP lets the embedding
+    all-to-all start as early as possible and hide behind the MLP.
+    """
+    b = ModelBuilder(f"dlrm_mp_d{device}_lookupF")
+    T_local = max(len(local_tables), 1)
+    L = config.lookups_per_table
+    idx_host = b.input(
+        TensorMeta((full_batch * T_local * L,), "int64", device="cpu")
+    )
+    (indices,) = b.call(
+        ToDevice((full_batch * T_local * L,), "int64", batch=full_batch),
+        [idx_host],
+    )
+    if local_tables:
+        rows = [config.table_rows[i] for i in local_tables]
+        avg_e = max(1, round(sum(rows) / len(rows)))
+        lookup = LookupFunction(
+            full_batch, avg_e, len(local_tables), L, config.embedding_dim
+        )
+        weights = b.input(lookup.inputs[0])
+        offsets = b.input(lookup.inputs[2])
+        b.call(lookup, [weights, indices, offsets])
+    return b.finish()
+
+
+def _phase_bot_mlp(config: DlrmConfig, local_batch: int,
+                   device: int) -> ExecutionGraph:
+    """Dense-input copy + bottom MLP forward (overlaps the all-to-all)."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_botMLP")
+    dense_host = b.input(TensorMeta((local_batch, config.dense_dim), device="cpu"))
+    (dense,) = b.call(ToDevice((local_batch, config.dense_dim)), [dense_host])
+    b.mlp_forward(dense, local_batch, list(config.bot_mlp), final_relu=True)
+    return b.finish()
+
+
+def _phase_bot_mlp_bwd(config: DlrmConfig, local_batch: int,
+                       device: int) -> ExecutionGraph:
+    """Bottom MLP backward — independent of the gradient all-to-all."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_botMLPbwd")
+    grad_in = b.input(TensorMeta((local_batch, config.embedding_dim)))
+    _, records = b.mlp_forward(
+        b.input(TensorMeta((local_batch, config.dense_dim))),
+        local_batch, list(config.bot_mlp), final_relu=True,
+    )
+    b.mlp_backward(grad_in, records)
+    return b.finish()
+
+
+def _phase_lookup_bwd(config: DlrmConfig, full_batch: int,
+                      local_tables: list[int], device: int) -> ExecutionGraph:
+    """Lookup backward for the local tables (needs the gradient a2a)."""
+    b = ModelBuilder(f"dlrm_mp_d{device}_lookupB")
+    D = config.embedding_dim
+    L = config.lookups_per_table
+    if local_tables:
+        rows = [config.table_rows[i] for i in local_tables]
+        avg_e = max(1, round(sum(rows) / len(rows)))
+        bwd = LookupFunctionBackward(full_batch, avg_e, len(local_tables), L, D)
+        grad = b.input(bwd.inputs[0])
+        weights = b.input(bwd.inputs[1])
+        indices = b.input(bwd.inputs[2])
+        b.call(bwd, [grad, weights, indices], inplace=(1,))
+    return b.finish()
+
+
 def _phase_d(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGraph:
     """Optimizer step for the (replicated) dense parameters."""
     b = ModelBuilder(f"dlrm_mp_d{device}_phaseD")
@@ -220,6 +363,7 @@ def build_multi_gpu_dlrm_plan(
     batch_size: int,
     num_devices: int,
     table_assignment: list[list[int]] | None = None,
+    overlap: str = "none",
 ) -> MultiGpuPlan:
     """Build the hybrid-parallel plan for one DLRM iteration.
 
@@ -230,15 +374,26 @@ def build_multi_gpu_dlrm_plan(
         table_assignment: Per-device table indices; defaults to
             round-robin.  Use :func:`repro.codesign.greedy_balance` for
             a predicted-cost-balanced assignment.
+        overlap: ``"none"`` builds the paper's four-phase barrier plan
+            (unchanged numbers); ``"full"`` builds a six-phase plan
+            whose dependency edges let the forward all-to-all hide
+            behind the bottom MLP, the gradient all-to-all behind the
+            bottom-MLP backward, and the all-reduce behind the lookup
+            backward — the overlap the paper's Section V model leaves
+            on the table.
 
     Returns:
-        A four-compute-phase plan with all2all / all2all / allreduce
-        collectives between them.
+        The plan; collective dependency edges reflect true DLRM data
+        dependencies for ``overlap="full"``, barrier positions
+        otherwise.
     """
     if batch_size % num_devices != 0:
         raise ValueError(
             f"batch {batch_size} not divisible by {num_devices} devices"
         )
+    if overlap not in OVERLAP_POLICIES:
+        known = ", ".join(OVERLAP_POLICIES)
+        raise ValueError(f"unknown overlap policy {overlap!r}; known: {known}")
     if table_assignment is None:
         table_assignment = [
             [i for i in range(config.num_tables) if i % num_devices == d]
@@ -251,6 +406,43 @@ def build_multi_gpu_dlrm_plan(
     local_batch = batch_size // num_devices
     D = config.embedding_dim
 
+    # Each device exchanges its local-table outputs for the full batch:
+    # buffer = B * T_local * D floats (max over devices gates the wire).
+    max_local_tables = max((len(t) for t in table_assignment), default=0)
+    emb_bytes = 4.0 * batch_size * max_local_tables * D
+
+    if overlap == "full":
+        lookup_fwd = [
+            _phase_lookup_fwd(config, batch_size, table_assignment[d], d)
+            for d in range(num_devices)
+        ]
+        bot_mlp = [_phase_bot_mlp(config, local_batch, d)
+                   for d in range(num_devices)]
+        phase_b = [_phase_b(config, local_batch, d) for d in range(num_devices)]
+        bot_bwd = [_phase_bot_mlp_bwd(config, local_batch, d)
+                   for d in range(num_devices)]
+        lookup_bwd = [
+            _phase_lookup_bwd(config, batch_size, table_assignment[d], d)
+            for d in range(num_devices)
+        ]
+        phase_d = [_phase_d(config, local_batch, d) for d in range(num_devices)]
+        collectives = [
+            CollectivePhase("all2all", emb_bytes, label="embedding forward",
+                            produced_by=0, consumed_by=2),
+            CollectivePhase("all2all", emb_bytes, label="embedding gradient",
+                            produced_by=2, consumed_by=4),
+            CollectivePhase("allreduce", dense_parameter_bytes(config),
+                            label="dense grads", produced_by=3, consumed_by=5),
+        ]
+        return MultiGpuPlan(
+            num_devices=num_devices,
+            compute_phases=[lookup_fwd, bot_mlp, phase_b,
+                            bot_bwd, lookup_bwd, phase_d],
+            collectives=collectives,
+            table_assignment=table_assignment,
+            overlap="full",
+        )
+
     phase_a = [
         _phase_a(config, local_batch, batch_size, table_assignment[d], d)
         for d in range(num_devices)
@@ -262,10 +454,6 @@ def build_multi_gpu_dlrm_plan(
     ]
     phase_d = [_phase_d(config, local_batch, d) for d in range(num_devices)]
 
-    # Each device exchanges its local-table outputs for the full batch:
-    # buffer = B * T_local * D floats (max over devices gates the wire).
-    max_local_tables = max((len(t) for t in table_assignment), default=0)
-    emb_bytes = 4.0 * batch_size * max_local_tables * D
     collectives = [
         CollectivePhase("all2all", emb_bytes, label="embedding forward"),
         CollectivePhase("all2all", emb_bytes, label="embedding gradient"),

@@ -2,29 +2,48 @@
 
 Applies Algorithm 1 to every device's compute segment (reusing the
 single-GPU kernel models and overhead databases unchanged) and the
-calibrated collective model to the communication phases; phase
-boundaries gate at the slowest predicted device.
+calibrated collective model to the communication phases.  The per-phase
+and per-collective durations are then laid out by the *same* scheduler
+the simulator uses (:func:`repro.multigpu.schedule.schedule_iteration`),
+so prediction and ground truth stay comparable under every overlap
+policy: with ``"none"`` phase boundaries gate at the slowest predicted
+device exactly as in the paper's synchronous model; with ``"full"``
+collectives hide behind independent compute.
+
+Heterogeneous fleets are supported by passing per-device registries
+(each trained on its own :class:`~repro.hardware.GpuSpec` testbed) and,
+optionally, per-device overhead databases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.e2e import collect_plan, plan_kernels, predict_e2e
 from repro.multigpu.interconnect import CollectiveModel
 from repro.multigpu.plan import MultiGpuPlan
+from repro.multigpu.schedule import per_device, schedule_iteration
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
 
 
 @dataclass(frozen=True)
 class MultiGpuPrediction:
-    """Predicted timing of one multi-GPU iteration."""
+    """Predicted timing of one multi-GPU iteration.
+
+    ``phase_us`` holds the raw per-phase compute gates (``max`` over
+    devices); under overlap these are resource-busy times, not
+    wall-clock gaps, and ``iteration_us`` comes from the event-driven
+    schedule instead of their sum.
+    """
 
     iteration_us: float
     phase_us: tuple[float, ...]
     collective_us: tuple[float, ...]
     per_device_phase_us: tuple[tuple[float, ...], ...]
+    overlap: str = "none"
+    exposed_comm_us: float | None = None
 
     @property
     def compute_us(self) -> float:
@@ -33,71 +52,122 @@ class MultiGpuPrediction:
 
     @property
     def communication_us(self) -> float:
-        """Total predicted collective time."""
+        """Total predicted collective (interconnect-busy) time."""
         return sum(self.collective_us)
 
     @property
-    def communication_fraction(self) -> float:
-        """Share of the iteration spent in collectives."""
-        return (
-            self.communication_us / self.iteration_us
-            if self.iteration_us > 0
-            else 0.0
+    def hidden_comm_us(self) -> float:
+        """Predicted collective time hidden behind compute by overlap."""
+        exposed = (
+            self.exposed_comm_us
+            if self.exposed_comm_us is not None
+            else self.communication_us
         )
+        return max(self.communication_us - exposed, 0.0)
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration where communication is exposed.
+
+        Division semantics under overlap: the numerator is the
+        *exposed* collective time (``iteration - compute-only
+        schedule``), not the raw interconnect-busy total — otherwise a
+        fully hidden all-to-all would still claim a share of an
+        iteration it never lengthened.  Without overlap the exposed
+        time equals the total, preserving the historical meaning.
+        """
+        if self.iteration_us <= 0:
+            return 0.0
+        exposed = (
+            self.exposed_comm_us
+            if self.exposed_comm_us is not None
+            else self.communication_us
+        )
+        return exposed / self.iteration_us
 
 
 def predict_multi_gpu(
     plan: MultiGpuPlan,
-    registry: PerfModelRegistry,
-    overheads: OverheadDatabase,
+    registry: PerfModelRegistry | Sequence[PerfModelRegistry],
+    overheads: OverheadDatabase | Sequence[OverheadDatabase],
     collective_model: CollectiveModel,
+    overlap: str | None = None,
 ) -> MultiGpuPrediction:
     """Predict one hybrid-parallel iteration's time.
 
     Args:
         plan: The multi-GPU execution plan.
         registry: Single-GPU kernel performance models (reused as-is).
-        overheads: Host-overhead database (reused as-is).
+            Pass a per-device sequence for a heterogeneous fleet, each
+            registry trained on that device's testbed.
+        overheads: Host-overhead database (reused as-is) — single or
+            per-device like ``registry``.
         collective_model: Calibrated communication model.
+        overlap: Override of the plan's overlap policy (``None`` keeps
+            ``plan.overlap``).
     """
+    policy = plan.overlap if overlap is None else overlap
+    registries = per_device(registry, plan.num_devices, "registries")
+    overhead_dbs = per_device(overheads, plan.num_devices, "overhead dbs")
+
     phase_times = []
-    per_device = []
+    per_device_times = []
     for phase in plan.compute_phases:
         device_times = tuple(
-            predict_e2e(segment, registry, overheads, sync_h2d=True).total_us
-            for segment in phase
+            predict_e2e(
+                segment, registries[d], overhead_dbs[d], sync_h2d=True
+            ).total_us
+            for d, segment in enumerate(phase)
         )
-        per_device.append(device_times)
+        per_device_times.append(device_times)
         phase_times.append(max(device_times))
 
     collective_times = tuple(
         collective_model.predict_us(c.kind, c.bytes_per_device, plan.num_devices)
         for c in plan.collectives
     )
+    schedule = schedule_iteration(
+        per_device_times,
+        [
+            (produced_by, consumed_by, duration)
+            for (produced_by, consumed_by, _), duration in zip(
+                plan.resolved_collectives(), collective_times
+            )
+        ],
+        overlap=policy,
+    )
     return MultiGpuPrediction(
-        iteration_us=sum(phase_times) + sum(collective_times),
+        iteration_us=schedule.iteration_us,
         phase_us=tuple(phase_times),
         collective_us=collective_times,
-        per_device_phase_us=tuple(per_device),
+        per_device_phase_us=tuple(per_device_times),
+        overlap=policy,
+        exposed_comm_us=schedule.exposed_comm_us,
     )
 
 
 def scaling_curve(
     build_plan,
     device_counts: tuple[int, ...],
-    registry: PerfModelRegistry,
-    overheads: OverheadDatabase,
+    registry: PerfModelRegistry | Sequence[PerfModelRegistry],
+    overheads: OverheadDatabase | Sequence[OverheadDatabase],
     collective_model_for,
+    overlap: str | None = None,
 ) -> dict[int, MultiGpuPrediction]:
     """Predict iteration time across device counts (weak/strong scaling).
 
     Args:
         build_plan: Callable mapping a device count to a plan.
         device_counts: Counts to evaluate.
-        registry: Kernel models.
-        overheads: Overhead database.
+        registry: Kernel models — one registry, or a per-device
+            sequence (every plan in the curve must then have exactly
+            that many devices).
+        overheads: Overhead database (single or per-device).
         collective_model_for: Callable mapping a device count to a
             calibrated :class:`CollectiveModel`.
+        overlap: Override forwarded to every prediction (``None`` keeps
+            each plan's own policy) — sweep the same curve with
+            overlap on and off by calling twice.
     """
     plans = {n: build_plan(n) for n in device_counts}
     # Batch the whole curve's kernel population into one registry call:
@@ -111,11 +181,21 @@ def scaling_curve(
         for segment in phase
         for kernel in plan_kernels(collect_plan(segment))
     ]
+    unique_registries = (
+        {id(r): r for r in registry}.values()
+        if isinstance(registry, (list, tuple))
+        else [registry]
+    )
     if all_kernels:
-        registry.predict_many(all_kernels)
+        for reg in unique_registries:
+            reg.predict_many(all_kernels)
     return {
         n: predict_multi_gpu(
-            plans[n], registry, overheads, collective_model_for(n)
+            plans[n],
+            registry,
+            overheads,
+            collective_model_for(n),
+            overlap=overlap,
         )
         for n in device_counts
     }

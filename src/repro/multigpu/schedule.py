@@ -1,0 +1,243 @@
+"""Overlap-aware iteration scheduling shared by simulator and predictor.
+
+The paper's multi-GPU sketch (Section V-B) gates every phase at the
+slowest device and exposes every collective on the critical path.  Real
+training systems hide collective latency behind independent compute:
+the embedding all-to-all runs while the dense MLP computes, and the
+gradient all-reduce overlaps backward.  This module is the single
+source of truth for *when things run*: both
+:class:`~repro.multigpu.simulate.MultiGpuSimulator` (ground truth) and
+:func:`~repro.multigpu.predict.predict_multi_gpu` (prediction) feed
+their per-device compute durations and collective durations through
+:func:`schedule_iteration`, so the two sides always apply identical
+scheduling semantics and stay comparable.
+
+Two policies exist:
+
+* ``"none"`` — the paper's synchronous model.  Every compute phase is a
+  global barrier; collectives run alone between phases.  The iteration
+  time is computed with the exact historical expression
+  ``sum(per-phase max) + sum(collective durations)`` so results are
+  bit-identical to the pre-overlap engine (the golden files prove it).
+* ``"full"`` — event-driven overlap.  Each device advances through its
+  compute phases independently; a collective starts once *all* devices
+  have finished its producer phase and the interconnect is free
+  (collectives serialize on the fabric), and only its *consumer* phase
+  waits for it.  Compute phases between producer and consumer overlap
+  the collective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Recognised overlap policies.
+OVERLAP_POLICIES = ("none", "full")
+
+#: One resolved collective: (produced_by, consumed_by, duration_us).
+CollectiveEdge = tuple[int, int, float]
+
+
+def _check_policy(overlap: str) -> None:
+    if overlap not in OVERLAP_POLICIES:
+        known = ", ".join(OVERLAP_POLICIES)
+        raise ValueError(f"unknown overlap policy {overlap!r}; known: {known}")
+
+
+def per_device(value, num_devices: int, what: str) -> list:
+    """Replicate a single per-fleet asset, or validate a sequence.
+
+    Shared by the simulator (GPU/CPU specs) and the predictor
+    (registries/overhead databases): a scalar means a homogeneous
+    fleet; a sequence must name one entry per device.
+    """
+    if isinstance(value, (list, tuple)):
+        if len(value) != num_devices:
+            raise ValueError(
+                f"{what}: got {len(value)} entries for {num_devices} devices"
+            )
+        return list(value)
+    return [value] * num_devices
+
+
+@dataclass(frozen=True)
+class IterationSchedule:
+    """Wall-clock layout of one scheduled iteration.
+
+    Attributes:
+        iteration_us: End-to-end iteration time (all timelines drained).
+        overlap: The policy that produced this schedule.
+        phase_start_us: ``[phase][device]`` compute start times.
+        phase_end_us: ``[phase][device]`` compute end times.
+        collective_start_us: Per-collective start on the interconnect.
+        collective_end_us: Per-collective end on the interconnect.
+        compute_only_us: Iteration time of the same schedule with every
+            collective duration forced to zero — the compute skeleton.
+        exposed_comm_us: Collective time left on the critical path:
+            ``iteration_us - compute_only_us``.  Equals the full
+            collective total under ``"none"``; can reach zero when
+            overlap hides all communication.
+    """
+
+    iteration_us: float
+    overlap: str
+    phase_start_us: tuple[tuple[float, ...], ...]
+    phase_end_us: tuple[tuple[float, ...], ...]
+    collective_start_us: tuple[float, ...]
+    collective_end_us: tuple[float, ...]
+    compute_only_us: float
+    exposed_comm_us: float
+
+    @property
+    def total_comm_us(self) -> float:
+        """Total interconnect-busy time (hidden or not)."""
+        return sum(
+            end - start
+            for start, end in zip(self.collective_start_us, self.collective_end_us)
+        )
+
+    @property
+    def hidden_comm_us(self) -> float:
+        """Collective time hidden behind compute by overlap."""
+        return max(self.total_comm_us - self.exposed_comm_us, 0.0)
+
+
+def _schedule_sync(
+    compute_us: Sequence[Sequence[float]],
+    collectives: Sequence[CollectiveEdge],
+) -> tuple[float, list[list[float]], list[list[float]], list[float], list[float]]:
+    """Barrier schedule; iteration time uses the legacy expression."""
+    # Collectives run between phases in producer order, as the
+    # synchronous engine always did; edges only pick the slot.
+    by_producer: dict[int, list[int]] = {}
+    for c, (produced_by, _, _) in enumerate(collectives):
+        by_producer.setdefault(produced_by, []).append(c)
+
+    starts: list[list[float]] = []
+    ends: list[list[float]] = []
+    coll_start = [0.0] * len(collectives)
+    coll_end = [0.0] * len(collectives)
+    clock = 0.0
+    for p, durations in enumerate(compute_us):
+        starts.append([clock] * len(durations))
+        ends.append([clock + d for d in durations])
+        clock += max(durations)
+        for c in by_producer.get(p, ()):
+            coll_start[c] = clock
+            clock += collectives[c][2]
+            coll_end[c] = clock
+    # Bit-identical to the pre-overlap engine: sum of per-phase maxima
+    # plus the sum of collective durations, in that association order.
+    iteration = sum(max(durations) for durations in compute_us) + sum(
+        duration for _, _, duration in collectives
+    )
+    return iteration, starts, ends, coll_start, coll_end
+
+
+def _schedule_overlap(
+    compute_us: Sequence[Sequence[float]],
+    collectives: Sequence[CollectiveEdge],
+) -> tuple[float, list[list[float]], list[list[float]], list[float], list[float]]:
+    """Event-driven schedule with per-device timelines and one fabric."""
+    num_phases = len(compute_us)
+    num_devices = len(compute_us[0]) if num_phases else 0
+
+    by_producer: dict[int, list[int]] = {}
+    by_consumer: dict[int, list[int]] = {}
+    for c, (produced_by, consumed_by, _) in enumerate(collectives):
+        by_producer.setdefault(produced_by, []).append(c)
+        by_consumer.setdefault(consumed_by, []).append(c)
+
+    device_free = [0.0] * num_devices
+    fabric_free = 0.0
+    starts: list[list[float]] = []
+    ends: list[list[float]] = []
+    coll_start = [0.0] * len(collectives)
+    coll_end = [0.0] * len(collectives)
+
+    for p, durations in enumerate(compute_us):
+        input_ready = max(
+            (coll_end[c] for c in by_consumer.get(p, ())), default=0.0
+        )
+        phase_starts = [max(device_free[d], input_ready) for d in range(num_devices)]
+        phase_ends = [s + d for s, d in zip(phase_starts, durations)]
+        device_free = list(phase_ends)
+        starts.append(phase_starts)
+        ends.append(phase_ends)
+        # A collective needs every device's shard: it becomes ready at
+        # the slowest producer and then queues FIFO on the fabric.
+        for c in by_producer.get(p, ()):
+            ready = max(phase_ends)
+            coll_start[c] = max(ready, fabric_free)
+            coll_end[c] = coll_start[c] + collectives[c][2]
+            fabric_free = coll_end[c]
+
+    iteration = max(
+        max((max(e) for e in ends), default=0.0),
+        max(coll_end, default=0.0),
+    )
+    return iteration, starts, ends, coll_start, coll_end
+
+
+def schedule_iteration(
+    compute_us: Sequence[Sequence[float]],
+    collectives: Sequence[CollectiveEdge],
+    overlap: str = "none",
+) -> IterationSchedule:
+    """Schedule one iteration from per-device compute and collectives.
+
+    Args:
+        compute_us: ``[phase][device]`` compute durations in µs.  Every
+            phase must list the same device count.
+        collectives: Resolved ``(produced_by, consumed_by, duration)``
+            triples; ``produced_by`` must index a compute phase and
+            ``consumed_by`` must satisfy
+            ``produced_by < consumed_by <= len(compute_us)`` (a
+            consumer equal to the phase count means "iteration end").
+        overlap: ``"none"`` (synchronous barriers, bit-identical to the
+            paper's model) or ``"full"`` (event-driven overlap).
+
+    Returns:
+        The :class:`IterationSchedule`, including the exposed
+        communication time used by ``communication_fraction``.
+    """
+    _check_policy(overlap)
+    num_phases = len(compute_us)
+    if num_phases:
+        width = len(compute_us[0])
+        if width == 0:
+            raise ValueError("compute phases must list at least one device")
+        for p, durations in enumerate(compute_us):
+            if len(durations) != width:
+                raise ValueError(
+                    f"phase {p} lists {len(durations)} devices, expected {width}"
+                )
+    for c, (produced_by, consumed_by, duration) in enumerate(collectives):
+        if not 0 <= produced_by < max(num_phases, 1):
+            raise ValueError(
+                f"collective {c}: produced_by={produced_by} outside "
+                f"0..{num_phases - 1}"
+            )
+        if not produced_by < consumed_by <= num_phases:
+            raise ValueError(
+                f"collective {c}: consumed_by={consumed_by} must satisfy "
+                f"{produced_by} < consumed_by <= {num_phases}"
+            )
+        if duration < 0:
+            raise ValueError(f"collective {c}: negative duration {duration}")
+
+    run = _schedule_sync if overlap == "none" else _schedule_overlap
+    iteration, starts, ends, coll_start, coll_end = run(compute_us, collectives)
+    zeroed = [(p, q, 0.0) for p, q, _ in collectives]
+    compute_only = run(compute_us, zeroed)[0]
+    return IterationSchedule(
+        iteration_us=iteration,
+        overlap=overlap,
+        phase_start_us=tuple(tuple(s) for s in starts),
+        phase_end_us=tuple(tuple(e) for e in ends),
+        collective_start_us=tuple(coll_start),
+        collective_end_us=tuple(coll_end),
+        compute_only_us=compute_only,
+        exposed_comm_us=max(iteration - compute_only, 0.0),
+    )

@@ -1,32 +1,52 @@
 """Multi-GPU ground-truth simulation of a hybrid-parallel plan.
 
 Each device runs its compute segments on its own
-:class:`~repro.simulator.engine.SimulatedDevice`; synchronous
-collectives gate phase boundaries at the *slowest* device plus the true
-collective duration — the straggler effect that makes embedding-table
-load balance matter (Section V-A(c)).
+:class:`~repro.simulator.engine.SimulatedDevice` — with ``"none"``
+overlap, synchronous collectives gate phase boundaries at the *slowest*
+device plus the true collective duration (the straggler effect that
+makes embedding-table load balance matter, Section V-A(c)).  With
+``"full"`` overlap the per-phase durations and collective durations are
+laid out by the shared event-driven scheduler
+(:func:`repro.multigpu.schedule.schedule_iteration`) instead, so
+collectives hide behind independent compute exactly as they do in the
+predictor.
+
+The fleet may be *heterogeneous*: pass a sequence of per-device
+:class:`~repro.hardware.GpuSpec` (and optionally per-device
+:class:`~repro.hardware.CpuSpec`) and stragglers arise from hardware
+skew as well as sharding skew.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.hardware import DEFAULT_CPU, CpuSpec, GpuSpec
 from repro.multigpu.interconnect import GroundTruthCollectives, InterconnectSpec
 from repro.multigpu.plan import MultiGpuPlan
+from repro.multigpu.schedule import per_device, schedule_iteration
 from repro.simulator import SimulatedDevice
 
 
 @dataclass
 class MultiGpuResult:
-    """Ground-truth timing of one multi-GPU training iteration."""
+    """Ground-truth timing of one multi-GPU training iteration.
+
+    ``phase_us`` holds the raw per-phase compute gates
+    (``max`` over devices); under overlap these are resource-busy
+    times, not wall-clock gaps, and ``iteration_us`` comes from the
+    event-driven schedule instead of their sum.
+    """
 
     iteration_us: float
     phase_us: list[float]
     collective_us: list[float]
     per_device_phase_us: list[list[float]]  # [phase][device]
+    overlap: str = "none"
+    exposed_comm_us: float | None = None
 
     @property
     def compute_us(self) -> float:
@@ -35,26 +55,72 @@ class MultiGpuResult:
 
     @property
     def communication_us(self) -> float:
-        """Total collective time."""
+        """Total collective (interconnect-busy) time, hidden or not."""
         return sum(self.collective_us)
 
     @property
+    def hidden_comm_us(self) -> float:
+        """Collective time hidden behind compute by overlap."""
+        exposed = (
+            self.exposed_comm_us
+            if self.exposed_comm_us is not None
+            else self.communication_us
+        )
+        return max(self.communication_us - exposed, 0.0)
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration where communication is exposed.
+
+        Uses the *exposed* collective time (what overlap failed to
+        hide), so a fully hidden collective contributes zero — the
+        division-semantics audit for the overlap engine.  Without
+        overlap this equals total collective time over iteration time.
+        """
+        if self.iteration_us <= 0:
+            return 0.0
+        exposed = (
+            self.exposed_comm_us
+            if self.exposed_comm_us is not None
+            else self.communication_us
+        )
+        return exposed / self.iteration_us
+
+    @property
     def straggler_loss_us(self) -> float:
-        """Time lost to imbalance: gated minus mean per-phase time."""
+        """Time lost to imbalance: per-phase max minus mean device time.
+
+        Phases with a single device cannot have stragglers and are
+        skipped outright (mean == max, so iterating them could only add
+        float noise), and the loss is computed from the raw device
+        times so it stays meaningful under overlap, where the gated
+        ``phase_us`` no longer equals the wall-clock phase span.
+        """
         loss = 0.0
-        for phase, devices in zip(self.phase_us, self.per_device_phase_us):
-            loss += phase - float(np.mean(devices))
+        for devices in self.per_device_phase_us:
+            if len(devices) <= 1:
+                continue
+            loss += max(devices) - float(np.mean(devices))
         return loss
 
 
 class MultiGpuSimulator:
-    """Simulates a :class:`MultiGpuPlan` on ``num_devices`` equal GPUs."""
+    """Simulates a :class:`MultiGpuPlan` on a (possibly mixed) fleet.
+
+    Args:
+        gpu: One :class:`GpuSpec` for a homogeneous fleet, or a
+            per-device sequence (length = plan's ``num_devices``) for a
+            heterogeneous one.
+        fabric: The interconnect between the devices.
+        cpu: Host spec — single or per-device, like ``gpu``.
+        seed: Base seed; device ``d`` derives ``seed + 17 * d``.
+    """
 
     def __init__(
         self,
-        gpu: GpuSpec,
+        gpu: GpuSpec | Sequence[GpuSpec],
         fabric: InterconnectSpec,
-        cpu: CpuSpec = DEFAULT_CPU,
+        cpu: CpuSpec | Sequence[CpuSpec] = DEFAULT_CPU,
         seed: int = 0,
     ) -> None:
         self.gpu = gpu
@@ -63,10 +129,26 @@ class MultiGpuSimulator:
         self.seed = seed
         self.collectives = GroundTruthCollectives(fabric)
 
-    def run(self, plan: MultiGpuPlan, iterations: int = 3) -> MultiGpuResult:
-        """Simulate ``iterations`` iterations; returns mean-phase timing."""
+    def run(
+        self,
+        plan: MultiGpuPlan,
+        iterations: int = 3,
+        overlap: str | None = None,
+    ) -> MultiGpuResult:
+        """Simulate ``iterations`` iterations; returns mean-phase timing.
+
+        Args:
+            plan: The plan to run.
+            iterations: Timed iterations per compute segment.
+            overlap: Override of the plan's overlap policy (``None``
+                keeps ``plan.overlap``) — handy for measuring the same
+                plan with and without overlap.
+        """
+        policy = plan.overlap if overlap is None else overlap
+        gpus = per_device(self.gpu, plan.num_devices, "gpu specs")
+        cpus = per_device(self.cpu, plan.num_devices, "cpu specs")
         devices = [
-            SimulatedDevice(self.gpu, self.cpu, seed=self.seed + 17 * d)
+            SimulatedDevice(gpus[d], cpus[d], seed=self.seed + 17 * d)
             for d in range(plan.num_devices)
         ]
         rng = np.random.default_rng(self.seed + 999)
@@ -95,9 +177,21 @@ class MultiGpuSimulator:
             for c in plan.collectives
         ]
 
+        schedule = schedule_iteration(
+            per_device_phase,
+            [
+                (produced_by, consumed_by, duration)
+                for (produced_by, consumed_by, _), duration in zip(
+                    plan.resolved_collectives(), collective_times
+                )
+            ],
+            overlap=policy,
+        )
         return MultiGpuResult(
-            iteration_us=sum(phase_times) + sum(collective_times),
+            iteration_us=schedule.iteration_us,
             phase_us=phase_times,
             collective_us=collective_times,
             per_device_phase_us=per_device_phase,
+            overlap=policy,
+            exposed_comm_us=schedule.exposed_comm_us,
         )

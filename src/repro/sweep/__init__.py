@@ -6,10 +6,20 @@ from repro.sweep.engine import (
     evaluate_graphs,
     sweep_batch_sizes,
 )
-from repro.sweep.result import SweepPoint, SweepRecord, SweepResult
+from repro.sweep.result import (
+    MultiGpuSweepPoint,
+    MultiGpuSweepRecord,
+    MultiGpuSweepResult,
+    SweepPoint,
+    SweepRecord,
+    SweepResult,
+)
 
 __all__ = [
     "IDENTITY_TRANSFORM",
+    "MultiGpuSweepPoint",
+    "MultiGpuSweepRecord",
+    "MultiGpuSweepResult",
     "SweepEngine",
     "SweepPoint",
     "SweepRecord",

@@ -38,9 +38,18 @@ from repro.e2e import (
     traverse_plan,
 )
 from repro.graph import ExecutionGraph
+from repro.multigpu.plan import MultiGpuPlan
+from repro.multigpu.predict import predict_multi_gpu
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
-from repro.sweep.result import SweepPoint, SweepRecord, SweepResult
+from repro.sweep.result import (
+    MultiGpuSweepPoint,
+    MultiGpuSweepRecord,
+    MultiGpuSweepResult,
+    SweepPoint,
+    SweepRecord,
+    SweepResult,
+)
 
 #: The identity transform (the "no rewrite" axis value).
 IDENTITY_TRANSFORM = "none"
@@ -169,6 +178,104 @@ class SweepEngine:
                     )
                 )
         return self._evaluate(labeled_plans)
+
+    def run_multi_gpu(
+        self,
+        plans: Mapping[str, MultiGpuPlan],
+        collective_model_for: Callable[[int], object],
+        fleets: Mapping[str, str | Sequence[str]] | None = None,
+        overlap_policies: Sequence[str] = ("none", "full"),
+        overheads: str | None = None,
+    ) -> MultiGpuSweepResult:
+        """Evaluate multi-GPU plans over fleet and overlap axes.
+
+        The whole grid's kernel population (every device segment of
+        every plan) is deduplicated and predicted once per registry up
+        front, so each ``predict_multi_gpu`` call below runs on cache
+        hits — the multi-GPU counterpart of the single-GPU grid
+        batching.
+
+        Args:
+            plans: Label -> plan.  Encode workload/batch/devices in the
+                label; each plan carries its own device count.
+            collective_model_for: Device count -> calibrated
+                :class:`~repro.multigpu.interconnect.CollectiveModel`.
+            fleets: Label -> registry label(s) from ``registries``.  A
+                single label is a homogeneous fleet for any device
+                count; a sequence is a heterogeneous fleet and must
+                match each plan's device count.  Defaults to one
+                homogeneous fleet per registry.
+            overlap_policies: Overlap axis values; each plan is
+                re-scheduled under every policy.
+            overheads: Overhead-database label to traverse with
+                (default: the first database given to the engine).
+
+        Note:
+            The per-device traversals use ``predict_multi_gpu``'s
+            paper-faithful settings (``sync_h2d=True``, default T4),
+            not this engine's single-GPU traversal knobs.
+        """
+        if fleets is None:
+            fleets = {name: name for name in self.registries}
+        if not fleets:
+            raise ValueError("sweep needs at least one fleet")
+        if not overlap_policies:
+            raise ValueError("sweep needs at least one overlap policy")
+        db_name = (
+            overheads if overheads is not None else next(iter(self.overhead_dbs))
+        )
+        db = self.overhead_dbs[db_name]
+
+        all_kernels = [
+            kernel
+            for plan in plans.values()
+            for phase in plan.compute_phases
+            for segment in phase
+            for kernel in plan_kernels(collect_plan(segment))
+        ]
+        used_labels = {
+            label
+            for labels in fleets.values()
+            for label in ((labels,) if isinstance(labels, str) else labels)
+        }
+        for label in sorted(used_labels):
+            if label not in self.registries:
+                raise ValueError(
+                    f"fleet references unknown registry {label!r}"
+                )
+            if all_kernels:
+                self.registries[label].predict_many(all_kernels)
+
+        records: list[MultiGpuSweepRecord] = []
+        for fleet_name, labels in fleets.items():
+            for plan_name, plan in plans.items():
+                if isinstance(labels, str):
+                    fleet_registries = self.registries[labels]
+                else:
+                    if len(labels) != plan.num_devices:
+                        raise ValueError(
+                            f"fleet {fleet_name!r} lists {len(labels)} devices "
+                            f"but plan {plan_name!r} has {plan.num_devices}"
+                        )
+                    fleet_registries = [self.registries[la] for la in labels]
+                model = collective_model_for(plan.num_devices)
+                for policy in overlap_policies:
+                    records.append(
+                        MultiGpuSweepRecord(
+                            MultiGpuSweepPoint(
+                                plan_name,
+                                plan.num_devices,
+                                fleet_name,
+                                policy,
+                                db_name,
+                            ),
+                            predict_multi_gpu(
+                                plan, fleet_registries, db, model,
+                                overlap=policy,
+                            ),
+                        )
+                    )
+        return MultiGpuSweepResult(records)
 
     def run_graphs(
         self, graphs: Mapping[str, ExecutionGraph], batch_size: int

@@ -1,12 +1,15 @@
-"""Sweep result table: one record per evaluated grid point."""
+"""Sweep result tables: one record per evaluated grid point."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.e2e import E2EPrediction
+
+if TYPE_CHECKING:  # avoid an import cycle at runtime (multigpu is heavy)
+    from repro.multigpu.predict import MultiGpuPrediction
 
 
 @dataclass(frozen=True)
@@ -84,6 +87,109 @@ class SweepResult:
             raise ValueError("empty sweep result")
         if key is None:
             key = lambda r: r.samples_per_second  # noqa: E731
+        return max(self.records, key=key)
+
+    def axis_values(self, axis: str) -> tuple:
+        """Distinct values of one grid axis, in first-seen order."""
+        seen: dict = {}
+        for r in self.records:
+            seen.setdefault(getattr(r.point, axis), None)
+        return tuple(seen)
+
+    def to_rows(self) -> list[dict]:
+        """All records as JSON-compatible rows."""
+        return [r.to_dict() for r in self.records]
+
+    def to_json(self, indent: int = 1) -> str:
+        """Serialize the table (one row per grid point)."""
+        return json.dumps(self.to_rows(), indent=indent)
+
+
+@dataclass(frozen=True)
+class MultiGpuSweepPoint:
+    """Coordinates of one multi-GPU grid point.
+
+    Axes: the plan label (typically encodes workload/batch/devices),
+    the fleet label (device mix), the overlap policy, and the overhead
+    database used for the per-device Algorithm 1 traversals.
+    """
+
+    plan: str
+    devices: int
+    fleet: str
+    overlap: str
+    overheads: str
+
+
+@dataclass(frozen=True)
+class MultiGpuSweepRecord:
+    """One evaluated multi-GPU grid point and its prediction."""
+
+    point: MultiGpuSweepPoint
+    prediction: "MultiGpuPrediction"
+
+    @property
+    def samples_per_second_per_batch(self) -> float:
+        """Iterations per second (batch size is plan-dependent)."""
+        return 1e6 / self.prediction.iteration_us
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row."""
+        return {
+            "plan": self.point.plan,
+            "devices": self.point.devices,
+            "fleet": self.point.fleet,
+            "overlap": self.point.overlap,
+            "overheads": self.point.overheads,
+            "iteration_us": self.prediction.iteration_us,
+            "compute_us": self.prediction.compute_us,
+            "communication_us": self.prediction.communication_us,
+            "exposed_comm_us": self.prediction.exposed_comm_us,
+            "hidden_comm_us": self.prediction.hidden_comm_us,
+            "communication_fraction": self.prediction.communication_fraction,
+        }
+
+
+class MultiGpuSweepResult:
+    """An ordered table of multi-GPU sweep records with query helpers."""
+
+    def __init__(self, records: list[MultiGpuSweepRecord]) -> None:
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MultiGpuSweepRecord]:
+        return iter(self.records)
+
+    def filter(
+        self,
+        plan: str | None = None,
+        devices: int | None = None,
+        fleet: str | None = None,
+        overlap: str | None = None,
+        overheads: str | None = None,
+    ) -> "MultiGpuSweepResult":
+        """Sub-table matching the given axis values."""
+        kept = [
+            r
+            for r in self.records
+            if (plan is None or r.point.plan == plan)
+            and (devices is None or r.point.devices == devices)
+            and (fleet is None or r.point.fleet == fleet)
+            and (overlap is None or r.point.overlap == overlap)
+            and (overheads is None or r.point.overheads == overheads)
+        ]
+        return MultiGpuSweepResult(kept)
+
+    def best(
+        self, key: Callable[[MultiGpuSweepRecord], float] | None = None
+    ) -> MultiGpuSweepRecord:
+        """Record maximizing ``key`` (default: fastest iteration)."""
+        if not self.records:
+            raise ValueError("empty sweep result")
+        if key is None:
+            key = lambda r: -r.prediction.iteration_us  # noqa: E731
         return max(self.records, key=key)
 
     def axis_values(self, axis: str) -> tuple:

@@ -6,6 +6,9 @@ training, profiled runs) happen once per test session.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.hardware import TESLA_V100
@@ -13,6 +16,72 @@ from repro.models import build_model
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import CV_ML_KERNELS, build_perf_models
 from repro.simulator import SimulatedDevice
+
+#: Where the golden-file regression snapshots live.
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current predictions "
+             "instead of comparing against them",
+    )
+
+
+def _assert_golden_close(stored, current, path=""):
+    """Recursive compare; floats must match to ~machine precision."""
+    where = path or "<root>"
+    assert type(stored) is type(current) or (
+        isinstance(stored, (int, float)) and isinstance(current, (int, float))
+    ), f"{where}: type changed {type(stored).__name__} -> {type(current).__name__}"
+    if isinstance(stored, dict):
+        assert sorted(stored) == sorted(current), (
+            f"{where}: keys changed {sorted(stored)} -> {sorted(current)}"
+        )
+        for key in stored:
+            _assert_golden_close(stored[key], current[key], f"{path}.{key}")
+    elif isinstance(stored, list):
+        assert len(stored) == len(current), f"{where}: length changed"
+        for i, (s, c) in enumerate(zip(stored, current)):
+            _assert_golden_close(s, c, f"{path}[{i}]")
+    elif isinstance(stored, float) or isinstance(current, float):
+        assert current == pytest.approx(stored, rel=1e-12, abs=1e-12), (
+            f"{where}: {stored!r} -> {current!r}"
+        )
+    else:
+        assert stored == current, f"{where}: {stored!r} -> {current!r}"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a JSON payload against its snapshot in tests/goldens/.
+
+    Run ``pytest --update-goldens`` to (re)write the snapshots after an
+    intentional numeric change; a plain run then diffs against the
+    known numbers instead of re-deriving them.
+    """
+
+    def check(name: str, payload: dict) -> None:
+        path = GOLDENS_DIR / f"{name}.json"
+        rendered = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        if request.config.getoption("--update-goldens"):
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        assert path.exists(), (
+            f"missing golden {path.name}; run `pytest --update-goldens` "
+            "to create it"
+        )
+        stored = json.loads(path.read_text())
+        # Round-trip the payload through JSON so stored and current
+        # went through identical float formatting.
+        _assert_golden_close(stored, json.loads(rendered))
+
+    return check
+
 
 #: Single-point "grid" keeping test-time training fast.
 TINY_SPACE = {

@@ -122,3 +122,63 @@ class TestCommands:
              "--batches", "abc"]
         ) == 2
         assert "bad --batches" in capsys.readouterr().err
+
+    def test_multigpu_parser_args(self):
+        args = build_parser().parse_args(
+            ["multigpu", "--model", "DLRM_default", "--batch", "1024",
+             "--devices", "2", "--fabric", "PCIe", "--overlap", "full",
+             "--fleet", "V100,A100"]
+        )
+        assert args.devices == 2
+        assert args.fabric == "PCIe"
+        assert args.overlap == "full"
+        assert args.fleet == "V100,A100"
+
+    def test_multigpu_command(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "256",
+             "--devices", "2", "--fabric", "PCIe", "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "none" in out
+        assert "full" in out
+        assert "simulated" in out
+
+    def test_multigpu_rejects_non_dlrm(self, capsys):
+        assert main(
+            ["multigpu", "--model", "resnet50", "--batch", "64",
+             "--devices", "2"]
+        ) == 2
+        assert "DLRM" in capsys.readouterr().err
+
+    def test_multigpu_rejects_bad_fleet(self, capsys):
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "256",
+             "--devices", "4", "--fleet", "V100,V100"]
+        ) == 2
+        assert "--fleet" in capsys.readouterr().err
+
+    def test_multigpu_rejects_zero_devices(self, capsys):
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "256",
+             "--devices", "0"]
+        ) == 2
+        assert "--devices" in capsys.readouterr().err
+
+    def test_multigpu_rejects_indivisible_batch(self, capsys):
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "255",
+             "--devices", "2"]
+        ) == 2
+        assert "divisible" in capsys.readouterr().err

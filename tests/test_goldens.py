@@ -1,0 +1,90 @@
+"""Golden-file regression tests: known numbers, not re-derived ones.
+
+Snapshots of single-GPU and multi-GPU predictions live under
+``tests/goldens/``.  A refactor that is supposed to be numerically
+neutral (like the overlap-engine rewrite of the synchronous path) is
+proven so by these files: run ``pytest --update-goldens`` only after an
+*intentional* numeric change, and let CI diff everything else against
+the stored numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.e2e import predict_e2e
+from repro.hardware import TESLA_V100
+from repro.models import build_model
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import (
+    NVLINK,
+    CollectiveModel,
+    GroundTruthCollectives,
+    MultiGpuSimulator,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+
+#: One representative (model, batch) per workload family.
+SINGLE_GPU_CASES = [
+    ("DLRM_default", 512),
+    ("resnet50", 32),
+    ("Transformer", 64),
+]
+
+
+def _prediction_payload(pred) -> dict:
+    return {
+        "total_us": pred.total_us,
+        "cpu_us": pred.cpu_us,
+        "gpu_us": pred.gpu_us,
+        "active_us": pred.active_us,
+        "num_ops": pred.num_ops,
+        "num_kernels": pred.num_kernels,
+    }
+
+
+def _multi_payload(result) -> dict:
+    return {
+        "iteration_us": result.iteration_us,
+        "phase_us": list(result.phase_us),
+        "collective_us": list(result.collective_us),
+        "compute_us": result.compute_us,
+        "communication_us": result.communication_us,
+        "exposed_comm_us": result.exposed_comm_us,
+        "communication_fraction": result.communication_fraction,
+        "overlap": result.overlap,
+    }
+
+
+class TestSingleGpuGoldens:
+    @pytest.mark.parametrize("model,batch", SINGLE_GPU_CASES)
+    def test_prediction(self, model, batch, registry, overhead_db, golden):
+        pred = predict_e2e(build_model(model, batch), registry, overhead_db)
+        golden(f"single_{model}_b{batch}", _prediction_payload(pred))
+
+
+class TestMultiGpuGoldens:
+    @pytest.fixture(scope="class")
+    def collective_model(self):
+        return CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 4)
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_prediction(
+        self, overlap, registry, overhead_db, collective_model, golden
+    ):
+        plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 4, overlap=overlap
+        )
+        pred = predict_multi_gpu(plan, registry, overhead_db, collective_model)
+        golden(f"multigpu_DLRM_default_b1024_x4_{overlap}",
+               _multi_payload(pred))
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_simulation(self, overlap, golden):
+        plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 2, overlap=overlap
+        )
+        truth = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(plan, 2)
+        golden(f"multigpu_sim_DLRM_default_b1024_x2_{overlap}",
+               _multi_payload(truth))

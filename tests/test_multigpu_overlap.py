@@ -1,0 +1,360 @@
+"""Property + unit tests for the overlap-aware heterogeneous engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import TESLA_V100, TITAN_XP
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import (
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    CollectivePhase,
+    GroundTruthCollectives,
+    MultiGpuPlan,
+    MultiGpuResult,
+    MultiGpuSimulator,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+    schedule_iteration,
+)
+
+durations = st.floats(min_value=0.0, max_value=1e5,
+                      allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def workloads(draw):
+    """Random (compute matrix, resolved collectives) pairs."""
+    num_phases = draw(st.integers(min_value=1, max_value=6))
+    num_devices = draw(st.integers(min_value=1, max_value=5))
+    compute = [
+        [draw(durations) for _ in range(num_devices)]
+        for _ in range(num_phases)
+    ]
+    collectives = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        produced_by = draw(st.integers(min_value=0, max_value=num_phases - 1))
+        consumed_by = draw(
+            st.integers(min_value=produced_by + 1, max_value=num_phases)
+        )
+        collectives.append((produced_by, consumed_by, draw(durations)))
+    return compute, collectives
+
+
+class TestScheduleProperties:
+    """The satellite invariants, fuzzed over random workloads."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(work=workloads())
+    def test_sync_reproduces_legacy_formula_exactly(self, work):
+        compute, collectives = work
+        schedule = schedule_iteration(compute, collectives, overlap="none")
+        legacy = sum(max(phase) for phase in compute) + sum(
+            duration for _, _, duration in collectives
+        )
+        assert schedule.iteration_us == legacy  # bit-identical, not approx
+        assert schedule.exposed_comm_us == pytest.approx(
+            sum(duration for _, _, duration in collectives), rel=1e-9, abs=1e-6
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(work=workloads())
+    def test_overlap_bounded_by_sync_and_lower_bounds(self, work):
+        compute, collectives = work
+        sync = schedule_iteration(compute, collectives, overlap="none")
+        over = schedule_iteration(compute, collectives, overlap="full")
+        # Overlap can only help: never slower than the barrier schedule.
+        assert over.iteration_us <= sync.iteration_us * (1 + 1e-9) + 1e-6
+        # ... and never faster than physics: each device still runs all
+        # of its compute, and collectives serialize on the fabric.
+        slowest_device = max(
+            sum(phase[d] for phase in compute)
+            for d in range(len(compute[0]))
+        )
+        total_comm = sum(duration for _, _, duration in collectives)
+        lower = max(slowest_device, total_comm)
+        assert over.iteration_us >= lower * (1 - 1e-9) - 1e-6
+        # Exposed communication is between 0 and the full collective time.
+        assert -1e-6 <= over.exposed_comm_us
+        assert over.exposed_comm_us <= total_comm * (1 + 1e-9) + 1e-6
+        assert over.hidden_comm_us >= -1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(work=workloads())
+    def test_collectives_serialize_and_respect_producers(self, work):
+        compute, collectives = work
+        over = schedule_iteration(compute, collectives, overlap="full")
+        for c, (produced_by, _, duration) in enumerate(collectives):
+            start = over.collective_start_us[c]
+            end = over.collective_end_us[c]
+            assert end == pytest.approx(start + duration, rel=1e-9, abs=1e-6)
+            # A collective cannot start before its slowest producer.
+            assert start >= max(over.phase_end_us[produced_by]) - 1e-6
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            schedule_iteration([[1.0]], [], overlap="half")
+        with pytest.raises(ValueError, match="consumed_by"):
+            schedule_iteration([[1.0], [1.0]], [(1, 1, 5.0)])
+        with pytest.raises(ValueError, match="produced_by"):
+            schedule_iteration([[1.0]], [(3, 4, 5.0)])
+        with pytest.raises(ValueError, match="devices"):
+            schedule_iteration([[1.0], [1.0, 2.0]], [])
+
+
+class TestPlanEdges:
+    def test_default_edges_are_barriers(self):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2)
+        assert plan.overlap == "none"
+        assert [plan.resolve_edge(i) for i in range(3)] == [
+            (0, 1), (1, 2), (2, 3),
+        ]
+
+    def test_overlap_plan_has_hiding_edges(self):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2, overlap="full")
+        assert plan.overlap == "full"
+        assert plan.num_phases == 6
+        edges = [plan.resolve_edge(i) for i in range(3)]
+        assert edges == [(0, 2), (2, 4), (3, 5)]
+        # Every edge skips at least one phase — that's the overlap window.
+        assert all(consumer - producer > 1 for producer, consumer in edges)
+        for phase in plan.compute_phases:
+            for segment in phase:
+                segment.validate()
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            CollectivePhase("all2all", 1.0, produced_by=2, consumed_by=1)
+        base = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2)
+        with pytest.raises(ValueError, match="consumed_by"):
+            MultiGpuPlan(
+                num_devices=2,
+                compute_phases=base.compute_phases,
+                collectives=[
+                    CollectivePhase("all2all", 1.0, produced_by=0,
+                                    consumed_by=9)
+                ],
+            )
+        with pytest.raises(ValueError, match="overlap"):
+            MultiGpuPlan(
+                num_devices=2,
+                compute_phases=base.compute_phases,
+                collectives=[],
+                overlap="sometimes",
+            )
+
+
+class TestSimulatorOverlap:
+    @pytest.fixture(scope="class")
+    def sync_plan(self):
+        return build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)
+
+    @pytest.fixture(scope="class")
+    def overlap_plan(self):
+        return build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap="full")
+
+    def test_sync_run_matches_legacy_arithmetic(self, sync_plan):
+        result = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(sync_plan, 2)
+        assert result.iteration_us == (
+            sum(result.phase_us) + sum(result.collective_us)
+        )
+        assert result.overlap == "none"
+        assert result.exposed_comm_us == pytest.approx(
+            result.communication_us
+        )
+
+    def test_overlap_no_slower_same_plan(self, overlap_plan):
+        sim = MultiGpuSimulator(TESLA_V100, PCIE_FABRIC, seed=9)
+        over = sim.run(overlap_plan, 2)
+        sync = sim.run(overlap_plan, 2, overlap="none")
+        assert over.iteration_us <= sync.iteration_us
+        assert over.hidden_comm_us > 0  # PCIe DLRM hides real comm time
+        assert over.communication_fraction <= sync.communication_fraction
+
+    def test_overlap_beats_default_sync_plan_on_pcie(
+        self, sync_plan, overlap_plan
+    ):
+        sim = MultiGpuSimulator(TESLA_V100, PCIE_FABRIC, seed=9)
+        assert (
+            sim.run(overlap_plan, 2).iteration_us
+            < sim.run(sync_plan, 2).iteration_us
+        )
+
+    def test_homogeneous_fleet_special_case(self, sync_plan):
+        """A per-device list of identical specs is exactly the scalar path."""
+        scalar = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(sync_plan, 2)
+        listed = MultiGpuSimulator(
+            [TESLA_V100] * 4, NVLINK, seed=9
+        ).run(sync_plan, 2)
+        assert listed.iteration_us == scalar.iteration_us
+        assert listed.per_device_phase_us == scalar.per_device_phase_us
+        assert listed.collective_us == scalar.collective_us
+
+    def test_heterogeneous_fleet_straggles(self, sync_plan):
+        homo = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(sync_plan, 2)
+        het = MultiGpuSimulator(
+            [TESLA_V100, TESLA_V100, TITAN_XP, TITAN_XP], NVLINK, seed=9
+        ).run(sync_plan, 2)
+        assert het.iteration_us > homo.iteration_us
+        # Hardware skew shows up as straggler loss even though the
+        # round-robin sharding is balanced.
+        assert het.straggler_loss_us > homo.straggler_loss_us
+
+    def test_fleet_length_validated(self, sync_plan):
+        sim = MultiGpuSimulator([TESLA_V100, TITAN_XP], NVLINK, seed=1)
+        with pytest.raises(ValueError, match="devices"):
+            sim.run(sync_plan, 1)
+
+
+class TestResultSemantics:
+    def test_single_device_phase_has_no_straggler_loss(self):
+        result = MultiGpuResult(
+            iteration_us=10.0,
+            phase_us=[4.0, 6.0],
+            collective_us=[],
+            per_device_phase_us=[[4.0], [6.0]],
+        )
+        assert result.straggler_loss_us == 0.0
+
+    def test_straggler_loss_is_max_minus_mean(self):
+        result = MultiGpuResult(
+            iteration_us=10.0,
+            phase_us=[4.0],
+            collective_us=[],
+            per_device_phase_us=[[2.0, 4.0]],
+        )
+        assert result.straggler_loss_us == pytest.approx(1.0)
+
+    def test_communication_fraction_uses_exposed_time(self):
+        hidden = MultiGpuResult(
+            iteration_us=100.0,
+            phase_us=[100.0],
+            collective_us=[30.0],
+            per_device_phase_us=[[100.0]],
+            overlap="full",
+            exposed_comm_us=0.0,
+        )
+        assert hidden.communication_fraction == 0.0
+        assert hidden.hidden_comm_us == pytest.approx(30.0)
+        exposed = MultiGpuResult(
+            iteration_us=100.0,
+            phase_us=[70.0],
+            collective_us=[30.0],
+            per_device_phase_us=[[70.0]],
+        )
+        assert exposed.communication_fraction == pytest.approx(0.3)
+
+    def test_zero_iteration_fraction_is_zero(self):
+        empty = MultiGpuResult(
+            iteration_us=0.0, phase_us=[], collective_us=[],
+            per_device_phase_us=[],
+        )
+        assert empty.communication_fraction == 0.0
+
+
+class TestPredictorMirrorsSimulator:
+    @pytest.fixture(scope="class")
+    def collective_model(self):
+        return CollectiveModel.calibrate(
+            GroundTruthCollectives(PCIE_FABRIC), 4
+        )
+
+    def test_sync_prediction_unchanged_by_engine(
+        self, registry, overhead_db, collective_model
+    ):
+        """overlap="none" is the legacy sum-of-gates arithmetic."""
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)
+        pred = predict_multi_gpu(plan, registry, overhead_db, collective_model)
+        assert pred.iteration_us == (
+            sum(pred.phase_us) + sum(pred.collective_us)
+        )
+
+    def test_overlap_prediction_tracks_overlap_simulation(
+        self, registry, overhead_db, collective_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap="full")
+        pred = predict_multi_gpu(plan, registry, overhead_db, collective_model)
+        truth = MultiGpuSimulator(TESLA_V100, PCIE_FABRIC, seed=9).run(plan, 2)
+        err = abs(pred.iteration_us - truth.iteration_us) / truth.iteration_us
+        assert err < 0.25  # the existing multi-GPU tolerance
+        assert pred.overlap == truth.overlap == "full"
+
+    def test_homogeneous_registry_list_is_special_case(
+        self, registry, overhead_db, collective_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap="full")
+        scalar = predict_multi_gpu(
+            plan, registry, overhead_db, collective_model
+        )
+        listed = predict_multi_gpu(
+            plan, [registry] * 4, [overhead_db] * 4, collective_model
+        )
+        assert listed.iteration_us == scalar.iteration_us
+        assert listed.per_device_phase_us == scalar.per_device_phase_us
+
+    def test_registry_list_length_validated(
+        self, registry, overhead_db, collective_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)
+        with pytest.raises(ValueError, match="registries"):
+            predict_multi_gpu(
+                plan, [registry] * 2, overhead_db, collective_model
+            )
+
+    def test_overlap_override_param(
+        self, registry, overhead_db, collective_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap="full")
+        sync = predict_multi_gpu(
+            plan, registry, overhead_db, collective_model, overlap="none"
+        )
+        over = predict_multi_gpu(plan, registry, overhead_db, collective_model)
+        assert over.iteration_us <= sync.iteration_us
+        assert sync.overlap == "none"
+
+
+class TestShardingUnderOverlap:
+    def test_rebalance_under_overlap_beats_round_robin_or_ties(
+        self, registry, overhead_db
+    ):
+        from repro.codesign import rebalance_under_overlap
+
+        model = CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 2)
+        assignment, best = rebalance_under_overlap(
+            DLRM_DEFAULT, 1024, 2, registry, overhead_db, model
+        )
+        round_robin = predict_multi_gpu(
+            build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2, overlap="full"),
+            registry, overhead_db, model,
+        )
+        assert best.iteration_us <= round_robin.iteration_us
+        covered = sorted(i for dev in assignment for i in dev)
+        assert covered == list(range(DLRM_DEFAULT.num_tables))
+
+    def test_weighted_greedy_loads_fast_device_more(self, registry):
+        from repro.codesign import TableSpec, greedy_balance
+
+        tables = [
+            TableSpec(rows=500_000, dim=64, lookups=32) for _ in range(8)
+        ]
+        plan = greedy_balance(
+            tables, 2, 1024, registry, device_weights=[1.0, 0.25]
+        )
+        # The 4x-faster device should hold more tables.
+        assert len(plan.assignment[0]) > len(plan.assignment[1])
+        even = greedy_balance(tables, 2, 1024, registry)
+        assert len(even.assignment[0]) == len(even.assignment[1])
+
+    def test_bad_weights_rejected(self, registry):
+        from repro.codesign import TableSpec, greedy_balance
+
+        tables = [TableSpec(rows=1000, dim=64, lookups=4)]
+        with pytest.raises(ValueError, match="weights"):
+            greedy_balance(tables, 2, 64, registry, device_weights=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            greedy_balance(tables, 2, 64, registry,
+                           device_weights=[1.0, 0.0])

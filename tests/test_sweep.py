@@ -187,3 +187,162 @@ class TestConsumersRewired:
         assert set(curve) == {1, 2}
         assert all(p.iteration_us > 0 for p in curve.values())
         assert registry.cache_info().hits > 0
+
+
+class TestMultiGpuSweep:
+    """Batched-warmup + cache-reuse coverage across multi-GPU points."""
+
+    @pytest.fixture(scope="class")
+    def collective_model_for(self):
+        from repro.multigpu.interconnect import CollectiveModel
+
+        def factory(num_devices):
+            return CollectiveModel(measured_bw_gbs=40.0, base_latency_us=5.0)
+
+        return factory
+
+    def test_scaling_curve_warmup_is_bit_identical_to_direct(
+        self, registry, overhead_db, collective_model_for
+    ):
+        """The batched prewarm must not perturb any per-count number."""
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan, predict_multi_gpu
+        from repro.multigpu.predict import scaling_curve
+
+        build = lambda n: build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, n)  # noqa: E731
+        registry.cache_clear()
+        curve = scaling_curve(
+            build, (1, 2, 4), registry, overhead_db, collective_model_for
+        )
+        for n in (1, 2, 4):
+            direct = predict_multi_gpu(
+                build(n), registry, overhead_db, collective_model_for(n)
+            )
+            assert curve[n].iteration_us == direct.iteration_us
+            assert curve[n].per_device_phase_us == direct.per_device_phase_us
+
+    def test_scaling_curve_overlap_override(
+        self, registry, overhead_db, collective_model_for
+    ):
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.multigpu.predict import scaling_curve
+
+        build = lambda n: build_multi_gpu_dlrm_plan(  # noqa: E731
+            DLRM_DEFAULT, 1024, n, overlap="full"
+        )
+        over = scaling_curve(
+            build, (2, 4), registry, overhead_db, collective_model_for
+        )
+        sync = scaling_curve(
+            build, (2, 4), registry, overhead_db, collective_model_for,
+            overlap="none",
+        )
+        for n in (2, 4):
+            assert over[n].overlap == "full"
+            assert sync[n].overlap == "none"
+            assert over[n].iteration_us <= sync[n].iteration_us
+
+    def test_scaling_curve_per_device_registries(
+        self, registry, overhead_db, collective_model_for
+    ):
+        """A per-device registry sequence prewarms and predicts."""
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.multigpu.predict import scaling_curve
+
+        curve = scaling_curve(
+            lambda n: build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, n),
+            (2,),
+            [registry, registry],
+            [overhead_db, overhead_db],
+            collective_model_for,
+        )
+        assert curve[2].iteration_us > 0
+
+    def test_run_multi_gpu_grid_and_cache_reuse(
+        self, registry, overhead_db, collective_model_for
+    ):
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.sweep import SweepEngine
+
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"indiv": overhead_db},
+        )
+        plans = {
+            "sync_x2": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2),
+            "overlap_x2": build_multi_gpu_dlrm_plan(
+                DLRM_DEFAULT, 1024, 2, overlap="full"
+            ),
+        }
+        registry.cache_clear()
+        result = engine.run_multi_gpu(plans, collective_model_for)
+        # plans x fleets x overlap policies
+        assert len(result) == 2 * 1 * 2
+        assert result.axis_values("overlap") == ("none", "full")
+        assert result.axis_values("fleet") == ("V100",)
+        misses_first = registry.cache_info().misses
+        assert registry.cache_info().hits > 0
+        # Re-running the whole multi-GPU grid is pure cache hits.
+        engine.run_multi_gpu(plans, collective_model_for)
+        assert registry.cache_info().misses == misses_first
+
+    def test_run_multi_gpu_overlap_policy_effect(
+        self, registry, overhead_db, collective_model_for
+    ):
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.sweep import SweepEngine
+
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"indiv": overhead_db},
+        )
+        plans = {
+            "x4": build_multi_gpu_dlrm_plan(
+                DLRM_DEFAULT, 1024, 4, overlap="full"
+            ),
+        }
+        result = engine.run_multi_gpu(plans, collective_model_for)
+        sync = result.filter(overlap="none").records[0]
+        over = result.filter(overlap="full").records[0]
+        assert over.prediction.iteration_us <= sync.prediction.iteration_us
+        best = result.best()
+        assert best.prediction.iteration_us == min(
+            r.prediction.iteration_us for r in result
+        )
+        rows = json.loads(result.to_json())
+        assert {row["overlap"] for row in rows} == {"none", "full"}
+
+    def test_run_multi_gpu_heterogeneous_fleet_labels(
+        self, registry, overhead_db, collective_model_for
+    ):
+        from repro.models.dlrm import DLRM_DEFAULT
+        from repro.multigpu import build_multi_gpu_dlrm_plan
+        from repro.sweep import SweepEngine
+
+        engine = SweepEngine(
+            registries={"V100": registry, "V100b": registry},
+            overhead_dbs={"indiv": overhead_db},
+        )
+        plans = {"x2": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2)}
+        result = engine.run_multi_gpu(
+            plans,
+            collective_model_for,
+            fleets={"mixed": ("V100", "V100b")},
+            overlap_policies=("none",),
+        )
+        assert len(result) == 1
+        assert result.records[0].point.fleet == "mixed"
+        with pytest.raises(ValueError, match="unknown registry"):
+            engine.run_multi_gpu(
+                plans, collective_model_for, fleets={"bad": ("nope", "V100")}
+            )
+        with pytest.raises(ValueError, match="devices"):
+            engine.run_multi_gpu(
+                plans,
+                collective_model_for,
+                fleets={"short": ("V100",)},
+            )
