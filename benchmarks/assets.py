@@ -13,7 +13,7 @@ import json
 import os
 import zlib
 
-from repro.hardware import PAPER_GPUS
+from repro.hardware import ALL_GPUS
 from repro.models import build_model
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import CV_ML_KERNELS, DEFAULT_ML_KERNELS, build_perf_models
@@ -40,14 +40,14 @@ CV_BATCHES = (16, 32, 64)
 
 @functools.lru_cache(maxsize=None)
 def get_device(gpu_name: str) -> SimulatedDevice:
-    """The simulated testbed for one paper GPU.
+    """The simulated testbed for one GPU (paper trio + A100 extension).
 
     The seed digest must be process-stable (``hash()`` of a string is
     randomized per interpreter), or every benchmark run measures a
     different testbed and ``results/`` can never be diffed run-to-run.
     """
     seed = 100 + zlib.crc32(gpu_name.encode()) % 50
-    return SimulatedDevice(PAPER_GPUS[gpu_name], seed=seed)
+    return SimulatedDevice(ALL_GPUS[gpu_name], seed=seed)
 
 
 @functools.lru_cache(maxsize=None)

@@ -1,0 +1,129 @@
+"""Extension experiment — QPS/SLO-driven serving capacity planning.
+
+The north-star workload: serve DLRM inference to "heavy traffic from
+millions of users".  The planner sweeps per-replica batch size ×
+replica count × replica shape (single-GPU and 2-GPU sharded) over the
+forward-only inference graphs and ranks the configurations against a
+100k-QPS / 2 ms-p99 target on a simulated A100 fleet.
+
+Asserted shape: at least one configuration meets the SLO; feasible
+plans rank strictly ahead of best-effort ones and are cost-sorted;
+inference service time is strictly below the train-mode iteration time
+at every batch size.  The ranked table is recorded under
+``results/capacity_plan.json`` (deterministic run-to-run: every asset
+seed is derived via crc32, not ``hash()``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from benchmarks.assets import (
+    RESULTS_DIR,
+    get_overheads,
+    get_registry,
+    write_result,
+)
+from repro.capacity import (
+    CandidateFleet,
+    CapacityPlanner,
+    ServingTarget,
+)
+from repro.e2e import predict_e2e
+from repro.models import MODE_INFERENCE, build_model
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import NVLINK, CollectiveModel, GroundTruthCollectives
+from repro.sweep import SweepEngine
+
+_GPU = "A100"
+_QPS = 100_000.0
+_SLO_MS = 2.0
+_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def ranked_plans():
+    registry, _ = get_registry(_GPU)
+    overheads = get_overheads(_GPU, "DLRM_default", 2048)
+    engine = SweepEngine(
+        registries={_GPU: registry},
+        overhead_dbs={"individual": overheads},
+    )
+    target = ServingTarget.from_ms(_QPS, _SLO_MS)
+    planner = CapacityPlanner(engine, target)
+    plans = planner.plan_dlrm(
+        DLRM_DEFAULT,
+        _BATCHES,
+        fleets=[
+            CandidateFleet(_GPU, gpus_per_replica=1, max_replicas=512),
+            CandidateFleet(_GPU, gpus_per_replica=2, max_replicas=256),
+        ],
+        collective_model_for=lambda n: CollectiveModel.calibrate(
+            GroundTruthCollectives(NVLINK), n
+        ),
+    )
+    write_result(
+        "capacity_plan",
+        {
+            "target": {
+                "qps": _QPS,
+                "latency_slo_ms": _SLO_MS,
+                "percentile": target.percentile,
+            },
+            "gpu": _GPU,
+            "batch_sizes": list(_BATCHES),
+            "plans": [p.to_dict() for p in plans],
+        },
+    )
+    return plans
+
+
+class TestCapacityPlan:
+    def test_a_plan_meets_the_slo(self, ranked_plans):
+        best = ranked_plans[0]
+        assert best.meets_slo, "no configuration met 2 ms p99 at 100k QPS"
+        assert best.latency_us <= _SLO_MS * 1e3
+        assert best.utilization <= 0.85
+        assert best.throughput_qps >= _QPS
+
+    def test_ranking_is_feasible_first_then_cost(self, ranked_plans):
+        feasibility = [p.meets_slo for p in ranked_plans]
+        first_infeasible = (
+            feasibility.index(False) if False in feasibility
+            else len(feasibility)
+        )
+        assert all(feasibility[:first_infeasible])
+        assert not any(feasibility[first_infeasible:])
+        feasible = ranked_plans[:first_infeasible]
+        costs = [p.cost_per_hour for p in feasible]
+        assert costs == sorted(costs)
+
+    def test_saturated_plans_are_flagged_infeasible(self, ranked_plans):
+        for plan in ranked_plans:
+            if math.isinf(plan.latency_us):
+                assert not plan.meets_slo
+
+    def test_inference_strictly_cheaper_than_training(self):
+        registry, _ = get_registry(_GPU)
+        overheads = get_overheads(_GPU, "DLRM_default", 2048)
+        for batch in (64, 256):
+            train = predict_e2e(
+                build_model("DLRM_default", batch), registry, overheads
+            )
+            infer = predict_e2e(
+                build_model("DLRM_default", batch, mode=MODE_INFERENCE),
+                registry, overheads,
+            )
+            assert infer.total_us < train.total_us
+
+    def test_results_table_written(self, ranked_plans):
+        path = os.path.join(RESULTS_DIR, "capacity_plan.json")
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["target"]["qps"] == _QPS
+        assert len(payload["plans"]) == len(ranked_plans)
+        assert payload["plans"][0]["meets_slo"] is True

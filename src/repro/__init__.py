@@ -30,6 +30,13 @@ from repro.baselines import (
     MLPredictPredictor,
     predict_kernel_only_us,
 )
+from repro.capacity import (
+    CandidateFleet,
+    CapacityPlan,
+    CapacityPlanner,
+    ServingTarget,
+    plan_capacity,
+)
 from repro.codesign import (
     TableSpec,
     batch_size_sweep,
@@ -64,6 +71,8 @@ from repro.microbench import measure_peaks, run_microbenchmark
 from repro.models import (
     DLRM_CONFIGS,
     FIGURE1_BATCH_SIZES,
+    MODE_INFERENCE,
+    MODE_TRAIN,
     DlrmConfig,
     build_dlrm_graph,
     build_model,
@@ -100,6 +109,9 @@ __version__ = "1.0.0"
 __all__ = [
     "A100",
     "ALL_GPUS",
+    "CandidateFleet",
+    "CapacityPlan",
+    "CapacityPlanner",
     "CpuSpec",
     "DLRM_CONFIGS",
     "DlrmConfig",
@@ -110,6 +122,8 @@ __all__ = [
     "GpuSpec",
     "HabitatPredictor",
     "MLPredictPredictor",
+    "MODE_INFERENCE",
+    "MODE_TRAIN",
     "MemoryPrediction",
     "MultiGpuSimulator",
     "NVLINK",
@@ -120,6 +134,7 @@ __all__ = [
     "PCIE_FABRIC",
     "PerfModelRegistry",
     "CollectiveModel",
+    "ServingTarget",
     "SimulatedDevice",
     "SweepEngine",
     "SweepResult",
@@ -146,6 +161,7 @@ __all__ = [
     "load_registry",
     "max_batch_within_memory",
     "measure_peaks",
+    "plan_capacity",
     "predict_e2e",
     "predict_kernel_only_us",
     "predict_memory",

@@ -1,0 +1,48 @@
+"""Inference-serving capacity planning (QPS/SLO-driven fleet search).
+
+Turns the prediction stack into a provisioning tool: given a
+:class:`ServingTarget` (aggregate QPS and a tail-latency SLO) and
+candidate fleets, :class:`CapacityPlanner` sweeps batch size × replica
+count × fleet shape × sharding × overlap policy over the forward-only
+(inference-mode) graphs and returns ranked :class:`CapacityPlan` rows.
+"""
+
+from repro.capacity.planner import (
+    ROUND_ROBIN,
+    SINGLE_GPU_OVERLAP,
+    CandidateFleet,
+    CapacityPlan,
+    CapacityPlanner,
+    plan_capacity,
+    plans_to_json,
+    rank_plans,
+)
+from repro.capacity.slo import (
+    DEFAULT_MAX_UTILIZATION,
+    DEFAULT_PERCENTILE,
+    LatencyBreakdown,
+    ServingTarget,
+    percentile_factor,
+    predict_percentile_latency,
+    replica_capacity_qps,
+    replica_utilization,
+)
+
+__all__ = [
+    "CandidateFleet",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "DEFAULT_MAX_UTILIZATION",
+    "DEFAULT_PERCENTILE",
+    "LatencyBreakdown",
+    "ROUND_ROBIN",
+    "SINGLE_GPU_OVERLAP",
+    "ServingTarget",
+    "percentile_factor",
+    "plan_capacity",
+    "plans_to_json",
+    "predict_percentile_latency",
+    "rank_plans",
+    "replica_capacity_qps",
+    "replica_utilization",
+]

@@ -1,0 +1,465 @@
+"""QPS/SLO-driven fleet search over the sweep engine.
+
+The sweep engine makes a single forward-pass prediction cheap enough to
+evaluate *thousands* of serving configurations: the planner grids
+per-replica batch size × replica count × fleet (GPU kind, GPUs per
+replica) × sharding × overlap policy, predicts each point's batch
+service time through the shared batched/cached prediction substrate,
+pushes it through the closed-form batch-arrival model of
+:mod:`repro.capacity.slo`, and ranks the configurations that meet the
+:class:`~repro.capacity.slo.ServingTarget` by dollar cost.
+
+The service-time substrate is the inference mode added to the graph
+builders: single-GPU replicas run Algorithm 1 over the forward-only
+graph; sharded replicas run the overlap-aware multi-GPU scheduler over
+the forward-only hybrid-parallel plan (lookup + all-to-all + MLP
+forward — no gradient exchange, no all-reduce).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.capacity.slo import (
+    DEFAULT_MAX_UTILIZATION,
+    LatencyBreakdown,
+    ServingTarget,
+    predict_percentile_latency,
+    replica_capacity_qps,
+    replica_utilization,
+)
+from repro.models import MODE_INFERENCE
+from repro.models.dlrm import DlrmConfig, build_dlrm_graph
+from repro.multigpu.plan import build_multi_gpu_dlrm_plan
+from repro.multigpu.schedule import OVERLAP_POLICIES
+from repro.sweep import SweepEngine
+
+#: Sharding-axis label for the default round-robin table assignment.
+ROUND_ROBIN = "round_robin"
+#: Overlap-axis label used for single-GPU replicas (nothing to hide).
+SINGLE_GPU_OVERLAP = "n/a"
+
+
+@dataclass(frozen=True)
+class CandidateFleet:
+    """One fleet shape the planner may buy.
+
+    Attributes:
+        gpu: Registry label in the sweep engine (the GPU kind every
+            replica uses).
+        gpus_per_replica: Devices per replica; ``1`` means single-GPU
+            replicas, larger values shard the embedding tables across
+            the replica's devices.
+        max_replicas: Upper bound on the replica count the search will
+            consider.
+        cost_per_gpu_hour: Relative (or dollar) cost of one GPU-hour,
+            used to rank feasible plans.
+    """
+
+    gpu: str
+    gpus_per_replica: int = 1
+    max_replicas: int = 64
+    cost_per_gpu_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_replica < 1:
+            raise ValueError(
+                f"gpus_per_replica must be >= 1, got {self.gpus_per_replica}"
+            )
+        if self.max_replicas < 1:
+            raise ValueError(
+                f"max_replicas must be >= 1, got {self.max_replicas}"
+            )
+        if self.cost_per_gpu_hour <= 0:
+            raise ValueError(
+                f"cost_per_gpu_hour must be positive, got "
+                f"{self.cost_per_gpu_hour}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable fleet shape, e.g. ``A100x2``."""
+        return f"{self.gpu}x{self.gpus_per_replica}"
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """One evaluated serving configuration.
+
+    Attributes:
+        fleet: Fleet-shape label (``gpu x gpus_per_replica``).
+        gpu: GPU kind of every device in the fleet.
+        gpus_per_replica: Devices per replica.
+        replicas: Replica count this plan provisions.
+        batch_size: Per-replica serving batch size.
+        sharding: Sharding-axis label (multi-GPU replicas only).
+        overlap: Overlap policy of the replica's serving plan.
+        service_us: Predicted forward-pass time of one batch.
+        latency: Predicted per-request latency breakdown at the target
+            percentile.
+        throughput_qps: Sustainable fleet throughput at the utilization
+            ceiling.
+        utilization: Replica utilization at the target QPS.
+        cost_per_hour: Fleet cost (replicas × GPUs × cost/GPU-hour).
+        meets_slo: Whether the plan satisfies the serving target.
+    """
+
+    fleet: str
+    gpu: str
+    gpus_per_replica: int
+    replicas: int
+    batch_size: int
+    sharding: str
+    overlap: str
+    service_us: float
+    latency: LatencyBreakdown
+    throughput_qps: float
+    utilization: float
+    cost_per_hour: float
+    meets_slo: bool
+
+    @property
+    def latency_us(self) -> float:
+        """Predicted percentile latency (the SLO-facing number)."""
+        return self.latency.total_us
+
+    @property
+    def total_gpus(self) -> int:
+        """Devices the plan provisions across all replicas."""
+        return self.replicas * self.gpus_per_replica
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row for reports and ``results/`` tables."""
+        return {
+            "fleet": self.fleet,
+            "gpu": self.gpu,
+            "gpus_per_replica": self.gpus_per_replica,
+            "replicas": self.replicas,
+            "total_gpus": self.total_gpus,
+            "batch_size": self.batch_size,
+            "sharding": self.sharding,
+            "overlap": self.overlap,
+            "service_us": self.service_us,
+            "fill_us": self.latency.fill_us,
+            "queue_us": (
+                None if math.isinf(self.latency.queue_us)
+                else self.latency.queue_us
+            ),
+            "latency_us": (
+                None if math.isinf(self.latency_us) else self.latency_us
+            ),
+            "throughput_qps": self.throughput_qps,
+            "utilization": self.utilization,
+            "cost_per_hour": self.cost_per_hour,
+            "meets_slo": self.meets_slo,
+        }
+
+
+def rank_plans(plans: Sequence[CapacityPlan]) -> list[CapacityPlan]:
+    """Rank plans: feasible first by (cost, latency), then best-effort.
+
+    Infeasible plans are kept (sorted by how close they get to the SLO)
+    so an impossible target still yields an actionable report instead
+    of an empty list.
+    """
+    feasible = [p for p in plans if p.meets_slo]
+    infeasible = [p for p in plans if not p.meets_slo]
+    feasible.sort(key=lambda p: (p.cost_per_hour, p.latency_us, p.fleet))
+    infeasible.sort(key=lambda p: (p.latency_us, p.cost_per_hour, p.fleet))
+    return feasible + infeasible
+
+
+def plans_to_json(plans: Sequence[CapacityPlan], indent: int = 1) -> str:
+    """Serialize a ranked plan list (one JSON row per plan)."""
+    return json.dumps([p.to_dict() for p in plans], indent=indent)
+
+
+class CapacityPlanner:
+    """Searches serving configurations against a :class:`ServingTarget`.
+
+    Args:
+        engine: Sweep engine whose registries/overhead DBs supply the
+            service-time predictions; its shared cache is what makes
+            the grid cheap.
+        target: The QPS + tail-latency objective.
+        max_utilization: Per-replica utilization ceiling; plans running
+            hotter are rejected even if the latency math still closes.
+    """
+
+    def __init__(
+        self,
+        engine: SweepEngine,
+        target: ServingTarget,
+        max_utilization: float = DEFAULT_MAX_UTILIZATION,
+    ) -> None:
+        if not 0.0 < max_utilization <= 1.0:
+            raise ValueError(
+                f"max_utilization must be in (0, 1], got {max_utilization}"
+            )
+        self.engine = engine
+        self.target = target
+        self.max_utilization = max_utilization
+
+    # -- replica-count search -------------------------------------------
+    def size_replicas(
+        self, fleet: CandidateFleet, batch_size: int, service_us: float,
+        sharding: str = ROUND_ROBIN, overlap: str = SINGLE_GPU_OVERLAP,
+    ) -> CapacityPlan:
+        """Pick the cheapest feasible replica count for one service time.
+
+        Cost grows with the replica count, so the scan returns the
+        *first* replica count that meets both the utilization ceiling
+        and the percentile SLO.  Latency is not monotonic in the count
+        (more replicas lengthen the batch-fill wait while shortening
+        the queue wait), hence the linear scan rather than bisection.
+        When nothing feasible exists within ``fleet.max_replicas`` the
+        lowest-latency best-effort plan is returned with
+        ``meets_slo=False``.
+        """
+        best_effort: CapacityPlan | None = None
+        for replicas in range(1, fleet.max_replicas + 1):
+            replica_qps = self.target.qps / replicas
+            utilization = replica_utilization(
+                service_us, batch_size, replica_qps
+            )
+            latency = predict_percentile_latency(
+                service_us, batch_size, replica_qps, self.target.percentile
+            )
+            meets = (
+                utilization <= self.max_utilization
+                and latency.total_us <= self.target.latency_slo_us
+            )
+            plan = CapacityPlan(
+                fleet=fleet.label,
+                gpu=fleet.gpu,
+                gpus_per_replica=fleet.gpus_per_replica,
+                replicas=replicas,
+                batch_size=batch_size,
+                sharding=sharding,
+                overlap=overlap,
+                service_us=service_us,
+                latency=latency,
+                throughput_qps=replicas * replica_capacity_qps(
+                    service_us, batch_size, self.max_utilization
+                ),
+                utilization=utilization,
+                cost_per_hour=(
+                    replicas * fleet.gpus_per_replica * fleet.cost_per_gpu_hour
+                ),
+                meets_slo=meets,
+            )
+            if meets:
+                return plan
+            if best_effort is None or plan.latency_us < best_effort.latency_us:
+                best_effort = plan
+        assert best_effort is not None  # max_replicas >= 1
+        return best_effort
+
+    # -- grid evaluation ------------------------------------------------
+    def plan_dlrm(
+        self,
+        config: DlrmConfig,
+        batch_sizes: Sequence[int],
+        fleets: Sequence[CandidateFleet] | None = None,
+        collective_model_for: Callable[[int], object] | None = None,
+        shardings: Mapping[str, list[list[int]] | None] | None = None,
+        overlap_policies: Sequence[str] = OVERLAP_POLICIES,
+    ) -> list[CapacityPlan]:
+        """Search the full serving grid for one DLRM configuration.
+
+        Args:
+            config: The DLRM to serve.
+            batch_sizes: Per-replica batch sizes to consider.
+            fleets: Fleet shapes; defaults to one single-GPU fleet per
+                engine registry.
+            collective_model_for: Device count -> calibrated collective
+                model; required as soon as any fleet shards a replica
+                across multiple GPUs.
+            shardings: Label -> table assignment for sharded replicas
+                (``None`` value = round-robin).  Feed the output of
+                :func:`repro.codesign.greedy_balance` here to put the
+                balanced sharding on the axis.
+            overlap_policies: Overlap policies to evaluate for sharded
+                replicas (single-GPU replicas have nothing to hide).
+
+        Returns:
+            All evaluated configurations, ranked by :func:`rank_plans`.
+        """
+        if not batch_sizes:
+            raise ValueError("capacity search needs at least one batch size")
+        if any(b <= 0 for b in batch_sizes):
+            raise ValueError("batch sizes must be positive")
+        if fleets is None:
+            fleets = [
+                CandidateFleet(gpu=name) for name in self.engine.registries
+            ]
+        if not fleets:
+            raise ValueError("capacity search needs at least one fleet")
+        for fleet in fleets:
+            if fleet.gpu not in self.engine.registries:
+                known = ", ".join(sorted(self.engine.registries))
+                raise ValueError(
+                    f"fleet {fleet.label!r} references unknown registry "
+                    f"{fleet.gpu!r}; known: {known}"
+                )
+        if shardings is None:
+            shardings = {ROUND_ROBIN: None}
+        if not shardings:
+            raise ValueError("capacity search needs at least one sharding")
+        if not overlap_policies:
+            raise ValueError(
+                "capacity search needs at least one overlap policy"
+            )
+
+        plans: list[CapacityPlan] = []
+        single = [f for f in fleets if f.gpus_per_replica == 1]
+        sharded = [f for f in fleets if f.gpus_per_replica > 1]
+        if single:
+            plans.extend(
+                self._plan_single_gpu(config, batch_sizes, single)
+            )
+        if sharded:
+            if collective_model_for is None:
+                raise ValueError(
+                    "multi-GPU replicas need collective_model_for"
+                )
+            plans.extend(
+                self._plan_sharded(
+                    config, batch_sizes, sharded, collective_model_for,
+                    shardings, overlap_policies,
+                )
+            )
+        return rank_plans(plans)
+
+    def _plan_single_gpu(
+        self,
+        config: DlrmConfig,
+        batch_sizes: Sequence[int],
+        fleets: Sequence[CandidateFleet],
+    ) -> list[CapacityPlan]:
+        """Evaluate single-GPU replicas via the batch-size sweep.
+
+        The sweep grid spans every engine transform and overhead DB;
+        the capacity search pins both to the engine's first axis value
+        so each (fleet, batch) maps to exactly one plan.
+        """
+        recorded = max(batch_sizes)
+        graph = build_dlrm_graph(config, recorded, mode=MODE_INFERENCE)
+        result = self.engine.run(graph, recorded, sorted(set(batch_sizes)))
+        transform = next(iter(self.engine.transforms))
+        db_name = next(iter(self.engine.overhead_dbs))
+        plans = []
+        for record in result.filter(transform=transform, overheads=db_name):
+            for fleet in fleets:
+                if fleet.gpu != record.point.gpu:
+                    continue
+                plans.append(
+                    self.size_replicas(
+                        fleet,
+                        record.point.batch_size,
+                        record.prediction.total_us,
+                    )
+                )
+        return plans
+
+    def _plan_sharded(
+        self,
+        config: DlrmConfig,
+        batch_sizes: Sequence[int],
+        fleets: Sequence[CandidateFleet],
+        collective_model_for: Callable[[int], object],
+        shardings: Mapping[str, list[list[int]] | None],
+        overlap_policies: Sequence[str],
+    ) -> list[CapacityPlan]:
+        """Evaluate sharded replicas via the multi-GPU sweep.
+
+        One ``run_multi_gpu`` call per (overlap policy, replica shape):
+        policies have structurally different forward-only plans, and
+        grouping by shape keeps each call's fleet axis limited to the
+        GPU labels actually sold in that shape (no wasted traversals on
+        fleet × device-count cross terms).  The engine's shared kernel
+        cache makes the later calls nearly free.
+        """
+        plans = []
+        by_shape: dict[int, list[CandidateFleet]] = {}
+        for fleet in fleets:
+            by_shape.setdefault(fleet.gpus_per_replica, []).append(fleet)
+        for policy in overlap_policies:
+            for devices, shape_fleets in sorted(by_shape.items()):
+                mg_plans = {}
+                for batch in sorted(set(batch_sizes)):
+                    if batch % devices != 0:
+                        continue
+                    for shard_label, assignment in shardings.items():
+                        key = f"b{batch}|{shard_label}"
+                        mg_plans[key] = build_multi_gpu_dlrm_plan(
+                            config, batch, devices,
+                            table_assignment=assignment,
+                            overlap=policy,
+                            mode=MODE_INFERENCE,
+                        )
+                if not mg_plans:
+                    continue
+                result = self.engine.run_multi_gpu(
+                    mg_plans,
+                    collective_model_for,
+                    fleets={
+                        label: label
+                        for label in sorted({f.gpu for f in shape_fleets})
+                    },
+                    overlap_policies=(policy,),
+                )
+                for record in result:
+                    batch_str, shard_label = record.point.plan.split("|", 1)
+                    batch = int(batch_str[1:])
+                    for fleet in shape_fleets:
+                        if fleet.gpu != record.point.fleet:
+                            continue
+                        plans.append(
+                            self.size_replicas(
+                                fleet, batch,
+                                record.prediction.iteration_us,
+                                sharding=shard_label, overlap=policy,
+                            )
+                        )
+        return plans
+
+
+def plan_capacity(
+    target: ServingTarget,
+    config: DlrmConfig,
+    registries: Mapping[str, object],
+    overheads: Mapping[str, object],
+    batch_sizes: Sequence[int],
+    fleets: Sequence[CandidateFleet] | None = None,
+    collective_model_for: Callable[[int], object] | None = None,
+    max_utilization: float = DEFAULT_MAX_UTILIZATION,
+    **planner_kwargs,
+) -> list[CapacityPlan]:
+    """One-call capacity search (builds the engine and planner for you).
+
+    Args:
+        target: QPS + tail-latency objective.
+        config: The DLRM to serve.
+        registries: GPU label -> kernel-model registry.
+        overheads: Label -> overhead database.
+        batch_sizes: Per-replica batch sizes to consider.
+        fleets: Fleet shapes (default: one single-GPU fleet per registry).
+        collective_model_for: Device count -> collective model (needed
+            for sharded replicas).
+        max_utilization: Per-replica utilization ceiling.
+        **planner_kwargs: Forwarded to :meth:`CapacityPlanner.plan_dlrm`
+            (``shardings``, ``overlap_policies``).
+
+    Returns:
+        Ranked :class:`CapacityPlan` list.
+    """
+    engine = SweepEngine(registries=registries, overhead_dbs=overheads)
+    planner = CapacityPlanner(engine, target, max_utilization=max_utilization)
+    return planner.plan_dlrm(
+        config, batch_sizes, fleets=fleets,
+        collective_model_for=collective_model_for, **planner_kwargs,
+    )

@@ -1,0 +1,169 @@
+"""Serving targets and the batch-arrival latency model.
+
+Training cares about throughput; serving cares about *tail latency
+under load*.  A replica that dynamically batches requests pays three
+latencies per request:
+
+1. **Fill** — waiting for the batch to fill.  With Poisson arrivals at
+   per-replica rate ``lambda`` the earliest request in a batch of ``b``
+   waits for the remaining ``b - 1`` arrivals, ``(b - 1) / lambda`` in
+   expectation (zero for ``b = 1``).
+2. **Queue** — waiting for the accelerator to drain earlier batches.
+   The replica is modelled as an M/D/1 queue at batch granularity
+   (deterministic service: the predicted forward-pass time ``s``), so
+   utilization is ``rho = lambda * s / b`` and the Pollaczek–Khinchine
+   mean wait is ``rho * s / (2 * (1 - rho))``.  The requested
+   percentile scales the mean wait by the exponential-tail factor
+   ``ln(100 / (100 - p))`` (≈4.6 at p99).
+3. **Service** — the forward pass itself, predicted by Algorithm 1 on
+   the inference graph (single GPU) or by the overlap-aware multi-GPU
+   scheduler (sharded replicas).
+
+The model is intentionally closed-form and deterministic: the planner
+evaluates thousands of (batch, replica, fleet) points per search, so
+every point must be a cache-hit prediction plus O(1) queueing algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default target percentile for serving SLOs.
+DEFAULT_PERCENTILE = 99.0
+#: Utilization ceiling above which a replica is considered overloaded
+#: (queueing delay explodes as rho -> 1 long before that).
+DEFAULT_MAX_UTILIZATION = 0.85
+
+
+@dataclass(frozen=True)
+class ServingTarget:
+    """A QPS + tail-latency serving objective.
+
+    Attributes:
+        qps: Aggregate request arrival rate (requests per second) the
+            fleet must sustain.
+        latency_slo_us: Per-request latency bound in µs at the target
+            percentile.
+        percentile: Tail percentile the bound applies to (e.g. ``99.0``
+            for p99).
+    """
+
+    qps: float
+    latency_slo_us: float
+    percentile: float = DEFAULT_PERCENTILE
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.latency_slo_us <= 0:
+            raise ValueError(
+                f"latency_slo_us must be positive, got {self.latency_slo_us}"
+            )
+        if not 0.0 < self.percentile < 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100), got {self.percentile}"
+            )
+
+    @classmethod
+    def from_ms(
+        cls, qps: float, latency_slo_ms: float,
+        percentile: float = DEFAULT_PERCENTILE,
+    ) -> "ServingTarget":
+        """Build a target from a millisecond SLO (the CLI's unit)."""
+        return cls(qps, latency_slo_ms * 1e3, percentile)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Predicted per-request latency, split by where the time goes.
+
+    Attributes:
+        fill_us: Dynamic-batching fill wait (worst request in a batch).
+        queue_us: Percentile-scaled wait for earlier batches to drain.
+        service_us: The batch forward pass itself.
+    """
+
+    fill_us: float
+    queue_us: float
+    service_us: float
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end predicted latency at the target percentile."""
+        return self.fill_us + self.queue_us + self.service_us
+
+
+def replica_utilization(
+    service_us: float, batch_size: int, replica_qps: float
+) -> float:
+    """Fraction of the replica's capacity used at ``replica_qps``.
+
+    ``rho = lambda * s / b`` for per-µs arrival rate ``lambda``, batch
+    service time ``s`` µs and batch size ``b``.  Values ≥ 1 mean the
+    replica cannot keep up.
+    """
+    if service_us <= 0:
+        raise ValueError(f"service_us must be positive, got {service_us}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if replica_qps < 0:
+        raise ValueError(f"replica_qps must be >= 0, got {replica_qps}")
+    return (replica_qps / 1e6) * service_us / batch_size
+
+
+def replica_capacity_qps(
+    service_us: float,
+    batch_size: int,
+    max_utilization: float = DEFAULT_MAX_UTILIZATION,
+) -> float:
+    """Sustainable requests/second of one replica at the given ceiling."""
+    if not 0.0 < max_utilization <= 1.0:
+        raise ValueError(
+            f"max_utilization must be in (0, 1], got {max_utilization}"
+        )
+    if service_us <= 0:
+        raise ValueError(f"service_us must be positive, got {service_us}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return max_utilization * batch_size / service_us * 1e6
+
+
+def percentile_factor(percentile: float) -> float:
+    """Exponential-tail multiplier for the mean queue wait."""
+    if not 0.0 < percentile < 100.0:
+        raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+    return math.log(100.0 / (100.0 - percentile))
+
+
+def predict_percentile_latency(
+    service_us: float,
+    batch_size: int,
+    replica_qps: float,
+    percentile: float = DEFAULT_PERCENTILE,
+) -> LatencyBreakdown:
+    """Predict per-request latency at a percentile for one replica.
+
+    Args:
+        service_us: Predicted forward-pass time of one batch, in µs.
+        batch_size: Requests per served batch.
+        replica_qps: Request arrival rate at this replica (total QPS
+            divided by the replica count).
+        percentile: Target tail percentile.
+
+    Returns:
+        The latency breakdown; ``queue_us`` is ``inf`` when the replica
+        is saturated (``rho >= 1``), making the total infeasible rather
+        than silently wrong.
+    """
+    rho = replica_utilization(service_us, batch_size, replica_qps)
+    lam_per_us = replica_qps / 1e6
+    fill_us = (batch_size - 1) / lam_per_us if lam_per_us > 0 else 0.0
+    if rho >= 1.0:
+        queue_us = math.inf
+    else:
+        mean_wait_us = rho * service_us / (2.0 * (1.0 - rho))
+        queue_us = percentile_factor(percentile) * mean_wait_us
+    return LatencyBreakdown(
+        fill_us=fill_us, queue_us=queue_us, service_us=service_us
+    )

@@ -7,6 +7,8 @@ Exposes the pipeline's everyday workflows without writing Python::
                              --assets assets.json
     python -m repro sweep    --gpu V100 --model DLRM_default --batch 512 \\
                              --batches 256,512,1024,2048 --assets assets.json
+    python -m repro capacity --gpu A100 --model DLRM_default --batch 256 \\
+                             --qps 100000 --slo-ms 2 --assets assets.json
     python -m repro breakdown --gpu V100 --model DLRM_MLPerf --batch 2048
     python -m repro memory   --model DLRM_default --batch 4096
     python -m repro export-trace --gpu V100 --model DLRM_default \\
@@ -16,7 +18,9 @@ Exposes the pipeline's everyday workflows without writing Python::
 the trained kernel models; ``predict`` is the Prediction Track —
 instantaneous once assets exist.  ``sweep`` evaluates a what-if grid
 (graph transform x batch size) through the batched, cached sweep
-engine in :mod:`repro.sweep`.
+engine in :mod:`repro.sweep`.  ``capacity`` searches serving fleets
+(batch x replicas x replica shape) against a QPS + tail-latency SLO
+using forward-only inference graphs (:mod:`repro.capacity`).
 """
 
 from __future__ import annotations
@@ -97,17 +101,24 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _parse_positive_ints(
+    value: str, flag: str, example: str
+) -> list[int] | None:
+    """Parse a comma-separated positive-int list; ``None`` + stderr on error."""
     try:
-        batches = sorted({int(b) for b in args.batches.split(",") if b})
-        if any(b <= 0 for b in batches):
+        parsed = sorted({int(v) for v in value.split(",") if v})
+        if not parsed or any(v <= 0 for v in parsed):
             raise ValueError
     except ValueError:
-        print(f"bad --batches value {args.batches!r}; expected positive "
-              "sizes, e.g. 256,512,1024", file=sys.stderr)
-        return 2
-    if not batches:
-        print("--batches is empty", file=sys.stderr)
+        print(f"bad {flag} value {value!r}; expected positive values, "
+              f"e.g. {example}", file=sys.stderr)
+        return None
+    return parsed
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    batches = _parse_positive_ints(args.batches, "--batches", "256,512,1024")
+    if batches is None:
         return 2
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -244,6 +255,105 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.capacity import (
+        CandidateFleet,
+        CapacityPlanner,
+        ServingTarget,
+        plans_to_json,
+    )
+    from repro.models import MODE_INFERENCE
+    from repro.models.dlrm import DLRM_CONFIGS
+    from repro.multigpu import (
+        NVLINK,
+        PCIE_FABRIC,
+        CollectiveModel,
+        GroundTruthCollectives,
+    )
+
+    if args.model not in DLRM_CONFIGS:
+        known = ", ".join(sorted(DLRM_CONFIGS))
+        print(f"capacity planning needs a DLRM workload; known: {known}",
+              file=sys.stderr)
+        return 2
+    batches = _parse_positive_ints(args.batches, "--batches", "1,2,4,8")
+    if batches is None:
+        return 2
+    # The profiling/recorded batch joins the searched grid: a user who
+    # passes --batch 256 expects 256 to be considered.
+    batches = sorted(set(batches) | {args.batch})
+    shapes = _parse_positive_ints(args.replica_gpus, "--replica-gpus", "1,2")
+    if shapes is None:
+        return 2
+    try:
+        target = ServingTarget.from_ms(args.qps, args.slo_ms, args.percentile)
+        fleets = [
+            CandidateFleet(args.gpu, gpus_per_replica=shape,
+                           max_replicas=args.max_replicas,
+                           cost_per_gpu_hour=args.gpu_cost)
+            for shape in shapes
+        ]
+    except ValueError as err:
+        print(f"bad serving target or fleet: {err}", file=sys.stderr)
+        return 2
+
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    if args.assets:
+        registry, _ = load_registry(args.assets)
+    else:
+        print("No --assets given; running the analysis track inline "
+              "(slow) ...", file=sys.stderr)
+        registry, _ = build_perf_models(device, microbench_scale=0.4)
+    serving_graph = build_model(args.model, args.batch, mode=MODE_INFERENCE)
+    overheads = _make_overheads(device, serving_graph, args.batch)
+
+    engine = SweepEngine(
+        registries={args.gpu: registry},
+        overhead_dbs={"individual": overheads},
+    )
+    planner = CapacityPlanner(engine, target)
+    fabric = NVLINK if args.fabric == "NVLink" else PCIE_FABRIC
+    plans = planner.plan_dlrm(
+        DLRM_CONFIGS[args.model],
+        batches,
+        fleets=fleets,
+        collective_model_for=lambda n: CollectiveModel.calibrate(
+            GroundTruthCollectives(fabric), n
+        ),
+    )
+
+    print(f"{args.model} serving plans for {args.qps:,.0f} QPS at "
+          f"p{args.percentile:g} <= {args.slo_ms:g} ms ({len(plans)} "
+          f"configurations):")
+    print(f"  {'fleet':10s} {'reps':>5s} {'batch':>6s} {'overlap':8s} "
+          f"{'svc ms':>8s} {'p-lat ms':>9s} {'util':>6s} {'cost/h':>8s} "
+          f"{'SLO':>4s}")
+    for plan in plans[:args.top]:
+        lat = (
+            "inf" if math.isinf(plan.latency_us)
+            else f"{plan.latency_us / 1e3:9.3f}"
+        )
+        print(f"  {plan.fleet:10s} {plan.replicas:5d} {plan.batch_size:6d} "
+              f"{plan.overlap:8s} {plan.service_us / 1e3:8.3f} {lat:>9s} "
+              f"{plan.utilization:6.2f} {plan.cost_per_hour:8.1f} "
+              f"{'yes' if plan.meets_slo else 'no':>4s}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plans_to_json(plans))
+        print(f"Wrote {len(plans)} capacity plans to {args.out}")
+    best = plans[0] if plans else None
+    if best is None or not best.meets_slo:
+        print("no evaluated configuration meets the SLO; showing "
+              "best-effort plans", file=sys.stderr)
+        return 1
+    print(f"cheapest feasible plan: {best.replicas}x {best.fleet} at batch "
+          f"{best.batch_size} ({best.total_gpus} GPUs, predicted "
+          f"p{args.percentile:g} {best.latency_us / 1e3:.3f} ms)")
+    return 0
+
+
 def _cmd_breakdown(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -341,6 +451,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare", action="store_true",
                    help="also simulate ground truth and report the error")
     p.set_defaults(func=_cmd_multigpu)
+
+    p = sub.add_parser(
+        "capacity",
+        help="QPS/SLO-driven serving fleet search (inference mode)",
+    )
+    _add_common(p, need_model=True)
+    p.add_argument("--qps", type=float, required=True,
+                   help="aggregate request rate to sustain")
+    p.add_argument("--slo-ms", type=float, required=True,
+                   help="tail-latency bound in milliseconds")
+    p.add_argument("--percentile", type=float, default=99.0,
+                   help="tail percentile the bound applies to")
+    p.add_argument("--batches", default="1,2,4,8,16,32,64,128",
+                   help="comma-separated per-replica batch sizes")
+    p.add_argument("--replica-gpus", default="1",
+                   help="comma-separated GPUs-per-replica shapes, e.g. 1,2")
+    p.add_argument("--max-replicas", type=int, default=512,
+                   help="replica-count search ceiling")
+    p.add_argument("--gpu-cost", type=float, default=1.0,
+                   help="relative cost of one GPU-hour")
+    p.add_argument("--fabric", default="NVLink", choices=("NVLink", "PCIe"),
+                   help="intra-replica interconnect (sharded replicas)")
+    p.add_argument("--top", type=int, default=10, help="plans to list")
+    p.add_argument("--assets", help="assets JSON from `analyze`")
+    p.add_argument("--out", help="write ranked plans as JSON")
+    p.set_defaults(func=_cmd_capacity)
 
     p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
     _add_common(p, need_model=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.multigpu.schedule import OVERLAP_FULL
 from repro.ops import embedding_kernel
 from repro.perfmodels import PerfModelRegistry
 
@@ -171,7 +172,7 @@ def rebalance_under_overlap(
     overheads,
     collective_model,
     device_weights: list[float] | None = None,
-    overlap: str = "full",
+    overlap: str = OVERLAP_FULL,
 ):
     """Pick the sharding minimizing the *overlapped* iteration time.
 

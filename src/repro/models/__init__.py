@@ -1,6 +1,7 @@
 """Workload zoo: the six models of Figure 1 plus builders and configs."""
 
 from repro.graph import ExecutionGraph
+from repro.models.common import MODE_INFERENCE, MODE_TRAIN, MODES, check_mode
 from repro.models.dlrm import (
     DLRM_CONFIGS,
     DLRM_DDP,
@@ -38,22 +39,35 @@ FIGURE1_BATCH_SIZES: dict[str, tuple[int, ...]] = {
 }
 
 
-def build_model(name: str, batch_size: int) -> ExecutionGraph:
-    """Build any zoo workload by its Figure 1 name."""
+def build_model(
+    name: str, batch_size: int, mode: str = MODE_TRAIN
+) -> ExecutionGraph:
+    """Build any zoo workload by its Figure 1 name.
+
+    Args:
+        name: Workload name (``DLRM_default``, ``resnet50``, ...).
+        batch_size: Per-iteration batch size.
+        mode: ``"train"`` records a full training iteration (default);
+            ``"inference"`` records the forward-only serving pass.
+
+    Returns:
+        The recorded execution graph.
+    """
+    check_mode(mode)
     if name in DLRM_CONFIGS:
-        return build_dlrm(name, batch_size)
+        return build_dlrm(name, batch_size, mode=mode)
     if name == "resnet50":
-        return build_resnet50_graph(batch_size)
+        return build_resnet50_graph(batch_size, mode=mode)
     if name == "inception_v3":
-        return build_inception_v3_graph(batch_size)
+        return build_inception_v3_graph(batch_size, mode=mode)
     if name == "Transformer":
-        return build_transformer_graph(batch_size)
+        return build_transformer_graph(batch_size, mode=mode)
     if name == "DeepFM":
-        return build_deepfm_graph(batch_size)
+        return build_deepfm_graph(batch_size, mode=mode)
     if name == "DCN":
-        return build_dcn_graph(batch_size)
+        return build_dcn_graph(batch_size, mode=mode)
     if name == "WideAndDeep":
-        return build_wide_and_deep_graph(batch_size)
+        return build_wide_and_deep_graph(batch_size, mode=mode)
     known = ", ".join(sorted(FIGURE1_BATCH_SIZES))
     raise KeyError(f"unknown model {name!r}; known: {known}")
 
@@ -67,6 +81,9 @@ __all__ = [
     "DLRM_MLPERF",
     "DlrmConfig",
     "FIGURE1_BATCH_SIZES",
+    "MODES",
+    "MODE_INFERENCE",
+    "MODE_TRAIN",
     "RecommenderConfig",
     "TRANSFORMER_BASE",
     "TransformerConfig",
@@ -80,4 +97,5 @@ __all__ = [
     "build_resnet50_graph",
     "build_transformer_graph",
     "build_wide_and_deep_graph",
+    "check_mode",
 ]

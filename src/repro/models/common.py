@@ -27,6 +27,22 @@ from repro.ops import (
 )
 from repro.tensormeta import TensorMeta
 
+#: Graph-builder mode: record a full training iteration (forward, loss,
+#: backward, optimizer) — the paper's regime.
+MODE_TRAIN = "train"
+#: Graph-builder mode: record a forward-only serving pass (no loss, no
+#: backward, no optimizer) — the capacity planner's regime.
+MODE_INFERENCE = "inference"
+#: Recognised graph-builder modes.
+MODES = (MODE_TRAIN, MODE_INFERENCE)
+
+
+def check_mode(mode: str) -> None:
+    """Validate a graph-builder ``mode``, raising ``ValueError`` if unknown."""
+    if mode not in MODES:
+        known = ", ".join(MODES)
+        raise ValueError(f"unknown mode {mode!r}; known modes: {known}")
+
 
 @dataclass
 class LayerRecord:

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.graph import ExecutionGraph
-from repro.models.common import ModelBuilder
+from repro.models.common import MODE_TRAIN, ModelBuilder, check_mode
 from repro.ops import (
     Add,
     BatchedTranspose,
@@ -186,15 +186,30 @@ def _embedding_spread(config: DlrmConfig) -> float:
     return max(rows) / (sum(rows) / len(rows))
 
 
-def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> ExecutionGraph:
-    """Record one DLRM training iteration as an execution graph.
+def build_dlrm_graph(
+    config: DlrmConfig, batch_size: int, mode: str = MODE_TRAIN
+) -> ExecutionGraph:
+    """Record one DLRM iteration as an execution graph.
 
-    The recorded op order follows eager PyTorch: input copies, bottom
-    MLP, embedding lookups, interaction, top MLP, loss, backward in
-    reverse, then ``Optimizer.zero_grad`` / ``Optimizer.step`` for the
-    dense parameters (embedding updates are fused into the lookup
-    backward kernel).
+    In ``mode="train"`` the recorded op order follows eager PyTorch:
+    input copies, bottom MLP, embedding lookups, interaction, top MLP,
+    loss, backward in reverse, then ``Optimizer.zero_grad`` /
+    ``Optimizer.step`` for the dense parameters (embedding updates are
+    fused into the lookup backward kernel).  ``mode="inference"``
+    records the forward-only serving pass — same forward ops (ending in
+    the sigmoid click probability for BCE configs) but no loss target,
+    no backward ops and no optimizer step.
+
+    Args:
+        config: DLRM configuration (Table III or custom).
+        batch_size: Per-iteration batch size; must be positive.
+        mode: ``"train"`` (default) or ``"inference"``.
+
+    Returns:
+        The recorded execution graph.
     """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     B = batch_size
@@ -205,14 +220,15 @@ def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> ExecutionGraph:
     F = config.num_interaction_features
     tril = tril_output_size(F)
 
-    b = ModelBuilder(f"{config.name}_b{B}")
+    suffix = "" if train else "_infer"
+    b = ModelBuilder(f"{config.name}_b{B}{suffix}")
 
     # ---------------- forward ----------------
     dense_host = b.input(TensorMeta((B, config.dense_dim), device="cpu"))
     (dense,) = b.call(ToDevice((B, config.dense_dim)), [dense_host])
     indices_host = b.input(TensorMeta((B * T * L,), "int64", device="cpu"))
     (indices,) = b.call(ToDevice((B * T * L,), "int64", batch=B), [indices_host])
-    target = b.input(TensorMeta((B, 1)))
+    target = b.input(TensorMeta((B, 1))) if train else None
 
     bot_out, bot_records = b.mlp_forward(
         dense, B, list(config.bot_mlp), final_relu=True
@@ -255,10 +271,16 @@ def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> ExecutionGraph:
 
     if config.loss == "bce":
         pred, sig_record = b.sigmoid_forward(top_out, (B, 1))
-        b.call(BinaryCrossEntropy((B, 1)), [pred, target])
+        if train:
+            b.call(BinaryCrossEntropy((B, 1)), [pred, target])
     else:
         pred, sig_record = top_out, None
-        b.call(MseLoss((B, 1)), [pred, target])
+        if train:
+            b.call(MseLoss((B, 1)), [pred, target])
+
+    if not train:
+        # Serving stops at the prediction: no loss, backward, optimizer.
+        return b.finish()
 
     # ---------------- backward ----------------
     if config.loss == "bce":
@@ -309,11 +331,19 @@ def build_dlrm_graph(config: DlrmConfig, batch_size: int) -> ExecutionGraph:
     return graph
 
 
-def build_dlrm(name: str, batch_size: int) -> ExecutionGraph:
-    """Build a Table III DLRM by name (``DLRM_default`` etc.)."""
+def build_dlrm(
+    name: str, batch_size: int, mode: str = MODE_TRAIN
+) -> ExecutionGraph:
+    """Build a Table III DLRM by name (``DLRM_default`` etc.).
+
+    Args:
+        name: Configuration name from :data:`DLRM_CONFIGS`.
+        batch_size: Per-iteration batch size.
+        mode: ``"train"`` (default) or ``"inference"``.
+    """
     try:
         config = DLRM_CONFIGS[name]
     except KeyError:
         known = ", ".join(sorted(DLRM_CONFIGS))
         raise KeyError(f"unknown DLRM config {name!r}; known: {known}") from None
-    return build_dlrm_graph(config, batch_size)
+    return build_dlrm_graph(config, batch_size, mode=mode)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.graph import ExecutionGraph
-from repro.models.common import LayerRecord
+from repro.models.common import MODE_TRAIN, LayerRecord, check_mode
 from repro.models.vision import ConvNetBuilder, FeatureMap
 from repro.ops import Add, Conv2d, View
 from repro.tensormeta import TensorMeta
@@ -161,11 +161,24 @@ def _inception_e(b: ConvNetBuilder, x: FeatureMap):
     )
 
 
-def build_inception_v3_graph(batch_size: int, num_classes: int = 1000) -> ExecutionGraph:
-    """Record one Inception-V3 training iteration."""
+def build_inception_v3_graph(
+    batch_size: int, num_classes: int = 1000, mode: str = MODE_TRAIN
+) -> ExecutionGraph:
+    """Record one Inception-V3 iteration.
+
+    Args:
+        batch_size: Images per iteration; must be positive.
+        num_classes: FC-head width.
+        mode: ``"train"`` (forward + backward + SGD, default) or
+            ``"inference"`` (forward through the FC head only).
+    """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    b = ConvNetBuilder(f"inception_v3_b{batch_size}")
+    b = ConvNetBuilder(
+        f"inception_v3_b{batch_size}" + ("" if train else "_infer")
+    )
     x = b.image_input(batch_size, 3, 299)
 
     stem0 = len(b.records)
@@ -192,6 +205,10 @@ def build_inception_v3_graph(batch_size: int, num_classes: int = 1000) -> Execut
     for _ in range(2):
         x, ctx = _inception_e(b, x)
         module_ctxs.append(ctx)
+
+    if not train:
+        b.classifier(x, num_classes)
+        return b.finish()
 
     pool_marker = len(b.records)
     pred, fc_records, flat_id, target = b.classifier_and_loss(x, num_classes)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph import ExecutionGraph
-from repro.models.common import ModelBuilder
+from repro.models.common import MODE_TRAIN, ModelBuilder, check_mode
 from repro.ops import (
     Add,
     BatchedTranspose,
@@ -89,9 +89,16 @@ def _lookup_backward(
 
 
 def _bce_head(
-    b: ModelBuilder, batch: int, logit: int
-) -> int:
-    """Sigmoid + BCE forward and backward; returns the logit gradient."""
+    b: ModelBuilder, batch: int, logit: int, train: bool = True
+) -> int | None:
+    """Sigmoid (+ BCE forward/backward when training).
+
+    Returns the logit-gradient tensor id when training; in inference
+    the head stops at the click probability and returns ``None``.
+    """
+    if not train:
+        b.sigmoid_forward(logit, (batch, 1))
+        return None
     target = b.input(TensorMeta((batch, 1)))
     pred, sig_rec = b.sigmoid_forward(logit, (batch, 1))
     b.call(BinaryCrossEntropy((batch, 1)), [pred, target])
@@ -100,20 +107,24 @@ def _bce_head(
 
 
 def build_deepfm_graph(
-    batch_size: int, config: RecommenderConfig = DEEPFM_CONFIG
+    batch_size: int,
+    config: RecommenderConfig = DEEPFM_CONFIG,
+    mode: str = MODE_TRAIN,
 ) -> ExecutionGraph:
-    """One DeepFM training iteration.
+    """One DeepFM iteration (training by default, or forward-only).
 
     FM component: pairwise dot products of the field embeddings (the
     same bmm + tril pattern as DLRM's interaction) reduced to a scalar
     logit; deep component: an MLP over the concatenated embeddings.
     """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     B, T, D = batch_size, config.num_tables, config.embedding_dim
     F = T
     tril = tril_output_size(F)
-    b = ModelBuilder(f"deepfm_b{B}")
+    b = ModelBuilder(f"deepfm_b{B}" + ("" if train else "_infer"))
 
     dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
 
@@ -133,7 +144,9 @@ def build_deepfm_graph(
                                              final_relu=False)
     (logit,) = b.call(Add((B, 1)), [fm_logit, deep_logit])
 
-    grad = _bce_head(b, B, logit)
+    grad = _bce_head(b, B, logit, train=train)
+    if not train:
+        return b.finish()
 
     # Backward: deep branch.
     deep_grad = b.mlp_backward(grad, deep_records)
@@ -155,20 +168,24 @@ def build_deepfm_graph(
 
 
 def build_dcn_graph(
-    batch_size: int, config: RecommenderConfig = DCN_CONFIG
+    batch_size: int,
+    config: RecommenderConfig = DCN_CONFIG,
+    mode: str = MODE_TRAIN,
 ) -> ExecutionGraph:
-    """One Deep & Cross Network training iteration.
+    """One Deep & Cross Network iteration (training or forward-only).
 
     The cross network computes ``x_{l+1} = x0 (x_l . w_l) + b_l + x_l``
     per layer — a rank-one feature crossing lowered to a width-1 linear
     plus element-wise ops; the deep network is a standard MLP.  Both
     run on the concatenation of dense features and embeddings.
     """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     B, T, D = batch_size, config.num_tables, config.embedding_dim
     d_in = T * D + config.dense_dim
-    b = ModelBuilder(f"dcn_b{B}")
+    b = ModelBuilder(f"dcn_b{B}" + ("" if train else "_infer"))
 
     dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
     (emb_flat,) = b.call(View((B, T, D), (B, T * D)), [emb])
@@ -197,7 +214,9 @@ def build_dcn_graph(
         Cat([(B, d_in), (B, config.mlp[-1])], dim=1), [cross_out, deep_out]
     )
     logit, head_rec = b.linear_forward(both, B, d_in + config.mlp[-1], 1)
-    grad = _bce_head(b, B, logit)
+    grad = _bce_head(b, B, logit, train=train)
+    if not train:
+        return b.finish()
 
     # Backward.
     grad = b.linear_backward(grad, head_rec)
@@ -225,18 +244,22 @@ def build_dcn_graph(
 
 
 def build_wide_and_deep_graph(
-    batch_size: int, config: RecommenderConfig = WIDE_AND_DEEP_CONFIG
+    batch_size: int,
+    config: RecommenderConfig = WIDE_AND_DEEP_CONFIG,
+    mode: str = MODE_TRAIN,
 ) -> ExecutionGraph:
-    """One Wide & Deep training iteration.
+    """One Wide & Deep iteration (training or forward-only).
 
     The wide component is a linear model over the dense features; the
     deep component is an MLP over the concatenated embeddings; their
     logits add before the sigmoid/BCE head.
     """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     B, T, D = batch_size, config.num_tables, config.embedding_dim
-    b = ModelBuilder(f"wide_and_deep_b{B}")
+    b = ModelBuilder(f"wide_and_deep_b{B}" + ("" if train else "_infer"))
 
     dense, emb, weights, indices = _inputs_and_embeddings(b, config, B)
     wide_logit, wide_rec = b.linear_forward(dense, B, config.dense_dim, 1)
@@ -247,7 +270,9 @@ def build_wide_and_deep_graph(
                                              final_relu=False)
     (logit,) = b.call(Add((B, 1)), [wide_logit, deep_logit])
 
-    grad = _bce_head(b, B, logit)
+    grad = _bce_head(b, B, logit, train=train)
+    if not train:
+        return b.finish()
     b.linear_backward(grad, wide_rec)
     demb_flat = b.mlp_backward(grad, deep_records)
     (emb_grad,) = b.call(View((B, T * D), (B, T, D)), [demb_flat])

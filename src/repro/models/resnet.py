@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.graph import ExecutionGraph
-from repro.models.common import LayerRecord
+from repro.models.common import MODE_TRAIN, LayerRecord, check_mode
 from repro.models.vision import ConvNetBuilder, FeatureMap
 from repro.ops import Add, View
 
@@ -77,11 +77,22 @@ def _bottleneck_backward(
     return dx
 
 
-def build_resnet50_graph(batch_size: int, num_classes: int = 1000) -> ExecutionGraph:
-    """Record one ResNet-50 training iteration (forward+backward+SGD)."""
+def build_resnet50_graph(
+    batch_size: int, num_classes: int = 1000, mode: str = MODE_TRAIN
+) -> ExecutionGraph:
+    """Record one ResNet-50 iteration.
+
+    Args:
+        batch_size: Images per iteration; must be positive.
+        num_classes: FC-head width.
+        mode: ``"train"`` (forward + backward + SGD, default) or
+            ``"inference"`` (forward through the FC head only).
+    """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    b = ConvNetBuilder(f"resnet50_b{batch_size}")
+    b = ConvNetBuilder(f"resnet50_b{batch_size}" + ("" if train else "_infer"))
     x = b.image_input(batch_size, 3, 224)
 
     stem0 = len(b.records)
@@ -95,6 +106,10 @@ def build_resnet50_graph(batch_size: int, num_classes: int = 1000) -> ExecutionG
             stride = first_stride if i == 0 else 1
             x, ctx = _bottleneck(b, x, mid, out_c, stride)
             block_ctxs.append(ctx)
+
+    if not train:
+        b.classifier(x, num_classes)
+        return b.finish()
 
     pool_marker = len(b.records)
     pred, fc_records, flat_id, target = b.classifier_and_loss(x, num_classes)

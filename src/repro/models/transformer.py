@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph import ExecutionGraph
-from repro.models.common import LayerRecord, ModelBuilder
+from repro.models.common import (
+    MODE_TRAIN,
+    LayerRecord,
+    ModelBuilder,
+    check_mode,
+)
 from repro.ops import (
     Add,
     AddBackward,
@@ -148,24 +153,38 @@ def _attention_layer_backward(b: ModelBuilder, grad_id: int, ctx: dict) -> int:
 
 
 def build_transformer_graph(
-    batch_size: int, config: TransformerConfig = TRANSFORMER_BASE
+    batch_size: int,
+    config: TransformerConfig = TRANSFORMER_BASE,
+    mode: str = MODE_TRAIN,
 ) -> ExecutionGraph:
-    """Record one Transformer-encoder training iteration."""
+    """Record one Transformer-encoder iteration.
+
+    Args:
+        batch_size: Sequences per iteration; must be positive.
+        config: Encoder hyperparameters.
+        mode: ``"train"`` (forward + loss + backward + optimizer,
+            default) or ``"inference"`` (encoder forward only).
+    """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     B, S, d = batch_size, config.seq_len, config.d_model
     tokens = B * S
-    b = ModelBuilder(f"transformer_b{B}")
+    b = ModelBuilder(f"transformer_b{B}" + ("" if train else "_infer"))
 
     host = b.input(TensorMeta((B, S, d), device="cpu"))
     (x3d,) = b.call(ToDevice((B, S, d)), [host])
     (x,) = b.call(View((B, S, d), (tokens, d)), [x3d])
-    target = b.input(TensorMeta((tokens, d)))
+    target = b.input(TensorMeta((tokens, d))) if train else None
 
     layer_ctxs = []
     for _ in range(config.num_layers):
         x, ctx = _attention_layer(b, x, B, config)
         layer_ctxs.append(ctx)
+
+    if not train:
+        return b.finish()
 
     b.call(MseLoss((tokens, d)), [x, target])
     (grad,) = b.call(MseLossBackward((tokens, d)), [x, target])

@@ -49,6 +49,7 @@ class FeatureMap:
 
     @property
     def shape(self) -> tuple[int, int, int, int]:
+        """The NCHW shape tuple."""
         return (self.n, self.c, self.h, self.w)
 
 
@@ -212,20 +213,29 @@ class ConvNetBuilder(ModelBuilder):
         ga, gb = self.call(AddBackward(shape), [grad_id])
         return ga, gb
 
-    def classifier_and_loss(self, features: FeatureMap,
-                            num_classes: int) -> tuple[int, list[LayerRecord], int, int]:
-        """Global pool → flatten → FC → MSE loss; returns backward context.
+    def classifier(self, features: FeatureMap,
+                   num_classes: int) -> tuple[int, list[LayerRecord], int]:
+        """Global pool → flatten → FC head, no loss (inference graphs).
 
-        Returns ``(pred_id, fc_records, flat_id, target_id)``.
+        Returns ``(pred_id, fc_records, flat_id)``.
         """
         pooled = self.global_avg_pool(features)
         (flat,) = self.call(
             View((pooled.n, pooled.c, 1, 1), (pooled.n, pooled.c)), [pooled.tid]
         )
         pred, rec = self.linear_forward(flat, pooled.n, pooled.c, num_classes)
-        target = self.input(TensorMeta((pooled.n, num_classes)))
-        self.call(MseLoss((pooled.n, num_classes)), [pred, target])
-        return pred, [rec], flat, target
+        return pred, [rec], flat
+
+    def classifier_and_loss(self, features: FeatureMap,
+                            num_classes: int) -> tuple[int, list[LayerRecord], int, int]:
+        """Global pool → flatten → FC → MSE loss; returns backward context.
+
+        Returns ``(pred_id, fc_records, flat_id, target_id)``.
+        """
+        pred, fc_records, flat = self.classifier(features, num_classes)
+        target = self.input(TensorMeta((features.n, num_classes)))
+        self.call(MseLoss((features.n, num_classes)), [pred, target])
+        return pred, fc_records, flat, target
 
     def loss_backward(self, pred_id: int, target_id: int,
                       shape: tuple[int, ...]) -> int:

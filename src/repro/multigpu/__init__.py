@@ -1,6 +1,9 @@
 """Multi-GPU extension: collectives, hybrid-parallel plans, prediction."""
 
 from repro.multigpu.interconnect import (
+    ALL2ALL,
+    ALLREDUCE,
+    COLLECTIVE_KINDS,
     NVLINK,
     PCIE_FABRIC,
     CollectiveModel,
@@ -8,6 +11,7 @@ from repro.multigpu.interconnect import (
     InterconnectSpec,
     all2all_wire_bytes,
     allreduce_wire_bytes,
+    collective_wire_bytes,
 )
 from repro.multigpu.plan import (
     CollectivePhase,
@@ -21,6 +25,8 @@ from repro.multigpu.predict import (
     scaling_curve,
 )
 from repro.multigpu.schedule import (
+    OVERLAP_FULL,
+    OVERLAP_NONE,
     OVERLAP_POLICIES,
     IterationSchedule,
     schedule_iteration,
@@ -28,6 +34,9 @@ from repro.multigpu.schedule import (
 from repro.multigpu.simulate import MultiGpuResult, MultiGpuSimulator
 
 __all__ = [
+    "ALL2ALL",
+    "ALLREDUCE",
+    "COLLECTIVE_KINDS",
     "CollectiveModel",
     "CollectivePhase",
     "GroundTruthCollectives",
@@ -38,11 +47,14 @@ __all__ = [
     "MultiGpuResult",
     "MultiGpuSimulator",
     "NVLINK",
+    "OVERLAP_FULL",
+    "OVERLAP_NONE",
     "OVERLAP_POLICIES",
     "PCIE_FABRIC",
     "all2all_wire_bytes",
     "allreduce_wire_bytes",
     "build_multi_gpu_dlrm_plan",
+    "collective_wire_bytes",
     "dense_parameter_bytes",
     "predict_multi_gpu",
     "scaling_curve",

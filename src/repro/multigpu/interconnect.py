@@ -19,6 +19,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: Collective kind: every device exchanges shards with every other.
+ALL2ALL = "all2all"
+#: Collective kind: ring all-reduce of replicated gradients.
+ALLREDUCE = "allreduce"
+#: Recognised collective kinds.
+COLLECTIVE_KINDS = (ALL2ALL, ALLREDUCE)
+
+
+def collective_wire_bytes(
+    kind: str, bytes_per_device: float, num_devices: int
+) -> float:
+    """Bytes each device moves on the wire for one collective.
+
+    Single dispatch point for the kind -> wire-bytes mapping, shared by
+    the ground-truth fabric and the predictor-side model.
+    """
+    if kind == ALL2ALL:
+        return all2all_wire_bytes(bytes_per_device, num_devices)
+    if kind == ALLREDUCE:
+        return allreduce_wire_bytes(bytes_per_device, num_devices)
+    known = ", ".join(COLLECTIVE_KINDS)
+    raise ValueError(f"unknown collective kind {kind!r}; known: {known}")
+
 
 @dataclass(frozen=True)
 class InterconnectSpec:
@@ -88,12 +111,7 @@ class GroundTruthCollectives:
         rng: np.random.Generator | None = None,
     ) -> float:
         """True duration of one collective, in µs."""
-        if kind == "all2all":
-            wire = all2all_wire_bytes(bytes_per_device, num_devices)
-        elif kind == "allreduce":
-            wire = allreduce_wire_bytes(bytes_per_device, num_devices)
-        else:
-            raise ValueError(f"unknown collective kind {kind!r}")
+        wire = collective_wire_bytes(kind, bytes_per_device, num_devices)
         t = self._time(wire, num_devices)
         if rng is not None and self.noise_sigma > 0:
             t *= float(rng.lognormal(0.0, self.noise_sigma))
@@ -132,9 +150,9 @@ class CollectiveModel:
     ) -> "CollectiveModel":
         """Measure achieved link rates from the fabric microbenchmark."""
         big = 256 * 1024 * 1024
-        t_big = truth.measure_us("all2all", big, num_devices, seed=seed)
+        t_big = truth.measure_us(ALL2ALL, big, num_devices, seed=seed)
         wire = all2all_wire_bytes(big, num_devices)
-        tiny = truth.measure_us("all2all", 1024, num_devices, seed=seed + 1)
+        tiny = truth.measure_us(ALL2ALL, 1024, num_devices, seed=seed + 1)
         bw = wire / max(t_big - tiny, 1e-6) / 1e3
         return cls(measured_bw_gbs=bw, base_latency_us=tiny)
 
@@ -142,10 +160,5 @@ class CollectiveModel:
         self, kind: str, bytes_per_device: float, num_devices: int
     ) -> float:
         """Predicted collective duration in µs."""
-        if kind == "all2all":
-            wire = all2all_wire_bytes(bytes_per_device, num_devices)
-        elif kind == "allreduce":
-            wire = allreduce_wire_bytes(bytes_per_device, num_devices)
-        else:
-            raise ValueError(f"unknown collective kind {kind!r}")
+        wire = collective_wire_bytes(kind, bytes_per_device, num_devices)
         return self.base_latency_us + wire / (self.measured_bw_gbs * 1e3)

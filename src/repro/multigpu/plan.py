@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.graph import ExecutionGraph
-from repro.models.common import ModelBuilder
-from repro.multigpu.schedule import OVERLAP_POLICIES
+from repro.models.common import MODE_TRAIN, ModelBuilder, check_mode
+from repro.multigpu.interconnect import ALL2ALL, ALLREDUCE, COLLECTIVE_KINDS
+from repro.multigpu.schedule import OVERLAP_FULL, OVERLAP_NONE, OVERLAP_POLICIES
 from repro.models.dlrm import DlrmConfig
 from repro.ops import (
     Add,
@@ -59,14 +60,14 @@ class CollectivePhase:
     communication cost is extended with this hiding axis).
     """
 
-    kind: str  # "all2all" or "allreduce"
+    kind: str  # ALL2ALL or ALLREDUCE (repro.multigpu.interconnect)
     bytes_per_device: float
     label: str = ""
     produced_by: int | None = None
     consumed_by: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("all2all", "allreduce"):
+        if self.kind not in COLLECTIVE_KINDS:
             raise ValueError(f"unknown collective kind {self.kind!r}")
         if self.bytes_per_device < 0:
             raise ValueError("bytes_per_device must be non-negative")
@@ -100,7 +101,7 @@ class MultiGpuPlan:
     compute_phases: list[list[ExecutionGraph]]
     collectives: list[CollectivePhase]
     table_assignment: list[list[int]] = field(default_factory=list)
-    overlap: str = "none"
+    overlap: str = OVERLAP_NONE
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -191,9 +192,11 @@ def _phase_a(config: DlrmConfig, local_batch: int, full_batch: int,
     return b.finish()
 
 
-def _phase_b(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGraph:
-    """Interaction + top MLP + loss + their backward (local batch)."""
-    b = ModelBuilder(f"dlrm_mp_d{device}_phaseB")
+def _phase_b(config: DlrmConfig, local_batch: int, device: int,
+             train: bool = True) -> ExecutionGraph:
+    """Interaction + top MLP (+ loss and their backward when training)."""
+    suffix = "phaseB" if train else "phaseBfwd"
+    b = ModelBuilder(f"dlrm_mp_d{device}_{suffix}")
     B = local_batch
     T = config.num_tables
     D = config.embedding_dim
@@ -202,7 +205,7 @@ def _phase_b(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGrap
 
     bot_out = b.input(TensorMeta((B, D)))
     emb = b.input(TensorMeta((B, T, D)))
-    target = b.input(TensorMeta((B, 1)))
+    target = b.input(TensorMeta((B, 1))) if train else None
 
     (bot_3d,) = b.call(View((B, D), (B, 1, D)), [bot_out])
     (cat_feats,) = b.call(Cat([(B, 1, D), (B, T, D)], dim=1), [bot_3d, emb])
@@ -212,6 +215,11 @@ def _phase_b(config: DlrmConfig, local_batch: int, device: int) -> ExecutionGrap
     (top_in,) = b.call(Cat([(B, D), (B, tril)], dim=1), [bot_out, flat])
     top_sizes = [D + tril] + list(config.top_mlp)
     top_out, top_records = b.mlp_forward(top_in, B, top_sizes, final_relu=False)
+
+    if not train:
+        if config.loss == "bce":
+            b.sigmoid_forward(top_out, (B, 1))
+        return b.finish()
 
     if config.loss == "bce":
         pred, sig_record = b.sigmoid_forward(top_out, (B, 1))
@@ -363,7 +371,8 @@ def build_multi_gpu_dlrm_plan(
     batch_size: int,
     num_devices: int,
     table_assignment: list[list[int]] | None = None,
-    overlap: str = "none",
+    overlap: str = OVERLAP_NONE,
+    mode: str = MODE_TRAIN,
 ) -> MultiGpuPlan:
     """Build the hybrid-parallel plan for one DLRM iteration.
 
@@ -381,12 +390,19 @@ def build_multi_gpu_dlrm_plan(
             bottom-MLP backward, and the all-reduce behind the lookup
             backward — the overlap the paper's Section V model leaves
             on the table.
+        mode: ``"train"`` (default) emits the full iteration.
+            ``"inference"`` emits the forward-only serving plan —
+            lookups + embedding all-to-all + MLP forward; the gradient
+            all-to-all, the dense all-reduce, every backward phase and
+            the optimizer step all disappear.
 
     Returns:
         The plan; collective dependency edges reflect true DLRM data
         dependencies for ``overlap="full"``, barrier positions
         otherwise.
     """
+    check_mode(mode)
+    train = mode == MODE_TRAIN
     if batch_size % num_devices != 0:
         raise ValueError(
             f"batch {batch_size} not divisible by {num_devices} devices"
@@ -411,14 +427,30 @@ def build_multi_gpu_dlrm_plan(
     max_local_tables = max((len(t) for t in table_assignment), default=0)
     emb_bytes = 4.0 * batch_size * max_local_tables * D
 
-    if overlap == "full":
+    if overlap == OVERLAP_FULL:
         lookup_fwd = [
             _phase_lookup_fwd(config, batch_size, table_assignment[d], d)
             for d in range(num_devices)
         ]
         bot_mlp = [_phase_bot_mlp(config, local_batch, d)
                    for d in range(num_devices)]
-        phase_b = [_phase_b(config, local_batch, d) for d in range(num_devices)]
+        phase_b = [_phase_b(config, local_batch, d, train=train)
+                   for d in range(num_devices)]
+        if not train:
+            # Serving: lookups start the all-to-all as early as possible
+            # and it hides behind the bottom MLP; nothing runs after the
+            # top-MLP forward.
+            return MultiGpuPlan(
+                num_devices=num_devices,
+                compute_phases=[lookup_fwd, bot_mlp, phase_b],
+                collectives=[
+                    CollectivePhase(ALL2ALL, emb_bytes,
+                                    label="embedding forward",
+                                    produced_by=0, consumed_by=2),
+                ],
+                table_assignment=table_assignment,
+                overlap=OVERLAP_FULL,
+            )
         bot_bwd = [_phase_bot_mlp_bwd(config, local_batch, d)
                    for d in range(num_devices)]
         lookup_bwd = [
@@ -427,11 +459,11 @@ def build_multi_gpu_dlrm_plan(
         ]
         phase_d = [_phase_d(config, local_batch, d) for d in range(num_devices)]
         collectives = [
-            CollectivePhase("all2all", emb_bytes, label="embedding forward",
+            CollectivePhase(ALL2ALL, emb_bytes, label="embedding forward",
                             produced_by=0, consumed_by=2),
-            CollectivePhase("all2all", emb_bytes, label="embedding gradient",
+            CollectivePhase(ALL2ALL, emb_bytes, label="embedding gradient",
                             produced_by=2, consumed_by=4),
-            CollectivePhase("allreduce", dense_parameter_bytes(config),
+            CollectivePhase(ALLREDUCE, dense_parameter_bytes(config),
                             label="dense grads", produced_by=3, consumed_by=5),
         ]
         return MultiGpuPlan(
@@ -440,14 +472,26 @@ def build_multi_gpu_dlrm_plan(
                             bot_bwd, lookup_bwd, phase_d],
             collectives=collectives,
             table_assignment=table_assignment,
-            overlap="full",
+            overlap=OVERLAP_FULL,
         )
 
     phase_a = [
         _phase_a(config, local_batch, batch_size, table_assignment[d], d)
         for d in range(num_devices)
     ]
-    phase_b = [_phase_b(config, local_batch, d) for d in range(num_devices)]
+    phase_b = [_phase_b(config, local_batch, d, train=train)
+               for d in range(num_devices)]
+    if not train:
+        # Serving with barriers: lookup/bottom-MLP phase, the embedding
+        # all-to-all, then the interaction + top-MLP forward.
+        return MultiGpuPlan(
+            num_devices=num_devices,
+            compute_phases=[phase_a, phase_b],
+            collectives=[
+                CollectivePhase(ALL2ALL, emb_bytes, label="embedding forward"),
+            ],
+            table_assignment=table_assignment,
+        )
     phase_c = [
         _phase_c(config, local_batch, batch_size, table_assignment[d], d)
         for d in range(num_devices)
@@ -455,10 +499,10 @@ def build_multi_gpu_dlrm_plan(
     phase_d = [_phase_d(config, local_batch, d) for d in range(num_devices)]
 
     collectives = [
-        CollectivePhase("all2all", emb_bytes, label="embedding forward"),
-        CollectivePhase("all2all", emb_bytes, label="embedding gradient"),
+        CollectivePhase(ALL2ALL, emb_bytes, label="embedding forward"),
+        CollectivePhase(ALL2ALL, emb_bytes, label="embedding gradient"),
         CollectivePhase(
-            "allreduce", dense_parameter_bytes(config), label="dense grads"
+            ALLREDUCE, dense_parameter_bytes(config), label="dense grads"
         ),
     ]
     return MultiGpuPlan(

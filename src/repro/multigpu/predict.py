@@ -23,7 +23,7 @@ from typing import Sequence
 from repro.e2e import collect_plan, plan_kernels, predict_e2e
 from repro.multigpu.interconnect import CollectiveModel
 from repro.multigpu.plan import MultiGpuPlan
-from repro.multigpu.schedule import per_device, schedule_iteration
+from repro.multigpu.schedule import OVERLAP_NONE, per_device, schedule_iteration
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
 
@@ -42,7 +42,7 @@ class MultiGpuPrediction:
     phase_us: tuple[float, ...]
     collective_us: tuple[float, ...]
     per_device_phase_us: tuple[tuple[float, ...], ...]
-    overlap: str = "none"
+    overlap: str = OVERLAP_NONE
     exposed_comm_us: float | None = None
 
     @property

@@ -32,8 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+#: Overlap policy: the paper's synchronous barrier model.
+OVERLAP_NONE = "none"
+#: Overlap policy: event-driven collective hiding.
+OVERLAP_FULL = "full"
 #: Recognised overlap policies.
-OVERLAP_POLICIES = ("none", "full")
+OVERLAP_POLICIES = (OVERLAP_NONE, OVERLAP_FULL)
 
 #: One resolved collective: (produced_by, consumed_by, duration_us).
 CollectiveEdge = tuple[int, int, float]
@@ -183,7 +187,7 @@ def _schedule_overlap(
 def schedule_iteration(
     compute_us: Sequence[Sequence[float]],
     collectives: Sequence[CollectiveEdge],
-    overlap: str = "none",
+    overlap: str = OVERLAP_NONE,
 ) -> IterationSchedule:
     """Schedule one iteration from per-device compute and collectives.
 
@@ -227,7 +231,7 @@ def schedule_iteration(
         if duration < 0:
             raise ValueError(f"collective {c}: negative duration {duration}")
 
-    run = _schedule_sync if overlap == "none" else _schedule_overlap
+    run = _schedule_sync if overlap == OVERLAP_NONE else _schedule_overlap
     iteration, starts, ends, coll_start, coll_end = run(compute_us, collectives)
     zeroed = [(p, q, 0.0) for p, q, _ in collectives]
     compute_only = run(compute_us, zeroed)[0]

@@ -27,7 +27,7 @@ import numpy as np
 from repro.hardware import DEFAULT_CPU, CpuSpec, GpuSpec
 from repro.multigpu.interconnect import GroundTruthCollectives, InterconnectSpec
 from repro.multigpu.plan import MultiGpuPlan
-from repro.multigpu.schedule import per_device, schedule_iteration
+from repro.multigpu.schedule import OVERLAP_NONE, per_device, schedule_iteration
 from repro.simulator import SimulatedDevice
 
 
@@ -45,7 +45,7 @@ class MultiGpuResult:
     phase_us: list[float]
     collective_us: list[float]
     per_device_phase_us: list[list[float]]  # [phase][device]
-    overlap: str = "none"
+    overlap: str = OVERLAP_NONE
     exposed_comm_us: float | None = None
 
     @property

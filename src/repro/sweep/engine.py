@@ -40,6 +40,7 @@ from repro.e2e import (
 from repro.graph import ExecutionGraph
 from repro.multigpu.plan import MultiGpuPlan
 from repro.multigpu.predict import predict_multi_gpu
+from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
 from repro.sweep.result import (
@@ -184,7 +185,7 @@ class SweepEngine:
         plans: Mapping[str, MultiGpuPlan],
         collective_model_for: Callable[[int], object],
         fleets: Mapping[str, str | Sequence[str]] | None = None,
-        overlap_policies: Sequence[str] = ("none", "full"),
+        overlap_policies: Sequence[str] = OVERLAP_POLICIES,
         overheads: str | None = None,
     ) -> MultiGpuSweepResult:
         """Evaluate multi-GPU plans over fleet and overlap axes.
@@ -215,6 +216,8 @@ class SweepEngine:
             paper-faithful settings (``sync_h2d=True``, default T4),
             not this engine's single-GPU traversal knobs.
         """
+        if not plans:
+            raise ValueError("sweep needs at least one multi-GPU plan")
         if fleets is None:
             fleets = {name: name for name in self.registries}
         if not fleets:
@@ -285,6 +288,8 @@ class SweepEngine:
         Each graph label is recorded on the ``transform`` axis; batch
         resizing is the caller's responsibility here.
         """
+        if not graphs:
+            raise ValueError("sweep needs at least one graph")
         labeled_plans = [
             (label, batch_size, collect_plan(g)) for label, g in graphs.items()
         ]

@@ -1,0 +1,217 @@
+"""Capacity planner + SLO latency-model unit tests."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.capacity import (
+    CandidateFleet,
+    CapacityPlanner,
+    ServingTarget,
+    percentile_factor,
+    plan_capacity,
+    plans_to_json,
+    predict_percentile_latency,
+    rank_plans,
+    replica_capacity_qps,
+    replica_utilization,
+)
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import NVLINK, CollectiveModel, GroundTruthCollectives
+from repro.sweep import SweepEngine
+
+
+class TestServingTarget:
+    def test_from_ms(self):
+        target = ServingTarget.from_ms(100_000, 2.0, 95.0)
+        assert target.latency_slo_us == 2000.0
+        assert target.percentile == 95.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"qps": 0, "latency_slo_us": 1000},
+            {"qps": 1000, "latency_slo_us": 0},
+            {"qps": 1000, "latency_slo_us": 1000, "percentile": 100.0},
+            {"qps": 1000, "latency_slo_us": 1000, "percentile": 0.0},
+        ],
+    )
+    def test_invalid_targets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingTarget(**kwargs)
+
+
+class TestLatencyModel:
+    def test_batch_one_has_no_fill_wait(self):
+        lat = predict_percentile_latency(500.0, 1, 1000.0)
+        assert lat.fill_us == 0.0
+        assert lat.service_us == 500.0
+
+    def test_fill_grows_with_batch(self):
+        lats = [
+            predict_percentile_latency(500.0, b, 10_000.0).fill_us
+            for b in (1, 8, 64)
+        ]
+        assert lats == sorted(lats)
+        assert lats[0] < lats[-1]
+
+    def test_queue_wait_explodes_at_saturation(self):
+        # rho = qps/1e6 * service / batch; saturate with qps > batch/service.
+        saturated = predict_percentile_latency(1000.0, 1, 2000.0)
+        assert math.isinf(saturated.queue_us)
+        assert math.isinf(saturated.total_us)
+
+    def test_queue_wait_monotone_in_load(self):
+        waits = [
+            predict_percentile_latency(1000.0, 1, qps).queue_us
+            for qps in (100.0, 400.0, 800.0)
+        ]
+        assert waits == sorted(waits)
+
+    def test_higher_percentile_waits_longer(self):
+        p50 = predict_percentile_latency(1000.0, 4, 2000.0, percentile=50.0)
+        p99 = predict_percentile_latency(1000.0, 4, 2000.0, percentile=99.0)
+        assert p99.queue_us > p50.queue_us
+        assert percentile_factor(99.0) > percentile_factor(50.0)
+
+    def test_utilization_and_capacity_are_inverses(self):
+        capacity = replica_capacity_qps(500.0, 32, max_utilization=0.8)
+        assert replica_utilization(500.0, 32, capacity) == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_service_time_rejected(self, bad):
+        with pytest.raises(ValueError):
+            replica_utilization(bad, 32, 1000.0)
+
+
+class TestCandidateFleet:
+    def test_label(self):
+        assert CandidateFleet("A100", gpus_per_replica=2).label == "A100x2"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gpus_per_replica": 0},
+            {"max_replicas": 0},
+            {"cost_per_gpu_hour": 0.0},
+        ],
+    )
+    def test_invalid_fleets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CandidateFleet("V100", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def engine(registry, overhead_db):
+    return SweepEngine(
+        registries={"V100": registry},
+        overhead_dbs={"individual": overhead_db},
+    )
+
+
+@pytest.fixture(scope="module")
+def collective_model_for():
+    return lambda n: CollectiveModel.calibrate(
+        GroundTruthCollectives(NVLINK), n
+    )
+
+
+class TestCapacityPlanner:
+    def test_relaxed_target_is_feasible_and_ranked(self, engine):
+        planner = CapacityPlanner(
+            engine, ServingTarget.from_ms(10_000, 50.0)
+        )
+        plans = planner.plan_dlrm(DLRM_DEFAULT, (32, 64, 128))
+        assert plans
+        assert plans[0].meets_slo
+        assert plans[0].latency_us <= 50_000.0
+        # Feasible block first, cost-sorted inside the block.
+        feasible = [p for p in plans if p.meets_slo]
+        assert plans[: len(feasible)] == feasible
+        costs = [p.cost_per_hour for p in feasible]
+        assert costs == sorted(costs)
+
+    def test_impossible_target_returns_best_effort(self, engine):
+        planner = CapacityPlanner(
+            engine,
+            ServingTarget(qps=5_000_000.0, latency_slo_us=10.0),
+        )
+        plans = planner.plan_dlrm(
+            DLRM_DEFAULT, (32,),
+            fleets=[CandidateFleet("V100", max_replicas=4)],
+        )
+        assert plans
+        assert not any(p.meets_slo for p in plans)
+
+    def test_sharded_replicas_on_the_grid(
+        self, engine, collective_model_for
+    ):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(5_000, 50.0))
+        plans = planner.plan_dlrm(
+            DLRM_DEFAULT, (64, 128),
+            fleets=[
+                CandidateFleet("V100", gpus_per_replica=1),
+                CandidateFleet("V100", gpus_per_replica=2),
+            ],
+            collective_model_for=collective_model_for,
+        )
+        shapes = {p.fleet for p in plans}
+        assert shapes == {"V100x1", "V100x2"}
+        overlaps = {p.overlap for p in plans if p.fleet == "V100x2"}
+        assert overlaps == {"none", "full"}
+
+    def test_sharded_without_collective_model_rejected(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(1000, 50.0))
+        with pytest.raises(ValueError, match="collective_model_for"):
+            planner.plan_dlrm(
+                DLRM_DEFAULT, (64,),
+                fleets=[CandidateFleet("V100", gpus_per_replica=2)],
+            )
+
+    def test_unknown_registry_rejected(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(1000, 50.0))
+        with pytest.raises(ValueError, match="unknown registry"):
+            planner.plan_dlrm(
+                DLRM_DEFAULT, (64,), fleets=[CandidateFleet("H100")]
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_sizes": ()},
+            {"batch_sizes": (0,)},
+            {"batch_sizes": (64,), "fleets": []},
+            {"batch_sizes": (64,), "shardings": {}},
+            {"batch_sizes": (64,), "overlap_policies": ()},
+        ],
+    )
+    def test_empty_axes_rejected(self, engine, kwargs):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(1000, 50.0))
+        with pytest.raises(ValueError):
+            planner.plan_dlrm(DLRM_DEFAULT, **kwargs)
+
+    def test_plan_capacity_convenience(self, registry, overhead_db):
+        plans = plan_capacity(
+            ServingTarget.from_ms(10_000, 50.0),
+            DLRM_DEFAULT,
+            registries={"V100": registry},
+            overheads={"individual": overhead_db},
+            batch_sizes=(64, 128),
+        )
+        assert plans and plans[0].meets_slo
+
+    def test_plans_serialize_to_json(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        plans = planner.plan_dlrm(DLRM_DEFAULT, (64,))
+        rows = json.loads(plans_to_json(plans))
+        assert len(rows) == len(plans)
+        assert rows[0]["fleet"] == "V100x1"
+        assert isinstance(rows[0]["meets_slo"], bool)
+
+    def test_rank_plans_keeps_every_plan(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        plans = planner.plan_dlrm(DLRM_DEFAULT, (32, 64, 128))
+        assert sorted(rank_plans(plans), key=id) == sorted(plans, key=id)

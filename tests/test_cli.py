@@ -182,3 +182,85 @@ class TestCommands:
              "--devices", "2"]
         ) == 2
         assert "divisible" in capsys.readouterr().err
+
+
+class TestCapacityCommand:
+    def test_capacity_parser_args(self):
+        args = build_parser().parse_args(
+            ["capacity", "--gpu", "A100", "--model", "DLRM_default",
+             "--batch", "256", "--qps", "100000", "--slo-ms", "2",
+             "--replica-gpus", "1,2", "--max-replicas", "64"]
+        )
+        assert args.qps == 100000.0
+        assert args.slo_ms == 2.0
+        assert args.percentile == 99.0
+        assert args.replica_gpus == "1,2"
+        assert args.max_replicas == 64
+
+    def test_capacity_rejects_non_dlrm(self, capsys):
+        assert main(
+            ["capacity", "--model", "resnet50", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10"]
+        ) == 2
+        assert "DLRM" in capsys.readouterr().err
+
+    def test_capacity_rejects_bad_batches(self, capsys):
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10", "--batches", "abc"]
+        ) == 2
+        assert "bad --batches" in capsys.readouterr().err
+
+    def test_capacity_rejects_bad_replica_gpus(self, capsys):
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10", "--replica-gpus", "0"]
+        ) == 2
+        assert "bad --replica-gpus" in capsys.readouterr().err
+
+    def test_capacity_command(self, tmp_path, capsys, monkeypatch):
+        """Feasible relaxed-SLO search through the real CLI path."""
+        import json
+
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        out_path = str(tmp_path / "plans.json")
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "256",
+             "--qps", "10000", "--slo-ms", "50", "--batches", "64,128",
+             "--replica-gpus", "1,2", "--out", out_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cheapest feasible plan" in out
+        with open(out_path) as f:
+            rows = json.load(f)
+        assert rows[0]["meets_slo"] is True
+        assert {row["fleet"] for row in rows} == {"V100x1", "V100x2"}
+
+    def test_capacity_infeasible_returns_one(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "5000000", "--slo-ms", "0.1", "--batches", "64",
+             "--max-replicas", "2"]
+        ) == 1
+        assert "no evaluated configuration" in capsys.readouterr().err

@@ -14,7 +14,7 @@ import pytest
 
 from repro.e2e import predict_e2e
 from repro.hardware import TESLA_V100
-from repro.models import build_model
+from repro.models import MODE_INFERENCE, build_model
 from repro.models.dlrm import DLRM_DEFAULT
 from repro.multigpu import (
     NVLINK,
@@ -63,6 +63,13 @@ class TestSingleGpuGoldens:
         pred = predict_e2e(build_model(model, batch), registry, overhead_db)
         golden(f"single_{model}_b{batch}", _prediction_payload(pred))
 
+    def test_inference_prediction(self, registry, overhead_db, golden):
+        pred = predict_e2e(
+            build_model("DLRM_default", 512, mode=MODE_INFERENCE),
+            registry, overhead_db,
+        )
+        golden("single_DLRM_default_b512_infer", _prediction_payload(pred))
+
 
 class TestMultiGpuGoldens:
     @pytest.fixture(scope="class")
@@ -81,10 +88,30 @@ class TestMultiGpuGoldens:
                _multi_payload(pred))
 
     @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_inference_prediction(
+        self, overlap, registry, overhead_db, collective_model, golden
+    ):
+        plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 4, overlap=overlap, mode=MODE_INFERENCE
+        )
+        pred = predict_multi_gpu(plan, registry, overhead_db, collective_model)
+        golden(f"multigpu_DLRM_default_b1024_x4_infer_{overlap}",
+               _multi_payload(pred))
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
     def test_simulation(self, overlap, golden):
         plan = build_multi_gpu_dlrm_plan(
             DLRM_DEFAULT, 1024, 2, overlap=overlap
         )
         truth = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(plan, 2)
         golden(f"multigpu_sim_DLRM_default_b1024_x2_{overlap}",
+               _multi_payload(truth))
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_inference_simulation(self, overlap, golden):
+        plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 2, overlap=overlap, mode=MODE_INFERENCE
+        )
+        truth = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(plan, 2)
+        golden(f"multigpu_sim_DLRM_default_b1024_x2_infer_{overlap}",
                _multi_payload(truth))

@@ -1,0 +1,173 @@
+"""Inference-mode invariants: forward-only graphs, cheaper predictions.
+
+The serving regime must never leak training work: every inference
+graph contains zero backward/optimizer ops, and — because it drops
+roughly two thirds of the iteration — its predicted time is strictly
+below the train-mode prediction for the same configuration.  The same
+holds structurally for the multi-GPU serving plans (one all-to-all,
+no gradient exchange, no all-reduce).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.e2e import predict_e2e
+from repro.models import MODE_INFERENCE, MODE_TRAIN, build_model, check_mode
+from repro.models.dlrm import DLRM_DEFAULT, DlrmConfig, build_dlrm_graph
+from repro.multigpu import (
+    ALL2ALL,
+    NVLINK,
+    CollectiveModel,
+    GroundTruthCollectives,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+
+ALL_MODELS = [
+    "DLRM_default", "DLRM_MLPerf", "DLRM_DDP", "resnet50", "inception_v3",
+    "Transformer", "DeepFM", "DCN", "WideAndDeep",
+]
+
+#: Small batches keep graph construction fast; invariants are
+#: batch-independent.
+SMALL_BATCH = {"resnet50": 4, "inception_v3": 4, "Transformer": 4}
+
+
+def training_ops(graph) -> list[str]:
+    """Op names only a training iteration may contain."""
+    return [
+        node.op_name
+        for node in graph.nodes
+        if "Backward" in node.op_name
+        or node.op_name.startswith("Optimizer")
+        or "AccumulateGrad" in node.op_name
+        or "Loss" in node.op_name
+        or "Entropy" in node.op_name
+    ]
+
+
+dlrm_configs = st.builds(
+    DlrmConfig,
+    name=st.just("prop"),
+    bot_mlp=st.sampled_from([(13, 64), (256, 64)]).map(lambda t: t + (64,)),
+    num_tables=st.integers(min_value=1, max_value=12),
+    rows_per_table=st.integers(min_value=100, max_value=1_000_000),
+    embedding_dim=st.just(64),
+    top_mlp=st.sampled_from([(64, 1), (256, 64, 1)]),
+    lookups_per_table=st.integers(min_value=1, max_value=64),
+    loss=st.sampled_from(["mse", "bce"]),
+    fused_embedding=st.booleans(),
+)
+
+
+class TestForwardOnlyInvariant:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_zoo_inference_graphs_have_no_training_ops(self, model):
+        batch = SMALL_BATCH.get(model, 64)
+        graph = build_model(model, batch, mode=MODE_INFERENCE)
+        graph.validate()
+        assert training_ops(graph) == []
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_inference_is_a_strict_subset_of_training(self, model):
+        batch = SMALL_BATCH.get(model, 64)
+        train = build_model(model, batch, mode=MODE_TRAIN)
+        infer = build_model(model, batch, mode=MODE_INFERENCE)
+        assert len(infer.nodes) < len(train.nodes)
+        train_names = [n.op_name for n in train.nodes]
+        for node in infer.nodes:
+            assert node.op_name in train_names
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(config=dlrm_configs, batch=st.sampled_from([16, 64, 512]))
+    def test_any_dlrm_inference_graph_is_forward_only(self, config, batch):
+        graph = build_dlrm_graph(config, batch, mode=MODE_INFERENCE)
+        graph.validate()
+        assert training_ops(graph) == []
+        names = {n.op_name for n in graph}
+        lookup = "LookupFunction" if config.fused_embedding \
+            else "aten::embedding_bag"
+        assert lookup in names
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            check_mode("serving")
+        with pytest.raises(ValueError, match="unknown mode"):
+            build_model("DLRM_default", 64, mode="serving")
+        with pytest.raises(ValueError, match="unknown mode"):
+            build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 64, 2, mode="serving")
+
+
+class TestInferenceCheaperThanTraining:
+    @pytest.mark.parametrize(
+        "model,batch",
+        [("DLRM_default", 512), ("resnet50", 16), ("Transformer", 32)],
+    )
+    def test_predicted_time_strictly_less(
+        self, model, batch, registry, overhead_db
+    ):
+        train = predict_e2e(
+            build_model(model, batch, mode=MODE_TRAIN), registry, overhead_db
+        )
+        infer = predict_e2e(
+            build_model(model, batch, mode=MODE_INFERENCE),
+            registry, overhead_db,
+        )
+        assert infer.total_us < train.total_us
+        assert infer.active_us < train.active_us
+        assert infer.num_kernels < train.num_kernels
+
+
+class TestMultiGpuInferencePlans:
+    @pytest.fixture(scope="class")
+    def collective_model(self):
+        return CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 4)
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_plan_is_forward_only(self, overlap):
+        plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 4, overlap=overlap, mode=MODE_INFERENCE
+        )
+        assert [c.kind for c in plan.collectives] == [ALL2ALL]
+        for phase in plan.compute_phases:
+            for segment in phase:
+                assert training_ops(segment) == []
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_prediction_strictly_below_training(
+        self, overlap, registry, overhead_db, collective_model
+    ):
+        train_plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 4, overlap=overlap
+        )
+        infer_plan = build_multi_gpu_dlrm_plan(
+            DLRM_DEFAULT, 1024, 4, overlap=overlap, mode=MODE_INFERENCE
+        )
+        train = predict_multi_gpu(
+            train_plan, registry, overhead_db, collective_model
+        )
+        infer = predict_multi_gpu(
+            infer_plan, registry, overhead_db, collective_model
+        )
+        assert infer.iteration_us < train.iteration_us
+        assert infer.communication_us < train.communication_us
+
+    def test_overlap_never_slower_for_serving(
+        self, registry, overhead_db, collective_model
+    ):
+        preds = {}
+        for overlap in ("none", "full"):
+            plan = build_multi_gpu_dlrm_plan(
+                DLRM_DEFAULT, 1024, 4, overlap=overlap, mode=MODE_INFERENCE
+            )
+            preds[overlap] = predict_multi_gpu(
+                plan, registry, overhead_db, collective_model
+            )
+        # Hiding the single all-to-all can only remove exposed time.
+        assert (
+            preds["full"].exposed_comm_us <= preds["none"].exposed_comm_us
+        )

@@ -87,6 +87,16 @@ class TestSweepEngine:
         with pytest.raises(ValueError):
             engine.run(dlrm_graph, 512, [])
 
+    def test_empty_graph_and_plan_axes_rejected(self, registry, overhead_db):
+        """Empty grids fail loudly instead of returning an empty table."""
+        engine = SweepEngine(
+            registries={"g": registry}, overhead_dbs={"d": overhead_db}
+        )
+        with pytest.raises(ValueError, match="at least one graph"):
+            engine.run_graphs({}, 512)
+        with pytest.raises(ValueError, match="at least one multi-GPU plan"):
+            engine.run_multi_gpu({}, lambda n: None)
+
     def test_run_graphs_mode(self, registry, overhead_db):
         graphs = {
             "b256": build_model("DLRM_default", 256),

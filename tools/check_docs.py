@@ -1,0 +1,146 @@
+"""Documentation checks: Markdown link integrity + docstring coverage.
+
+Two checks, runnable standalone (CI's docs job) or through
+``tests/test_docs.py`` (tier 1):
+
+* ``check_markdown_links`` — every relative link target in the given
+  Markdown files must exist on disk (external ``http(s)://`` links and
+  pure ``#anchors`` are skipped; no network, no new dependencies).
+* ``check_docstrings`` — pydocstyle-equivalent coverage for a package:
+  every module, public class and public function/method must carry a
+  docstring (D100–D103 in spirit).  ``src/repro/capacity`` starts at
+  100% and this keeps it there.
+
+Usage::
+
+    python tools/check_docs.py            # check the default set
+    python tools/check_docs.py --quiet    # exit code only
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+DEFAULT_MARKDOWN = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+)
+
+#: Packages held to 100% docstring coverage.  ``capacity`` starts there
+#: by construction; the others were audited clean and must stay so.
+DEFAULT_PACKAGES = (
+    "src/repro/capacity",
+    "src/repro/codesign",
+    "src/repro/e2e",
+    "src/repro/models",
+    "src/repro/multigpu",
+    "src/repro/sweep",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_links(text: str):
+    """Yield link targets from ``[text](target)`` Markdown links.
+
+    Skips fenced code blocks so example snippets cannot produce false
+    positives.
+    """
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from _LINK_RE.findall(line)
+
+
+def check_markdown_links(
+    files=DEFAULT_MARKDOWN, root: Path = REPO_ROOT
+) -> list[str]:
+    """Return one error string per broken relative link."""
+    errors = []
+    for name in files:
+        path = root / name
+        if not path.exists():
+            errors.append(f"{name}: file missing")
+            continue
+        for target in iter_markdown_links(path.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{name}: broken link -> {target}")
+    return errors
+
+
+def _missing_docstrings(tree: ast.Module, module_name: str) -> list[str]:
+    """Names of public defs in ``tree`` lacking docstrings."""
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{module_name}: module docstring")
+
+    def walk(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = child.name
+                if name.startswith("_"):
+                    # Private defs (and everything inside them) are
+                    # exempt, matching pydocstyle.
+                    continue
+                qualified = f"{prefix}{name}"
+                if ast.get_docstring(child) is None:
+                    missing.append(f"{module_name}: {qualified}")
+                walk(child, f"{qualified}.")
+
+    walk(tree, "")
+    return missing
+
+
+def check_docstrings(
+    packages=DEFAULT_PACKAGES, root: Path = REPO_ROOT
+) -> list[str]:
+    """Return one error string per public def missing a docstring."""
+    errors = []
+    for package in packages:
+        base = root / package
+        if not base.exists():
+            errors.append(f"{package}: package missing")
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root)
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            errors.extend(_missing_docstrings(tree, str(rel)))
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both checks; print findings unless ``--quiet``."""
+    args = argv if argv is not None else sys.argv[1:]
+    quiet = "--quiet" in args
+    errors = check_markdown_links() + check_docstrings()
+    if errors and not quiet:
+        for error in errors:
+            print(error, file=sys.stderr)
+    if not errors and not quiet:
+        print(
+            f"docs OK: {len(DEFAULT_MARKDOWN)} Markdown files, "
+            f"{len(DEFAULT_PACKAGES)} packages at 100% docstrings"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
