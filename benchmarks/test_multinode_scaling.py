@@ -1,0 +1,170 @@
+"""Extension experiment — hierarchical multi-node fleet scaling.
+
+Companion to ``test_overlap_scaling.py`` one level up the hierarchy:
+the same 8-GPU budget racked as 1x8 / 2x4 / 4x2 / 8x1 over NVLink +
+100GbE or HDR InfiniBand.  Asserted shape: a flat single-node topology
+is bit-identical to the flat fabric path (prediction and simulation);
+prediction error vs. the hierarchical simulator stays within the
+multi-GPU tolerance; the single NVLink box is the fastest way to rack
+the budget; and the capacity planner finds a *feasible* multi-node
+serving plan whose reported bottleneck is the cross-node fabric (not
+compute).  Everything lands deterministically in
+``results/multinode_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.assets import get_overheads, get_registry, write_result
+from repro.hardware import TESLA_V100
+from repro.capacity import CandidateFleet, CapacityPlanner, ServingTarget
+from repro.models import MODE_INFERENCE
+from repro.models.dlrm import DLRM_CONFIGS
+from repro.multigpu import (
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    NVLINK,
+    CollectiveModel,
+    GroundTruthCollectives,
+    GroundTruthTopologyCollectives,
+    MultiGpuSimulator,
+    Topology,
+    TopologyCollectiveModel,
+    build_multi_gpu_dlrm_plan,
+    predict_multi_gpu,
+)
+from repro.sweep import SweepEngine
+
+_CONFIG = DLRM_CONFIGS["DLRM_MLPerf"]
+_BATCH = 4096
+_SHAPES = ((1, 8), (2, 4), (4, 2), (8, 1))
+_TOLERANCE = 0.25  # the existing multi-GPU prediction tolerance
+
+
+@pytest.fixture(scope="module")
+def multinode_rows():
+    registry, _ = get_registry("V100")
+    overheads = get_overheads("V100", "DLRM_MLPerf", _BATCH)
+
+    rows: dict = {"scaling": {}, "capacity": {}}
+    for network in (ETHERNET_100G, INFINIBAND_HDR):
+        for nodes, per_node in _SHAPES:
+            topology = Topology(nodes, per_node, intra=NVLINK, inter=network)
+            model = TopologyCollectiveModel.calibrate(
+                GroundTruthTopologyCollectives(topology)
+            )
+            plan = build_multi_gpu_dlrm_plan(
+                _CONFIG, _BATCH, topology.num_devices,
+                overlap="full", mode=MODE_INFERENCE,
+            )
+            pred = predict_multi_gpu(plan, registry, overheads, model)
+            truth = MultiGpuSimulator(TESLA_V100, topology, seed=5).run(
+                plan, 3
+            )
+            rows["scaling"][f"{network.name}_{nodes}x{per_node}"] = {
+                "nodes": nodes,
+                "gpus_per_node": per_node,
+                "network": network.name,
+                "pred_us": pred.iteration_us,
+                "true_us": truth.iteration_us,
+                "comm_us_by_channel": dict(pred.comm_us_by_channel),
+                "exposed_comm_us": pred.exposed_comm_us,
+                "bottleneck": pred.bottleneck,
+                "true_bottleneck": truth.bottleneck,
+                "err": (pred.iteration_us - truth.iteration_us)
+                / truth.iteration_us,
+            }
+
+    # The acceptance experiment: a QPS/p99 search over 2-node replica
+    # shapes must find a *feasible* plan bound by the cross-node fabric.
+    engine = SweepEngine(
+        registries={"V100": registry},
+        overhead_dbs={"individual": overheads},
+    )
+    target = ServingTarget.from_ms(qps=400_000, latency_slo_ms=40.0)
+    planner = CapacityPlanner(engine, target)
+    plans = planner.plan_dlrm(
+        _CONFIG, (4096, 8192),
+        fleets=[
+            CandidateFleet("V100", gpus_per_replica=8, nodes=2,
+                           max_replicas=64),
+        ],
+        topology_model_for=lambda topo: TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topo)
+        ),
+    )
+    rows["capacity"] = {
+        "target_qps": target.qps,
+        "slo_ms": target.latency_slo_us / 1e3,
+        "plans": [p.to_dict() for p in plans],
+    }
+    write_result("multinode_scaling", rows)
+    print("\nMulti-node scaling (DLRM_MLPerf serving @ 4096, 8 GPUs):")
+    for key, row in rows["scaling"].items():
+        print(
+            f"  {key:16s} pred={row['pred_us'] / 1e3:7.3f}ms "
+            f"true={row['true_us'] / 1e3:7.3f}ms "
+            f"bound={row['bottleneck']:8s} err={row['err']:+6.1%}"
+        )
+    return rows
+
+
+def test_flat_topology_is_bit_identical_to_flat_path(benchmark):
+    """1 node x N GPUs must equal the flat engine bit for bit."""
+    registry, _ = get_registry("V100")
+    overheads = get_overheads("V100", "DLRM_MLPerf", _BATCH)
+    plan = build_multi_gpu_dlrm_plan(
+        _CONFIG, _BATCH, 8, overlap="full", mode=MODE_INFERENCE
+    )
+    flat_model = CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 8)
+    topo_model = TopologyCollectiveModel.calibrate(
+        GroundTruthTopologyCollectives(Topology.flat(8, NVLINK))
+    )
+    flat_pred = predict_multi_gpu(plan, registry, overheads, flat_model)
+    topo_pred = benchmark(
+        lambda: predict_multi_gpu(plan, registry, overheads, topo_model)
+    )
+    assert topo_pred.iteration_us == flat_pred.iteration_us
+    assert topo_pred.collective_us == flat_pred.collective_us
+    flat_sim = MultiGpuSimulator(TESLA_V100, NVLINK, seed=5).run(plan, 2)
+    topo_sim = MultiGpuSimulator(
+        TESLA_V100, Topology.flat(8, NVLINK), seed=5
+    ).run(plan, 2)
+    assert topo_sim.iteration_us == flat_sim.iteration_us
+    assert topo_sim.collective_us == flat_sim.collective_us
+
+
+def test_single_node_is_fastest_rack_shape(benchmark, multinode_rows):
+    """Crossing nodes can only add cost: the NVLink box wins outright."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for network in ("100GbE", "IB-HDR"):
+        flat = multinode_rows["scaling"][f"{network}_1x8"]
+        assert flat["bottleneck"] == "compute"
+        for nodes, per_node in _SHAPES[1:]:
+            row = multinode_rows["scaling"][f"{network}_{nodes}x{per_node}"]
+            assert row["pred_us"] > flat["pred_us"], (network, nodes)
+            # Cross-node traffic exists on every multi-node shape.
+            assert row["comm_us_by_channel"].get("inter", 0.0) > 0.0
+
+
+def test_prediction_tracks_hierarchical_simulator(benchmark, multinode_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key, row in multinode_rows["scaling"].items():
+        assert abs(row["err"]) < _TOLERANCE, f"{key}: {row['err']:+.1%}"
+        # Predictor and simulator agree on the binding resource.
+        assert row["bottleneck"] == row["true_bottleneck"], key
+
+
+def test_capacity_finds_feasible_network_bound_plan(
+    benchmark, multinode_rows
+):
+    """The acceptance criterion: a feasible multi-node serving plan
+    whose reported bottleneck is the cross-node fabric, not compute."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plans = multinode_rows["capacity"]["plans"]
+    network_bound = [
+        p for p in plans if p["meets_slo"] and p["bottleneck"] == "inter"
+    ]
+    assert network_bound, "no feasible inter-bound plan found"
+    assert all(p["nodes"] == 2 for p in network_bound)

@@ -33,8 +33,10 @@ from repro.capacity.slo import (
 )
 from repro.models import MODE_INFERENCE
 from repro.models.dlrm import DlrmConfig, build_dlrm_graph
+from repro.multigpu.interconnect import NVLINK, InterconnectSpec
 from repro.multigpu.plan import build_multi_gpu_dlrm_plan
 from repro.multigpu.schedule import OVERLAP_POLICIES
+from repro.multigpu.topology import ETHERNET_100G, Topology
 from repro.sweep import SweepEngine
 
 #: Sharding-axis label for the default round-robin table assignment.
@@ -53,6 +55,11 @@ class CandidateFleet:
         gpus_per_replica: Devices per replica; ``1`` means single-GPU
             replicas, larger values shard the embedding tables across
             the replica's devices.
+        nodes: Nodes each replica spans.  ``1`` keeps the replica
+            inside one box (flat fabric); larger values split its
+            ``gpus_per_replica`` devices evenly across ``nodes`` nodes
+            connected by the cross-node network — the hierarchical
+            :class:`~repro.multigpu.topology.Topology` regime.
         max_replicas: Upper bound on the replica count the search will
             consider.
         cost_per_gpu_hour: Relative (or dollar) cost of one GPU-hour,
@@ -61,6 +68,7 @@ class CandidateFleet:
 
     gpu: str
     gpus_per_replica: int = 1
+    nodes: int = 1
     max_replicas: int = 64
     cost_per_gpu_hour: float = 1.0
 
@@ -68,6 +76,13 @@ class CandidateFleet:
         if self.gpus_per_replica < 1:
             raise ValueError(
                 f"gpus_per_replica must be >= 1, got {self.gpus_per_replica}"
+            )
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.gpus_per_replica % self.nodes != 0:
+            raise ValueError(
+                f"gpus_per_replica={self.gpus_per_replica} must divide "
+                f"evenly across nodes={self.nodes}"
             )
         if self.max_replicas < 1:
             raise ValueError(
@@ -80,9 +95,15 @@ class CandidateFleet:
             )
 
     @property
+    def gpus_per_node(self) -> int:
+        """GPUs on each of the replica's nodes."""
+        return self.gpus_per_replica // self.nodes
+
+    @property
     def label(self) -> str:
-        """Human-readable fleet shape, e.g. ``A100x2``."""
-        return f"{self.gpu}x{self.gpus_per_replica}"
+        """Human-readable fleet shape, e.g. ``A100x2`` or ``A100x8@2n``."""
+        base = f"{self.gpu}x{self.gpus_per_replica}"
+        return base if self.nodes == 1 else f"{base}@{self.nodes}n"
 
 
 @dataclass(frozen=True)
@@ -105,6 +126,10 @@ class CapacityPlan:
         utilization: Replica utilization at the target QPS.
         cost_per_hour: Fleet cost (replicas × GPUs × cost/GPU-hour).
         meets_slo: Whether the plan satisfies the serving target.
+        nodes: Nodes each replica spans (1 = flat single-node replica).
+        bottleneck: Busiest resource of the replica's serving plan —
+            ``"compute"``, ``"fabric"`` (flat interconnect), or the
+            ``"intra"``/``"inter"`` channel of a hierarchical topology.
     """
 
     fleet: str
@@ -120,6 +145,8 @@ class CapacityPlan:
     utilization: float
     cost_per_hour: float
     meets_slo: bool
+    nodes: int = 1
+    bottleneck: str = "compute"
 
     @property
     def latency_us(self) -> float:
@@ -137,8 +164,10 @@ class CapacityPlan:
             "fleet": self.fleet,
             "gpu": self.gpu,
             "gpus_per_replica": self.gpus_per_replica,
+            "nodes": self.nodes,
             "replicas": self.replicas,
             "total_gpus": self.total_gpus,
+            "bottleneck": self.bottleneck,
             "batch_size": self.batch_size,
             "sharding": self.sharding,
             "overlap": self.overlap,
@@ -207,6 +236,7 @@ class CapacityPlanner:
     def size_replicas(
         self, fleet: CandidateFleet, batch_size: int, service_us: float,
         sharding: str = ROUND_ROBIN, overlap: str = SINGLE_GPU_OVERLAP,
+        bottleneck: str = "compute",
     ) -> CapacityPlan:
         """Pick the cheapest feasible replica count for one service time.
 
@@ -236,6 +266,8 @@ class CapacityPlanner:
                 fleet=fleet.label,
                 gpu=fleet.gpu,
                 gpus_per_replica=fleet.gpus_per_replica,
+                nodes=fleet.nodes,
+                bottleneck=bottleneck,
                 replicas=replicas,
                 batch_size=batch_size,
                 sharding=sharding,
@@ -267,6 +299,9 @@ class CapacityPlanner:
         collective_model_for: Callable[[int], object] | None = None,
         shardings: Mapping[str, list[list[int]] | None] | None = None,
         overlap_policies: Sequence[str] = OVERLAP_POLICIES,
+        topology_model_for: Callable[[Topology], object] | None = None,
+        intra_fabric: InterconnectSpec = NVLINK,
+        inter_fabric: InterconnectSpec = ETHERNET_100G,
     ) -> list[CapacityPlan]:
         """Search the full serving grid for one DLRM configuration.
 
@@ -274,16 +309,24 @@ class CapacityPlanner:
             config: The DLRM to serve.
             batch_sizes: Per-replica batch sizes to consider.
             fleets: Fleet shapes; defaults to one single-GPU fleet per
-                engine registry.
+                engine registry.  Fleets with ``nodes > 1`` shard each
+                replica across nodes and price its collectives on the
+                hierarchical intra/inter fabrics.
             collective_model_for: Device count -> calibrated collective
                 model; required as soon as any fleet shards a replica
-                across multiple GPUs.
+                across multiple GPUs (within one node).
             shardings: Label -> table assignment for sharded replicas
                 (``None`` value = round-robin).  Feed the output of
                 :func:`repro.codesign.greedy_balance` here to put the
                 balanced sharding on the axis.
             overlap_policies: Overlap policies to evaluate for sharded
                 replicas (single-GPU replicas have nothing to hide).
+            topology_model_for: :class:`Topology` -> calibrated
+                :class:`~repro.multigpu.topology.TopologyCollectiveModel`;
+                required as soon as any fleet spans multiple nodes.
+            intra_fabric: Intra-node interconnect of multi-node
+                replicas.
+            inter_fabric: Cross-node network of multi-node replicas.
 
         Returns:
             All evaluated configurations, ranked by :func:`rank_plans`.
@@ -315,8 +358,13 @@ class CapacityPlanner:
             )
 
         plans: list[CapacityPlan] = []
-        single = [f for f in fleets if f.gpus_per_replica == 1]
-        sharded = [f for f in fleets if f.gpus_per_replica > 1]
+        single = [
+            f for f in fleets if f.gpus_per_replica == 1 and f.nodes == 1
+        ]
+        sharded = [
+            f for f in fleets if f.gpus_per_replica > 1 and f.nodes == 1
+        ]
+        multinode = [f for f in fleets if f.nodes > 1]
         if single:
             plans.extend(
                 self._plan_single_gpu(config, batch_sizes, single)
@@ -330,6 +378,17 @@ class CapacityPlanner:
                 self._plan_sharded(
                     config, batch_sizes, sharded, collective_model_for,
                     shardings, overlap_policies,
+                )
+            )
+        if multinode:
+            if topology_model_for is None:
+                raise ValueError(
+                    "multi-node replicas need topology_model_for"
+                )
+            plans.extend(
+                self._plan_multinode(
+                    config, batch_sizes, multinode, topology_model_for,
+                    shardings, overlap_policies, intra_fabric, inter_fabric,
                 )
             )
         return rank_plans(plans)
@@ -365,6 +424,70 @@ class CapacityPlanner:
                 )
         return plans
 
+    def _evaluate_shape(
+        self,
+        config: DlrmConfig,
+        batch_sizes: Sequence[int],
+        shape_fleets: Sequence[CandidateFleet],
+        devices: int,
+        collective_model_for: Callable[..., object],
+        shardings: Mapping[str, list[list[int]] | None],
+        policy: str,
+        topology: Topology | None = None,
+    ) -> list[CapacityPlan]:
+        """One (overlap policy, replica shape) sweep — flat or multi-node.
+
+        Builds the forward-only plans for every divisible batch ×
+        sharding, runs them through ``run_multi_gpu`` (on the topology
+        axis when ``topology`` is given), and sizes replica counts for
+        each fleet selling this shape.  Shared by :meth:`_plan_sharded`
+        and :meth:`_plan_multinode` so the plan-key format, the batch
+        divisibility filter and the record parsing cannot diverge.
+        """
+        mg_plans = {}
+        for batch in sorted(set(batch_sizes)):
+            if batch % devices != 0:
+                continue
+            for shard_label, assignment in shardings.items():
+                mg_plans[f"b{batch}|{shard_label}"] = (
+                    build_multi_gpu_dlrm_plan(
+                        config, batch, devices,
+                        table_assignment=assignment,
+                        overlap=policy,
+                        mode=MODE_INFERENCE,
+                    )
+                )
+        if not mg_plans:
+            return []
+        result = self.engine.run_multi_gpu(
+            mg_plans,
+            collective_model_for,
+            fleets={
+                label: label
+                for label in sorted({f.gpu for f in shape_fleets})
+            },
+            overlap_policies=(policy,),
+            topologies=(
+                None if topology is None else {topology.label: topology}
+            ),
+        )
+        plans = []
+        for record in result:
+            batch_str, shard_label = record.point.plan.split("|", 1)
+            batch = int(batch_str[1:])
+            for fleet in shape_fleets:
+                if fleet.gpu != record.point.fleet:
+                    continue
+                plans.append(
+                    self.size_replicas(
+                        fleet, batch,
+                        record.prediction.iteration_us,
+                        sharding=shard_label, overlap=policy,
+                        bottleneck=record.prediction.bottleneck,
+                    )
+                )
+        return plans
+
     def _plan_sharded(
         self,
         config: DlrmConfig,
@@ -389,42 +512,52 @@ class CapacityPlanner:
             by_shape.setdefault(fleet.gpus_per_replica, []).append(fleet)
         for policy in overlap_policies:
             for devices, shape_fleets in sorted(by_shape.items()):
-                mg_plans = {}
-                for batch in sorted(set(batch_sizes)):
-                    if batch % devices != 0:
-                        continue
-                    for shard_label, assignment in shardings.items():
-                        key = f"b{batch}|{shard_label}"
-                        mg_plans[key] = build_multi_gpu_dlrm_plan(
-                            config, batch, devices,
-                            table_assignment=assignment,
-                            overlap=policy,
-                            mode=MODE_INFERENCE,
-                        )
-                if not mg_plans:
-                    continue
-                result = self.engine.run_multi_gpu(
-                    mg_plans,
-                    collective_model_for,
-                    fleets={
-                        label: label
-                        for label in sorted({f.gpu for f in shape_fleets})
-                    },
-                    overlap_policies=(policy,),
+                plans.extend(
+                    self._evaluate_shape(
+                        config, batch_sizes, shape_fleets, devices,
+                        collective_model_for, shardings, policy,
+                    )
                 )
-                for record in result:
-                    batch_str, shard_label = record.point.plan.split("|", 1)
-                    batch = int(batch_str[1:])
-                    for fleet in shape_fleets:
-                        if fleet.gpu != record.point.fleet:
-                            continue
-                        plans.append(
-                            self.size_replicas(
-                                fleet, batch,
-                                record.prediction.iteration_us,
-                                sharding=shard_label, overlap=policy,
-                            )
-                        )
+        return plans
+
+    def _plan_multinode(
+        self,
+        config: DlrmConfig,
+        batch_sizes: Sequence[int],
+        fleets: Sequence[CandidateFleet],
+        topology_model_for: Callable[[Topology], object],
+        shardings: Mapping[str, list[list[int]] | None],
+        overlap_policies: Sequence[str],
+        intra_fabric: InterconnectSpec,
+        inter_fabric: InterconnectSpec,
+    ) -> list[CapacityPlan]:
+        """Evaluate replicas sharded across nodes via the topology axis.
+
+        The multi-node counterpart of :meth:`_plan_sharded`: each fleet
+        shape becomes a hierarchical :class:`Topology`
+        (``nodes × gpus_per_node`` over the given fabrics) and the
+        sweep prices every collective's intra/inter stages separately —
+        the plan records which fabric (or compute) bottlenecks the
+        replica.
+        """
+        plans = []
+        by_shape: dict[tuple[int, int], list[CandidateFleet]] = {}
+        for fleet in fleets:
+            key = (fleet.nodes, fleet.gpus_per_node)
+            by_shape.setdefault(key, []).append(fleet)
+        for policy in overlap_policies:
+            for (nodes, per_node), shape_fleets in sorted(by_shape.items()):
+                topology = Topology(
+                    num_nodes=nodes, gpus_per_node=per_node,
+                    intra=intra_fabric, inter=inter_fabric,
+                )
+                plans.extend(
+                    self._evaluate_shape(
+                        config, batch_sizes, shape_fleets, nodes * per_node,
+                        topology_model_for, shardings, policy,
+                        topology=topology,
+                    )
+                )
         return plans
 
 

@@ -163,11 +163,15 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
     from repro.hardware import DEFAULT_CPU
     from repro.models.dlrm import DLRM_CONFIGS
     from repro.multigpu import (
+        NETWORK_FABRICS,
         NVLINK,
         PCIE_FABRIC,
         CollectiveModel,
         GroundTruthCollectives,
+        GroundTruthTopologyCollectives,
         MultiGpuSimulator,
+        Topology,
+        TopologyCollectiveModel,
         build_multi_gpu_dlrm_plan,
         predict_multi_gpu,
     )
@@ -180,6 +184,13 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
     config = DLRM_CONFIGS[args.model]
     if args.devices < 1:
         print(f"--devices must be >= 1, got {args.devices}", file=sys.stderr)
+        return 2
+    if args.nodes < 1:
+        print(f"--nodes must be >= 1, got {args.nodes}", file=sys.stderr)
+        return 2
+    if args.devices % args.nodes != 0:
+        print(f"--devices {args.devices} not divisible across {args.nodes} "
+              f"nodes", file=sys.stderr)
         return 2
     fleet_names = (
         [g.strip() for g in args.fleet.split(",") if g.strip()]
@@ -219,9 +230,25 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
     overheads = _make_overheads(profiling_device, graph, args.batch)
 
     fabric = NVLINK if args.fabric == "NVLink" else PCIE_FABRIC
-    model = CollectiveModel.calibrate(
-        GroundTruthCollectives(fabric), args.devices
-    )
+    if args.nodes > 1:
+        topology = Topology(
+            num_nodes=args.nodes,
+            gpus_per_node=args.devices // args.nodes,
+            intra=fabric,
+            inter=NETWORK_FABRICS[args.network],
+        )
+        model = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topology)
+        )
+        sim_fabric: object = topology
+        where = topology.label
+    else:
+        topology = None
+        model = CollectiveModel.calibrate(
+            GroundTruthCollectives(fabric), args.devices
+        )
+        sim_fabric = fabric
+        where = fabric.name
     policies = ("none", "full") if args.overlap == "both" else (args.overlap,)
     plans = {
         policy: build_multi_gpu_dlrm_plan(
@@ -232,26 +259,36 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
 
     fleet_label = ",".join(fleet_names)
     print(f"{args.model} @ batch {args.batch} on {args.devices}x "
-          f"[{fleet_label}] over {fabric.name}:")
+          f"[{fleet_label}] over {where}:")
     print(f"  {'overlap':8s} {'ms/iter':>9s} {'compute':>9s} "
-          f"{'comm':>9s} {'hidden':>9s} {'comm%':>7s}")
+          f"{'comm':>9s} {'hidden':>9s} {'comm%':>7s} {'bottleneck':>11s}")
+    preds = {}
     for policy in policies:
         pred = predict_multi_gpu(
             plans[policy], per_device_registries, overheads, model
         )
+        preds[policy] = pred
         line = (f"  {policy:8s} {pred.iteration_us / 1e3:9.3f} "
                 f"{pred.compute_us / 1e3:9.3f} "
                 f"{pred.communication_us / 1e3:9.3f} "
                 f"{pred.hidden_comm_us / 1e3:9.3f} "
-                f"{pred.communication_fraction:7.1%}")
+                f"{pred.communication_fraction:7.1%} "
+                f"{pred.bottleneck:>11s}")
         if args.compare:
             sim = MultiGpuSimulator(
-                fleet_specs, fabric, DEFAULT_CPU, seed=args.seed
+                fleet_specs, sim_fabric, DEFAULT_CPU, seed=args.seed
             )
             truth = sim.run(plans[policy], iterations=3)
             err = (pred.iteration_us - truth.iteration_us) / truth.iteration_us
             line += f"   simulated {truth.iteration_us / 1e3:9.3f} ({err:+.1%})"
         print(line)
+    if topology is not None:
+        for policy in policies:
+            channels = ", ".join(
+                f"{name} {busy / 1e3:.3f} ms"
+                for name, busy in sorted(preds[policy].comm_us_by_channel.items())
+            )
+            print(f"  [{policy}] fabric busy: {channels}")
     return 0
 
 
@@ -267,10 +304,13 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     from repro.models import MODE_INFERENCE
     from repro.models.dlrm import DLRM_CONFIGS
     from repro.multigpu import (
+        NETWORK_FABRICS,
         NVLINK,
         PCIE_FABRIC,
         CollectiveModel,
         GroundTruthCollectives,
+        GroundTruthTopologyCollectives,
+        TopologyCollectiveModel,
     )
 
     if args.model not in DLRM_CONFIGS:
@@ -287,14 +327,26 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     shapes = _parse_positive_ints(args.replica_gpus, "--replica-gpus", "1,2")
     if shapes is None:
         return 2
+    node_counts = _parse_positive_ints(
+        args.replica_nodes, "--replica-nodes", "1,2"
+    )
+    if node_counts is None:
+        return 2
     try:
         target = ServingTarget.from_ms(args.qps, args.slo_ms, args.percentile)
         fleets = [
-            CandidateFleet(args.gpu, gpus_per_replica=shape,
+            CandidateFleet(args.gpu, gpus_per_replica=shape, nodes=nodes,
                            max_replicas=args.max_replicas,
                            cost_per_gpu_hour=args.gpu_cost)
             for shape in shapes
+            for nodes in node_counts
+            if shape % nodes == 0
         ]
+        if not fleets:
+            raise ValueError(
+                f"no --replica-gpus value in {shapes} divides across any "
+                f"--replica-nodes value in {node_counts}"
+            )
     except ValueError as err:
         print(f"bad serving target or fleet: {err}", file=sys.stderr)
         return 2
@@ -315,6 +367,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     )
     planner = CapacityPlanner(engine, target)
     fabric = NVLINK if args.fabric == "NVLink" else PCIE_FABRIC
+    network = NETWORK_FABRICS[args.network]
     plans = planner.plan_dlrm(
         DLRM_CONFIGS[args.model],
         batches,
@@ -322,23 +375,29 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         collective_model_for=lambda n: CollectiveModel.calibrate(
             GroundTruthCollectives(fabric), n
         ),
+        topology_model_for=lambda topo: TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topo)
+        ),
+        intra_fabric=fabric,
+        inter_fabric=network,
     )
 
     print(f"{args.model} serving plans for {args.qps:,.0f} QPS at "
           f"p{args.percentile:g} <= {args.slo_ms:g} ms ({len(plans)} "
           f"configurations):")
-    print(f"  {'fleet':10s} {'reps':>5s} {'batch':>6s} {'overlap':8s} "
+    print(f"  {'fleet':12s} {'reps':>5s} {'batch':>6s} {'overlap':8s} "
           f"{'svc ms':>8s} {'p-lat ms':>9s} {'util':>6s} {'cost/h':>8s} "
-          f"{'SLO':>4s}")
+          f"{'SLO':>4s} {'bound by':>9s}")
     for plan in plans[:args.top]:
         lat = (
             "inf" if math.isinf(plan.latency_us)
             else f"{plan.latency_us / 1e3:9.3f}"
         )
-        print(f"  {plan.fleet:10s} {plan.replicas:5d} {plan.batch_size:6d} "
+        print(f"  {plan.fleet:12s} {plan.replicas:5d} {plan.batch_size:6d} "
               f"{plan.overlap:8s} {plan.service_us / 1e3:8.3f} {lat:>9s} "
               f"{plan.utilization:6.2f} {plan.cost_per_hour:8.1f} "
-              f"{'yes' if plan.meets_slo else 'no':>4s}")
+              f"{'yes' if plan.meets_slo else 'no':>4s} "
+              f"{plan.bottleneck:>9s}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(plans_to_json(plans))
@@ -439,7 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p, need_model=True)
     p.add_argument("--devices", type=int, default=4, help="fleet size")
     p.add_argument("--fabric", default="NVLink", choices=("NVLink", "PCIe"),
-                   help="inter-GPU interconnect")
+                   help="intra-node inter-GPU interconnect")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="nodes the fleet spans (hierarchical topology "
+                        "when > 1; --devices must divide evenly)")
+    p.add_argument("--network", default="100GbE",
+                   choices=("100GbE", "IB-HDR"),
+                   help="cross-node network fabric (used when --nodes > 1)")
     p.add_argument("--overlap", default="both",
                    choices=("none", "full", "both"),
                    help="overlap policy to evaluate")
@@ -467,12 +532,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated per-replica batch sizes")
     p.add_argument("--replica-gpus", default="1",
                    help="comma-separated GPUs-per-replica shapes, e.g. 1,2")
+    p.add_argument("--replica-nodes", default="1",
+                   help="comma-separated nodes-per-replica shapes, e.g. "
+                        "1,2 (multi-node replicas use the hierarchical "
+                        "topology; GPUs must divide across nodes)")
     p.add_argument("--max-replicas", type=int, default=512,
                    help="replica-count search ceiling")
     p.add_argument("--gpu-cost", type=float, default=1.0,
                    help="relative cost of one GPU-hour")
     p.add_argument("--fabric", default="NVLink", choices=("NVLink", "PCIe"),
-                   help="intra-replica interconnect (sharded replicas)")
+                   help="intra-node interconnect (sharded replicas)")
+    p.add_argument("--network", default="100GbE",
+                   choices=("100GbE", "IB-HDR"),
+                   help="cross-node network (multi-node replicas)")
     p.add_argument("--top", type=int, default=10, help="plans to list")
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--out", help="write ranked plans as JSON")

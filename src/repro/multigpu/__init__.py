@@ -1,4 +1,10 @@
-"""Multi-GPU extension: collectives, hybrid-parallel plans, prediction."""
+"""Multi-GPU extension: collectives, plans, hierarchical topologies.
+
+Flat fleets share one interconnect; hierarchical
+:class:`~repro.multigpu.topology.Topology` fleets compose an intra-node
+fabric (NVLink/PCIe) with a cross-node network (Ethernet/InfiniBand) —
+see ``docs/TOPOLOGIES.md`` for the cost model.
+"""
 
 from repro.multigpu.interconnect import (
     ALL2ALL,
@@ -10,8 +16,21 @@ from repro.multigpu.interconnect import (
     GroundTruthCollectives,
     InterconnectSpec,
     all2all_wire_bytes,
+    all_gather_wire_bytes,
     allreduce_wire_bytes,
     collective_wire_bytes,
+    reduce_scatter_wire_bytes,
+)
+from repro.multigpu.topology import (
+    CHANNEL_INTER,
+    CHANNEL_INTRA,
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    NETWORK_FABRICS,
+    GroundTruthTopologyCollectives,
+    Topology,
+    TopologyCollectiveModel,
+    hierarchical_stages,
 )
 from repro.multigpu.plan import (
     CollectivePhase,
@@ -36,27 +55,38 @@ from repro.multigpu.simulate import MultiGpuResult, MultiGpuSimulator
 __all__ = [
     "ALL2ALL",
     "ALLREDUCE",
+    "CHANNEL_INTER",
+    "CHANNEL_INTRA",
     "COLLECTIVE_KINDS",
     "CollectiveModel",
     "CollectivePhase",
+    "ETHERNET_100G",
     "GroundTruthCollectives",
+    "GroundTruthTopologyCollectives",
+    "INFINIBAND_HDR",
     "InterconnectSpec",
     "IterationSchedule",
     "MultiGpuPlan",
     "MultiGpuPrediction",
     "MultiGpuResult",
     "MultiGpuSimulator",
+    "NETWORK_FABRICS",
     "NVLINK",
     "OVERLAP_FULL",
     "OVERLAP_NONE",
     "OVERLAP_POLICIES",
     "PCIE_FABRIC",
+    "Topology",
+    "TopologyCollectiveModel",
     "all2all_wire_bytes",
+    "all_gather_wire_bytes",
     "allreduce_wire_bytes",
     "build_multi_gpu_dlrm_plan",
     "collective_wire_bytes",
     "dense_parameter_bytes",
+    "hierarchical_stages",
     "predict_multi_gpu",
+    "reduce_scatter_wire_bytes",
     "scaling_curve",
     "schedule_iteration",
 ]

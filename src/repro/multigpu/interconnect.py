@@ -80,6 +80,29 @@ def allreduce_wire_bytes(bytes_per_device: float, num_devices: int) -> float:
     return 2.0 * bytes_per_device * (num_devices - 1) / num_devices
 
 
+def reduce_scatter_wire_bytes(bytes_per_device: float, num_devices: int) -> float:
+    """Bytes each device sends in a ring reduce-scatter: ``(n-1)/n``.
+
+    One half of the classic ring all-reduce — the hierarchical topology
+    model runs this half on the intra-node fabric before handing the
+    reduced shard to the cross-node network.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    return bytes_per_device * (num_devices - 1) / num_devices
+
+
+def all_gather_wire_bytes(bytes_per_device: float, num_devices: int) -> float:
+    """Bytes each device receives in a ring all-gather: ``(n-1)/n``.
+
+    The other half of the ring all-reduce; the hierarchical model runs
+    it on the intra-node fabric after the cross-node exchange.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    return bytes_per_device * (num_devices - 1) / num_devices
+
+
 class GroundTruthCollectives:
     """Hidden true collective latencies (the simulator's fabric)."""
 
@@ -112,7 +135,22 @@ class GroundTruthCollectives:
     ) -> float:
         """True duration of one collective, in µs."""
         wire = collective_wire_bytes(kind, bytes_per_device, num_devices)
-        t = self._time(wire, num_devices)
+        return self.wire_duration_us(wire, num_devices, rng)
+
+    def wire_duration_us(
+        self,
+        wire_bytes: float,
+        num_participants: int,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """True duration of moving ``wire_bytes`` per participant, in µs.
+
+        The generic entry point the hierarchical topology model uses for
+        phase-decomposed collectives (reduce-scatter / exchange /
+        all-gather stages), sharing the exact latency-bandwidth-ramp
+        model ``duration_us`` applies to whole collectives.
+        """
+        t = self._time(wire_bytes, num_participants)
         if rng is not None and self.noise_sigma > 0:
             t *= float(rng.lognormal(0.0, self.noise_sigma))
         return t
@@ -161,4 +199,13 @@ class CollectiveModel:
     ) -> float:
         """Predicted collective duration in µs."""
         wire = collective_wire_bytes(kind, bytes_per_device, num_devices)
-        return self.base_latency_us + wire / (self.measured_bw_gbs * 1e3)
+        return self.predict_wire_us(wire)
+
+    def predict_wire_us(self, wire_bytes: float) -> float:
+        """Predicted duration of moving ``wire_bytes`` per participant.
+
+        Generic latency + bytes/bandwidth form shared with
+        :meth:`predict_us`; the hierarchical topology model calls it for
+        each decomposed collective stage.
+        """
+        return self.base_latency_us + wire_bytes / (self.measured_bw_gbs * 1e3)

@@ -17,15 +17,46 @@ optionally, per-device overhead databases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.e2e import collect_plan, plan_kernels, predict_e2e
 from repro.multigpu.interconnect import CollectiveModel
 from repro.multigpu.plan import MultiGpuPlan
 from repro.multigpu.schedule import OVERLAP_NONE, per_device, schedule_iteration
+from repro.multigpu.topology import Topology, TopologyCollectiveModel
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
+
+
+def resource_bottleneck(
+    per_device_phase_us: Sequence[Sequence[float]],
+    channel_busy_us: Mapping[str, float] | None,
+    total_comm_us: float,
+) -> str:
+    """Name the busiest resource: ``"compute"`` or a comm channel.
+
+    Compute busy time is the busiest single device (sum of its phase
+    durations); each channel's busy time is its stage-duration sum.
+    Shared by prediction and simulation so both report the same
+    bottleneck semantics; ties go to compute (buying more network
+    cannot help a fleet that computes just as long).
+    """
+    num_devices = len(per_device_phase_us[0]) if per_device_phase_us else 0
+    compute = max(
+        (
+            sum(phase[d] for phase in per_device_phase_us)
+            for d in range(num_devices)
+        ),
+        default=0.0,
+    )
+    channels = (
+        dict(channel_busy_us)
+        if channel_busy_us
+        else {"fabric": total_comm_us}
+    )
+    name, busy = max(channels.items(), key=lambda kv: kv[1])
+    return name if busy > compute else "compute"
 
 
 @dataclass(frozen=True)
@@ -35,7 +66,9 @@ class MultiGpuPrediction:
     ``phase_us`` holds the raw per-phase compute gates (``max`` over
     devices); under overlap these are resource-busy times, not
     wall-clock gaps, and ``iteration_us`` comes from the event-driven
-    schedule instead of their sum.
+    schedule instead of their sum.  ``comm_us_by_channel`` splits the
+    interconnect-busy total per fabric (one ``"fabric"`` entry for flat
+    fleets, ``"intra"``/``"inter"`` for hierarchical topologies).
     """
 
     iteration_us: float
@@ -44,6 +77,16 @@ class MultiGpuPrediction:
     per_device_phase_us: tuple[tuple[float, ...], ...]
     overlap: str = OVERLAP_NONE
     exposed_comm_us: float | None = None
+    comm_us_by_channel: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> str:
+        """Busiest resource: ``"compute"``, ``"fabric"``, or a channel."""
+        return resource_bottleneck(
+            self.per_device_phase_us,
+            self.comm_us_by_channel,
+            self.communication_us,
+        )
 
     @property
     def compute_us(self) -> float:
@@ -90,8 +133,9 @@ def predict_multi_gpu(
     plan: MultiGpuPlan,
     registry: PerfModelRegistry | Sequence[PerfModelRegistry],
     overheads: OverheadDatabase | Sequence[OverheadDatabase],
-    collective_model: CollectiveModel,
+    collective_model: CollectiveModel | TopologyCollectiveModel,
     overlap: str | None = None,
+    topology: Topology | None = None,
 ) -> MultiGpuPrediction:
     """Predict one hybrid-parallel iteration's time.
 
@@ -102,11 +146,40 @@ def predict_multi_gpu(
             registry trained on that device's testbed.
         overheads: Host-overhead database (reused as-is) — single or
             per-device like ``registry``.
-        collective_model: Calibrated communication model.
+        collective_model: Calibrated communication model — the flat
+            :class:`CollectiveModel` or a hierarchical
+            :class:`~repro.multigpu.topology.TopologyCollectiveModel`
+            (which carries its own :class:`Topology`).
         overlap: Override of the plan's overlap policy (``None`` keeps
             ``plan.overlap``).
+        topology: The fleet's hierarchical shape.  Defaults to the
+            collective model's own topology when it has one; when both
+            are given they must be equal (the model's calibration is
+            what prices the stages), and either way the shape must
+            match the plan's device count.  A single-node topology
+            reproduces the flat prediction bit-identically.
     """
     policy = plan.overlap if overlap is None else overlap
+    model_topology = getattr(collective_model, "topology", None)
+    if topology is None:
+        topology = model_topology
+    elif model_topology is not None and topology != model_topology:
+        # Stage prices come from the model's calibration; a different
+        # explicit topology would be silently mislabeled numbers.
+        raise ValueError(
+            f"topology {topology.label!r} does not match the collective "
+            f"model's calibrated topology {model_topology.label!r}"
+        )
+    if topology is not None and topology.num_devices != plan.num_devices:
+        raise ValueError(
+            f"topology {topology.label!r} has {topology.num_devices} devices "
+            f"but the plan has {plan.num_devices}"
+        )
+    if topology is not None and not hasattr(collective_model, "predict_stages"):
+        raise ValueError(
+            "a hierarchical topology needs a TopologyCollectiveModel "
+            "(the flat CollectiveModel cannot split intra/inter stages)"
+        )
     registries = per_device(registry, plan.num_devices, "registries")
     overhead_dbs = per_device(overheads, plan.num_devices, "overhead dbs")
 
@@ -122,16 +195,29 @@ def predict_multi_gpu(
         per_device_times.append(device_times)
         phase_times.append(max(device_times))
 
-    collective_times = tuple(
-        collective_model.predict_us(c.kind, c.bytes_per_device, plan.num_devices)
-        for c in plan.collectives
-    )
+    if topology is not None:
+        staged = [
+            collective_model.predict_stages(c.kind, c.bytes_per_device)
+            for c in plan.collectives
+        ]
+        collective_times = tuple(
+            sum(us for _, us in stages) for stages in staged
+        )
+        durations: list = list(staged)
+    else:
+        collective_times = tuple(
+            collective_model.predict_us(
+                c.kind, c.bytes_per_device, plan.num_devices
+            )
+            for c in plan.collectives
+        )
+        durations = list(collective_times)
     schedule = schedule_iteration(
         per_device_times,
         [
             (produced_by, consumed_by, duration)
             for (produced_by, consumed_by, _), duration in zip(
-                plan.resolved_collectives(), collective_times
+                plan.resolved_collectives(), durations
             )
         ],
         overlap=policy,
@@ -143,6 +229,7 @@ def predict_multi_gpu(
         per_device_phase_us=tuple(per_device_times),
         overlap=policy,
         exposed_comm_us=schedule.exposed_comm_us,
+        comm_us_by_channel=dict(schedule.channel_busy_us),
     )
 
 

@@ -25,12 +25,21 @@ Two policies exist:
   (collectives serialize on the fabric), and only its *consumer* phase
   waits for it.  Compute phases between producer and consumer overlap
   the collective.
+
+Hierarchical topologies add *channels*: a collective's duration may be
+a sequence of ``(channel, µs)`` stages instead of one float.  Stages
+run serially within the collective, but each channel (the intra-node
+fabric, the cross-node network) is its own resource with its own
+clock — under ``"full"`` one collective's NVLink stage can overlap
+another collective's network stage.  A plain float is shorthand for a
+single stage on the default channel, which keeps the flat engine's
+numbers bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 #: Overlap policy: the paper's synchronous barrier model.
 OVERLAP_NONE = "none"
@@ -39,8 +48,24 @@ OVERLAP_FULL = "full"
 #: Recognised overlap policies.
 OVERLAP_POLICIES = (OVERLAP_NONE, OVERLAP_FULL)
 
-#: One resolved collective: (produced_by, consumed_by, duration_us).
-CollectiveEdge = tuple[int, int, float]
+#: Channel a bare-float collective duration is booked on.
+DEFAULT_CHANNEL = "fabric"
+
+#: Serial stages of one collective: ((channel, duration_us), ...).
+CollectiveStages = tuple[tuple[str, float], ...]
+#: One resolved collective: (produced_by, consumed_by, duration).  The
+#: duration is a float (one stage on :data:`DEFAULT_CHANNEL`) or a
+#: sequence of per-channel stages.
+CollectiveEdge = tuple[int, int, "float | Sequence[tuple[str, float]]"]
+
+
+def collective_stages(
+    duration: "float | Sequence[tuple[str, float]]",
+) -> CollectiveStages:
+    """Normalize a collective duration to its per-channel stage tuple."""
+    if isinstance(duration, (int, float)):
+        return ((DEFAULT_CHANNEL, float(duration)),)
+    return tuple((str(ch), float(us)) for ch, us in duration)
 
 
 def _check_policy(overlap: str) -> None:
@@ -82,6 +107,9 @@ class IterationSchedule:
             ``iteration_us - compute_only_us``.  Equals the full
             collective total under ``"none"``; can reach zero when
             overlap hides all communication.
+        channel_busy_us: Per-channel busy time (stage-duration sums) —
+            ``{"fabric": total}`` for flat fleets, intra/inter split
+            for hierarchical topologies.
     """
 
     iteration_us: float
@@ -92,10 +120,18 @@ class IterationSchedule:
     collective_end_us: tuple[float, ...]
     compute_only_us: float
     exposed_comm_us: float
+    channel_busy_us: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def total_comm_us(self) -> float:
-        """Total interconnect-busy time (hidden or not)."""
+        """Total interconnect-busy time (hidden or not), all channels.
+
+        Stage-duration sums, not span sums — a hierarchical collective
+        whose network stage queued behind another collective is *busy*
+        only for its stage durations, not the wait in between.
+        """
+        if self.channel_busy_us:
+            return sum(self.channel_busy_us.values())
         return sum(
             end - start
             for start, end in zip(self.collective_start_us, self.collective_end_us)
@@ -109,14 +145,19 @@ class IterationSchedule:
 
 def _schedule_sync(
     compute_us: Sequence[Sequence[float]],
-    collectives: Sequence[CollectiveEdge],
+    collectives: Sequence[tuple[int, int, CollectiveStages]],
 ) -> tuple[float, list[list[float]], list[list[float]], list[float], list[float]]:
     """Barrier schedule; iteration time uses the legacy expression."""
     # Collectives run between phases in producer order, as the
-    # synchronous engine always did; edges only pick the slot.
+    # synchronous engine always did; edges only pick the slot.  Under
+    # barriers nothing else contends for either fabric, so a
+    # multi-stage collective runs its stages back to back.
     by_producer: dict[int, list[int]] = {}
     for c, (produced_by, _, _) in enumerate(collectives):
         by_producer.setdefault(produced_by, []).append(c)
+    totals = [
+        sum(us for _, us in stages) for _, _, stages in collectives
+    ]
 
     starts: list[list[float]] = []
     ends: list[list[float]] = []
@@ -129,21 +170,20 @@ def _schedule_sync(
         clock += max(durations)
         for c in by_producer.get(p, ()):
             coll_start[c] = clock
-            clock += collectives[c][2]
+            clock += totals[c]
             coll_end[c] = clock
     # Bit-identical to the pre-overlap engine: sum of per-phase maxima
-    # plus the sum of collective durations, in that association order.
-    iteration = sum(max(durations) for durations in compute_us) + sum(
-        duration for _, _, duration in collectives
-    )
+    # plus the sum of collective durations, in that association order
+    # (a single-stage total IS the original duration float).
+    iteration = sum(max(durations) for durations in compute_us) + sum(totals)
     return iteration, starts, ends, coll_start, coll_end
 
 
 def _schedule_overlap(
     compute_us: Sequence[Sequence[float]],
-    collectives: Sequence[CollectiveEdge],
+    collectives: Sequence[tuple[int, int, CollectiveStages]],
 ) -> tuple[float, list[list[float]], list[list[float]], list[float], list[float]]:
-    """Event-driven schedule with per-device timelines and one fabric."""
+    """Event-driven schedule: per-device timelines, per-channel fabrics."""
     num_phases = len(compute_us)
     num_devices = len(compute_us[0]) if num_phases else 0
 
@@ -154,7 +194,7 @@ def _schedule_overlap(
         by_consumer.setdefault(consumed_by, []).append(c)
 
     device_free = [0.0] * num_devices
-    fabric_free = 0.0
+    channel_free: dict[str, float] = {}
     starts: list[list[float]] = []
     ends: list[list[float]] = []
     coll_start = [0.0] * len(collectives)
@@ -170,12 +210,21 @@ def _schedule_overlap(
         starts.append(phase_starts)
         ends.append(phase_ends)
         # A collective needs every device's shard: it becomes ready at
-        # the slowest producer and then queues FIFO on the fabric.
+        # the slowest producer.  Its stages then run serially, each
+        # queueing FIFO on its own channel's clock — intra-node stages
+        # contend only with intra-node traffic, cross-node stages only
+        # with cross-node traffic.
         for c in by_producer.get(p, ()):
-            ready = max(phase_ends)
-            coll_start[c] = max(ready, fabric_free)
-            coll_end[c] = coll_start[c] + collectives[c][2]
-            fabric_free = coll_end[c]
+            clock = max(phase_ends)
+            first_start = None
+            for channel, duration in collectives[c][2]:
+                stage_start = max(clock, channel_free.get(channel, 0.0))
+                if first_start is None:
+                    first_start = stage_start
+                clock = stage_start + duration
+                channel_free[channel] = clock
+            coll_start[c] = clock if first_start is None else first_start
+            coll_end[c] = clock
 
     iteration = max(
         max((max(e) for e in ends), default=0.0),
@@ -199,6 +248,8 @@ def schedule_iteration(
             ``consumed_by`` must satisfy
             ``produced_by < consumed_by <= len(compute_us)`` (a
             consumer equal to the phase count means "iteration end").
+            Each duration is one float (a flat fabric) or a sequence of
+            ``(channel, µs)`` stages (a hierarchical topology).
         overlap: ``"none"`` (synchronous barriers, bit-identical to the
             paper's model) or ``"full"`` (event-driven overlap).
 
@@ -217,6 +268,7 @@ def schedule_iteration(
                 raise ValueError(
                     f"phase {p} lists {len(durations)} devices, expected {width}"
                 )
+    staged: list[tuple[int, int, CollectiveStages]] = []
     for c, (produced_by, consumed_by, duration) in enumerate(collectives):
         if not 0 <= produced_by < max(num_phases, 1):
             raise ValueError(
@@ -228,13 +280,26 @@ def schedule_iteration(
                 f"collective {c}: consumed_by={consumed_by} must satisfy "
                 f"{produced_by} < consumed_by <= {num_phases}"
             )
-        if duration < 0:
-            raise ValueError(f"collective {c}: negative duration {duration}")
+        stages = collective_stages(duration)
+        for channel, stage_us in stages:
+            if stage_us < 0:
+                raise ValueError(
+                    f"collective {c}: negative duration {stage_us} on "
+                    f"channel {channel!r}"
+                )
+        staged.append((produced_by, consumed_by, stages))
 
     run = _schedule_sync if overlap == OVERLAP_NONE else _schedule_overlap
-    iteration, starts, ends, coll_start, coll_end = run(compute_us, collectives)
-    zeroed = [(p, q, 0.0) for p, q, _ in collectives]
+    iteration, starts, ends, coll_start, coll_end = run(compute_us, staged)
+    zeroed = [
+        (p, q, tuple((channel, 0.0) for channel, _ in stages))
+        for p, q, stages in staged
+    ]
     compute_only = run(compute_us, zeroed)[0]
+    channel_busy: dict[str, float] = {}
+    for _, _, stages in staged:
+        for channel, stage_us in stages:
+            channel_busy[channel] = channel_busy.get(channel, 0.0) + stage_us
     return IterationSchedule(
         iteration_us=iteration,
         overlap=overlap,
@@ -244,4 +309,5 @@ def schedule_iteration(
         collective_end_us=tuple(coll_end),
         compute_only_us=compute_only,
         exposed_comm_us=max(iteration - compute_only, 0.0),
+        channel_busy_us=channel_busy,
     )

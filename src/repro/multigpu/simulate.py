@@ -19,7 +19,7 @@ skew as well as sharding skew.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -27,7 +27,9 @@ import numpy as np
 from repro.hardware import DEFAULT_CPU, CpuSpec, GpuSpec
 from repro.multigpu.interconnect import GroundTruthCollectives, InterconnectSpec
 from repro.multigpu.plan import MultiGpuPlan
+from repro.multigpu.predict import resource_bottleneck
 from repro.multigpu.schedule import OVERLAP_NONE, per_device, schedule_iteration
+from repro.multigpu.topology import GroundTruthTopologyCollectives, Topology
 from repro.simulator import SimulatedDevice
 
 
@@ -38,7 +40,9 @@ class MultiGpuResult:
     ``phase_us`` holds the raw per-phase compute gates
     (``max`` over devices); under overlap these are resource-busy
     times, not wall-clock gaps, and ``iteration_us`` comes from the
-    event-driven schedule instead of their sum.
+    event-driven schedule instead of their sum.  ``comm_us_by_channel``
+    splits the interconnect-busy total per fabric (``"fabric"`` for
+    flat fleets, ``"intra"``/``"inter"`` for hierarchical topologies).
     """
 
     iteration_us: float
@@ -47,6 +51,16 @@ class MultiGpuResult:
     per_device_phase_us: list[list[float]]  # [phase][device]
     overlap: str = OVERLAP_NONE
     exposed_comm_us: float | None = None
+    comm_us_by_channel: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> str:
+        """Busiest resource: ``"compute"``, ``"fabric"``, or a channel."""
+        return resource_bottleneck(
+            self.per_device_phase_us,
+            self.comm_us_by_channel,
+            self.communication_us,
+        )
 
     @property
     def compute_us(self) -> float:
@@ -111,7 +125,10 @@ class MultiGpuSimulator:
         gpu: One :class:`GpuSpec` for a homogeneous fleet, or a
             per-device sequence (length = plan's ``num_devices``) for a
             heterogeneous one.
-        fabric: The interconnect between the devices.
+        fabric: The interconnect between the devices — a flat
+            :class:`InterconnectSpec`, or a :class:`Topology` for a
+            hierarchical (multi-node) fleet.  A single-node topology
+            reproduces the flat simulation bit-identically.
         cpu: Host spec — single or per-device, like ``gpu``.
         seed: Base seed; device ``d`` derives ``seed + 17 * d``.
     """
@@ -119,7 +136,7 @@ class MultiGpuSimulator:
     def __init__(
         self,
         gpu: GpuSpec | Sequence[GpuSpec],
-        fabric: InterconnectSpec,
+        fabric: InterconnectSpec | Topology,
         cpu: CpuSpec | Sequence[CpuSpec] = DEFAULT_CPU,
         seed: int = 0,
     ) -> None:
@@ -127,7 +144,12 @@ class MultiGpuSimulator:
         self.fabric = fabric
         self.cpu = cpu
         self.seed = seed
-        self.collectives = GroundTruthCollectives(fabric)
+        if isinstance(fabric, Topology):
+            self.topology: Topology | None = fabric
+            self.collectives = GroundTruthTopologyCollectives(fabric)
+        else:
+            self.topology = None
+            self.collectives = GroundTruthCollectives(fabric)
 
     def run(
         self,
@@ -145,6 +167,15 @@ class MultiGpuSimulator:
                 plan with and without overlap.
         """
         policy = plan.overlap if overlap is None else overlap
+        if (
+            self.topology is not None
+            and self.topology.num_devices != plan.num_devices
+        ):
+            raise ValueError(
+                f"topology {self.topology.label!r} has "
+                f"{self.topology.num_devices} devices but the plan has "
+                f"{plan.num_devices}"
+            )
         gpus = per_device(self.gpu, plan.num_devices, "gpu specs")
         cpus = per_device(self.cpu, plan.num_devices, "cpu specs")
         devices = [
@@ -163,26 +194,48 @@ class MultiGpuSimulator:
             per_device_phase.append(device_times)
             phase_times.append(max(device_times))
 
-        collective_times = [
-            float(
-                np.mean(
-                    [
-                        self.collectives.duration_us(
-                            c.kind, c.bytes_per_device, plan.num_devices, rng
-                        )
-                        for _ in range(iterations)
-                    ]
+        if self.topology is not None:
+            # Hierarchical fleet: measure each decomposed stage on its
+            # own fabric.  A single-node topology produces one stage per
+            # collective whose rng draws equal the flat path's, so the
+            # means — and the schedule — are bit-identical to it.
+            durations: list = []
+            collective_times = []
+            for c in plan.collectives:
+                draws = [
+                    self.collectives.stage_durations(
+                        c.kind, c.bytes_per_device, rng
+                    )
+                    for _ in range(iterations)
+                ]
+                stages = tuple(
+                    (channel, float(np.mean([d[i][1] for d in draws])))
+                    for i, (channel, _) in enumerate(draws[0])
                 )
-            )
-            for c in plan.collectives
-        ]
+                durations.append(stages)
+                collective_times.append(float(sum(us for _, us in stages)))
+        else:
+            collective_times = [
+                float(
+                    np.mean(
+                        [
+                            self.collectives.duration_us(
+                                c.kind, c.bytes_per_device, plan.num_devices, rng
+                            )
+                            for _ in range(iterations)
+                        ]
+                    )
+                )
+                for c in plan.collectives
+            ]
+            durations = list(collective_times)
 
         schedule = schedule_iteration(
             per_device_phase,
             [
                 (produced_by, consumed_by, duration)
                 for (produced_by, consumed_by, _), duration in zip(
-                    plan.resolved_collectives(), collective_times
+                    plan.resolved_collectives(), durations
                 )
             ],
             overlap=policy,
@@ -194,4 +247,5 @@ class MultiGpuSimulator:
             per_device_phase_us=per_device_phase,
             overlap=policy,
             exposed_comm_us=schedule.exposed_comm_us,
+            comm_us_by_channel=dict(schedule.channel_busy_us),
         )

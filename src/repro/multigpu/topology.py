@@ -1,0 +1,340 @@
+"""Hierarchical fleet topologies: fast links in the node, network across.
+
+The paper's distributed sketch (Section V-B) prices collectives against
+one flat interconnect.  Production fleets are racks: every node packs a
+few GPUs on NVLink/PCIe, nodes talk over a much slower network fabric
+(Ethernet/InfiniBand), and collectives decompose hierarchically —
+intra-node reduce-scatter, inter-node exchange, intra-node all-gather.
+This module models that regime split:
+
+* :class:`Topology` — ``num_nodes`` × ``gpus_per_node`` plus the two
+  fabrics.  ``Topology.flat(n)`` is the degenerate single-node case and
+  must reproduce the flat engine *bit-identically* (goldens prove it).
+* :func:`hierarchical_stages` — the shared decomposition of one
+  collective into per-fabric wire-byte stages (the cost formulas are
+  documented in ``docs/TOPOLOGIES.md``).
+* :class:`GroundTruthTopologyCollectives` — the simulator-side fabric
+  pair (only the multi-GPU simulator may use it).
+* :class:`TopologyCollectiveModel` — the predictor-side model,
+  calibrated per fabric like the flat :class:`CollectiveModel`.
+
+Stages run serially *within* one collective but the two fabrics are
+independent resources: the event-driven scheduler serializes intra-node
+traffic and cross-node traffic on separate channel clocks, so one
+collective's NVLink phase can overlap another's network phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multigpu.interconnect import (
+    ALL2ALL,
+    ALLREDUCE,
+    NVLINK,
+    CollectiveModel,
+    GroundTruthCollectives,
+    InterconnectSpec,
+    all_gather_wire_bytes,
+    collective_wire_bytes,
+    reduce_scatter_wire_bytes,
+)
+
+#: Channel label for intra-node (NVLink/PCIe) collective stages.
+CHANNEL_INTRA = "intra"
+#: Channel label for cross-node (network) collective stages.
+CHANNEL_INTER = "inter"
+
+#: Cross-node fabric: 100 Gbit/s Ethernet (12.5 GB/s per direction).
+ETHERNET_100G = InterconnectSpec(
+    name="100GbE", link_bw_gbs=12.5, base_latency_us=30.0
+)
+#: Cross-node fabric: HDR InfiniBand (200 Gbit/s, RDMA latencies).
+INFINIBAND_HDR = InterconnectSpec(
+    name="IB-HDR", link_bw_gbs=25.0, base_latency_us=12.0
+)
+#: Cross-node fabrics addressable by name (CLI ``--network``).
+NETWORK_FABRICS = {
+    ETHERNET_100G.name: ETHERNET_100G,
+    INFINIBAND_HDR.name: INFINIBAND_HDR,
+}
+
+#: One decomposed collective stage: (channel, wire bytes, participants).
+StageSpec = tuple[str, float, int]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A hierarchical fleet: ``num_nodes`` × ``gpus_per_node``.
+
+    Devices are numbered node-major: device ``d`` lives on node
+    ``d // gpus_per_node``.  A single-node topology is *flat* and all
+    topology-aware code paths must degenerate to the flat engine
+    bit-identically for it.
+
+    Attributes:
+        num_nodes: Number of nodes in the fleet.
+        gpus_per_node: GPUs inside every node (uniform racks).
+        intra: Intra-node interconnect (NVLink/PCIe).
+        inter: Cross-node network fabric; priced only when
+            ``num_nodes > 1``.
+    """
+
+    num_nodes: int
+    gpus_per_node: int
+    intra: InterconnectSpec = NVLINK
+    inter: InterconnectSpec = ETHERNET_100G
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(
+                f"num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.gpus_per_node < 1:
+            raise ValueError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node} "
+                "(empty/zero-GPU nodes are not a fleet)"
+            )
+
+    @classmethod
+    def flat(
+        cls, num_devices: int, fabric: InterconnectSpec = NVLINK
+    ) -> "Topology":
+        """The degenerate single-node topology over one flat fabric."""
+        return cls(num_nodes=1, gpus_per_node=num_devices, intra=fabric)
+
+    @property
+    def num_devices(self) -> int:
+        """Total GPUs in the fleet."""
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def single_node(self) -> bool:
+        """Whether this topology is flat (no cross-node traffic)."""
+        return self.num_nodes == 1
+
+    @property
+    def label(self) -> str:
+        """Human-readable shape, e.g. ``2n x 4 NVLink/100GbE``."""
+        if self.single_node:
+            return f"1n x {self.gpus_per_node} {self.intra.name}"
+        return (
+            f"{self.num_nodes}n x {self.gpus_per_node} "
+            f"{self.intra.name}/{self.inter.name}"
+        )
+
+    def node_of(self, device: int) -> int:
+        """The node hosting one (node-major numbered) device."""
+        if not 0 <= device < self.num_devices:
+            raise ValueError(
+                f"device {device} outside the {self.num_devices}-GPU fleet"
+            )
+        return device // self.gpus_per_node
+
+
+def hierarchical_stages(
+    kind: str, bytes_per_device: float, topology: Topology
+) -> list[StageSpec]:
+    """Decompose one collective into per-fabric wire-byte stages.
+
+    The shared dispatch point for the ground-truth fabrics and the
+    predictor-side model (the same role :func:`collective_wire_bytes`
+    plays for flat fleets), so both sides always price the identical
+    decomposition.  With ``g = gpus_per_node``, ``m = num_nodes``,
+    ``n = g * m`` and per-device buffer ``B``:
+
+    * **all-reduce** — intra reduce-scatter ``B (g-1)/g``, inter ring
+      all-reduce of the node shard ``2 (B/g) (m-1)/m``, intra
+      all-gather ``B (g-1)/g``.
+    * **all-to-all** — intra exchange of same-node shards
+      ``B (g-1)/n``, inter exchange of the node's aggregated remote
+      traffic ``g B (m-1)/m`` (the g GPUs share the node NIC), intra
+      scatter of received remote rows ``B (m-1)/m · (g-1)/g``.
+
+    Single-node topologies return one intra stage carrying the flat
+    wire bytes — bit-identical to the non-hierarchical path — and
+    ``g = 1`` fleets degenerate to one flat inter stage (the network
+    *is* the only fabric).  Intra stages vanish when ``g = 1``, inter
+    stages when ``m = 1``.
+    """
+    g = topology.gpus_per_node
+    m = topology.num_nodes
+    n = topology.num_devices
+    if m == 1:
+        wire = collective_wire_bytes(kind, bytes_per_device, n)
+        return [(CHANNEL_INTRA, wire, g)]
+    if g == 1:
+        wire = collective_wire_bytes(kind, bytes_per_device, m)
+        return [(CHANNEL_INTER, wire, m)]
+
+    B = bytes_per_device
+    if kind == ALLREDUCE:
+        return [
+            (CHANNEL_INTRA, reduce_scatter_wire_bytes(B, g), g),
+            (CHANNEL_INTER, collective_wire_bytes(ALLREDUCE, B / g, m), m),
+            (CHANNEL_INTRA, all_gather_wire_bytes(B, g), g),
+        ]
+    if kind == ALL2ALL:
+        remote_per_device = B * (m - 1) / m
+        return [
+            (CHANNEL_INTRA, B * (g - 1) / n, g),
+            (CHANNEL_INTER, g * remote_per_device, m),
+            (CHANNEL_INTRA, remote_per_device * (g - 1) / g, g),
+        ]
+    # collective_wire_bytes above already rejects unknown kinds for the
+    # degenerate shapes; mirror its error here for hierarchical ones.
+    collective_wire_bytes(kind, bytes_per_device, n)
+    raise AssertionError("unreachable")
+
+
+class GroundTruthTopologyCollectives:
+    """Hidden true collective latencies of a hierarchical fleet.
+
+    Simulator-side counterpart of :class:`TopologyCollectiveModel`:
+    wraps one :class:`GroundTruthCollectives` per fabric and times every
+    decomposed stage on its own fabric (with independent noise draws).
+    Only :class:`~repro.multigpu.simulate.MultiGpuSimulator` may use it.
+    """
+
+    def __init__(self, topology: Topology, noise_sigma: float = 0.03) -> None:
+        self.topology = topology
+        self.intra = GroundTruthCollectives(topology.intra, noise_sigma)
+        self.inter = GroundTruthCollectives(topology.inter, noise_sigma)
+
+    def _truth(self, channel: str) -> GroundTruthCollectives:
+        return self.intra if channel == CHANNEL_INTRA else self.inter
+
+    def stage_durations(
+        self,
+        kind: str,
+        bytes_per_device: float,
+        rng: np.random.Generator | None = None,
+    ) -> list[tuple[str, float]]:
+        """True per-stage ``(channel, µs)`` durations of one collective.
+
+        Single-node topologies take the flat :meth:`duration_us` path
+        of the intra fabric so the rng draw sequence — and therefore
+        the simulated numbers — match the flat engine bit-identically.
+        """
+        if self.topology.single_node:
+            flat = self.intra.duration_us(
+                kind, bytes_per_device, self.topology.num_devices, rng
+            )
+            return [(CHANNEL_INTRA, flat)]
+        return [
+            (channel, self._truth(channel).wire_duration_us(wire, k, rng))
+            for channel, wire, k in hierarchical_stages(
+                kind, bytes_per_device, self.topology
+            )
+        ]
+
+
+class TopologyCollectiveModel:
+    """Predictor-side hierarchical collective model.
+
+    Holds one calibrated flat :class:`CollectiveModel` per fabric and
+    prices each decomposed stage on its fabric's measured bandwidth.
+    Carries its :class:`Topology` so ``predict_multi_gpu`` can pick up
+    the hierarchy without a separate argument.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        intra_model: CollectiveModel | None,
+        inter_model: CollectiveModel | None = None,
+    ) -> None:
+        if not topology.single_node and inter_model is None:
+            raise ValueError(
+                f"topology {topology.label!r} crosses nodes; an "
+                "inter-node collective model is required"
+            )
+        # One-GPU nodes never use the intra fabric (every collective is
+        # a single network stage), so the intra model may be omitted
+        # there — and only there.
+        if intra_model is None and (
+            topology.single_node or topology.gpus_per_node > 1
+        ):
+            raise ValueError(
+                f"topology {topology.label!r} moves intra-node traffic; "
+                "an intra-node collective model is required"
+            )
+        self.topology = topology
+        self.intra_model = intra_model
+        self.inter_model = inter_model
+
+    @classmethod
+    def calibrate(
+        cls, truth: GroundTruthTopologyCollectives, seed: int = 0
+    ) -> "TopologyCollectiveModel":
+        """Measure both fabrics' achieved rates from microbenchmarks.
+
+        The intra model is calibrated against ``gpus_per_node``
+        participants and the inter model against ``num_nodes``, exactly
+        how the flat :meth:`CollectiveModel.calibrate` treats a flat
+        fleet — for a single-node topology the result is bit-identical
+        to flat calibration (and no inter model is built).
+        """
+        topology = truth.topology
+        participants = (
+            topology.num_devices
+            if topology.single_node
+            else topology.gpus_per_node
+        )
+        intra = None
+        if topology.single_node or topology.gpus_per_node > 1:
+            intra = CollectiveModel.calibrate(
+                truth.intra, participants, seed=seed
+            )
+        inter = None
+        if not topology.single_node:
+            inter = CollectiveModel.calibrate(
+                truth.inter, topology.num_nodes, seed=seed
+            )
+        return cls(topology, intra, inter)
+
+    def _model(self, channel: str) -> CollectiveModel:
+        model = (
+            self.intra_model if channel == CHANNEL_INTRA else self.inter_model
+        )
+        assert model is not None  # guaranteed by __init__
+        return model
+
+    def predict_stages(
+        self, kind: str, bytes_per_device: float
+    ) -> tuple[tuple[str, float], ...]:
+        """Predicted per-stage ``(channel, µs)`` durations.
+
+        The single-node path routes through the flat
+        :meth:`CollectiveModel.predict_us` so flat topologies reproduce
+        the non-hierarchical predictions bit-identically.
+        """
+        if self.topology.single_node:
+            flat = self.intra_model.predict_us(
+                kind, bytes_per_device, self.topology.num_devices
+            )
+            return ((CHANNEL_INTRA, flat),)
+        return tuple(
+            (channel, self._model(channel).predict_wire_us(wire))
+            for channel, wire, _ in hierarchical_stages(
+                kind, bytes_per_device, self.topology
+            )
+        )
+
+    def predict_us(
+        self, kind: str, bytes_per_device: float, num_devices: int
+    ) -> float:
+        """Total predicted duration (stage sum) — flat-model interface.
+
+        Lets a :class:`TopologyCollectiveModel` drop into code written
+        for the flat :class:`CollectiveModel`; ``num_devices`` must
+        match the topology.
+        """
+        if num_devices != self.topology.num_devices:
+            raise ValueError(
+                f"model is calibrated for the {self.topology.num_devices}-GPU "
+                f"topology {self.topology.label!r}, got {num_devices} devices"
+            )
+        return sum(us for _, us in self.predict_stages(kind, bytes_per_device))

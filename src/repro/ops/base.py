@@ -209,4 +209,5 @@ class CpuOnlyOp(Op):
     """An operator with no device kernels (pure host-side work)."""
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return ()

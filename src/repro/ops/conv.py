@@ -64,6 +64,7 @@ class Conv2d(Op):
         super().__init__((x, weight), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             KernelCall(
                 KernelType.CONV,
@@ -82,6 +83,7 @@ class Conv2d(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Conv2d":
+        """This op re-instantiated at a new batch size."""
         if self.n == old_batch:
             return Conv2d(new_batch, self.c, self.h, self.w, self.k,
                           self.r, self.s, self.stride, self.pad)
@@ -118,6 +120,7 @@ class Conv2dBackward(Op):
         super().__init__((dy, x), (dx, dw))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         params = {
             "n": self.n, "c": self.c, "h": self.h, "w": self.w,
             "k": self.k, "r": self.r, "s": self.s,
@@ -132,6 +135,7 @@ class Conv2dBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Conv2dBackward":
+        """This op re-instantiated at a new batch size."""
         if self.n == old_batch:
             return Conv2dBackward(new_batch, self.c, self.h, self.w, self.k,
                                   self.r, self.s, self.stride, self.pad)
@@ -150,6 +154,7 @@ class BatchNorm2d(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             KernelCall(
                 KernelType.BATCHNORM,
@@ -159,6 +164,7 @@ class BatchNorm2d(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchNorm2d":
+        """This op re-instantiated at a new batch size."""
         if self.n == old_batch:
             return BatchNorm2d(new_batch, self.c, self.h, self.w)
         return self
@@ -177,6 +183,7 @@ class BatchNormBackward(Op):
         super().__init__((dy, x), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             KernelCall(
                 KernelType.BATCHNORM,
@@ -186,6 +193,7 @@ class BatchNormBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchNormBackward":
+        """This op re-instantiated at a new batch size."""
         if self.n == old_batch:
             return BatchNormBackward(new_batch, self.c, self.h, self.w)
         return self
@@ -205,6 +213,7 @@ class MaxPool2d(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         (y,) = self.outputs
         return (
@@ -217,6 +226,7 @@ class MaxPool2d(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "MaxPool2d":
+        """This op re-instantiated at a new batch size."""
         clone = super().rescale_batch(old_batch, new_batch)
         return clone
 
@@ -232,6 +242,7 @@ class AvgPool2d(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         (y,) = self.outputs
         return (
@@ -258,6 +269,7 @@ class MaxPool2dBackward(Op):
         super().__init__((dy, x), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, x = self.inputs
         (dx,) = self.outputs
         return (
@@ -281,6 +293,7 @@ class AvgPool2dBackward(Op):
         super().__init__((dy,), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (dy,) = self.inputs
         (dx,) = self.outputs
         return (

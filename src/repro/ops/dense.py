@@ -40,9 +40,11 @@ class Linear(Op):
         super().__init__((x, w, b), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (gemm_kernel(self.batch, self.out_features, self.in_features),)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Linear":
+        """This op re-instantiated at a new batch size."""
         if self.batch == old_batch:
             return Linear(new_batch, self.in_features, self.out_features)
         return self
@@ -62,9 +64,11 @@ class Addmm(Op):
         super().__init__((bias, a, b), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (gemm_kernel(self.m, self.n, self.k),)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Addmm":
+        """This op re-instantiated at a new batch size."""
         if self.m == old_batch:
             return Addmm(new_batch, self.k, self.n)
         return self
@@ -93,6 +97,7 @@ class AddmmBackward(Op):
         super().__init__((dy, x, w), (dx, dw, db))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             gemm_kernel(self.batch, self.in_features, self.out_features,
                         name="gemm_dgrad"),
@@ -101,6 +106,7 @@ class AddmmBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "AddmmBackward":
+        """This op re-instantiated at a new batch size."""
         if self.batch == old_batch:
             return AddmmBackward(new_batch, self.in_features, self.out_features)
         return self
@@ -123,9 +129,11 @@ class Bmm(Op):
         super().__init__((a, b), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (gemm_kernel(self.m, self.n, self.k, batch=self.batch),)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Bmm":
+        """This op re-instantiated at a new batch size."""
         if self.batch == old_batch:
             return Bmm(new_batch, self.m, self.k, self.n)
         return self
@@ -151,12 +159,14 @@ class BmmBackward(Op):
         super().__init__((dc, a, b), (da, db))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             gemm_kernel(self.m, self.k, self.n, batch=self.batch, name="bmm_dgrad_a"),
             gemm_kernel(self.k, self.n, self.m, batch=self.batch, name="bmm_dgrad_b"),
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "BmmBackward":
+        """This op re-instantiated at a new batch size."""
         if self.batch == old_batch:
             return BmmBackward(new_batch, self.m, self.k, self.n)
         return self
@@ -175,9 +185,11 @@ class Matmul(Op):
         super().__init__((a, b), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (gemm_kernel(self.m, self.n, self.k),)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Matmul":
+        """This op re-instantiated at a new batch size."""
         if self.m == old_batch:
             return Matmul(new_batch, self.k, self.n)
         return self

@@ -26,6 +26,7 @@ class _UnaryElementwise(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         x, y = self.inputs[0], self.outputs[0]
         return (
             elementwise_kernel(
@@ -57,6 +58,7 @@ class ReluBackward(Op):
         super().__init__((dy, y), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, y = self.inputs
         (dx,) = self.outputs
         return (
@@ -89,6 +91,7 @@ class SigmoidBackward(Op):
         super().__init__((dy, y), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, y = self.inputs
         (dx,) = self.outputs
         return (
@@ -113,6 +116,7 @@ class Add(Op):
         super().__init__((a, b), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         a, b = self.inputs
         (out,) = self.outputs
         return (
@@ -137,6 +141,7 @@ class AddInplace(Op):
         super().__init__((a, b), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         a, b = self.inputs
         (out,) = self.outputs
         return (
@@ -161,6 +166,7 @@ class MseLoss(Op):
         super().__init__((pred, target), (loss,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         pred, target = self.inputs
         return (
             elementwise_kernel(
@@ -184,6 +190,7 @@ class MseLossBackward(Op):
         super().__init__((pred, target), (dpred,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         pred, target = self.inputs
         (dpred,) = self.outputs
         return (
@@ -208,6 +215,7 @@ class BinaryCrossEntropy(Op):
         super().__init__((pred, target), (loss,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         pred, target = self.inputs
         return (
             elementwise_kernel(
@@ -231,6 +239,7 @@ class BinaryCrossEntropyBackward(Op):
         super().__init__((pred, target), (dpred,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         pred, target = self.inputs
         (dpred,) = self.outputs
         return (
@@ -254,6 +263,7 @@ class Sum(Op):
         super().__init__((x,), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         return (
             elementwise_kernel(
@@ -275,6 +285,7 @@ class ZeroInplace(Op):
         super().__init__((x,), (x,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         return (
             elementwise_kernel(
@@ -293,6 +304,7 @@ class Zeros(Op):
         super().__init__((), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (out,) = self.outputs
         return (
             elementwise_kernel(
@@ -311,6 +323,7 @@ class AccumulateGrad(Op):
     op_name = "AccumulateGrad"
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "AccumulateGrad":
+        """This op re-instantiated at a new batch size."""
         return self
 
     def __init__(self, shape: tuple[int, ...]) -> None:
@@ -319,6 +332,7 @@ class AccumulateGrad(Op):
         super().__init__((grad, acc), (acc,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         grad, acc = self.inputs
         return (
             elementwise_kernel(
@@ -367,6 +381,7 @@ class Softmax(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         (y,) = self.outputs
         return (
@@ -391,6 +406,7 @@ class SoftmaxBackward(Op):
         super().__init__((dy, y), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, y = self.inputs
         (dx,) = self.outputs
         return (
@@ -414,6 +430,7 @@ class LayerNorm(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         (y,) = self.outputs
         return (
@@ -438,6 +455,7 @@ class LayerNormBackward(Op):
         super().__init__((dy, x), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, x = self.inputs
         (dx,) = self.outputs
         return (
@@ -470,6 +488,7 @@ class GeLUBackward(Op):
         super().__init__((dy, x), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         dy, x = self.inputs
         (dx,) = self.outputs
         return (

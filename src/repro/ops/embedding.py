@@ -92,6 +92,7 @@ class LookupFunction(Op):
         super().__init__((weights, indices, offsets), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             embedding_kernel(
                 "fwd", self.B, self.E, self.T, self.L, self.D, self.rows_per_block
@@ -99,6 +100,7 @@ class LookupFunction(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "LookupFunction":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return LookupFunction(
                 new_batch, self.E, self.T, self.L, self.D, self.rows_per_block
@@ -130,6 +132,7 @@ class LookupFunctionBackward(Op):
         super().__init__((grad_out, weights, indices), (weights,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             embedding_kernel(
                 "bwd", self.B, self.E, self.T, self.L, self.D, self.rows_per_block
@@ -137,6 +140,7 @@ class LookupFunctionBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "LookupFunctionBackward":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return LookupFunctionBackward(
                 new_batch, self.E, self.T, self.L, self.D, self.rows_per_block
@@ -172,6 +176,7 @@ class EmbeddingBag(Op):
         super().__init__((weights, indices, offsets), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             embedding_kernel(
                 "fwd", self.B, self.E, 1, self.L, self.D, self.rows_per_block
@@ -179,6 +184,7 @@ class EmbeddingBag(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "EmbeddingBag":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return EmbeddingBag(new_batch, self.E, self.L, self.D, self.rows_per_block)
         return self
@@ -205,6 +211,7 @@ class EmbeddingBagBackward(Op):
         super().__init__((grad_out, weights, indices), (weights,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             embedding_kernel(
                 "bwd", self.B, self.E, 1, self.L, self.D, self.rows_per_block
@@ -212,6 +219,7 @@ class EmbeddingBagBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "EmbeddingBagBackward":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return EmbeddingBagBackward(
                 new_batch, self.E, self.L, self.D, self.rows_per_block

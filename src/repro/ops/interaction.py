@@ -33,6 +33,7 @@ class Index(Op):
         super().__init__((x,), (out,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             KernelCall(
                 KernelType.TRIL_FWD,
@@ -42,6 +43,7 @@ class Index(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "Index":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return Index(new_batch, self.F)
         return self
@@ -59,6 +61,7 @@ class IndexBackward(Op):
         super().__init__((dy,), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         return (
             KernelCall(
                 KernelType.TRIL_BWD,
@@ -68,6 +71,7 @@ class IndexBackward(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "IndexBackward":
+        """This op re-instantiated at a new batch size."""
         if self.B == old_batch:
             return IndexBackward(new_batch, self.F)
         return self

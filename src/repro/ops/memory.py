@@ -44,6 +44,7 @@ class Cat(Op):
         super().__init__(inputs, (TensorMeta(tuple(out_shape)),))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         bytes_in = float(total_bytes(self.inputs))
         return (
             KernelCall(
@@ -80,6 +81,7 @@ class ToDevice(Op):
         super().__init__((src,), (dst,))
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "ToDevice":
+        """This op re-instantiated at a new batch size."""
         shape = self.inputs[0].shape
         dtype = self.inputs[0].dtype
         if self.batch == old_batch and shape and shape[0] % old_batch == 0:
@@ -90,6 +92,7 @@ class ToDevice(Op):
         return self
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (src,) = self.inputs
         return (
             KernelCall(
@@ -111,6 +114,7 @@ class CopyDeviceToDevice(Op):
         super().__init__((src,), (dst,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (src,) = self.inputs
         return (
             KernelCall(
@@ -138,6 +142,7 @@ class BatchedTranspose(Op):
         super().__init__((x,), (y,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (x,) = self.inputs
         return (
             KernelCall(
@@ -153,6 +158,7 @@ class BatchedTranspose(Op):
         )
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "BatchedTranspose":
+        """This op re-instantiated at a new batch size."""
         if self.b == old_batch:
             return BatchedTranspose(new_batch, self.m, self.n)
         return self
@@ -176,6 +182,7 @@ class SliceBackward(Op):
         super().__init__((dy,), (dx,))
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         (dy,) = self.inputs
         (dx,) = self.outputs
         return (

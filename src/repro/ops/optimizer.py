@@ -26,6 +26,7 @@ class OptimizerStep(Op):
         super().__init__(params, params)
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         calls = []
         for param in self.inputs:
             calls.append(
@@ -39,6 +40,7 @@ class OptimizerStep(Op):
         return tuple(calls)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "OptimizerStep":
+        """This op re-instantiated at a new batch size."""
         return self  # parameters do not scale with batch size
 
 
@@ -54,6 +56,7 @@ class OptimizerZeroGrad(Op):
         super().__init__(params, params)
 
     def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
         calls = []
         for param in self.inputs:
             calls.append(
@@ -67,4 +70,5 @@ class OptimizerZeroGrad(Op):
         return tuple(calls)
 
     def rescale_batch(self, old_batch: int, new_batch: int) -> "OptimizerZeroGrad":
+        """This op re-instantiated at a new batch size."""
         return self  # parameters do not scale with batch size

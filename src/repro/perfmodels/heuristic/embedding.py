@@ -98,6 +98,7 @@ class PlainEmbeddingModel(KernelPerfModel):
         )
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         traffic = warp_traffic_bytes(params, self.backward)
         per_warp = sum(traffic.values())
         warps = float(params["B"]) * float(params["T"])
@@ -106,6 +107,7 @@ class PlainEmbeddingModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         if not params_list:
             return np.empty(0, dtype=np.float64)
         traffic = _warp_traffic_columns(params_list, self.backward)
@@ -182,6 +184,7 @@ class EnhancedEmbeddingModel(KernelPerfModel):
         return np.minimum(1.0, p)
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         traffic = warp_traffic_bytes(params, self.backward)
         p = self.hit_rate(params)
         # table_offsets and offsets are small and hot: always in L2.
@@ -198,6 +201,7 @@ class EnhancedEmbeddingModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         if not params_list:
             return np.empty(0, dtype=np.float64)
         traffic = _warp_traffic_columns(params_list, self.backward)

@@ -40,6 +40,7 @@ class RooflineElementwiseModel(KernelPerfModel):
         self.launch_us = float(peaks.extras.get("launch_us", 0.0))
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         flop = float(params.get("flop", 0.0))
         bytes_moved = float(params.get("bytes_read", 0.0)) + float(
             params.get("bytes_write", 0.0)
@@ -51,6 +52,7 @@ class RooflineElementwiseModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         flop = _column(params_list, "flop")
         bytes_moved = _column(params_list, "bytes_read") + _column(
             params_list, "bytes_write"
@@ -70,6 +72,7 @@ class ConcatModel(KernelPerfModel):
         self.launch_us = float(peaks.extras.get("launch_us", 0.0))
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         return self.launch_us + float(params["bytes_total"]) / (
             self.peaks.dram_bw_gbs * 1e3
         )
@@ -77,6 +80,7 @@ class ConcatModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         bytes_total = np.array(
             [float(p["bytes_total"]) for p in params_list], dtype=np.float64
         )
@@ -93,6 +97,7 @@ class MemcpyModel(KernelPerfModel):
         self.launch_us = float(peaks.extras.get("launch_us", 0.0))
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         bytes_moved = float(params["bytes"])
         if params.get("h2d"):
             return self.launch_us + bytes_moved / (self.peaks.pcie_bw_gbs * 1e3)
@@ -103,6 +108,7 @@ class MemcpyModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         bytes_moved = np.array(
             [float(p["bytes"]) for p in params_list], dtype=np.float64
         )
@@ -124,6 +130,7 @@ class BatchNormRooflineModel(KernelPerfModel):
         self.launch_us = float(peaks.extras.get("launch_us", 0.0))
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         numel = (
             float(params["n"]) * float(params["c"])
             * float(params["h"]) * float(params["w"])
@@ -134,6 +141,7 @@ class BatchNormRooflineModel(KernelPerfModel):
     def predict_batch(
         self, params_list: Sequence[Mapping[str, float]]
     ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
         numel = np.array(
             [
                 float(p["n"]) * float(p["c"]) * float(p["h"]) * float(p["w"])

@@ -30,6 +30,7 @@ class MlKernelModel(KernelPerfModel):
         self.feature_names = list(feature_names)
 
     def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
         try:
             row = [float(params[name]) for name in self.feature_names]
         except KeyError as missing:

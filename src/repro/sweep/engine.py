@@ -41,6 +41,7 @@ from repro.graph import ExecutionGraph
 from repro.multigpu.plan import MultiGpuPlan
 from repro.multigpu.predict import predict_multi_gpu
 from repro.multigpu.schedule import OVERLAP_POLICIES
+from repro.multigpu.topology import Topology
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
 from repro.sweep.result import (
@@ -183,12 +184,13 @@ class SweepEngine:
     def run_multi_gpu(
         self,
         plans: Mapping[str, MultiGpuPlan],
-        collective_model_for: Callable[[int], object],
+        collective_model_for: Callable[..., object],
         fleets: Mapping[str, str | Sequence[str]] | None = None,
         overlap_policies: Sequence[str] = OVERLAP_POLICIES,
         overheads: str | None = None,
+        topologies: Mapping[str, "Topology"] | None = None,
     ) -> MultiGpuSweepResult:
-        """Evaluate multi-GPU plans over fleet and overlap axes.
+        """Evaluate multi-GPU plans over fleet, overlap — and topology — axes.
 
         The whole grid's kernel population (every device segment of
         every plan) is deduplicated and predicted once per registry up
@@ -201,6 +203,10 @@ class SweepEngine:
                 label; each plan carries its own device count.
             collective_model_for: Device count -> calibrated
                 :class:`~repro.multigpu.interconnect.CollectiveModel`.
+                With ``topologies`` it instead receives each
+                :class:`~repro.multigpu.topology.Topology` and must
+                return a calibrated
+                :class:`~repro.multigpu.topology.TopologyCollectiveModel`.
             fleets: Label -> registry label(s) from ``registries``.  A
                 single label is a homogeneous fleet for any device
                 count; a sequence is a heterogeneous fleet and must
@@ -210,6 +216,13 @@ class SweepEngine:
                 re-scheduled under every policy.
             overheads: Overhead-database label to traverse with
                 (default: the first database given to the engine).
+            topologies: Label -> hierarchical fleet shape — the
+                nodes × GPUs-per-node axis.  Each plan is evaluated
+                under every topology whose ``num_devices`` matches it;
+                a topology matching no plan — or a plan matching no
+                topology — is an error rather than a silently thinner
+                grid.  ``None`` keeps the flat single-fabric grid
+                (points land on the ``"flat"`` topology label).
 
         Note:
             The per-device traversals use ``predict_multi_gpu``'s
@@ -224,6 +237,26 @@ class SweepEngine:
             raise ValueError("sweep needs at least one fleet")
         if not overlap_policies:
             raise ValueError("sweep needs at least one overlap policy")
+        if topologies is not None:
+            if not topologies:
+                raise ValueError("sweep needs at least one topology")
+            topo_sizes = {t.num_devices for t in topologies.values()}
+            plan_sizes = {plan.num_devices for plan in plans.values()}
+            for label, topology in topologies.items():
+                if topology.num_devices not in plan_sizes:
+                    raise ValueError(
+                        f"topology {label!r} has {topology.num_devices} "
+                        f"devices but no plan matches (plan sizes: "
+                        f"{sorted(plan_sizes)})"
+                    )
+            for plan_name, plan in plans.items():
+                if plan.num_devices not in topo_sizes:
+                    raise ValueError(
+                        f"plan {plan_name!r} has {plan.num_devices} devices "
+                        f"but no topology matches (topology sizes: "
+                        f"{sorted(topo_sizes)}) — it would be silently "
+                        "dropped from the grid"
+                    )
         db_name = (
             overheads if overheads is not None else next(iter(self.overhead_dbs))
         )
@@ -249,6 +282,20 @@ class SweepEngine:
             if all_kernels:
                 self.registries[label].predict_many(all_kernels)
 
+        # The topology axis: one (label, Topology | None, model) entry
+        # per evaluated shape.  Flat mode keeps the historical
+        # per-device-count collective models.
+        if topologies is None:
+            shape_axis = [
+                ("flat", None, None)
+            ]
+        else:
+            shape_axis = [
+                (label, topology, collective_model_for(topology))
+                for label, topology in topologies.items()
+            ]
+        flat_models: dict[int, object] = {}
+
         records: list[MultiGpuSweepRecord] = []
         for fleet_name, labels in fleets.items():
             for plan_name, plan in plans.items():
@@ -261,23 +308,33 @@ class SweepEngine:
                             f"but plan {plan_name!r} has {plan.num_devices}"
                         )
                     fleet_registries = [self.registries[la] for la in labels]
-                model = collective_model_for(plan.num_devices)
-                for policy in overlap_policies:
-                    records.append(
-                        MultiGpuSweepRecord(
-                            MultiGpuSweepPoint(
-                                plan_name,
-                                plan.num_devices,
-                                fleet_name,
-                                policy,
-                                db_name,
-                            ),
-                            predict_multi_gpu(
-                                plan, fleet_registries, db, model,
-                                overlap=policy,
-                            ),
+                for topo_label, topology, model in shape_axis:
+                    if topology is None:
+                        if plan.num_devices not in flat_models:
+                            flat_models[plan.num_devices] = (
+                                collective_model_for(plan.num_devices)
+                            )
+                        model = flat_models[plan.num_devices]
+                    elif topology.num_devices != plan.num_devices:
+                        continue
+                    for policy in overlap_policies:
+                        records.append(
+                            MultiGpuSweepRecord(
+                                MultiGpuSweepPoint(
+                                    plan_name,
+                                    plan.num_devices,
+                                    fleet_name,
+                                    policy,
+                                    db_name,
+                                    topo_label,
+                                ),
+                                predict_multi_gpu(
+                                    plan, fleet_registries, db, model,
+                                    overlap=policy,
+                                    topology=topology,
+                                ),
+                            )
                         )
-                    )
         return MultiGpuSweepResult(records)
 
     def run_graphs(

@@ -110,8 +110,10 @@ class MultiGpuSweepPoint:
     """Coordinates of one multi-GPU grid point.
 
     Axes: the plan label (typically encodes workload/batch/devices),
-    the fleet label (device mix), the overlap policy, and the overhead
-    database used for the per-device Algorithm 1 traversals.
+    the fleet label (device mix), the overlap policy, the overhead
+    database used for the per-device Algorithm 1 traversals, and the
+    topology label (``"flat"`` for single-fabric fleets, a
+    ``Topology.label`` for hierarchical nodes × GPUs-per-node shapes).
     """
 
     plan: str
@@ -119,6 +121,7 @@ class MultiGpuSweepPoint:
     fleet: str
     overlap: str
     overheads: str
+    topology: str = "flat"
 
 
 @dataclass(frozen=True)
@@ -141,12 +144,15 @@ class MultiGpuSweepRecord:
             "fleet": self.point.fleet,
             "overlap": self.point.overlap,
             "overheads": self.point.overheads,
+            "topology": self.point.topology,
             "iteration_us": self.prediction.iteration_us,
             "compute_us": self.prediction.compute_us,
             "communication_us": self.prediction.communication_us,
             "exposed_comm_us": self.prediction.exposed_comm_us,
             "hidden_comm_us": self.prediction.hidden_comm_us,
             "communication_fraction": self.prediction.communication_fraction,
+            "comm_us_by_channel": dict(self.prediction.comm_us_by_channel),
+            "bottleneck": self.prediction.bottleneck,
         }
 
 
@@ -169,6 +175,7 @@ class MultiGpuSweepResult:
         fleet: str | None = None,
         overlap: str | None = None,
         overheads: str | None = None,
+        topology: str | None = None,
     ) -> "MultiGpuSweepResult":
         """Sub-table matching the given axis values."""
         kept = [
@@ -179,6 +186,7 @@ class MultiGpuSweepResult:
             and (fleet is None or r.point.fleet == fleet)
             and (overlap is None or r.point.overlap == overlap)
             and (overheads is None or r.point.overheads == overheads)
+            and (topology is None or r.point.topology == topology)
         ]
         return MultiGpuSweepResult(kept)
 

@@ -20,7 +20,13 @@ from repro.capacity import (
     replica_utilization,
 )
 from repro.models.dlrm import DLRM_DEFAULT
-from repro.multigpu import NVLINK, CollectiveModel, GroundTruthCollectives
+from repro.multigpu import (
+    NVLINK,
+    CollectiveModel,
+    GroundTruthCollectives,
+    GroundTruthTopologyCollectives,
+    TopologyCollectiveModel,
+)
 from repro.sweep import SweepEngine
 
 
@@ -91,12 +97,19 @@ class TestCandidateFleet:
     def test_label(self):
         assert CandidateFleet("A100", gpus_per_replica=2).label == "A100x2"
 
+    def test_multinode_label_and_shape(self):
+        fleet = CandidateFleet("A100", gpus_per_replica=8, nodes=2)
+        assert fleet.label == "A100x8@2n"
+        assert fleet.gpus_per_node == 4
+
     @pytest.mark.parametrize(
         "kwargs",
         [
             {"gpus_per_replica": 0},
             {"max_replicas": 0},
             {"cost_per_gpu_hour": 0.0},
+            {"nodes": 0},
+            {"gpus_per_replica": 4, "nodes": 3},
         ],
     )
     def test_invalid_fleets_rejected(self, kwargs):
@@ -215,3 +228,43 @@ class TestCapacityPlanner:
         planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
         plans = planner.plan_dlrm(DLRM_DEFAULT, (32, 64, 128))
         assert sorted(rank_plans(plans), key=id) == sorted(plans, key=id)
+
+
+class TestMultiNodeCapacity:
+    def test_multinode_without_topology_model_rejected(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(1000, 50.0))
+        with pytest.raises(ValueError, match="topology_model_for"):
+            planner.plan_dlrm(
+                DLRM_DEFAULT, (64,),
+                fleets=[
+                    CandidateFleet("V100", gpus_per_replica=4, nodes=2)
+                ],
+            )
+
+    def test_multinode_replicas_on_the_grid(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(5_000, 50.0))
+        plans = planner.plan_dlrm(
+            DLRM_DEFAULT, (64, 128),
+            fleets=[
+                CandidateFleet("V100", gpus_per_replica=2),
+                CandidateFleet("V100", gpus_per_replica=4, nodes=2),
+            ],
+            collective_model_for=lambda n: CollectiveModel.calibrate(
+                GroundTruthCollectives(NVLINK), n
+            ),
+            topology_model_for=lambda topo: (
+                TopologyCollectiveModel.calibrate(
+                    GroundTruthTopologyCollectives(topo)
+                )
+            ),
+        )
+        shapes = {p.fleet for p in plans}
+        assert shapes == {"V100x2", "V100x4@2n"}
+        multinode = [p for p in plans if p.nodes == 2]
+        assert multinode
+        assert all(p.gpus_per_replica == 4 for p in multinode)
+        assert all(
+            p.bottleneck in ("compute", "intra", "inter") for p in multinode
+        )
+        rows = json.loads(plans_to_json(plans))
+        assert {"nodes", "bottleneck"} <= set(rows[0])

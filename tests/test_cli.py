@@ -183,6 +183,37 @@ class TestCommands:
         ) == 2
         assert "divisible" in capsys.readouterr().err
 
+    def test_multigpu_rejects_indivisible_nodes(self, capsys):
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "256",
+             "--devices", "4", "--nodes", "3"]
+        ) == 2
+        assert "nodes" in capsys.readouterr().err
+
+    def test_multigpu_multinode_command(self, capsys, monkeypatch):
+        """Hierarchical topology path: channel split + bottleneck."""
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        assert main(
+            ["multigpu", "--model", "DLRM_default", "--batch", "256",
+             "--devices", "4", "--nodes", "2", "--network", "100GbE",
+             "--overlap", "full", "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2n x 2 NVLink/100GbE" in out
+        assert "fabric busy" in out
+        assert "intra" in out and "inter" in out
+        assert "simulated" in out
+
 
 class TestCapacityCommand:
     def test_capacity_parser_args(self):
@@ -217,6 +248,43 @@ class TestCapacityCommand:
              "--qps", "1000", "--slo-ms", "10", "--replica-gpus", "0"]
         ) == 2
         assert "bad --replica-gpus" in capsys.readouterr().err
+
+    def test_capacity_rejects_indivisible_replica_nodes(self, capsys):
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10", "--replica-gpus", "4",
+             "--replica-nodes", "3"]
+        ) == 2
+        assert "divides" in capsys.readouterr().err
+
+    def test_capacity_multinode_command(self, tmp_path, capsys, monkeypatch):
+        """Multi-node replica shapes flow through the CLI search."""
+        import json
+
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        out_path = str(tmp_path / "plans.json")
+        assert main(
+            ["capacity", "--model", "DLRM_default", "--batch", "256",
+             "--qps", "10000", "--slo-ms", "50", "--batches", "128",
+             "--replica-gpus", "4", "--replica-nodes", "1,2",
+             "--out", out_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bound by" in out
+        with open(out_path) as f:
+            rows = json.load(f)
+        assert {row["fleet"] for row in rows} == {"V100x4", "V100x4@2n"}
+        assert all("bottleneck" in row for row in rows)
 
     def test_capacity_command(self, tmp_path, capsys, monkeypatch):
         """Feasible relaxed-SLO search through the real CLI path."""

@@ -1,5 +1,6 @@
-"""Documentation integrity: Markdown links resolve, capacity is 100%
-docstring-covered.  Runs the same checks as CI's docs job."""
+"""Documentation integrity: Markdown links resolve, every ``src/repro``
+package is 100% docstring-covered, and the examples gallery names every
+``examples/*.py`` script.  Runs the same checks as CI's docs job."""
 
 from __future__ import annotations
 
@@ -10,6 +11,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from tools.check_docs import (  # noqa: E402
     check_docstrings,
+    check_examples_gallery,
     check_markdown_links,
     iter_markdown_links,
 )
@@ -37,7 +39,7 @@ class TestMarkdownLinks:
 
 
 class TestDocstringCoverage:
-    def test_capacity_package_fully_documented(self):
+    def test_all_packages_fully_documented(self):
         assert check_docstrings() == []
 
     def test_missing_docstrings_are_reported(self, tmp_path):
@@ -49,3 +51,54 @@ class TestDocstringCoverage:
         )
         errors = check_docstrings(packages=("pkg",), root=tmp_path)
         assert errors == ["pkg/mod.py: public"]
+
+
+class TestExamplesGallery:
+    def test_repo_gallery_covers_every_example(self):
+        assert check_examples_gallery() == []
+
+    def test_missing_example_section_is_reported(self, tmp_path):
+        examples = tmp_path / "examples"
+        examples.mkdir()
+        (examples / "covered.py").write_text("pass\n")
+        (examples / "missing.py").write_text("pass\n")
+        (tmp_path / "GALLERY.md").write_text(
+            "# Gallery\n\n## covered.py\n\ntext mentioning missing.py\n"
+        )
+        errors = check_examples_gallery(
+            gallery="GALLERY.md", examples_dir="examples", root=tmp_path
+        )
+        assert errors == ["GALLERY.md: no section for examples/missing.py"]
+
+    def test_substring_headings_do_not_count(self, tmp_path):
+        """'scaling.py' must not be covered by '## multinode_scaling.py'."""
+        examples = tmp_path / "examples"
+        examples.mkdir()
+        (examples / "scaling.py").write_text("pass\n")
+        (examples / "multinode_scaling.py").write_text("pass\n")
+        (tmp_path / "GALLERY.md").write_text(
+            "# Gallery\n\n## multinode_scaling.py\n\ntext\n"
+        )
+        errors = check_examples_gallery(
+            gallery="GALLERY.md", examples_dir="examples", root=tmp_path
+        )
+        assert errors == ["GALLERY.md: no section for examples/scaling.py"]
+
+    def test_code_fence_comments_do_not_count_as_sections(self, tmp_path):
+        examples = tmp_path / "examples"
+        examples.mkdir()
+        (examples / "foo.py").write_text("pass\n")
+        (tmp_path / "GALLERY.md").write_text(
+            "# Gallery\n\n```bash\n# python examples/foo.py\n```\n"
+        )
+        errors = check_examples_gallery(
+            gallery="GALLERY.md", examples_dir="examples", root=tmp_path
+        )
+        assert errors == ["GALLERY.md: no section for examples/foo.py"]
+
+    def test_missing_gallery_file_is_reported(self, tmp_path):
+        (tmp_path / "examples").mkdir()
+        errors = check_examples_gallery(
+            gallery="GALLERY.md", examples_dir="examples", root=tmp_path
+        )
+        assert errors == ["GALLERY.md: file missing"]

@@ -1,0 +1,391 @@
+"""Hierarchical topology subsystem: degeneracies, stages, scheduling.
+
+The load-bearing contracts:
+
+* a flat ``1 node x N GPUs`` :class:`Topology` reproduces the flat
+  engine (and therefore the goldens) **bit-identically** on both the
+  prediction and the simulation side;
+* ``N nodes x 1 GPU`` degenerates to a flat fleet over the network
+  fabric;
+* empty / zero-GPU node shapes are rejected outright;
+* multi-channel collective stages serialize per fabric and may overlap
+  across fabrics under the event-driven policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import TESLA_V100
+from repro.models import MODE_INFERENCE
+from repro.models.dlrm import DLRM_DEFAULT
+from repro.multigpu import (
+    ALL2ALL,
+    ALLREDUCE,
+    CHANNEL_INTER,
+    CHANNEL_INTRA,
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    NVLINK,
+    PCIE_FABRIC,
+    CollectiveModel,
+    GroundTruthCollectives,
+    GroundTruthTopologyCollectives,
+    MultiGpuSimulator,
+    Topology,
+    TopologyCollectiveModel,
+    all2all_wire_bytes,
+    allreduce_wire_bytes,
+    build_multi_gpu_dlrm_plan,
+    collective_wire_bytes,
+    hierarchical_stages,
+    predict_multi_gpu,
+    schedule_iteration,
+)
+from repro.sweep import SweepEngine
+
+
+@pytest.fixture(scope="module")
+def flat4_model():
+    return CollectiveModel.calibrate(GroundTruthCollectives(NVLINK), 4)
+
+
+@pytest.fixture(scope="module")
+def topo_2x2_model():
+    topology = Topology(2, 2, intra=NVLINK, inter=ETHERNET_100G)
+    return TopologyCollectiveModel.calibrate(
+        GroundTruthTopologyCollectives(topology)
+    )
+
+
+class TestTopologyShape:
+    def test_degenerate_shapes_rejected(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            Topology(num_nodes=0, gpus_per_node=4)
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            Topology(num_nodes=2, gpus_per_node=0)
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            Topology(num_nodes=1, gpus_per_node=-1)
+
+    def test_flat_constructor_and_labels(self):
+        flat = Topology.flat(4, PCIE_FABRIC)
+        assert flat.single_node and flat.num_devices == 4
+        assert flat.intra is PCIE_FABRIC
+        assert "PCIe" in flat.label
+        multi = Topology(2, 4, intra=NVLINK, inter=INFINIBAND_HDR)
+        assert not multi.single_node
+        assert multi.num_devices == 8
+        assert multi.label == "2n x 4 NVLink/IB-HDR"
+
+    def test_node_of(self):
+        topo = Topology(2, 2)
+        assert [topo.node_of(d) for d in range(4)] == [0, 0, 1, 1]
+        with pytest.raises(ValueError, match="outside"):
+            topo.node_of(4)
+
+
+class TestHierarchicalStages:
+    def test_single_node_is_flat_wire(self):
+        topo = Topology.flat(4, NVLINK)
+        for kind in (ALL2ALL, ALLREDUCE):
+            stages = hierarchical_stages(kind, 1e6, topo)
+            assert stages == [
+                (CHANNEL_INTRA, collective_wire_bytes(kind, 1e6, 4), 4)
+            ]
+
+    def test_one_gpu_per_node_is_flat_over_network(self):
+        topo = Topology(4, 1)
+        for kind in (ALL2ALL, ALLREDUCE):
+            stages = hierarchical_stages(kind, 1e6, topo)
+            assert stages == [
+                (CHANNEL_INTER, collective_wire_bytes(kind, 1e6, 4), 4)
+            ]
+
+    def test_allreduce_decomposition(self):
+        topo = Topology(2, 4)
+        B = 8e6
+        intra_rs, inter, intra_ag = hierarchical_stages(ALLREDUCE, B, topo)
+        # Reduce-scatter + all-gather halves on the intra fabric.
+        assert intra_rs == (CHANNEL_INTRA, B * 3 / 4, 4)
+        assert intra_ag == (CHANNEL_INTRA, B * 3 / 4, 4)
+        assert intra_rs[1] + intra_ag[1] == allreduce_wire_bytes(B, 4)
+        # Cross-node ring all-reduce of the node's 1/g shard.
+        assert inter == (
+            CHANNEL_INTER, allreduce_wire_bytes(B / 4, 2), 2
+        )
+
+    def test_all2all_decomposition(self):
+        topo = Topology(2, 4)
+        B = 8e6
+        intra, inter, scatter = hierarchical_stages(ALL2ALL, B, topo)
+        # Same-node shards move on NVLink only.
+        assert intra == (CHANNEL_INTRA, B * 3 / 8, 4)
+        # The node NIC carries its four GPUs' aggregated remote halves.
+        assert inter == (CHANNEL_INTER, 4 * B / 2, 2)
+        assert scatter == (CHANNEL_INTRA, (B / 2) * 3 / 4, 4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective kind"):
+            hierarchical_stages("broadcast", 1e6, Topology(2, 4))
+
+
+class TestDegenerateEquivalences:
+    """1xN == flat bit-identically; Nx1 == flat over the network."""
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_flat_topology_prediction_bit_identical(
+        self, overlap, registry, overhead_db, flat4_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap=overlap)
+        flat_pred = predict_multi_gpu(plan, registry, overhead_db, flat4_model)
+        topo = Topology.flat(4, NVLINK)
+        topo_model = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topo)
+        )
+        topo_pred = predict_multi_gpu(plan, registry, overhead_db, topo_model)
+        assert topo_pred.iteration_us == flat_pred.iteration_us
+        assert topo_pred.collective_us == flat_pred.collective_us
+        assert topo_pred.phase_us == flat_pred.phase_us
+        assert topo_pred.exposed_comm_us == flat_pred.exposed_comm_us
+        assert sum(topo_pred.comm_us_by_channel.values()) == (
+            flat_pred.communication_us
+        )
+
+    @pytest.mark.parametrize("overlap", ["none", "full"])
+    def test_flat_topology_simulation_bit_identical(self, overlap):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2, overlap=overlap)
+        flat = MultiGpuSimulator(TESLA_V100, NVLINK, seed=9).run(plan, 2)
+        topo = MultiGpuSimulator(
+            TESLA_V100, Topology.flat(2, NVLINK), seed=9
+        ).run(plan, 2)
+        assert topo.iteration_us == flat.iteration_us
+        assert topo.collective_us == flat.collective_us
+        assert topo.phase_us == flat.phase_us
+        assert topo.exposed_comm_us == flat.exposed_comm_us
+
+    def test_nx1_equals_flat_over_network_truth(self):
+        """4 nodes x 1 GPU: the network is the only fabric."""
+        topo_truth = GroundTruthTopologyCollectives(Topology(4, 1))
+        flat_truth = GroundTruthCollectives(ETHERNET_100G)
+        for kind in (ALL2ALL, ALLREDUCE):
+            stages = topo_truth.stage_durations(kind, 4e6)
+            assert [channel for channel, _ in stages] == [CHANNEL_INTER]
+            assert stages[0][1] == flat_truth.duration_us(kind, 4e6, 4)
+
+    def test_nx1_equals_flat_over_network_prediction(self):
+        topo = Topology(4, 1, inter=ETHERNET_100G)
+        topo_model = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topo)
+        )
+        flat_model = CollectiveModel.calibrate(
+            GroundTruthCollectives(ETHERNET_100G), 4
+        )
+        for kind in (ALL2ALL, ALLREDUCE):
+            assert topo_model.predict_us(kind, 4e6, 4) == (
+                flat_model.predict_us(kind, 4e6, 4)
+            )
+
+    def test_flat_calibration_bit_identical(self, flat4_model):
+        topo_model = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(Topology.flat(4, NVLINK))
+        )
+        assert topo_model.inter_model is None
+        assert topo_model.intra_model.measured_bw_gbs == (
+            flat4_model.measured_bw_gbs
+        )
+        assert topo_model.intra_model.base_latency_us == (
+            flat4_model.base_latency_us
+        )
+
+
+class TestMultiChannelScheduling:
+    def test_stages_serialize_within_a_collective(self):
+        schedule = schedule_iteration(
+            [[100.0], [100.0]],
+            [(0, 2, ((CHANNEL_INTRA, 10.0), (CHANNEL_INTER, 50.0),
+                     (CHANNEL_INTRA, 10.0)))],
+            overlap="full",
+        )
+        # Stages run back to back after the producer phase.
+        assert schedule.collective_start_us == (100.0,)
+        assert schedule.collective_end_us == (170.0,)
+        assert schedule.channel_busy_us == {
+            CHANNEL_INTRA: 20.0, CHANNEL_INTER: 50.0
+        }
+
+    def test_channels_are_independent_resources(self):
+        """An intra-only and an inter-only collective fully overlap."""
+        collectives = [
+            (0, 2, ((CHANNEL_INTRA, 40.0),)),
+            (0, 2, ((CHANNEL_INTER, 40.0),)),
+        ]
+        overlapped = schedule_iteration(
+            [[10.0], [10.0]], collectives, overlap="full"
+        )
+        # Both start when phase 0 ends: neither waits for the other.
+        assert overlapped.collective_start_us == (10.0, 10.0)
+        same_channel = schedule_iteration(
+            [[10.0], [10.0]],
+            [(0, 2, ((CHANNEL_INTER, 40.0),)),
+             (0, 2, ((CHANNEL_INTER, 40.0),))],
+            overlap="full",
+        )
+        # On one fabric they must serialize instead.
+        assert same_channel.collective_start_us == (10.0, 50.0)
+        assert same_channel.iteration_us > overlapped.iteration_us
+
+    def test_sync_total_includes_all_stages(self):
+        schedule = schedule_iteration(
+            [[100.0]],
+            [(0, 1, ((CHANNEL_INTRA, 10.0), (CHANNEL_INTER, 30.0)))],
+            overlap="none",
+        )
+        assert schedule.iteration_us == 140.0
+        assert schedule.total_comm_us == 40.0
+
+    def test_negative_stage_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            schedule_iteration(
+                [[1.0]], [(0, 1, ((CHANNEL_INTRA, -1.0),))], overlap="full"
+            )
+
+
+class TestTopologyValidation:
+    def test_multi_node_needs_inter_model(self):
+        intra = CollectiveModel(measured_bw_gbs=100.0, base_latency_us=5.0)
+        with pytest.raises(ValueError, match="inter-node"):
+            TopologyCollectiveModel(Topology(2, 2), intra, None)
+
+    def test_predict_us_checks_device_count(self, topo_2x2_model):
+        with pytest.raises(ValueError, match="calibrated for"):
+            topo_2x2_model.predict_us(ALL2ALL, 1e6, 8)
+
+    def test_predict_topology_mismatch_rejected(
+        self, registry, overhead_db, topo_2x2_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 8)
+        with pytest.raises(ValueError, match="devices"):
+            predict_multi_gpu(plan, registry, overhead_db, topo_2x2_model)
+
+    def test_flat_model_cannot_serve_topology(
+        self, registry, overhead_db, flat4_model
+    ):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)
+        with pytest.raises(ValueError, match="TopologyCollectiveModel"):
+            predict_multi_gpu(
+                plan, registry, overhead_db, flat4_model,
+                topology=Topology(2, 2),
+            )
+
+    def test_explicit_topology_must_equal_models(
+        self, registry, overhead_db, topo_2x2_model
+    ):
+        """Same device count but a different shape is mislabeled math."""
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)
+        with pytest.raises(ValueError, match="calibrated topology"):
+            predict_multi_gpu(
+                plan, registry, overhead_db, topo_2x2_model,
+                topology=Topology(4, 1),
+            )
+
+    def test_simulator_topology_mismatch_rejected(self):
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 2)
+        sim = MultiGpuSimulator(TESLA_V100, Topology(2, 2))
+        with pytest.raises(ValueError, match="devices"):
+            sim.run(plan, 1)
+
+
+class TestHierarchicalPrediction:
+    @pytest.fixture(scope="class")
+    def hier_setup(self, registry, overhead_db):
+        topology = Topology(2, 2, intra=NVLINK, inter=ETHERNET_100G)
+        model = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(topology)
+        )
+        plan = build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4, overlap="full")
+        return topology, model, plan
+
+    def test_channels_split_and_sum(self, registry, overhead_db, hier_setup):
+        _, model, plan = hier_setup
+        pred = predict_multi_gpu(plan, registry, overhead_db, model)
+        assert set(pred.comm_us_by_channel) == {CHANNEL_INTRA, CHANNEL_INTER}
+        assert sum(pred.comm_us_by_channel.values()) == pytest.approx(
+            pred.communication_us
+        )
+        assert pred.bottleneck in ("compute", CHANNEL_INTRA, CHANNEL_INTER)
+
+    def test_slower_network_costs_more(self, registry, overhead_db, hier_setup):
+        topology, model, plan = hier_setup
+        fast_topo = Topology(2, 2, intra=NVLINK, inter=INFINIBAND_HDR)
+        fast = TopologyCollectiveModel.calibrate(
+            GroundTruthTopologyCollectives(fast_topo)
+        )
+        slow_pred = predict_multi_gpu(plan, registry, overhead_db, model)
+        fast_pred = predict_multi_gpu(plan, registry, overhead_db, fast)
+        assert fast_pred.iteration_us < slow_pred.iteration_us
+
+    def test_prediction_tracks_simulation(
+        self, registry, overhead_db, hier_setup
+    ):
+        topology, model, plan = hier_setup
+        pred = predict_multi_gpu(plan, registry, overhead_db, model)
+        truth = MultiGpuSimulator(TESLA_V100, topology, seed=5).run(plan, 3)
+        err = abs(pred.iteration_us - truth.iteration_us) / truth.iteration_us
+        assert err < 0.35
+
+    def test_sweep_topology_axis(self, registry, overhead_db):
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"db": overhead_db},
+        )
+        topologies = {
+            "2x2": Topology(2, 2),
+            "1x4": Topology.flat(4, NVLINK),
+        }
+        plans = {
+            "b1024": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4),
+        }
+        result = engine.run_multi_gpu(
+            plans,
+            lambda topo: TopologyCollectiveModel.calibrate(
+                GroundTruthTopologyCollectives(topo)
+            ),
+            topologies=topologies,
+        )
+        assert set(result.axis_values("topology")) == {"2x2", "1x4"}
+        rows = result.to_rows()
+        assert all("bottleneck" in row for row in rows)
+        flat = result.filter(topology="1x4", overlap="none").records[0]
+        hier = result.filter(topology="2x2", overlap="none").records[0]
+        # Crossing nodes on Ethernet is never cheaper than NVLink-only.
+        assert hier.prediction.iteration_us > flat.prediction.iteration_us
+
+    def test_sweep_rejects_unmatched_topology(self, registry, overhead_db):
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"db": overhead_db},
+        )
+        plans = {"b1024": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4)}
+        with pytest.raises(ValueError, match="no plan matches"):
+            engine.run_multi_gpu(
+                plans,
+                lambda topo: None,
+                topologies={"2x4": Topology(2, 4)},
+            )
+
+    def test_sweep_rejects_unmatched_plan(self, registry, overhead_db):
+        """A plan matching no topology must error, not vanish."""
+        engine = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={"db": overhead_db},
+        )
+        plans = {
+            "x4": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 4),
+            "x8": build_multi_gpu_dlrm_plan(DLRM_DEFAULT, 1024, 8),
+        }
+        with pytest.raises(ValueError, match="no topology matches"):
+            engine.run_multi_gpu(
+                plans,
+                lambda topo: None,
+                topologies={"2x2": Topology(2, 2)},
+            )

@@ -1,6 +1,6 @@
-"""Documentation checks: Markdown link integrity + docstring coverage.
+"""Documentation checks: links, docstring coverage, examples gallery.
 
-Two checks, runnable standalone (CI's docs job) or through
+Three checks, runnable standalone (CI's docs job) or through
 ``tests/test_docs.py`` (tier 1):
 
 * ``check_markdown_links`` — every relative link target in the given
@@ -8,8 +8,11 @@ Two checks, runnable standalone (CI's docs job) or through
   pure ``#anchors`` are skipped; no network, no new dependencies).
 * ``check_docstrings`` — pydocstyle-equivalent coverage for a package:
   every module, public class and public function/method must carry a
-  docstring (D100–D103 in spirit).  ``src/repro/capacity`` starts at
-  100% and this keeps it there.
+  docstring (D100–D103 in spirit).  Every ``src/repro`` package listed
+  in ``DEFAULT_PACKAGES`` is held at 100%.
+* ``check_examples_gallery`` — every ``examples/*.py`` script must have
+  its own section in ``docs/EXAMPLES.md`` (a heading naming the file),
+  so new examples cannot land without gallery documentation.
 
 Usage::
 
@@ -32,18 +35,30 @@ DEFAULT_MARKDOWN = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/TOPOLOGIES.md",
+    "docs/EXAMPLES.md",
 )
 
-#: Packages held to 100% docstring coverage.  ``capacity`` starts there
-#: by construction; the others were audited clean and must stay so.
+#: Packages held to 100% docstring coverage — every ``src/repro``
+#: package with public API surface.
 DEFAULT_PACKAGES = (
     "src/repro/capacity",
     "src/repro/codesign",
     "src/repro/e2e",
+    "src/repro/graph",
     "src/repro/models",
     "src/repro/multigpu",
+    "src/repro/ops",
+    "src/repro/overheads",
+    "src/repro/perfmodels",
+    "src/repro/simulator",
     "src/repro/sweep",
+    "src/repro/trace",
 )
+
+#: The examples gallery and the scripts it must cover.
+EXAMPLES_GALLERY = "docs/EXAMPLES.md"
+EXAMPLES_DIR = "examples"
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL = ("http://", "https://", "mailto:")
@@ -126,18 +141,57 @@ def check_docstrings(
     return errors
 
 
+def check_examples_gallery(
+    gallery: str = EXAMPLES_GALLERY,
+    examples_dir: str = EXAMPLES_DIR,
+    root: Path = REPO_ROOT,
+) -> list[str]:
+    """Return one error string per example script missing from the gallery.
+
+    A script counts as covered only when a gallery heading *is* its
+    file name (e.g. ``## quickstart.py``); prose mentions and headings
+    that merely contain the name as a substring do not count, so every
+    example gets a real section of its own.
+    """
+    gallery_path = root / gallery
+    if not gallery_path.exists():
+        return [f"{gallery}: file missing"]
+    headings = []
+    in_fence = False
+    for line in gallery_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        # '#' lines inside fenced output excerpts are shell comments,
+        # not headings — they must not satisfy coverage.
+        if not in_fence and line.startswith("#"):
+            headings.append(line.lstrip("#").strip())
+    errors = []
+    for script in sorted((root / examples_dir).glob("*.py")):
+        if script.name not in headings:
+            errors.append(
+                f"{gallery}: no section for {examples_dir}/{script.name}"
+            )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run both checks; print findings unless ``--quiet``."""
+    """Run all three checks; print findings unless ``--quiet``."""
     args = argv if argv is not None else sys.argv[1:]
     quiet = "--quiet" in args
-    errors = check_markdown_links() + check_docstrings()
+    errors = (
+        check_markdown_links()
+        + check_docstrings()
+        + check_examples_gallery()
+    )
     if errors and not quiet:
         for error in errors:
             print(error, file=sys.stderr)
     if not errors and not quiet:
         print(
             f"docs OK: {len(DEFAULT_MARKDOWN)} Markdown files, "
-            f"{len(DEFAULT_PACKAGES)} packages at 100% docstrings"
+            f"{len(DEFAULT_PACKAGES)} packages at 100% docstrings, "
+            "examples gallery complete"
         )
     return 1 if errors else 0
 
