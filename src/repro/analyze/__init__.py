@@ -1,0 +1,68 @@
+"""repro lint: AST-based static analysis for the reproduction codebase.
+
+The analyzer enforces the repo-specific invariants ordinary linters
+cannot see: unit-suffix dimensional consistency (``_us`` vs ``_ms`` vs
+``_bytes``), run-to-run determinism of everything feeding ``results/``,
+the predict-vs-simulate dispatch contract, serializer round-trips, and
+documentation coverage.  Entry points:
+
+* :func:`run_lint` — library API used by the CLI, CI, and tests;
+* :func:`default_registry` — the built-in rule battery;
+* ``repro lint`` — the CLI subcommand wrapping both.
+
+Findings are compared against a committed baseline
+(``lint_baseline.json``) so accepted debt never blocks CI while any
+*new* finding fails the run.  See ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.baseline import (
+    BASELINE_NAME,
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analyze.context import ParsedFile, ProjectContext, find_repo_root
+from repro.analyze.engine import (
+    LintRun,
+    discover_files,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analyze.findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analyze.registry import SCOPE_FILE, SCOPE_PROJECT, Rule, RuleRegistry
+from repro.analyze.rules import DEFAULT_RULES, default_registry
+
+__all__ = [
+    "BASELINE_NAME",
+    "BaselineDiff",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintRun",
+    "ParsedFile",
+    "ProjectContext",
+    "Rule",
+    "RuleRegistry",
+    "SCOPE_FILE",
+    "SCOPE_PROJECT",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "default_registry",
+    "diff_against_baseline",
+    "discover_files",
+    "find_repo_root",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "save_baseline",
+]

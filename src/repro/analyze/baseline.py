@@ -1,0 +1,88 @@
+"""Committed-baseline workflow: pre-existing findings don't block CI.
+
+The baseline file (``lint_baseline.json`` at the repo root) records the
+fingerprints of accepted findings.  A lint run is *clean* when every
+finding it produces is in the baseline; any finding not in the baseline
+is **new** and fails the run, and baseline entries that no longer occur
+are reported as **stale** so the file can be shrunk with
+``repro lint --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.findings import Finding
+
+#: Default baseline filename at the repository root.
+BASELINE_NAME = "lint_baseline.json"
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Outcome of comparing a lint run against a baseline.
+
+    Attributes:
+        new: Findings absent from the baseline — these fail the run.
+        baselined: Findings matched by the baseline (accepted debt).
+        stale: Baseline entries no lint finding matched any more.
+    """
+
+    new: tuple[Finding, ...] = ()
+    baselined: tuple[Finding, ...] = ()
+    stale: tuple[Finding, ...] = field(default=())
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no new findings were produced."""
+        return not self.new
+
+
+def save_baseline(findings: list[Finding], path: Path) -> None:
+    """Write ``findings`` as the new accepted baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            f.to_dict()
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule, f.occurrence)
+            )
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    """Read the accepted findings recorded at ``path``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return [Finding.from_dict(row) for row in payload["findings"]]
+
+
+def diff_against_baseline(
+    findings: list[Finding], baseline: list[Finding]
+) -> BaselineDiff:
+    """Split a run's findings into new vs baselined, and find stale rows."""
+    accepted = {f.fingerprint: f for f in baseline}
+    new = []
+    matched: set[str] = set()
+    baselined = []
+    for finding in findings:
+        if finding.fingerprint in accepted:
+            matched.add(finding.fingerprint)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [f for f in baseline if f.fingerprint not in matched]
+    return BaselineDiff(
+        new=tuple(new), baselined=tuple(baselined), stale=tuple(stale)
+    )

@@ -1,0 +1,181 @@
+"""Parsed-file and project context shared by all lint rules.
+
+File rules see one :class:`ParsedFile` at a time; cross-file rules
+(the predict-vs-simulate contract, the magic-literal constant table)
+need the whole ``src/repro`` tree even when only a subset is being
+linted, so the :class:`ProjectContext` always parses the full source
+tree of the repository it detects around the lint targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analyze.suppress import SuppressionIndex
+
+#: Repo-relative directory whose tree cross-file rules always see.
+SRC_PACKAGE = "src/repro"
+
+
+class ParsedFile:
+    """One Python file: source text, AST, and suppression comments.
+
+    Attributes:
+        path: Absolute path on disk.
+        rel: Repo-relative POSIX path used in findings.
+        source: Raw file text.
+        tree: Parsed module, or ``None`` when the file does not parse.
+        error: The ``SyntaxError`` message when parsing failed.
+        suppressions: Inline ``# repro-lint:`` directives.
+    """
+
+    def __init__(self, path: Path, rel: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = path.read_text(encoding="utf-8")
+        self.error: str | None = None
+        try:
+            self.tree: ast.Module | None = ast.parse(self.source)
+        except SyntaxError as err:
+            self.tree = None
+            self.error = f"{err.msg} (line {err.lineno})"
+        self.suppressions = SuppressionIndex(self.source)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent map over the AST (built on first use)."""
+        if self._parents is None:
+            self._parents = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(node):
+                        self._parents[child] = node
+        return self._parents
+
+    def docstring_nodes(self) -> set[ast.AST]:
+        """Constant nodes that are module/class/function docstrings."""
+        found: set[ast.AST] = set()
+        if self.tree is None:
+            return found
+        for node in ast.walk(self.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                found.add(body[0].value)
+        return found
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Walk up from ``start`` to the directory holding ``src/repro``."""
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / SRC_PACKAGE).is_dir():
+            return candidate
+    return None
+
+
+class ConstantDef:
+    """One module- or class-level ALL-CAPS string constant."""
+
+    def __init__(self, rel: str, qualname: str, value: str, line: int) -> None:
+        self.rel = rel
+        self.qualname = qualname
+        self.value = value
+        self.line = line
+
+
+class ProjectContext:
+    """Everything cross-file rules may need about the repository.
+
+    Attributes:
+        root: Detected repository root (``None`` outside a repo — file
+            rules still run, project rules are skipped).
+        targets: The files actually being linted, keyed by ``rel``.
+        src_files: Every parseable file under ``src/repro`` (a superset
+            of the Python targets when linting inside the repo).
+    """
+
+    def __init__(self, root: Path | None, targets: dict[str, ParsedFile]) -> None:
+        self.root = root
+        self.targets = targets
+        self.src_files: dict[str, ParsedFile] = {}
+        if root is not None and (root / SRC_PACKAGE).is_dir():
+            for path in sorted((root / SRC_PACKAGE).rglob("*.py")):
+                rel = path.relative_to(root).as_posix()
+                existing = targets.get(rel)
+                self.src_files[rel] = (
+                    existing if existing is not None else ParsedFile(path, rel)
+                )
+        self._constants: dict[str, list[ConstantDef]] | None = None
+
+    def src_file(self, rel: str) -> ParsedFile | None:
+        """A parsed ``src/repro`` file by repo-relative path."""
+        return self.src_files.get(rel)
+
+    @property
+    def string_constants(self) -> dict[str, list[ConstantDef]]:
+        """ALL-CAPS string constants across ``src/repro``, by value.
+
+        Collects simple ``NAME = "value"`` assignments at module level
+        and inside class bodies (e.g. ``KernelType.GEMM``); these are
+        the named vocabularies the magic-literal rule guards.
+        """
+        if self._constants is None:
+            table: dict[str, list[ConstantDef]] = {}
+            for rel, parsed in self.src_files.items():
+                if parsed.tree is None:
+                    continue
+                for scope, prefix in _constant_scopes(parsed.tree):
+                    for stmt in scope:
+                        for name, value, line in _constant_assigns(stmt):
+                            table.setdefault(value, []).append(
+                                ConstantDef(rel, prefix + name, value, line)
+                            )
+            self._constants = table
+        return self._constants
+
+    def constant_def_lines(self) -> set[tuple[str, int]]:
+        """``(rel, line)`` pairs of constant-defining statements."""
+        return {
+            (d.rel, d.line)
+            for defs in self.string_constants.values()
+            for d in defs
+        }
+
+
+def _constant_scopes(tree: ast.Module):
+    """Yield (statement list, qualname prefix) for module + class bodies."""
+    yield tree.body, ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node.body, f"{node.name}."
+
+
+def _constant_assigns(stmt: ast.stmt):
+    """Yield ``(name, value, line)`` for ALL-CAPS string assignments."""
+    targets: list[ast.expr] = []
+    value: ast.expr | None = None
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+        return
+    for target in targets:
+        if (
+            isinstance(target, ast.Name)
+            and target.id.isupper()
+            and len(value.value) > 0
+        ):
+            yield target.id, value.value, stmt.lineno

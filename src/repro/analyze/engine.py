@@ -1,0 +1,181 @@
+"""The lint engine: discover files, run rules, apply the baseline.
+
+:func:`run_lint` is the single entry point shared by the ``repro
+lint`` CLI subcommand, CI, and the test harness.  It parses the target
+files (plus the whole ``src/repro`` tree for cross-file rules), runs
+every selected rule, drops suppressed findings, numbers duplicate
+findings, and — when a baseline is given — splits the result into new
+vs accepted findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analyze.baseline import (
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+)
+from repro.analyze.context import ParsedFile, ProjectContext, find_repo_root
+from repro.analyze.findings import (
+    SEVERITY_ERROR,
+    Finding,
+    number_occurrences,
+)
+from repro.analyze.registry import SCOPE_PROJECT, RuleRegistry
+
+#: Rule name attributed to unparseable Python files.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class LintRun:
+    """Everything one lint invocation produced.
+
+    Attributes:
+        findings: All unsuppressed findings, in stable order.
+        diff: Baseline comparison (all findings "new" when no baseline).
+        files: Number of Python files linted.
+        root: Detected repository root (``None`` outside the repo).
+    """
+
+    findings: tuple[Finding, ...]
+    diff: BaselineDiff
+    files: int
+    root: Path | None
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 1 on any new finding, else 0."""
+        return 1 if self.diff.new else 0
+
+    def errors(self) -> list[Finding]:
+        """The error-severity subset of all findings."""
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Python files under the given files/directories, sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def run_lint(
+    paths: list[Path],
+    registry: RuleRegistry,
+    rules: list[str] | None = None,
+    baseline_path: Path | None = None,
+    root: Path | None = None,
+) -> LintRun:
+    """Lint ``paths`` with the registry's rules against a baseline.
+
+    Args:
+        paths: Files or directories to lint.
+        registry: Rules to draw from.
+        rules: Subset of rule names to run (``None`` = all).
+        baseline_path: Accepted-findings file; ``None`` means every
+            finding is new.
+        root: Repository root override (auto-detected by default).
+
+    Returns:
+        The :class:`LintRun`, findings sorted by (path, line, rule).
+    """
+    files = discover_files(paths)
+    if root is None and files:
+        root = find_repo_root(files[0].resolve())
+    if root is None:
+        root = find_repo_root(Path.cwd())
+
+    targets: dict[str, ParsedFile] = {}
+    for path in files:
+        resolved = path.resolve()
+        rel = (
+            resolved.relative_to(root).as_posix()
+            if root is not None and resolved.is_relative_to(root)
+            else path.as_posix()
+        )
+        targets[rel] = ParsedFile(resolved, rel)
+
+    context = ProjectContext(root, targets)
+    selected = registry.select(rules)
+
+    raw: list[Finding] = []
+    for rel, parsed in sorted(targets.items()):
+        if parsed.tree is None:
+            raw.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    severity=SEVERITY_ERROR,
+                    path=rel,
+                    line=1,
+                    message=f"file does not parse: {parsed.error}",
+                )
+            )
+            continue
+        for rule in selected:
+            if rule.scope == SCOPE_PROJECT:
+                continue
+            raw.extend(rule.check_file(parsed, context))
+    for rule in selected:
+        if rule.scope == SCOPE_PROJECT:
+            raw.extend(rule.check_project(context))
+
+    kept = []
+    for finding in raw:
+        parsed = targets.get(finding.path) or context.src_files.get(
+            finding.path
+        )
+        if parsed is not None and parsed.suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            continue
+        kept.append(finding)
+    findings = number_occurrences(kept)
+
+    if baseline_path is not None and baseline_path.exists():
+        diff = diff_against_baseline(findings, load_baseline(baseline_path))
+    else:
+        diff = BaselineDiff(new=tuple(findings))
+    return LintRun(
+        findings=tuple(findings), diff=diff, files=len(files), root=root
+    )
+
+
+def render_text(run: LintRun, show_baselined: bool = False) -> str:
+    """Human-readable report: new findings, then a summary line."""
+    lines = [f.render() for f in run.diff.new]
+    if show_baselined:
+        lines.extend(
+            f"{f.render()}  (baselined)" for f in run.diff.baselined
+        )
+    for stale in run.diff.stale:
+        lines.append(
+            f"stale baseline entry: {stale.path} [{stale.rule}] "
+            f"{stale.message!r} no longer occurs "
+            f"(run --update-baseline to drop it)"
+        )
+    lines.append(
+        f"{run.files} files linted: {len(run.diff.new)} new finding(s), "
+        f"{len(run.diff.baselined)} baselined, {len(run.diff.stale)} stale"
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """Machine-readable report for CI artifacts (``--format=json``)."""
+    payload = {
+        "files": run.files,
+        "new": [f.to_dict() for f in run.diff.new],
+        "baselined": [f.to_dict() for f in run.diff.baselined],
+        "stale": [f.to_dict() for f in run.diff.stale],
+        "exit_code": run.exit_code,
+    }
+    return json.dumps(payload, indent=1)

@@ -1,0 +1,117 @@
+"""Finding and severity primitives shared by every lint rule.
+
+A :class:`Finding` is one diagnostic: which rule fired, how severe it
+is, where it points, and a stable *fingerprint* used by the baseline
+workflow.  Fingerprints deliberately exclude the line number — moving a
+pre-existing violation up or down a file must not make it "new" — and
+include a per-(rule, path, message) occurrence index so two identical
+violations in one file stay distinguishable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Severity: must be fixed before the finding may enter the baseline.
+SEVERITY_ERROR = "error"
+#: Severity: allowed to live in the committed baseline.
+SEVERITY_WARNING = "warning"
+#: Recognised severities, strongest first.
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint rule.
+
+    Attributes:
+        rule: Rule name, e.g. ``unit-mixed-arithmetic``.
+        severity: :data:`SEVERITY_ERROR` or :data:`SEVERITY_WARNING`.
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based line number (0 for whole-project findings).
+        message: Human-readable description of the violation.
+        occurrence: 1-based index among findings sharing
+            ``(rule, path, message)``, keeping fingerprints unique.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            known = ", ".join(SEVERITIES)
+            raise ValueError(
+                f"unknown severity {self.severity!r}; known: {known}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        digest = hashlib.sha1(
+            f"{self.rule}|{self.path}|{self.message}|{self.occurrence}"
+            .encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (baseline + ``--format=json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "occurrence": self.occurrence,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (``fingerprint`` is derived)."""
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            path=data["path"],
+            line=data["line"],
+            message=data["message"],
+            occurrence=data.get("occurrence", 1),
+        )
+
+    def render(self) -> str:
+        """One-line human-readable form, ``path:line: severity ...``."""
+        return (
+            f"{self.path}:{self.line}: {self.severity} "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+def number_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Assign 1-based occurrence indices to identical findings.
+
+    Rules emit findings with the default ``occurrence=1``; the engine
+    re-numbers duplicates in file order so every fingerprint in a run
+    is unique and stable under unrelated insertions.
+    """
+    counts: dict[tuple[str, str, str], int] = {}
+    numbered = []
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+    ):
+        key = (finding.rule, finding.path, finding.message)
+        counts[key] = counts.get(key, 0) + 1
+        numbered.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                occurrence=counts[key],
+            )
+        )
+    return numbered

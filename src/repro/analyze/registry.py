@@ -1,0 +1,107 @@
+"""Rule base classes and the rule registry.
+
+Every rule is a subclass of :class:`Rule` registered under a unique
+kebab-case name with a default severity.  Two scopes exist:
+
+* ``file`` rules get each linted file's AST one at a time;
+* ``project`` rules run once per lint invocation with the whole
+  :class:`~repro.analyze.context.ProjectContext` (cross-file contracts,
+  documentation checks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.context import ParsedFile, ProjectContext
+from repro.analyze.findings import SEVERITIES, SEVERITY_ERROR, Finding
+
+#: Rule scope: runs once per linted Python file.
+SCOPE_FILE = "file"
+#: Rule scope: runs once per lint invocation.
+SCOPE_PROJECT = "project"
+
+
+class Rule:
+    """Base class every lint rule subclasses.
+
+    Class attributes declare identity and defaults; subclasses override
+    :meth:`check_file` or :meth:`check_project` according to
+    :attr:`scope`.  Rules must be deterministic: same tree in, same
+    findings out, in a stable order.
+    """
+
+    #: Unique kebab-case rule name (used in suppressions + baselines).
+    name: str = ""
+    #: Default severity of this rule's findings.
+    severity: str = SEVERITY_ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+    #: :data:`SCOPE_FILE` or :data:`SCOPE_PROJECT`.
+    scope: str = SCOPE_FILE
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Findings for one parsed file (``file``-scope rules)."""
+        return ()
+
+    def check_project(self, context: ProjectContext) -> Iterable[Finding]:
+        """Findings for the whole repository (``project``-scope rules)."""
+        return ()
+
+    def finding(
+        self, path: str, line: int, message: str, severity: str | None = None
+    ) -> Finding:
+        """Build a finding attributed to this rule."""
+        return Finding(
+            rule=self.name,
+            severity=self.severity if severity is None else severity,
+            path=path,
+            line=line,
+            message=message,
+        )
+
+
+class RuleRegistry:
+    """Named collection of rule instances."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        """Instantiate and add a rule class; usable as a decorator."""
+        rule = rule_cls()
+        if not rule.name:
+            raise ValueError(f"{rule_cls.__name__} declares no rule name")
+        if rule.severity not in SEVERITIES:
+            raise ValueError(
+                f"{rule.name}: unknown severity {rule.severity!r}"
+            )
+        if rule.name in self._rules:
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules[rule.name] = rule
+        return rule_cls
+
+    def get(self, name: str) -> Rule:
+        """The rule registered under ``name``."""
+        if name not in self._rules:
+            known = ", ".join(sorted(self._rules))
+            raise KeyError(f"unknown rule {name!r}; known: {known}")
+        return self._rules[name]
+
+    def select(self, names: Iterable[str] | None = None) -> list[Rule]:
+        """Rules to run: all (stable name order) or the named subset."""
+        if names is None:
+            return [self._rules[n] for n in sorted(self._rules)]
+        return [self.get(n) for n in names]
+
+    def names(self) -> list[str]:
+        """Registered rule names, sorted."""
+        return sorted(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules

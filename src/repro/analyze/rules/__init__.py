@@ -1,0 +1,51 @@
+"""The built-in rule battery, assembled into the default registry."""
+
+from __future__ import annotations
+
+from repro.analyze.registry import RuleRegistry
+from repro.analyze.rules.contract import (
+    ContractDispatch,
+    ContractKernelModel,
+    ContractRoundtrip,
+)
+from repro.analyze.rules.determinism import (
+    DetHash,
+    DetRandom,
+    DetSetOrder,
+    DetTime,
+)
+from repro.analyze.rules.docs import DocDocstring, DocExampleGallery, DocLink
+from repro.analyze.rules.literals import MagicLiteral
+from repro.analyze.rules.units import (
+    UnitMixedArithmetic,
+    UnitReturnMismatch,
+    UnitReturnUnsuffixed,
+)
+
+__all__ = ["DEFAULT_RULES", "default_registry"]
+
+#: Every built-in rule class, in battery order.
+DEFAULT_RULES = (
+    UnitMixedArithmetic,
+    UnitReturnMismatch,
+    UnitReturnUnsuffixed,
+    DetHash,
+    DetTime,
+    DetRandom,
+    DetSetOrder,
+    ContractDispatch,
+    ContractKernelModel,
+    ContractRoundtrip,
+    MagicLiteral,
+    DocLink,
+    DocDocstring,
+    DocExampleGallery,
+)
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding every built-in rule."""
+    registry = RuleRegistry()
+    for rule_cls in DEFAULT_RULES:
+        registry.register(rule_cls)
+    return registry

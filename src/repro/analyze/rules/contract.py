@@ -1,0 +1,495 @@
+"""Predict-vs-simulate contract lint.
+
+The repo's core promise is that the prediction side and the ground-truth
+simulation side implement *the same semantics*.  These rules make the
+three places where that contract lives machine-checked:
+
+* ``contract-dispatch`` — every overlap policy in ``OVERLAP_POLICIES``
+  and every collective kind in ``COLLECTIVE_KINDS`` must be handled by
+  both ``multigpu/predict.py`` and ``multigpu/simulate.py``.  "Handled"
+  means the module — or a ``repro`` module it (transitively) imports
+  from — references the member constant, compares against its string
+  value, or membership-tests against the whole registry tuple.  Adding
+  a policy/kind that only one side knows about fails the lint.
+* ``contract-kernel-model`` — every :class:`repro.ops.base.KernelType`
+  member must be referenced somewhere under ``repro.perfmodels`` (a
+  kernel type with no registered performance model would silently make
+  ``predict_e2e`` diverge from the simulator).
+* ``contract-roundtrip`` — every dataclass defining ``to_dict`` must
+  define a ``from_dict``, and the statically-visible key sets must
+  agree: ``from_dict`` may only consume keys ``to_dict`` writes, and
+  every dataclass field ``to_dict`` serializes must be consumed by
+  ``from_dict``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.context import ParsedFile, ProjectContext
+from repro.analyze.findings import SEVERITY_ERROR, Finding
+from repro.analyze.registry import SCOPE_PROJECT, Rule
+
+#: The registry tuples both engine sides must cover, and where each is
+#: defined / must be handled.
+DISPATCH_CONTRACTS = (
+    {
+        "registry": "OVERLAP_POLICIES",
+        "defined_in": "src/repro/multigpu/schedule.py",
+        "handlers": (
+            "src/repro/multigpu/predict.py",
+            "src/repro/multigpu/simulate.py",
+        ),
+    },
+    {
+        "registry": "COLLECTIVE_KINDS",
+        "defined_in": "src/repro/multigpu/interconnect.py",
+        "handlers": (
+            "src/repro/multigpu/predict.py",
+            "src/repro/multigpu/simulate.py",
+        ),
+    },
+)
+
+#: Where :class:`KernelType` lives and which package must model it.
+KERNEL_TYPE_FILE = "src/repro/ops/base.py"
+PERFMODELS_PREFIX = "src/repro/perfmodels/"
+
+
+def _module_str_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "value"`` constants (any casing)."""
+    table: dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            if isinstance(stmt.value.value, str):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        table[target.id] = stmt.value.value
+    return table
+
+
+def _repro_module_to_rel(module: str) -> str | None:
+    """``repro.multigpu.schedule`` -> ``src/repro/multigpu/schedule.py``."""
+    if not (module == "repro" or module.startswith("repro.")):
+        return None
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def _module_imports(tree: ast.Module, context: ProjectContext) -> set[str]:
+    """Repo-relative paths of ``repro`` modules this module imports."""
+    deps: set[str] = set()
+
+    def add(module: str) -> None:
+        rel = _repro_module_to_rel(module)
+        if rel is None:
+            return
+        if rel in context.src_files:
+            deps.add(rel)
+            return
+        init = rel[: -len(".py")] + "/__init__.py"
+        if init in context.src_files:
+            deps.add(init)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            add(node.module)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+    return deps
+
+
+class _RegistryInfo:
+    """One registry tuple: its member names and their string values."""
+
+    def __init__(self, name: str, defined_in: str, members: dict[str, str]):
+        self.name = name
+        self.defined_in = defined_in
+        self.members = members  # constant name -> string value
+
+    @property
+    def values(self) -> set[str]:
+        """All member string values."""
+        return set(self.members.values())
+
+
+def _parse_registry(
+    name: str, rel: str, context: ProjectContext
+) -> _RegistryInfo | None:
+    """Extract a ``NAME = (A, B, ...)`` registry from its module."""
+    parsed = context.src_file(rel)
+    if parsed is None or parsed.tree is None:
+        return None
+    constants = _module_str_constants(parsed.tree)
+    for stmt in parsed.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in stmt.targets
+            )
+        ):
+            continue
+        if not isinstance(stmt.value, (ast.Tuple, ast.List)):
+            continue
+        members: dict[str, str] = {}
+        for element in stmt.value.elts:
+            if isinstance(element, ast.Name) and element.id in constants:
+                members[element.id] = constants[element.id]
+            elif isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                members[element.value] = element.value
+        if members:
+            return _RegistryInfo(name, rel, members)
+    return None
+
+
+def _excluded_nodes(tree: ast.Module, registry: _RegistryInfo) -> set[int]:
+    """ids of nodes inside defining assignments (not real *handling*)."""
+    excluded: set[int] = set()
+    names = set(registry.members) | {registry.name}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id in names for t in stmt.targets
+        ):
+            for node in ast.walk(stmt):
+                excluded.add(id(node))
+    return excluded
+
+
+def _mentions(
+    parsed: ParsedFile, registry: _RegistryInfo, context: ProjectContext
+) -> set[str]:
+    """Member values this module itself handles (no import closure)."""
+    tree = parsed.tree
+    covered: set[str] = set()
+    local_constants = _module_str_constants(tree)
+    imported: dict[str, str | None] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            source = _repro_module_to_rel(node.module)
+            for alias in node.names:
+                imported[alias.asname or alias.name] = source
+
+    def resolve(name: str) -> str | None:
+        """String value a referenced constant name carries, if known."""
+        if name in registry.members:
+            return registry.members[name]
+        if name in local_constants:
+            return local_constants[name]
+        return None
+
+    excluded = _excluded_nodes(tree, registry)
+    docstrings = parsed.docstring_nodes()
+    for node in ast.walk(tree):
+        if id(node) in excluded:
+            continue
+        if isinstance(node, ast.Name):
+            value = resolve(node.id)
+            if value in registry.values:
+                covered.add(value)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in registry.values and node not in docstrings:
+                covered.add(node.value)
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            # Membership test against the registry tuple itself means
+            # the code handles every member generically.
+            for comparator in node.comparators:
+                if (
+                    isinstance(comparator, ast.Name)
+                    and comparator.id == registry.name
+                ):
+                    covered |= registry.values
+    return covered
+
+
+class ContractDispatch(Rule):
+    """Both engine sides must handle every policy and collective kind."""
+
+    name = "contract-dispatch"
+    severity = SEVERITY_ERROR
+    description = (
+        "every OVERLAP_POLICIES / COLLECTIVE_KINDS member must be "
+        "handled (directly or via imports) by multigpu/predict.py AND "
+        "multigpu/simulate.py"
+    )
+    scope = SCOPE_PROJECT
+
+    def check_project(self, context: ProjectContext) -> Iterable[Finding]:
+        """Report registry members one engine side does not handle."""
+        if context.root is None:
+            return []
+        findings = []
+        mention_cache: dict[tuple[str, str], set[str]] = {}
+        deps_cache: dict[str, set[str]] = {}
+
+        def coverage(rel: str, registry: _RegistryInfo) -> set[str]:
+            """Fixpoint of mentions over the repro import graph."""
+            seen: set[str] = set()
+            covered: set[str] = set()
+            stack = [rel]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                parsed = context.src_file(current)
+                if parsed is None or parsed.tree is None:
+                    continue
+                key = (current, registry.name)
+                if key not in mention_cache:
+                    mention_cache[key] = _mentions(parsed, registry, context)
+                covered |= mention_cache[key]
+                if current not in deps_cache:
+                    deps_cache[current] = _module_imports(
+                        parsed.tree, context
+                    )
+                stack.extend(deps_cache[current])
+            return covered
+
+        for contract in DISPATCH_CONTRACTS:
+            registry = _parse_registry(
+                contract["registry"], contract["defined_in"], context
+            )
+            if registry is None:
+                findings.append(
+                    self.finding(
+                        contract["defined_in"],
+                        1,
+                        f"registry tuple {contract['registry']} not found "
+                        "(contract lint cannot verify dispatch coverage)",
+                    )
+                )
+                continue
+            for handler in contract["handlers"]:
+                if context.src_file(handler) is None:
+                    findings.append(
+                        self.finding(
+                            handler, 1,
+                            f"handler module missing for {registry.name}",
+                        )
+                    )
+                    continue
+                missing = registry.values - coverage(handler, registry)
+                for value in sorted(missing):
+                    findings.append(
+                        self.finding(
+                            handler,
+                            1,
+                            f"{registry.name} member {value!r} is not "
+                            f"handled by this module or anything it "
+                            f"imports",
+                        )
+                    )
+        return findings
+
+
+class ContractKernelModel(Rule):
+    """Every KernelType member needs a perf model reference."""
+
+    name = "contract-kernel-model"
+    severity = SEVERITY_ERROR
+    description = (
+        "every KernelType member must be referenced under "
+        "repro.perfmodels (otherwise no performance model can serve it)"
+    )
+    scope = SCOPE_PROJECT
+
+    def check_project(self, context: ProjectContext) -> Iterable[Finding]:
+        """Report KernelType members unknown to the perfmodels package."""
+        if context.root is None:
+            return []
+        base = context.src_file(KERNEL_TYPE_FILE)
+        if base is None or base.tree is None:
+            return [
+                self.finding(
+                    KERNEL_TYPE_FILE, 1, "KernelType definition not found"
+                )
+            ]
+        members: dict[str, int] = {}
+        for node in ast.walk(base.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "KernelType":
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)
+                    ):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                members[target.id] = stmt.lineno
+        referenced: set[str] = set()
+        for rel, parsed in context.src_files.items():
+            if not rel.startswith(PERFMODELS_PREFIX) or parsed.tree is None:
+                continue
+            for node in ast.walk(parsed.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "KernelType"
+                ):
+                    referenced.add(node.attr)
+        return [
+            self.finding(
+                KERNEL_TYPE_FILE,
+                line,
+                f"KernelType.{name} has no reference under "
+                f"repro.perfmodels — no performance model can serve it",
+            )
+            for name, line in sorted(members.items())
+            if name not in referenced
+        ]
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    """A directly-defined method of the class, if present."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    """True when the class carries a ``dataclass`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> set[str]:
+    """Names of annotated dataclass fields."""
+    return {
+        stmt.target.id
+        for stmt in node.body
+        if isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+    }
+
+
+def _emitted_keys(
+    to_dict: ast.FunctionDef, fields: set[str]
+) -> tuple[set[str], set[str]] | None:
+    """``(all keys, field-backed keys)`` of a dict-literal ``to_dict``.
+
+    Returns ``None`` when ``to_dict`` does not return a dict literal
+    (nothing statically checkable).
+    """
+    for stmt in ast.walk(to_dict):
+        if not (
+            isinstance(stmt, ast.Return)
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            continue
+        all_keys: set[str] = set()
+        field_keys: set[str] = set()
+        for key, value in zip(stmt.value.keys, stmt.value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            all_keys.add(key.value)
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in fields
+            ):
+                field_keys.add(key.value)
+        return all_keys, field_keys
+    return None
+
+
+def _consumed_keys(from_dict: ast.FunctionDef) -> set[str]:
+    """String keys ``from_dict`` reads via ``data[...]`` or ``.get``."""
+    consumed: set[str] = set()
+    for node in ast.walk(from_dict):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            consumed.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            consumed.add(node.args[0].value)
+    return consumed
+
+
+class ContractRoundtrip(Rule):
+    """Dataclass serializers must round-trip."""
+
+    name = "contract-roundtrip"
+    severity = SEVERITY_ERROR
+    description = (
+        "dataclass with to_dict must define from_dict, and the "
+        "statically-visible key sets must round-trip"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report serializer/deserializer asymmetries per dataclass."""
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if not (isinstance(node, ast.ClassDef) and _is_dataclass(node)):
+                continue
+            to_dict = _method(node, "to_dict")
+            if to_dict is None:
+                continue
+            from_dict = _method(node, "from_dict")
+            if from_dict is None:
+                findings.append(
+                    self.finding(
+                        parsed.rel,
+                        node.lineno,
+                        f"dataclass {node.name} defines to_dict but no "
+                        f"from_dict — persisted rows cannot be loaded "
+                        f"back",
+                    )
+                )
+                continue
+            emitted = _emitted_keys(to_dict, _dataclass_fields(node))
+            if emitted is None:
+                continue
+            all_keys, field_keys = emitted
+            consumed = _consumed_keys(from_dict)
+            for key in sorted(consumed - all_keys):
+                findings.append(
+                    self.finding(
+                        parsed.rel,
+                        from_dict.lineno,
+                        f"{node.name}.from_dict consumes key {key!r} "
+                        f"that to_dict never writes",
+                    )
+                )
+            for key in sorted(field_keys - consumed):
+                findings.append(
+                    self.finding(
+                        parsed.rel,
+                        from_dict.lineno,
+                        f"{node.name}.to_dict serializes field {key!r} "
+                        f"but from_dict never consumes it",
+                    )
+                )
+        return findings

@@ -1,0 +1,262 @@
+"""Determinism lint: everything feeding ``results/`` must replay bit-for-bit.
+
+PR 2 shipped the canonical bug this battery guards against: a testbed
+seed derived from ``hash()`` of the GPU name, which Python randomizes
+per process, so no two benchmark runs ever produced the same
+``results/*.json``.  These rules ban the whole class statically:
+
+* ``det-hash`` — the ``hash()`` builtin (``PYTHONHASHSEED``-randomized
+  for strings; use ``zlib.crc32`` for stable digests).
+* ``det-time`` — wall-clock reads (``time.time``, ``datetime.now``,
+  ...) whose value changes run to run.  Duration measurement via
+  ``time.perf_counter`` stays allowed.
+* ``det-random`` — unseeded randomness: the global ``random`` module,
+  legacy ``numpy.random.*`` globals, ``numpy.random.default_rng()``
+  with no seed, ``os.urandom``, ``uuid.uuid4``, ``secrets``.
+* ``det-set-order`` — iterating a bare ``set`` (or materializing one
+  with ``list``/``tuple``) whose order is hash-randomized; wrap in
+  ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.context import ParsedFile, ProjectContext
+from repro.analyze.findings import SEVERITY_ERROR, Finding
+from repro.analyze.registry import Rule
+
+#: ``time``-module attributes that read the wall clock.
+_WALL_CLOCK_TIME = ("time", "time_ns", "ctime", "localtime", "gmtime")
+#: ``datetime``-class constructors that read the wall clock.
+_WALL_CLOCK_DATETIME = ("now", "today", "utcnow")
+#: Call heads that drain entropy no seed controls.
+_ENTROPY_CALLS = {
+    ("os", "urandom"),
+    ("uuid", "uuid4"),
+    ("uuid", "uuid1"),
+    ("secrets", "token_bytes"),
+    ("secrets", "token_hex"),
+    ("secrets", "randbelow"),
+}
+#: Builtins that materialize a set's (hash-randomized) order.
+_ORDER_MATERIALIZERS = ("list", "tuple", "iter", "enumerate")
+
+
+def _attr_chain(node: ast.expr) -> tuple[str, ...]:
+    """``("np", "random", "rand")`` for ``np.random.rand`` etc."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        return ()
+    return tuple(reversed(parts))
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """True for expressions that are literally a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+class DetHash(Rule):
+    """Ban the per-process-randomized ``hash()`` builtin."""
+
+    name = "det-hash"
+    severity = SEVERITY_ERROR
+    description = (
+        "hash() is PYTHONHASHSEED-randomized per process; use zlib.crc32 "
+        "or hashlib for stable digests"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report every call to the ``hash`` builtin."""
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                findings.append(
+                    self.finding(
+                        parsed.rel,
+                        node.lineno,
+                        "hash() is randomized per process "
+                        "(PYTHONHASHSEED); derive stable seeds/digests "
+                        "with zlib.crc32 or hashlib",
+                    )
+                )
+        return findings
+
+
+class DetTime(Rule):
+    """Ban wall-clock reads in reproducible code paths."""
+
+    name = "det-time"
+    severity = SEVERITY_ERROR
+    description = (
+        "wall-clock reads (time.time, datetime.now, ...) change run to "
+        "run; results/ content must not depend on them"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report wall-clock reading calls."""
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) < 2:
+                continue
+            head, tail = chain[0], chain[-1]
+            is_time = head == "time" and tail in _WALL_CLOCK_TIME
+            is_datetime = (
+                head in ("datetime", "date")
+                or "datetime" in chain[:-1]
+            ) and tail in _WALL_CLOCK_DATETIME
+            if is_time or is_datetime:
+                findings.append(
+                    self.finding(
+                        parsed.rel,
+                        node.lineno,
+                        f"wall-clock read {'.'.join(chain)}() is "
+                        "nondeterministic; thread timestamps in "
+                        "explicitly if needed",
+                    )
+                )
+        return findings
+
+
+class DetRandom(Rule):
+    """Ban unseeded randomness sources."""
+
+    name = "det-random"
+    severity = SEVERITY_ERROR
+    description = (
+        "unseeded randomness (global random module, numpy legacy "
+        "globals, default_rng() without a seed, os.urandom, uuid4)"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report unseeded randomness call sites."""
+        findings = []
+
+        def report(node: ast.AST, message: str) -> None:
+            """Record one unseeded-randomness finding at ``node``."""
+            findings.append(self.finding(parsed.rel, node.lineno, message))
+
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain:
+                continue
+            if chain[0] == "random" and len(chain) == 2:
+                report(
+                    node,
+                    f"global random.{chain[1]}() draws from the "
+                    "process-wide unseeded generator; use a seeded "
+                    "numpy Generator or random.Random(seed)",
+                )
+            elif (
+                len(chain) >= 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] != "default_rng"
+            ):
+                report(
+                    node,
+                    f"legacy numpy global {'.'.join(chain)}() is "
+                    "unseeded shared state; use "
+                    "numpy.random.default_rng(seed)",
+                )
+            elif (
+                chain[-1] == "default_rng"
+                and "random" in chain
+                and not node.args
+                and not node.keywords
+            ):
+                report(
+                    node,
+                    "default_rng() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+            elif chain in _ENTROPY_CALLS or chain[0] == "secrets":
+                report(
+                    node,
+                    f"{'.'.join(chain)}() is pure entropy; reproducible "
+                    "code paths cannot use it",
+                )
+        return findings
+
+
+class DetSetOrder(Rule):
+    """Ban order-sensitive iteration over bare sets."""
+
+    name = "det-set-order"
+    severity = SEVERITY_ERROR
+    description = (
+        "iterating or materializing a bare set leaks hash-randomized "
+        "order; wrap in sorted(...)"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report set-order-dependent iteration sites."""
+        findings = []
+
+        def report(node: ast.AST, how: str) -> None:
+            """Record one set-order finding at ``node``."""
+            findings.append(
+                self.finding(
+                    parsed.rel,
+                    node.lineno,
+                    f"{how} a bare set is hash-order-dependent; wrap it "
+                    "in sorted(...)",
+                )
+            )
+
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter
+            ):
+                report(node, "iterating")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        report(node, "iterating")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_materializer = (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_MATERIALIZERS
+                )
+                is_join = (
+                    isinstance(func, ast.Attribute) and func.attr == "join"
+                )
+                if (
+                    (is_materializer or is_join)
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    report(node, "materializing")
+        return findings

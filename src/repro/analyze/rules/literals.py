@@ -1,0 +1,89 @@
+"""Magic-literal lint: string literals shadowing named constants.
+
+PR 2's overlap-policy bug pattern: ``"none"`` typed inline where
+:data:`~repro.multigpu.schedule.OVERLAP_NONE` exists, so a rename of
+the constant silently forks the vocabulary.  The rule builds a table of
+every ALL-CAPS string constant across ``src/repro`` (module- and
+class-level, e.g. ``OVERLAP_NONE`` or ``KernelType.GEMM``) and flags
+any *other* string literal carrying one of those values.
+
+Heuristics keeping the rule honest (warnings, not errors):
+
+* only word-like values of three or more characters count — prose,
+  f-string fragments and docstrings never match;
+* the defining assignments themselves (and registry tuples on the same
+  statement) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.context import ParsedFile, ProjectContext
+from repro.analyze.findings import SEVERITY_WARNING, Finding
+from repro.analyze.registry import Rule
+
+#: Shortest literal value worth flagging (below this, too many
+#: coincidental matches).
+MIN_LITERAL_LENGTH = 3
+
+
+def _is_wordlike(value: str) -> bool:
+    """True for identifier-ish values (no whitespace, has a letter)."""
+    return (
+        len(value) >= MIN_LITERAL_LENGTH
+        and not any(ch.isspace() for ch in value)
+        and any(ch.isalpha() for ch in value)
+    )
+
+
+class MagicLiteral(Rule):
+    """Flag string literals that duplicate a named constant's value."""
+
+    name = "magic-literal"
+    severity = SEVERITY_WARNING
+    description = (
+        "string literal duplicates the value of a named ALL-CAPS "
+        "constant; use the constant so renames cannot fork the "
+        "vocabulary"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report shadowing literals in one file."""
+        table = context.string_constants
+        if not table:
+            return []
+        def_lines = context.constant_def_lines()
+        docstrings = parsed.docstring_nodes()
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _is_wordlike(node.value)
+            ):
+                continue
+            defs = table.get(node.value)
+            if not defs:
+                continue
+            if node in docstrings:
+                continue
+            if isinstance(parsed.parents.get(node), ast.JoinedStr):
+                continue
+            if (parsed.rel, node.lineno) in def_lines:
+                continue
+            named = ", ".join(
+                sorted({f"{d.qualname} ({d.rel})" for d in defs})
+            )
+            findings.append(
+                self.finding(
+                    parsed.rel,
+                    node.lineno,
+                    f"string literal {node.value!r} shadows named "
+                    f"constant {named}; use the constant",
+                )
+            )
+        return findings

@@ -1,0 +1,351 @@
+"""Unit-suffix dimensional analysis.
+
+The repo's timing contract lives in identifier suffixes: ``_us`` is
+microseconds, ``_bytes`` is bytes, ``_gbs`` is GB/s, and so on.  The
+paper's accuracy claims collapse silently if a millisecond quantity is
+added to a microsecond one, so these rules treat suffixes as units and
+flag *definite* dimensional conflicts:
+
+* ``unit-mixed-arithmetic`` — ``+``/``-``, comparisons, ``min``/``max``
+  argument lists, assignments and keyword arguments that mix two
+  different known units (``a_us + b_ms``, ``x_bytes = y_gib``).
+* ``unit-return-mismatch`` — a function whose *name* promises a unit
+  returns an expression carrying a different one.
+* ``unit-return-unsuffixed`` — a unit-promising function returns a bare
+  unsuffixed name, so nothing ties the value to the promised unit
+  (warning: often benign, always worth a rename).
+
+Inference is deliberately conservative: multiplying or dividing two
+united quantities yields *unknown* (a new dimension), and unknown never
+conflicts with anything — only two explicitly-known, different units
+are reported, so every finding is a real dimensional statement about
+the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analyze.context import ParsedFile, ProjectContext
+from repro.analyze.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.analyze.registry import Rule
+
+#: Recognised unit suffixes (aliases map to one canonical unit).
+UNIT_ALIASES = {
+    "us": "us",
+    "usec": "us",
+    "ms": "ms",
+    "msec": "ms",
+    "sec": "seconds",
+    "seconds": "seconds",
+    "bytes": "bytes",
+    "byte": "bytes",
+    "kb": "kb",
+    "kib": "kib",
+    "mb": "mb",
+    "mib": "mib",
+    "gb": "gb",
+    "gib": "gib",
+    "flop": "flops",
+    "flops": "flops",
+    "gflops": "gflops",
+    "qps": "qps",
+    "gbs": "gbs",
+    "hz": "hz",
+}
+
+#: Dimensionless sentinel (numeric literals, counts).
+DIMENSIONLESS = ""
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: ``min``/``max``-style calls whose result carries the argument unit.
+_UNIT_PRESERVING_CALLS = ("sum", "max", "min", "abs", "float", "round", "mean")
+
+
+def identifier_unit(name: str) -> str | None:
+    """The unit an identifier's suffix (or leading token) promises.
+
+    ``total_us`` -> ``us``; ``bytes_read`` -> ``bytes``;
+    ``samples_per_second`` -> ``None`` (a *rate*, not the base unit —
+    any ``per`` in the name disables suffix typing except for explicit
+    rate suffixes like ``_qps``).
+    """
+    tokens = _TOKEN_RE.findall(name.lower())
+    if len(tokens) < 2:
+        return None
+    if "per" in tokens:
+        # Rates (lam_per_us, bytes_per_device) carry a *derived* unit;
+        # only explicit rate suffixes like _qps type a rate.
+        return None
+    last = UNIT_ALIASES.get(tokens[-1])
+    if last is not None:
+        return last
+    return UNIT_ALIASES.get(tokens[0])
+
+
+def _node_name(node: ast.expr) -> str | None:
+    """Terminal identifier of a Name/Attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def infer_unit(node: ast.expr) -> str | None:
+    """Unit of an expression: a unit name, :data:`DIMENSIONLESS`, or None.
+
+    Pure — never reports; conflict *detection* happens at each offending
+    node during the file walk so every conflict is reported exactly once.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(
+            node.value, (int, float)
+        ):
+            return None
+        return DIMENSIONLESS
+    name = _node_name(node)
+    if name is not None:
+        return identifier_unit(name)
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.IfExp):
+        body, orelse = infer_unit(node.body), infer_unit(node.orelse)
+        return body if body == orelse else None
+    if isinstance(node, ast.BinOp):
+        left, right = infer_unit(node.left), infer_unit(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left == right:
+                return left
+            if left in (DIMENSIONLESS, None):
+                return right
+            if right in (DIMENSIONLESS, None):
+                return left
+            return None  # conflicting units: unknown (reported at the node)
+        if isinstance(node.op, ast.Mult):
+            if left == DIMENSIONLESS:
+                return right
+            if right == DIMENSIONLESS:
+                return left
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if right == DIMENSIONLESS:
+                return left
+            if left is not None and left == right:
+                return DIMENSIONLESS
+            return None
+        return None
+    if isinstance(node, ast.Call):
+        func_name = _node_name(node.func)
+        if func_name not in _UNIT_PRESERVING_CALLS:
+            return None
+        known = {
+            unit
+            for unit in (infer_unit(arg) for arg in node.args)
+            if unit not in (None, DIMENSIONLESS)
+        }
+        return known.pop() if len(known) == 1 else None
+    return None
+
+
+def _conflict(left: str | None, right: str | None) -> bool:
+    """True when both units are known and different."""
+    return (
+        left not in (None, DIMENSIONLESS)
+        and right not in (None, DIMENSIONLESS)
+        and left != right
+    )
+
+
+class UnitMixedArithmetic(Rule):
+    """Flag expressions that combine two different known units."""
+
+    name = "unit-mixed-arithmetic"
+    severity = SEVERITY_ERROR
+    description = (
+        "additive arithmetic, comparison, assignment or keyword argument "
+        "mixing two different unit suffixes (_us vs _ms, _bytes vs _gib, ...)"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report every definite unit conflict in the file, once each."""
+        findings = []
+
+        def report(node: ast.AST, what: str, left: str, right: str) -> None:
+            """Record one conflict finding at ``node``."""
+            findings.append(
+                self.finding(
+                    parsed.rel,
+                    node.lineno,
+                    f"{what} mixes units {left} and {right}",
+                )
+            )
+
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = infer_unit(node.left), infer_unit(node.right)
+                if _conflict(left, right):
+                    report(node, "arithmetic", left, right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for i, op in enumerate(node.ops):
+                    if not isinstance(
+                        op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+                    ):
+                        continue
+                    left = infer_unit(operands[i])
+                    right = infer_unit(operands[i + 1])
+                    if _conflict(left, right):
+                        report(node, "comparison", left, right)
+            elif isinstance(node, ast.Call):
+                func_name = _node_name(node.func)
+                if func_name in _UNIT_PRESERVING_CALLS:
+                    known = sorted(
+                        {
+                            unit
+                            for unit in (
+                                infer_unit(arg) for arg in node.args
+                            )
+                            if unit not in (None, DIMENSIONLESS)
+                        }
+                    )
+                    if len(known) > 1:
+                        report(
+                            node, f"{func_name}()", known[0], known[1]
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    left = identifier_unit(keyword.arg)
+                    right = infer_unit(keyword.value)
+                    if _conflict(left, right):
+                        report(
+                            keyword.value,
+                            f"keyword {keyword.arg!r}",
+                            left,
+                            right,
+                        )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                target_name = _node_name(node.target)
+                if target_name is not None:
+                    left = identifier_unit(target_name)
+                    right = infer_unit(node.value)
+                    if _conflict(left, right):
+                        report(node, "augmented assignment", left, right)
+            elif isinstance(node, ast.Assign):
+                value_unit = infer_unit(node.value)
+                for target in node.targets:
+                    target_name = _node_name(target)
+                    if target_name is None:
+                        continue
+                    left = identifier_unit(target_name)
+                    if _conflict(left, value_unit):
+                        report(node, "assignment", left, value_unit)
+        return findings
+
+
+def _own_returns(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterable[ast.Return]:
+    """``return`` statements of ``func`` itself, not of nested defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Return):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class UnitReturnMismatch(Rule):
+    """A ``*_us``-named function must not return another unit."""
+
+    name = "unit-return-mismatch"
+    severity = SEVERITY_ERROR
+    description = (
+        "function whose name promises a unit returns an expression "
+        "carrying a different unit"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report unit-promising functions returning conflicting units."""
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            promised = identifier_unit(node.name)
+            if promised is None:
+                continue
+            for ret in _own_returns(node):
+                if ret.value is None:
+                    continue
+                actual = infer_unit(ret.value)
+                if actual not in (None, DIMENSIONLESS) and actual != promised:
+                    findings.append(
+                        self.finding(
+                            parsed.rel,
+                            ret.lineno,
+                            f"{node.name}() promises unit {promised} but "
+                            f"returns a {actual} expression",
+                        )
+                    )
+        return findings
+
+
+class UnitReturnUnsuffixed(Rule):
+    """A unit-promising function returning a bare unsuffixed name."""
+
+    name = "unit-return-unsuffixed"
+    severity = SEVERITY_WARNING
+    description = (
+        "function whose name promises a unit returns a bare name with "
+        "no unit suffix"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, context: ProjectContext
+    ) -> Iterable[Finding]:
+        """Report unit-promising functions returning unsuffixed names."""
+        findings = []
+        for node in ast.walk(parsed.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            promised = identifier_unit(node.name)
+            if promised is None:
+                continue
+            for ret in _own_returns(node):
+                if ret.value is None:
+                    continue
+                returned = _node_name(ret.value)
+                if (
+                    returned is not None
+                    and infer_unit(ret.value) is None
+                    and identifier_unit(returned) is None
+                ):
+                    findings.append(
+                        self.finding(
+                            parsed.rel,
+                            ret.lineno,
+                            f"{node.name}() promises unit {promised} but "
+                            f"returns unsuffixed name {returned!r}",
+                        )
+                    )
+        return findings

@@ -1,0 +1,61 @@
+"""Inline suppression comments for the lint engine.
+
+Two forms, parsed from real comment tokens (string literals that merely
+look like comments cannot suppress anything):
+
+* ``# repro-lint: disable=rule-a,rule-b`` at the end of a line
+  suppresses those rules *on that line* (and on the line a multi-line
+  statement starts, matching where rules report).
+* ``# repro-lint: disable-file=rule-a`` anywhere in a file suppresses
+  the rule for the whole file.
+
+Rule name ``all`` suppresses every rule at that scope.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Wildcard rule name accepted by both suppression forms.
+SUPPRESS_ALL = "all"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s-]+)"
+)
+
+
+class SuppressionIndex:
+    """Per-file map of which rules are suppressed on which lines."""
+
+    def __init__(self, source: str) -> None:
+        self.line_rules: dict[int, set[str]] = {}
+        self.file_rules: set[str] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE_RE.search(tok.string)
+                if not match:
+                    continue
+                scope, names = match.groups()
+                rules = {n.strip() for n in names.split(",") if n.strip()}
+                if scope == "disable-file":
+                    self.file_rules |= rules
+                else:
+                    self.line_rules.setdefault(tok.start[0], set()).update(
+                        rules
+                    )
+        except tokenize.TokenError:
+            # Unterminated constructs: fall back to no suppressions; the
+            # parse error surfaces through the engine separately.
+            pass
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` may not report on ``line`` of this file."""
+        if self.file_rules & {rule, SUPPRESS_ALL}:
+            return True
+        on_line = self.line_rules.get(line, set())
+        return bool(on_line & {rule, SUPPRESS_ALL})

@@ -186,6 +186,38 @@ class CapacityPlan:
             "meets_slo": self.meets_slo,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapacityPlan":
+        """Rebuild a plan from a :meth:`to_dict` row.
+
+        ``queue_us`` (and the derived ``latency_us``) serialize
+        saturated replicas as ``None``; restoring them as ``inf`` makes
+        the round trip exact.
+        """
+        queue_us = data["queue_us"]
+        latency = LatencyBreakdown(
+            fill_us=data["fill_us"],
+            queue_us=math.inf if queue_us is None else queue_us,
+            service_us=data["service_us"],
+        )
+        return cls(
+            fleet=data["fleet"],
+            gpu=data["gpu"],
+            gpus_per_replica=data["gpus_per_replica"],
+            replicas=data["replicas"],
+            batch_size=data["batch_size"],
+            sharding=data["sharding"],
+            overlap=data["overlap"],
+            service_us=data["service_us"],
+            latency=latency,
+            throughput_qps=data["throughput_qps"],
+            utilization=data["utilization"],
+            cost_per_hour=data["cost_per_hour"],
+            meets_slo=data["meets_slo"],
+            nodes=data["nodes"],
+            bottleneck=data["bottleneck"],
+        )
+
 
 def rank_plans(plans: Sequence[CapacityPlan]) -> list[CapacityPlan]:
     """Rank plans: feasible first by (cost, latency), then best-effort.

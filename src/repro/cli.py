@@ -31,7 +31,9 @@ import sys
 from repro.e2e import predict_e2e, predict_memory
 from repro.graph.transforms import fuse_embedding_bags
 from repro.hardware import ALL_GPUS, gpu_by_name
+from repro.analyze.baseline import BASELINE_NAME
 from repro.models import FIGURE1_BATCH_SIZES, build_model
+from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import build_perf_models, load_registry, save_registry
 from repro.simulator import SimulatedDevice
@@ -249,7 +251,7 @@ def _cmd_multigpu(args: argparse.Namespace) -> int:
         )
         sim_fabric = fabric
         where = fabric.name
-    policies = ("none", "full") if args.overlap == "both" else (args.overlap,)
+    policies = OVERLAP_POLICIES if args.overlap == "both" else (args.overlap,)
     plans = {
         policy: build_multi_gpu_dlrm_plan(
             config, args.batch, args.devices, overlap=policy
@@ -444,6 +446,36 @@ def _cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analyze import (
+        default_registry,
+        render_json,
+        render_text,
+        run_lint,
+        save_baseline,
+    )
+
+    registry = default_registry()
+    if args.list_rules:
+        for rule in registry.select(None):
+            print(f"{rule.name:24s} {rule.severity:8s} {rule.description}")
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    baseline = Path(args.baseline)
+    run = run_lint(paths, registry, rules=args.rules, baseline_path=baseline)
+    if args.update_baseline:
+        save_baseline(list(run.findings), baseline)
+        print(f"wrote {len(run.findings)} finding(s) to {baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run, show_baselined=args.show_baselined))
+    return run.exit_code
+
+
 def _cmd_export_trace(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -506,7 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("100GbE", "IB-HDR"),
                    help="cross-node network fabric (used when --nodes > 1)")
     p.add_argument("--overlap", default="both",
-                   choices=("none", "full", "both"),
+                   choices=(*OVERLAP_POLICIES, "both"),
                    help="overlap policy to evaluate")
     p.add_argument("--fleet",
                    help="comma-separated per-device GPU names for a "
@@ -561,6 +593,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--optimizer", default="sgd",
                    choices=("sgd", "momentum", "adam"))
     p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser(
+        "lint",
+        help="repo-specific static analysis (units, determinism, "
+             "predict-vs-simulate contract)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format")
+    p.add_argument("--baseline", default=BASELINE_NAME,
+                   help="accepted-findings file (new findings fail)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run's findings")
+    p.add_argument("--rules", action="append",
+                   help="run only this rule (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.add_argument("--show-baselined", action="store_true",
+                   help="also print findings matched by the baseline")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("export-trace", help="write a chrome://tracing JSON")
     _add_common(p, need_model=True)

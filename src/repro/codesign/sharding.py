@@ -200,6 +200,7 @@ def rebalance_under_overlap(
     Returns:
         ``(assignment, prediction)`` of the best candidate.
     """
+    from repro.capacity.planner import ROUND_ROBIN
     from repro.multigpu.plan import build_multi_gpu_dlrm_plan
     from repro.multigpu.predict import predict_multi_gpu
 
@@ -210,7 +211,7 @@ def rebalance_under_overlap(
         for i in range(config.num_tables)
     ]
     candidates: dict[str, list[list[int]]] = {
-        "round_robin": [
+        ROUND_ROBIN: [
             [i for i in range(config.num_tables) if i % num_devices == d]
             for d in range(num_devices)
         ],

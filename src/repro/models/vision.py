@@ -36,6 +36,10 @@ from repro.ops import (
 )
 from repro.tensormeta import TensorMeta
 
+#: Layer-record kind for convolutions — the one kind backward_layer
+#: dispatches on by name in more than one place.
+LAYER_CONV = "conv"
+
 
 @dataclass
 class FeatureMap:
@@ -81,7 +85,7 @@ class ConvNetBuilder(ModelBuilder):
         out = FeatureMap(y, x.n, k, op.oh, op.ow)
         self.records.append(
             LayerRecord(
-                "conv", x.tid, y,
+                LAYER_CONV, x.tid, y,
                 {"in": x.shape, "k": k, "r": r_h, "s": r_w,
                  "stride": stride, "pad": op.pad,
                  "w_shape": (k, x.c, r_h, r_w)},
@@ -157,7 +161,7 @@ class ConvNetBuilder(ModelBuilder):
     def backward_layer(self, grad_id: int, record: LayerRecord) -> int:
         """Emit the backward op(s) for one recorded forward layer."""
         kind = record.kind
-        if kind == "conv":
+        if kind == LAYER_CONV:
             n, c, h, w = record.extra["in"]
             op = Conv2dBackward(
                 n, c, h, w, record.extra["k"], record.extra["r"],

@@ -23,7 +23,12 @@ from typing import Mapping, Sequence
 from repro.e2e import collect_plan, plan_kernels, predict_e2e
 from repro.multigpu.interconnect import CollectiveModel
 from repro.multigpu.plan import MultiGpuPlan
-from repro.multigpu.schedule import OVERLAP_NONE, per_device, schedule_iteration
+from repro.multigpu.schedule import (
+    DEFAULT_CHANNEL,
+    OVERLAP_NONE,
+    per_device,
+    schedule_iteration,
+)
 from repro.multigpu.topology import Topology, TopologyCollectiveModel
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import PerfModelRegistry
@@ -53,7 +58,7 @@ def resource_bottleneck(
     channels = (
         dict(channel_busy_us)
         if channel_busy_us
-        else {"fabric": total_comm_us}
+        else {DEFAULT_CHANNEL: total_comm_us}
     )
     name, busy = max(channels.items(), key=lambda kv: kv[1])
     return name if busy > compute else "compute"

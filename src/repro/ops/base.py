@@ -85,11 +85,12 @@ class KernelCall:
         if not self.name:
             object.__setattr__(self, "name", self.kernel_type)
         # Kernel calls are hashed constantly by the prediction cache;
-        # all fields are frozen, so compute the hash once.
+        # all fields are frozen, so compute the hash once.  The value
+        # is an in-process cache key only — it never reaches results/.
         object.__setattr__(
             self,
             "_hash",
-            hash(
+            hash(  # repro-lint: disable=det-hash
                 (self.kernel_type, tuple(sorted(self.params.items())), self.name)
             ),
         )
@@ -109,7 +110,10 @@ class KernelCall:
 
 
 def elementwise_kernel(
-    flop: float, bytes_read: float, bytes_write: float, name: str = "elementwise"
+    flop: float,
+    bytes_read: float,
+    bytes_write: float,
+    name: str = KernelType.ELEMENTWISE,
 ) -> KernelCall:
     """Build an element-wise kernel call with roofline-relevant params."""
     if min(flop, bytes_read, bytes_write) < 0:

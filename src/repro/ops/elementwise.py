@@ -9,7 +9,13 @@ FLOPs and bytes moved.
 
 from __future__ import annotations
 
-from repro.ops.base import CpuOnlyOp, KernelCall, Op, elementwise_kernel
+from repro.ops.base import (
+    CpuOnlyOp,
+    KernelCall,
+    KernelType,
+    Op,
+    elementwise_kernel,
+)
 from repro.tensormeta import TensorMeta
 
 
@@ -18,7 +24,7 @@ class _UnaryElementwise(Op):
 
     #: FLOPs charged per element; subclasses override.
     flops_per_element: float = 1.0
-    kernel_name: str = "elementwise"
+    kernel_name: str = KernelType.ELEMENTWISE
 
     def __init__(self, shape: tuple[int, ...], dtype: str = "float32") -> None:
         x = TensorMeta(shape, dtype)

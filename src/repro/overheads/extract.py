@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.simulator.host import T1, T2, T3, T4, T5
-from repro.trace import Trace
+from repro.trace import EventCategory, Trace
 from repro.trace.tree import top_level_ops
 
 #: ``samples[op_name][overhead_type] -> list of µs values``
@@ -44,7 +44,8 @@ def extract_overhead_samples(trace: Trace) -> OverheadSamples:
             prev_end = event.end
 
             runtimes = sorted(
-                (c.event for c in node.children if c.event.cat == "runtime"),
+                (c.event for c in node.children
+                 if c.event.cat == EventCategory.RUNTIME),
                 key=lambda e: e.ts,
             )
             if runtimes:

@@ -1,0 +1,650 @@
+"""The ``repro lint`` analyzer: every rule's trigger and near-miss
+fixtures, suppression directives, the baseline workflow, and the
+repo-wide invariant that ``src/`` lints clean against the committed
+baseline (which may hold warnings only — never errors)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import (
+    SEVERITY_WARNING,
+    Finding,
+    ParsedFile,
+    ProjectContext,
+    default_registry,
+    diff_against_baseline,
+    load_baseline,
+    render_json,
+    run_lint,
+    save_baseline,
+)
+from repro.analyze.rules.contract import (
+    ContractDispatch,
+    ContractKernelModel,
+    ContractRoundtrip,
+)
+from repro.analyze.rules.determinism import (
+    DetHash,
+    DetRandom,
+    DetSetOrder,
+    DetTime,
+)
+from repro.analyze.rules.literals import MagicLiteral
+from repro.analyze.rules.units import (
+    UnitMixedArithmetic,
+    UnitReturnMismatch,
+    UnitReturnUnsuffixed,
+    identifier_unit,
+)
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "lint_baseline.json"
+
+
+def lint_source(tmp_path, source, rule_cls, name="mod.py"):
+    """Run one file-scope rule over fixture source."""
+    path = tmp_path / name
+    path.write_text(source)
+    parsed = ParsedFile(path, name)
+    assert parsed.tree is not None, parsed.error
+    context = ProjectContext(None, {name: parsed})
+    return list(rule_cls().check_file(parsed, context))
+
+
+class TestIdentifierUnit:
+    def test_suffix_and_leading_token(self):
+        assert identifier_unit("total_us") == "us"
+        assert identifier_unit("bytes_read") == "bytes"
+        assert identifier_unit("wire_gbs") == "gbs"
+
+    def test_rates_are_not_base_units(self):
+        assert identifier_unit("lam_per_us") is None
+        assert identifier_unit("samples_per_second") is None
+        assert identifier_unit("cost_per_hour") is None
+
+    def test_single_token_names_are_untyped(self):
+        assert identifier_unit("us") is None
+        assert identifier_unit("total") is None
+
+
+class TestUnitMixedArithmetic:
+    def test_addition_conflict(self, tmp_path):
+        found = lint_source(
+            tmp_path, "def f(a_us, b_ms):\n    return a_us + b_ms\n",
+            UnitMixedArithmetic,
+        )
+        assert len(found) == 1
+        assert "us" in found[0].message and "ms" in found[0].message
+
+    def test_same_unit_and_dimensionless_are_clean(self, tmp_path):
+        clean = (
+            "def f(a_us, b_us, n):\n"
+            "    return a_us + b_us + 5 + a_us * n\n"
+        )
+        assert lint_source(tmp_path, clean, UnitMixedArithmetic) == []
+
+    def test_multiplication_is_conservative(self, tmp_path):
+        # us * ms is a new (unknown) dimension, not a conflict.
+        src = "def f(a_us, b_ms):\n    return a_us * b_ms\n"
+        assert lint_source(tmp_path, src, UnitMixedArithmetic) == []
+
+    def test_comparison_conflict(self, tmp_path):
+        src = "def f(a_us, b_ms):\n    return a_us < b_ms\n"
+        assert len(lint_source(tmp_path, src, UnitMixedArithmetic)) == 1
+
+    def test_min_max_argument_conflict(self, tmp_path):
+        src = "def f(a_us, b_ms):\n    return max(a_us, b_ms)\n"
+        assert len(lint_source(tmp_path, src, UnitMixedArithmetic)) == 1
+
+    def test_keyword_argument_conflict(self, tmp_path):
+        src = "def f(g, x_ms):\n    g(total_us=x_ms)\n"
+        assert len(lint_source(tmp_path, src, UnitMixedArithmetic)) == 1
+
+    def test_assignment_conflict(self, tmp_path):
+        src = "def f(x_gib):\n    y_bytes = x_gib\n    return y_bytes\n"
+        assert len(lint_source(tmp_path, src, UnitMixedArithmetic)) == 1
+
+    def test_rate_division_is_clean(self, tmp_path):
+        # The slo.py pattern: arrivals-per-us derived from a QPS rate.
+        src = "def f(replica_qps):\n    lam_per_us = replica_qps / 1e6\n"
+        assert lint_source(tmp_path, src, UnitMixedArithmetic) == []
+
+    def test_nested_conflict_reported_once(self, tmp_path):
+        src = "def f(a_us, b_ms):\n    return max(a_us + b_ms, 0.0)\n"
+        assert len(lint_source(tmp_path, src, UnitMixedArithmetic)) == 1
+
+
+class TestUnitReturnRules:
+    def test_return_mismatch(self, tmp_path):
+        src = "def total_us(a_ms):\n    return a_ms\n"
+        found = lint_source(tmp_path, src, UnitReturnMismatch)
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_matching_return_is_clean(self, tmp_path):
+        src = "def total_us(a_us, b_us):\n    return a_us + b_us\n"
+        assert lint_source(tmp_path, src, UnitReturnMismatch) == []
+
+    def test_nested_function_returns_ignored(self, tmp_path):
+        src = (
+            "def total_us(a_us):\n"
+            "    def helper(b_ms):\n"
+            "        return b_ms\n"
+            "    return a_us\n"
+        )
+        assert lint_source(tmp_path, src, UnitReturnMismatch) == []
+
+    def test_unsuffixed_return_warns(self, tmp_path):
+        src = "def total_us(vals):\n    total = sum(vals)\n    return total\n"
+        found = lint_source(tmp_path, src, UnitReturnUnsuffixed)
+        assert len(found) == 1
+        assert found[0].severity == SEVERITY_WARNING
+
+    def test_suffixed_return_is_clean(self, tmp_path):
+        src = "def total_us(a_us):\n    return a_us\n"
+        assert lint_source(tmp_path, src, UnitReturnUnsuffixed) == []
+
+
+class TestDeterminismRules:
+    def test_hash_builtin_flagged(self, tmp_path):
+        assert len(lint_source(tmp_path, "x = hash('V100')\n", DetHash)) == 1
+
+    def test_method_named_hash_is_clean(self, tmp_path):
+        assert lint_source(tmp_path, "x = obj.hash()\n", DetHash) == []
+
+    def test_wall_clock_flagged_perf_counter_clean(self, tmp_path):
+        src = "import time\nt = time.time()\np = time.perf_counter()\n"
+        found = lint_source(tmp_path, src, DetTime)
+        assert len(found) == 1
+        assert "time.time" in found[0].message
+
+    def test_datetime_now_flagged(self, tmp_path):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert len(lint_source(tmp_path, src, DetTime)) == 1
+
+    def test_global_random_flagged(self, tmp_path):
+        src = "import random\nx = random.random()\n"
+        assert len(lint_source(tmp_path, src, DetRandom)) == 1
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.random()\n"
+        )
+        assert lint_source(tmp_path, src, DetRandom) == []
+
+    def test_legacy_numpy_global_flagged(self, tmp_path):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert len(lint_source(tmp_path, src, DetRandom)) == 1
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert len(lint_source(tmp_path, src, DetRandom)) == 1
+
+    def test_set_iteration_flagged(self, tmp_path):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert len(lint_source(tmp_path, src, DetSetOrder)) == 1
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        src = "for x in sorted({1, 2, 3}):\n    print(x)\n"
+        assert lint_source(tmp_path, src, DetSetOrder) == []
+
+    def test_materializing_set_flagged(self, tmp_path):
+        src = "xs = list({1, 2})\ns = ','.join(set('ab'))\n"
+        assert len(lint_source(tmp_path, src, DetSetOrder)) == 2
+
+    def test_set_comprehension_source_flagged(self, tmp_path):
+        src = "ys = [x for x in {1, 2}]\n"
+        assert len(lint_source(tmp_path, src, DetSetOrder)) == 1
+
+
+class TestSuppression:
+    def test_inline_disable(self, tmp_path):
+        src = "x = hash('k')  # repro-lint: disable=det-hash\n"
+        path = tmp_path / "s.py"
+        path.write_text(src)
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        assert run.findings == ()
+
+    def test_inline_disable_other_rule_does_not_apply(self, tmp_path):
+        src = "x = hash('k')  # repro-lint: disable=det-time\n"
+        path = tmp_path / "s.py"
+        path.write_text(src)
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        assert len(run.findings) == 1
+
+    def test_disable_file(self, tmp_path):
+        src = (
+            "# repro-lint: disable-file=det-hash\n"
+            "x = hash('k')\ny = hash('j')\n"
+        )
+        path = tmp_path / "s.py"
+        path.write_text(src)
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        assert run.findings == ()
+
+    def test_disable_all(self, tmp_path):
+        src = "x = hash('k')  # repro-lint: disable=all\n"
+        path = tmp_path / "s.py"
+        path.write_text(src)
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        assert run.findings == ()
+
+
+def _write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def _fake_repo(tmp_path, simulate_mentions: str) -> ProjectContext:
+    """A minimal repo with both registries and two handler modules."""
+    _write(tmp_path, "src/repro/multigpu/schedule.py",
+           'OVERLAP_NONE = "none"\n'
+           'OVERLAP_FULL = "full"\n'
+           "OVERLAP_POLICIES = (OVERLAP_NONE, OVERLAP_FULL)\n")
+    _write(tmp_path, "src/repro/multigpu/interconnect.py",
+           'ALL2ALL = "all2all"\n'
+           'ALLREDUCE = "allreduce"\n'
+           "COLLECTIVE_KINDS = (ALL2ALL, ALLREDUCE)\n")
+    _write(tmp_path, "src/repro/multigpu/predict.py",
+           "from repro.multigpu.interconnect import ALL2ALL, ALLREDUCE\n"
+           "from repro.multigpu.schedule import OVERLAP_POLICIES\n"
+           "def check(overlap, kind):\n"
+           "    if overlap not in OVERLAP_POLICIES:\n"
+           "        raise ValueError(overlap)\n"
+           "    return kind in (ALL2ALL, ALLREDUCE)\n")
+    _write(tmp_path, "src/repro/multigpu/simulate.py", simulate_mentions)
+    return ProjectContext(tmp_path, {})
+
+
+class TestContractDispatch:
+    FULL_COVERAGE = (
+        "def run(overlap, kind):\n"
+        '    if overlap == "none" or overlap == "full":\n'
+        '        return kind in ("all2all", "allreduce")\n'
+    )
+
+    def test_full_coverage_is_clean(self, tmp_path):
+        context = _fake_repo(tmp_path, self.FULL_COVERAGE)
+        assert list(ContractDispatch().check_project(context)) == []
+
+    def test_unhandled_member_is_reported(self, tmp_path):
+        partial = (
+            "def run(overlap, kind):\n"
+            '    if overlap == "none":\n'
+            '        return kind in ("all2all", "allreduce")\n'
+        )
+        context = _fake_repo(tmp_path, partial)
+        found = list(ContractDispatch().check_project(context))
+        assert len(found) == 1
+        assert "'full'" in found[0].message
+        assert found[0].path == "src/repro/multigpu/simulate.py"
+
+    def test_coverage_through_imports(self, tmp_path):
+        # simulate.py handles nothing itself but imports a helper that
+        # handles everything.
+        context = _fake_repo(
+            tmp_path,
+            "from repro.multigpu.engine import run_all\n"
+            "def run(overlap, kind):\n"
+            "    return run_all(overlap, kind)\n",
+        )
+        _write(tmp_path, "src/repro/multigpu/engine.py", self.FULL_COVERAGE)
+        context = ProjectContext(tmp_path, {})
+        assert list(ContractDispatch().check_project(context)) == []
+
+    def test_defining_module_alone_is_not_coverage(self, tmp_path):
+        # Mentions inside the registry's own defining assignments must
+        # not count as handling.
+        context = _fake_repo(
+            tmp_path,
+            "from repro.multigpu.schedule import OVERLAP_POLICIES\n"
+            "from repro.multigpu.interconnect import COLLECTIVE_KINDS\n",
+        )
+        found = list(ContractDispatch().check_project(context))
+        # simulate.py imports both registry modules yet handles no
+        # member directly: only membership tests or member mentions
+        # count, so every member is reported.
+        assert len(found) == 4
+
+
+class TestContractKernelModel:
+    def test_unmodeled_kernel_type_is_reported(self, tmp_path):
+        _write(tmp_path, "src/repro/ops/base.py",
+               "class KernelType:\n"
+               '    GEMM = "gemm"\n'
+               '    CONV = "conv"\n')
+        _write(tmp_path, "src/repro/perfmodels/models.py",
+               "from repro.ops.base import KernelType\n"
+               "MODELED = {KernelType.GEMM: object()}\n")
+        context = ProjectContext(tmp_path, {})
+        found = list(ContractKernelModel().check_project(context))
+        assert len(found) == 1
+        assert "KernelType.CONV" in found[0].message
+
+    def test_fully_modeled_is_clean(self, tmp_path):
+        _write(tmp_path, "src/repro/ops/base.py",
+               "class KernelType:\n"
+               '    GEMM = "gemm"\n')
+        _write(tmp_path, "src/repro/perfmodels/models.py",
+               "from repro.ops.base import KernelType\n"
+               "MODELED = {KernelType.GEMM: object()}\n")
+        context = ProjectContext(tmp_path, {})
+        assert list(ContractKernelModel().check_project(context)) == []
+
+
+ROUNDTRIP_OK = """
+from dataclasses import dataclass
+
+@dataclass
+class Row:
+    '''A row.'''
+    mean: float
+    count: int
+
+    def to_dict(self):
+        '''Serialize.'''
+        return {"mean": self.mean, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data):
+        '''Deserialize.'''
+        return cls(mean=data["mean"], count=data["count"])
+"""
+
+
+class TestContractRoundtrip:
+    def test_matching_pair_is_clean(self, tmp_path):
+        assert lint_source(tmp_path, ROUNDTRIP_OK, ContractRoundtrip) == []
+
+    def test_missing_from_dict_is_reported(self, tmp_path):
+        src = ROUNDTRIP_OK.split("    @classmethod")[0]
+        found = lint_source(tmp_path, src, ContractRoundtrip)
+        assert len(found) == 1
+        assert "no from_dict" in found[0].message
+
+    def test_unknown_consumed_key_is_reported(self, tmp_path):
+        src = ROUNDTRIP_OK.replace('data["count"]', 'data["total"]')
+        found = lint_source(tmp_path, src, ContractRoundtrip)
+        assert any("'total'" in f.message for f in found)
+
+    def test_unrestored_field_is_reported(self, tmp_path):
+        src = ROUNDTRIP_OK.replace(
+            'return cls(mean=data["mean"], count=data["count"])',
+            'return cls(mean=data["mean"], count=0)',
+        )
+        found = lint_source(tmp_path, src, ContractRoundtrip)
+        assert len(found) == 1
+        assert "'count'" in found[0].message
+
+    def test_plain_class_is_ignored(self, tmp_path):
+        src = (
+            "class Row:\n"
+            "    def to_dict(self):\n"
+            "        return {}\n"
+        )
+        assert lint_source(tmp_path, src, ContractRoundtrip) == []
+
+
+class TestMagicLiteral:
+    def _context(self, tmp_path):
+        _write(tmp_path, "src/repro/consts.py", 'KIND_RED = "red_kind"\n')
+        return ProjectContext(tmp_path, {})
+
+    def test_shadowing_literal_is_reported(self, tmp_path):
+        context = self._context(tmp_path)
+        path = tmp_path / "use.py"
+        path.write_text('def f(k):\n    return k == "red_kind"\n')
+        parsed = ParsedFile(path, "use.py")
+        found = list(MagicLiteral().check_file(parsed, context))
+        assert len(found) == 1
+        assert "KIND_RED" in found[0].message
+
+    def test_other_literals_are_clean(self, tmp_path):
+        context = self._context(tmp_path)
+        path = tmp_path / "use.py"
+        path.write_text('def f(k):\n    return k == "blue_kind"\n')
+        parsed = ParsedFile(path, "use.py")
+        assert list(MagicLiteral().check_file(parsed, context)) == []
+
+    def test_defining_line_is_exempt(self, tmp_path):
+        context = self._context(tmp_path)
+        parsed = context.src_file("src/repro/consts.py")
+        assert list(MagicLiteral().check_file(parsed, context)) == []
+
+
+class TestEngineAndBaseline:
+    def test_fingerprint_is_line_independent(self):
+        a = Finding("r", "error", "p.py", 3, "msg")
+        b = Finding("r", "error", "p.py", 99, "msg")
+        assert a.fingerprint == b.fingerprint
+
+    def test_occurrences_distinguish_duplicates(self):
+        a = Finding("r", "error", "p.py", 3, "msg", occurrence=1)
+        b = Finding("r", "error", "p.py", 99, "msg", occurrence=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("def broken(:\n")
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        assert [f.rule for f in run.findings] == ["parse-error"]
+        assert run.exit_code == 1
+
+    def test_baseline_roundtrip_and_staleness(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text("x = hash('k')\n")
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(list(run.findings), baseline_path)
+        again = run_lint([path], default_registry(), rules=["det-hash"],
+                         baseline_path=baseline_path, root=tmp_path)
+        assert again.exit_code == 0
+        assert len(again.diff.baselined) == 1
+        path.write_text("x = 1\n")
+        fixed = run_lint([path], default_registry(), rules=["det-hash"],
+                         baseline_path=baseline_path, root=tmp_path)
+        assert fixed.exit_code == 0
+        assert len(fixed.diff.stale) == 1
+
+    def test_diff_marks_new_findings(self):
+        old = [Finding("r", "error", "p.py", 1, "old")]
+        now = [Finding("r", "error", "p.py", 1, "old"),
+               Finding("r", "error", "p.py", 2, "new")]
+        diff = diff_against_baseline(now, old)
+        assert [f.message for f in diff.new] == ["new"]
+        assert not diff.is_clean
+
+    def test_render_json_shape(self, tmp_path):
+        import json
+
+        path = tmp_path / "s.py"
+        path.write_text("x = hash('k')\n")
+        run = run_lint([path], default_registry(), rules=["det-hash"],
+                       root=tmp_path)
+        payload = json.loads(render_json(run))
+        assert payload["exit_code"] == 1
+        assert payload["new"][0]["rule"] == "det-hash"
+        assert set(payload) == {
+            "files", "new", "baselined", "stale", "exit_code"
+        }
+
+
+class TestRepoLintsClean:
+    """The acceptance invariant: src/ vs the committed baseline."""
+
+    def test_src_is_clean_against_committed_baseline(self):
+        run = run_lint([REPO_ROOT / "src"], default_registry(),
+                       baseline_path=BASELINE)
+        assert [f.render() for f in run.diff.new] == []
+        assert run.diff.stale == ()
+        assert run.exit_code == 0
+
+    def test_committed_baseline_holds_warnings_only(self):
+        for finding in load_baseline(BASELINE):
+            assert finding.severity == SEVERITY_WARNING, finding.render()
+
+    def test_baseline_matches_fresh_run_exactly(self):
+        run = run_lint([REPO_ROOT / "src"], default_registry())
+        fresh = {f.fingerprint for f in run.findings}
+        committed = {f.fingerprint for f in load_baseline(BASELINE)}
+        assert fresh == committed
+
+
+class TestCliLint:
+    def test_list_rules_exits_zero(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "unit-mixed-arithmetic" in out
+        assert "contract-dispatch" in out
+
+    def test_clean_repo_exits_zero(self, capsys):
+        code = cli_main([
+            "lint", str(REPO_ROOT / "src"), "--baseline", str(BASELINE),
+        ])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_seeded_violation_fails_the_cli(self, capsys):
+        seeded = REPO_ROOT / "src" / "repro" / "_lint_seed_fixture.py"
+        seeded.write_text(
+            '"""Temporary lint fixture (removed by the test)."""\n'
+            "def f(a_us, b_ms):\n"
+            '    """Mix units."""\n'
+            "    return a_us + b_ms\n"
+        )
+        try:
+            code = cli_main([
+                "lint", str(REPO_ROOT / "src"),
+                "--baseline", str(BASELINE),
+            ])
+        finally:
+            seeded.unlink()
+        capsys.readouterr()
+        assert code == 1
+
+    def test_json_format_on_violation(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "s.py"
+        path.write_text("x = hash('k')\n")
+        code = cli_main(["lint", str(path), "--format", "json",
+                         "--baseline", str(tmp_path / "none.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert any(f["rule"] == "det-hash" for f in payload["new"])
+
+
+class TestSerializerRoundtrips:
+    """The live counterparts of contract-roundtrip: real to_dict rows
+    survive from_dict bit-for-bit."""
+
+    def test_sweep_record_roundtrip(self):
+        from repro.e2e import E2EPrediction
+        from repro.sweep.result import SweepPoint, SweepRecord
+
+        record = SweepRecord(
+            point=SweepPoint("none", 512, "V100", "shared"),
+            prediction=E2EPrediction(
+                total_us=1000.0, cpu_us=400.0, gpu_us=600.0, active_us=550.0
+            ),
+        )
+        row = record.to_dict()
+        assert SweepRecord.from_dict(row).to_dict() == row
+
+    def test_multigpu_sweep_record_roundtrip(self):
+        from repro.multigpu.predict import MultiGpuPrediction
+        from repro.sweep.result import (
+            MultiGpuSweepPoint,
+            MultiGpuSweepRecord,
+        )
+
+        prediction = MultiGpuPrediction(
+            iteration_us=900.0,
+            phase_us=(300.0, 200.0),
+            collective_us=(150.0, 50.0),
+            per_device_phase_us=((300.0, 250.0), (200.0, 180.0)),
+            overlap="full",
+            exposed_comm_us=120.0,
+            comm_us_by_channel={"fabric": 200.0},
+        )
+        record = MultiGpuSweepRecord(
+            point=MultiGpuSweepPoint("plan", 2, "V100x2", "full", "shared"),
+            prediction=prediction,
+        )
+        row = record.to_dict()
+        assert MultiGpuSweepRecord.from_dict(row).to_dict() == row
+
+    def test_multigpu_roundtrip_preserves_channel_bottleneck(self):
+        from repro.multigpu.predict import MultiGpuPrediction
+        from repro.sweep.result import (
+            MultiGpuSweepPoint,
+            MultiGpuSweepRecord,
+        )
+
+        prediction = MultiGpuPrediction(
+            iteration_us=900.0,
+            phase_us=(100.0,),
+            collective_us=(800.0,),
+            per_device_phase_us=((100.0,),),
+            overlap="none",
+            comm_us_by_channel={"fabric": 800.0},
+        )
+        record = MultiGpuSweepRecord(
+            point=MultiGpuSweepPoint("plan", 2, "V100x2", "none", "shared"),
+            prediction=prediction,
+        )
+        row = record.to_dict()
+        assert row["bottleneck"] == "fabric"
+        assert MultiGpuSweepRecord.from_dict(row).to_dict() == row
+
+    def test_capacity_plan_roundtrip(self):
+        import math
+
+        from repro.capacity.planner import CapacityPlan
+        from repro.capacity.slo import LatencyBreakdown
+
+        plan = CapacityPlan(
+            fleet="A100x2", gpu="A100", gpus_per_replica=2, replicas=4,
+            batch_size=16, sharding="round_robin", overlap="full",
+            service_us=800.0,
+            latency=LatencyBreakdown(
+                fill_us=50.0, queue_us=120.0, service_us=800.0
+            ),
+            throughput_qps=5000.0, utilization=0.6, cost_per_hour=8.0,
+            meets_slo=True, nodes=1, bottleneck="fabric",
+        )
+        row = plan.to_dict()
+        assert CapacityPlan.from_dict(row).to_dict() == row
+
+    def test_capacity_plan_roundtrip_saturated(self):
+        import math
+
+        from repro.capacity.planner import CapacityPlan
+        from repro.capacity.slo import LatencyBreakdown
+
+        plan = CapacityPlan(
+            fleet="V100x1", gpu="V100", gpus_per_replica=1, replicas=1,
+            batch_size=1, sharding="none", overlap="none",
+            service_us=800.0,
+            latency=LatencyBreakdown(
+                fill_us=0.0, queue_us=math.inf, service_us=800.0
+            ),
+            throughput_qps=0.0, utilization=1.2, cost_per_hour=1.0,
+            meets_slo=False,
+        )
+        row = plan.to_dict()
+        assert row["queue_us"] is None and row["latency_us"] is None
+        restored = CapacityPlan.from_dict(row)
+        assert math.isinf(restored.latency.queue_us)
+        assert restored.to_dict() == row

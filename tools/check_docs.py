@@ -1,18 +1,9 @@
-"""Documentation checks: links, docstring coverage, examples gallery.
+"""Documentation checks — thin shim over ``repro.analyze.rules.docs``.
 
-Three checks, runnable standalone (CI's docs job) or through
-``tests/test_docs.py`` (tier 1):
-
-* ``check_markdown_links`` — every relative link target in the given
-  Markdown files must exist on disk (external ``http(s)://`` links and
-  pure ``#anchors`` are skipped; no network, no new dependencies).
-* ``check_docstrings`` — pydocstyle-equivalent coverage for a package:
-  every module, public class and public function/method must carry a
-  docstring (D100–D103 in spirit).  Every ``src/repro`` package listed
-  in ``DEFAULT_PACKAGES`` is held at 100%.
-* ``check_examples_gallery`` — every ``examples/*.py`` script must have
-  its own section in ``docs/EXAMPLES.md`` (a heading naming the file),
-  so new examples cannot land without gallery documentation.
+The real checks now live in the analyzer (``repro lint`` runs them as
+the ``doc-link`` / ``doc-docstring`` / ``doc-example-gallery`` rules);
+this script keeps the historical standalone entry point and import
+surface (CI's docs job, ``tests/test_docs.py``) working unchanged.
 
 Usage::
 
@@ -22,157 +13,36 @@ Usage::
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Markdown files whose relative links must resolve.
-DEFAULT_MARKDOWN = (
-    "README.md",
-    "ROADMAP.md",
-    "CHANGES.md",
-    "docs/ARCHITECTURE.md",
-    "docs/TOPOLOGIES.md",
-    "docs/EXAMPLES.md",
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analyze.rules.docs import (  # noqa: E402
+    DEFAULT_MARKDOWN,
+    DEFAULT_PACKAGES,
+    EXAMPLES_DIR,
+    EXAMPLES_GALLERY,
+    check_docstrings,
+    check_examples_gallery,
+    check_markdown_links,
+    iter_markdown_links,
 )
 
-#: Packages held to 100% docstring coverage — every ``src/repro``
-#: package with public API surface.
-DEFAULT_PACKAGES = (
-    "src/repro/capacity",
-    "src/repro/codesign",
-    "src/repro/e2e",
-    "src/repro/graph",
-    "src/repro/models",
-    "src/repro/multigpu",
-    "src/repro/ops",
-    "src/repro/overheads",
-    "src/repro/perfmodels",
-    "src/repro/simulator",
-    "src/repro/sweep",
-    "src/repro/trace",
-)
-
-#: The examples gallery and the scripts it must cover.
-EXAMPLES_GALLERY = "docs/EXAMPLES.md"
-EXAMPLES_DIR = "examples"
-
-_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_EXTERNAL = ("http://", "https://", "mailto:")
-
-
-def iter_markdown_links(text: str):
-    """Yield link targets from ``[text](target)`` Markdown links.
-
-    Skips fenced code blocks so example snippets cannot produce false
-    positives.
-    """
-    in_fence = False
-    for line in text.splitlines():
-        if line.lstrip().startswith("```"):
-            in_fence = not in_fence
-            continue
-        if in_fence:
-            continue
-        yield from _LINK_RE.findall(line)
-
-
-def check_markdown_links(
-    files=DEFAULT_MARKDOWN, root: Path = REPO_ROOT
-) -> list[str]:
-    """Return one error string per broken relative link."""
-    errors = []
-    for name in files:
-        path = root / name
-        if not path.exists():
-            errors.append(f"{name}: file missing")
-            continue
-        for target in iter_markdown_links(path.read_text(encoding="utf-8")):
-            if target.startswith(_EXTERNAL) or target.startswith("#"):
-                continue
-            resolved = (path.parent / target.split("#", 1)[0]).resolve()
-            if not resolved.exists():
-                errors.append(f"{name}: broken link -> {target}")
-    return errors
-
-
-def _missing_docstrings(tree: ast.Module, module_name: str) -> list[str]:
-    """Names of public defs in ``tree`` lacking docstrings."""
-    missing = []
-    if ast.get_docstring(tree) is None:
-        missing.append(f"{module_name}: module docstring")
-
-    def walk(node, prefix):
-        for child in ast.iter_child_nodes(node):
-            if isinstance(
-                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-            ):
-                name = child.name
-                if name.startswith("_"):
-                    # Private defs (and everything inside them) are
-                    # exempt, matching pydocstyle.
-                    continue
-                qualified = f"{prefix}{name}"
-                if ast.get_docstring(child) is None:
-                    missing.append(f"{module_name}: {qualified}")
-                walk(child, f"{qualified}.")
-
-    walk(tree, "")
-    return missing
-
-
-def check_docstrings(
-    packages=DEFAULT_PACKAGES, root: Path = REPO_ROOT
-) -> list[str]:
-    """Return one error string per public def missing a docstring."""
-    errors = []
-    for package in packages:
-        base = root / package
-        if not base.exists():
-            errors.append(f"{package}: package missing")
-            continue
-        for path in sorted(base.rglob("*.py")):
-            rel = path.relative_to(root)
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-            errors.extend(_missing_docstrings(tree, str(rel)))
-    return errors
-
-
-def check_examples_gallery(
-    gallery: str = EXAMPLES_GALLERY,
-    examples_dir: str = EXAMPLES_DIR,
-    root: Path = REPO_ROOT,
-) -> list[str]:
-    """Return one error string per example script missing from the gallery.
-
-    A script counts as covered only when a gallery heading *is* its
-    file name (e.g. ``## quickstart.py``); prose mentions and headings
-    that merely contain the name as a substring do not count, so every
-    example gets a real section of its own.
-    """
-    gallery_path = root / gallery
-    if not gallery_path.exists():
-        return [f"{gallery}: file missing"]
-    headings = []
-    in_fence = False
-    for line in gallery_path.read_text(encoding="utf-8").splitlines():
-        if line.lstrip().startswith("```"):
-            in_fence = not in_fence
-            continue
-        # '#' lines inside fenced output excerpts are shell comments,
-        # not headings — they must not satisfy coverage.
-        if not in_fence and line.startswith("#"):
-            headings.append(line.lstrip("#").strip())
-    errors = []
-    for script in sorted((root / examples_dir).glob("*.py")):
-        if script.name not in headings:
-            errors.append(
-                f"{gallery}: no section for {examples_dir}/{script.name}"
-            )
-    return errors
+__all__ = [
+    "DEFAULT_MARKDOWN",
+    "DEFAULT_PACKAGES",
+    "EXAMPLES_DIR",
+    "EXAMPLES_GALLERY",
+    "REPO_ROOT",
+    "check_docstrings",
+    "check_examples_gallery",
+    "check_markdown_links",
+    "iter_markdown_links",
+    "main",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -180,9 +50,9 @@ def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     quiet = "--quiet" in args
     errors = (
-        check_markdown_links()
-        + check_docstrings()
-        + check_examples_gallery()
+        check_markdown_links(root=REPO_ROOT)
+        + check_docstrings(root=REPO_ROOT)
+        + check_examples_gallery(root=REPO_ROOT)
     )
     if errors and not quiet:
         for error in errors:
