@@ -116,3 +116,18 @@ def write_result(name: str, payload: dict) -> str:
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=1)
     return path
+
+
+def merge_result(name: str, payload: dict) -> str:
+    """Merge ``payload``'s keys into ``results/{name}.json``.
+
+    Lets several tests contribute sections to one results file without
+    clobbering each other, whatever order they run in: existing keys
+    not in ``payload`` are preserved, matching ones are replaced.
+    """
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    merged = dict(payload)
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as f:
+            merged = {**json.load(f), **payload}
+    return write_result(name, merged)

@@ -1,0 +1,109 @@
+"""Scaling a what-if sweep: parallel fan-out, pruning, incremental re-runs.
+
+One :class:`repro.SweepEngine` grid — reorder transforms x batch sizes
+x overhead databases — evaluated four ways from the same recorded
+graph:
+
+1. a serial full walk, reporting the prediction-cache hit rate the
+   auto-sized cache guarantees at any grid size;
+2. :func:`repro.parallel_sweep`, whose forked workers return records
+   byte-identical to the serial walk;
+3. a branch-and-bound pruned walk that skips points whose admissible
+   kernel-only lower bound already exceeds a latency cutoff;
+4. an incremental re-sweep after an overhead-DB edit, reusing every
+   fingerprinted record the edit did not invalidate.
+
+Run:  python examples/parallel_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    TESLA_V100,
+    OverheadDatabase,
+    SimulatedDevice,
+    SweepEngine,
+    SweepResult,
+    build_model,
+    build_perf_models,
+    parallel_sweep,
+    predict_kernel_only_us,
+)
+from repro.graph.transforms import move_independent_earlier, rescale_batch
+from repro.overheads import extract_overhead_samples
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=31)
+    registry, _ = build_perf_models(device, microbench_scale=0.4)
+
+    recorded_batch = 1024
+    graph = build_model("DLRM_default", recorded_batch)
+    profiled = device.run(
+        graph, iterations=8, batch_size=recorded_batch,
+        with_profiler=True, warmup=2,
+    )
+    overheads = OverheadDatabase.from_trace(profiled.trace)
+
+    # Grid axes: identity + two legal reorders, 24 batches, 2 DBs.
+    h2d = graph.nodes[-1].node_id
+    engine = SweepEngine(
+        registries={"V100": registry},
+        overhead_dbs={"profiled": overheads, "raw": overheads},
+        transforms={
+            "base": lambda g: g,
+            "hoist-h2d": lambda g: move_independent_earlier(g, h2d),
+        },
+    )
+    batches = tuple(range(128, 128 + 24 * 64, 64))
+
+    result = engine.run(graph, recorded_batch, batches)
+    info = result.merged_cache_info()
+    print(f"Serial walk: {len(result)} points, cache hit rate "
+          f"{info.hit_rate:.3f} ({info.misses} distinct kernels "
+          f"predicted once each)")
+
+    fanned = parallel_sweep(
+        engine, graph, recorded_batch, batches, workers=2
+    )
+    print(f"Parallel fan-out: byte-identical to serial -> "
+          f"{fanned.to_json() == result.to_json()}")
+
+    # Prune points that provably cannot beat the mid-grid bound.
+    cutoff = predict_kernel_only_us(
+        rescale_batch(graph, recorded_batch, batches[len(batches) // 2]),
+        registry,
+    )
+    pruned = engine.run(graph, recorded_batch, batches, cutoff_us=cutoff)
+    print(f"Pruned walk (cutoff {cutoff / 1e3:.2f} ms on the kernel-only "
+          f"bound): kept {len(pruned)}, pruned {pruned.pruned}")
+
+    # Persist a fingerprinted result, edit one DB, re-sweep the rest.
+    stamped = engine.run(graph, recorded_batch, batches, fingerprints=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        state = Path(tmp) / "sweep_state.json"
+        stamped.save(state)
+        edited = SweepEngine(
+            registries={"V100": registry},
+            overhead_dbs={
+                "profiled": overheads,
+                "raw": OverheadDatabase.from_samples(
+                    extract_overhead_samples(profiled.trace),
+                    filter_outliers=False,
+                ),
+            },
+            transforms=dict(engine.transforms),
+        )
+        rerun = edited.run_incremental(
+            graph, recorded_batch, batches, SweepResult.load(state)
+        )
+    print(f"Incremental re-sweep after editing the 'raw' DB: reused "
+          f"{rerun.reused} of {len(rerun)} records, re-evaluated "
+          f"{rerun.invalidated}")
+
+
+if __name__ == "__main__":
+    main()

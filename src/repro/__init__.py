@@ -100,6 +100,7 @@ from repro.sweep import (
     SweepEngine,
     SweepResult,
     evaluate_graphs,
+    parallel_sweep,
     sweep_batch_sizes,
 )
 from repro.trace import Trace, gpu_utilization, trace_breakdown
@@ -161,6 +162,7 @@ __all__ = [
     "load_registry",
     "max_batch_within_memory",
     "measure_peaks",
+    "parallel_sweep",
     "plan_capacity",
     "predict_e2e",
     "predict_kernel_only_us",

@@ -1,11 +1,15 @@
 """Comparator baselines: kernel-only, Habitat-like, MLPredict-like."""
 
 from repro.baselines.habitat import HabitatPredictor
-from repro.baselines.kernel_only import predict_kernel_only_us
+from repro.baselines.kernel_only import (
+    predict_kernel_only_plan_us,
+    predict_kernel_only_us,
+)
 from repro.baselines.mlpredict import MLPredictPredictor
 
 __all__ = [
     "HabitatPredictor",
     "MLPredictPredictor",
+    "predict_kernel_only_plan_us",
     "predict_kernel_only_us",
 ]

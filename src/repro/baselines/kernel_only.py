@@ -17,8 +17,24 @@ def predict_kernel_only_us(
     graph: ExecutionGraph, registry: PerfModelRegistry
 ) -> float:
     """Sum of predicted kernel times over the whole graph (µs)."""
-    kernels = plan_kernels(collect_plan(graph))
-    total = 0.0
+    return predict_kernel_only_plan_us(collect_plan(graph), registry)
+
+
+def predict_kernel_only_plan_us(plan: list, registry: PerfModelRegistry) -> float:
+    """Kernel-only baseline of a collected traversal plan (µs).
+
+    The plan-level entry point lets sweep callers price the baseline
+    without a graph in hand.  Besides reproducing Figure 9, this sum is
+    the *admissible lower bound* branch-and-bound pruning uses
+    (:mod:`repro.sweep.prune`): Algorithm 1 serializes each stream's
+    kernels with non-negative gaps and adds host time on top, so the
+    predicted E2E time can never fall below the summed kernel times of
+    any single stream.
+    """
+    kernels = plan_kernels(plan)
+    if not kernels:
+        return 0.0
+    total_us = 0.0
     for t in registry.predict_many(kernels):
-        total += float(t)
-    return total
+        total_us += float(t)
+    return total_us

@@ -263,6 +263,9 @@ class CapacityPlanner:
         self.engine = engine
         self.target = target
         self.max_utilization = max_utilization
+        #: Pruning telemetry of the most recent :meth:`plan_dlrm` call:
+        #: grid points skipped as provably infeasible vs. evaluated.
+        self.last_prune_stats: dict[str, int] = {"pruned": 0, "evaluated": 0}
 
     # -- replica-count search -------------------------------------------
     def size_replicas(
@@ -334,6 +337,7 @@ class CapacityPlanner:
         topology_model_for: Callable[[Topology], object] | None = None,
         intra_fabric: InterconnectSpec = NVLINK,
         inter_fabric: InterconnectSpec = ETHERNET_100G,
+        prune: bool = False,
     ) -> list[CapacityPlan]:
         """Search the full serving grid for one DLRM configuration.
 
@@ -359,6 +363,14 @@ class CapacityPlanner:
             intra_fabric: Intra-node interconnect of multi-node
                 replicas.
             inter_fabric: Cross-node network of multi-node replicas.
+            prune: Skip single-GPU grid points whose admissible
+                service-time lower bound (:mod:`repro.sweep.prune`)
+                already exceeds the latency SLO.  Sound: percentile
+                latency ≥ batch service time ≥ the bound, so a pruned
+                point could never have met the target — only its
+                best-effort (``meets_slo=False``) row disappears from
+                the report.  Skipped counts land in
+                :attr:`last_prune_stats`.
 
         Returns:
             All evaluated configurations, ranked by :func:`rank_plans`.
@@ -390,6 +402,7 @@ class CapacityPlanner:
             )
 
         plans: list[CapacityPlan] = []
+        self.last_prune_stats = {"pruned": 0, "evaluated": 0}
         single = [
             f for f in fleets if f.gpus_per_replica == 1 and f.nodes == 1
         ]
@@ -399,7 +412,7 @@ class CapacityPlanner:
         multinode = [f for f in fleets if f.nodes > 1]
         if single:
             plans.extend(
-                self._plan_single_gpu(config, batch_sizes, single)
+                self._plan_single_gpu(config, batch_sizes, single, prune)
             )
         if sharded:
             if collective_model_for is None:
@@ -430,16 +443,29 @@ class CapacityPlanner:
         config: DlrmConfig,
         batch_sizes: Sequence[int],
         fleets: Sequence[CandidateFleet],
+        prune: bool = False,
     ) -> list[CapacityPlan]:
         """Evaluate single-GPU replicas via the batch-size sweep.
 
         The sweep grid spans every engine transform and overhead DB;
         the capacity search pins both to the engine's first axis value
-        so each (fleet, batch) maps to exactly one plan.
+        so each (fleet, batch) maps to exactly one plan.  With
+        ``prune``, the sweep rides the branch-and-bound engine: the
+        latency SLO is the cutoff, and provably-over-SLO points are
+        skipped instead of traversed.
         """
         recorded = max(batch_sizes)
         graph = build_dlrm_graph(config, recorded, mode=MODE_INFERENCE)
-        result = self.engine.run(graph, recorded, sorted(set(batch_sizes)))
+        result = self.engine.run(
+            graph,
+            recorded,
+            sorted(set(batch_sizes)),
+            cutoff_us=self.target.latency_slo_us if prune else None,
+        )
+        self.last_prune_stats = {
+            "pruned": result.pruned,
+            "evaluated": len(result),
+        }
         transform = next(iter(self.engine.transforms))
         db_name = next(iter(self.engine.overhead_dbs))
         plans = []

@@ -119,6 +119,10 @@ def _parse_positive_ints(
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweep import SweepResult, parallel_sweep
+
     batches = _parse_positive_ints(args.batches, "--batches", "256,512,1024")
     if batches is None:
         return 2
@@ -139,10 +143,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         overhead_dbs={"individual": overheads},
         transforms=transforms,
     )
-    result = engine.run(graph, args.batch, batches)
-    info = registry.cache_info()
+    cutoff_us = args.cutoff_ms * 1e3 if args.cutoff_ms is not None else None
+    state_path = Path(args.state) if args.state else None
+    if state_path is not None and state_path.exists():
+        # Incremental re-sweep (serial; takes precedence over --parallel:
+        # reuse decisions depend on the previous result, not on fan-out).
+        result = engine.run_incremental(
+            graph, args.batch, batches, SweepResult.load(state_path),
+            cutoff_us=cutoff_us,
+        )
+    elif args.parallel is not None and args.parallel > 1:
+        result = parallel_sweep(
+            engine, graph, args.batch, batches,
+            workers=args.parallel, cutoff_us=cutoff_us,
+            fingerprints=state_path is not None,
+        )
+    else:
+        result = engine.run(
+            graph, args.batch, batches, cutoff_us=cutoff_us,
+            fingerprints=state_path is not None,
+        )
+    info = result.merged_cache_info()
     print(f"{args.model} sweep on {args.gpu} "
           f"({len(result)} points; cache hit rate {info.hit_rate:.0%}):")
+    if result.pruned:
+        print(f"  pruned {result.pruned} point(s) whose lower bound "
+              f"exceeds {cutoff_us / 1e3:g} ms")
+    if result.reused:
+        print(f"  reused {result.reused} point(s) from {args.state} "
+              f"({result.invalidated} re-evaluated)")
     print(f"  {'transform':18s} {'batch':>6s} {'ms/iter':>9s} "
           f"{'samples/s':>11s}")
     for record in result:
@@ -150,10 +179,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{record.point.batch_size:6d} "
               f"{record.prediction.total_us / 1e3:9.3f} "
               f"{record.samples_per_second:11.0f}")
-    best = result.best()
-    print(f"best predicted throughput: batch {best.point.batch_size} "
-          f"({best.point.transform}) at {best.samples_per_second:.0f} "
-          f"samples/s")
+    if result.records:
+        best = result.best()
+        print(f"best predicted throughput: batch {best.point.batch_size} "
+              f"({best.point.transform}) at {best.samples_per_second:.0f} "
+              f"samples/s")
+    if state_path is not None:
+        result.save(state_path)
+        print(f"Saved sweep state ({len(result)} fingerprinted records) "
+              f"to {state_path}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(result.to_json())
@@ -382,11 +416,16 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         ),
         intra_fabric=fabric,
         inter_fabric=network,
+        prune=args.prune,
     )
 
     print(f"{args.model} serving plans for {args.qps:,.0f} QPS at "
           f"p{args.percentile:g} <= {args.slo_ms:g} ms ({len(plans)} "
           f"configurations):")
+    if args.prune and planner.last_prune_stats["pruned"]:
+        stats = planner.last_prune_stats
+        print(f"  pruned {stats['pruned']} provably-over-SLO point(s); "
+              f"evaluated {stats['evaluated']}")
     print(f"  {'fleet':12s} {'reps':>5s} {'batch':>6s} {'overlap':8s} "
           f"{'svc ms':>8s} {'p-lat ms':>9s} {'util':>6s} {'cost/h':>8s} "
           f"{'SLO':>4s} {'bound by':>9s}")
@@ -519,6 +558,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated batch sizes, e.g. 256,512,1024")
     p.add_argument("--fuse-embeddings", action="store_true",
                    help="also sweep the embedding-fusion transform")
+    p.add_argument("--parallel", type=int,
+                   help="fan the grid out across N forked workers "
+                        "(records stay byte-identical to serial)")
+    p.add_argument("--cutoff-ms", type=float,
+                   help="prune points whose admissible lower bound "
+                        "exceeds this many milliseconds")
+    p.add_argument("--state",
+                   help="sweep-state JSON: loaded (if present) for an "
+                        "incremental re-sweep of only invalidated "
+                        "points, then saved back; incremental runs are "
+                        "serial and take precedence over --parallel")
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--out", help="write sweep records as JSON")
     p.set_defaults(func=_cmd_sweep)
@@ -577,6 +627,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", default="100GbE",
                    choices=("100GbE", "IB-HDR"),
                    help="cross-node network (multi-node replicas)")
+    p.add_argument("--prune", action="store_true",
+                   help="branch-and-bound: skip single-GPU grid points "
+                        "whose admissible lower bound already exceeds "
+                        "the SLO (provably infeasible)")
     p.add_argument("--top", type=int, default=10, help="plans to list")
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--out", help="write ranked plans as JSON")

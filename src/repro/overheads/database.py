@@ -10,6 +10,7 @@ during collection.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import defaultdict
 
@@ -91,6 +92,28 @@ class OverheadDatabase:
     def op_names(self) -> tuple[str, ...]:
         """Ops with collected statistics."""
         return tuple(sorted(self._stats))
+
+    def fingerprint(self) -> str:
+        """Stable content digest of everything ``mean_us`` can return.
+
+        Covers the per-``(op, type)`` means and the per-type fallback
+        means, so two databases with the same fingerprint drive any
+        Algorithm 1 traversal to identical results.  Hashed with
+        ``hashlib`` (process-stable), this is the overheads component
+        of the incremental sweep's per-point fingerprint.
+        """
+        digest = hashlib.sha256()
+        for op_name in sorted(self._stats):
+            digest.update(op_name.encode())
+            per_type = self._stats[op_name]
+            for otype in sorted(per_type):
+                digest.update(otype.encode())
+                digest.update(repr(per_type[otype].mean).encode())
+        digest.update(b"|fallback|")
+        for otype in sorted(self._fallback):
+            digest.update(otype.encode())
+            digest.update(repr(self._fallback[otype]).encode())
+        return digest.hexdigest()[:16]
 
     def dominating_ops_by(self, otype: str, top_k: int = 10) -> list[tuple[str, OverheadStats]]:
         """Ops ranked by mean overhead of one type (Figure 8 panels)."""

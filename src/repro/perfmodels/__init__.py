@@ -1,6 +1,11 @@
 """Kernel performance models: heuristic + ML-based + registry."""
 
-from repro.perfmodels.base import KernelPerfModel, PerfModelRegistry
+from repro.perfmodels.base import (
+    DEFAULT_CACHE_SIZE,
+    CacheInfo,
+    KernelPerfModel,
+    PerfModelRegistry,
+)
 from repro.perfmodels.factory import (
     CV_ML_KERNELS,
     DEFAULT_ML_KERNELS,
@@ -36,7 +41,9 @@ from repro.perfmodels.persistence import (
 __all__ = [
     "BatchNormRooflineModel",
     "CV_ML_KERNELS",
+    "CacheInfo",
     "ConcatModel",
+    "DEFAULT_CACHE_SIZE",
     "DEFAULT_ML_KERNELS",
     "EnhancedEmbeddingModel",
     "GridSearchResult",

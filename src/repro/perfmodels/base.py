@@ -18,10 +18,11 @@ scaling curves) therefore pay for each distinct kernel exactly once.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -81,6 +82,57 @@ class CacheInfo:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def since(self, earlier: "CacheInfo") -> "CacheInfo":
+        """Counter delta between this snapshot and an ``earlier`` one.
+
+        ``size``/``max_size`` keep their current (later) values — they
+        are states, not counters.  This is how sweeps report the hit
+        rate of *one run* against a registry whose cache has lived
+        through earlier work.
+        """
+        return CacheInfo(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            size=self.size,
+            max_size=self.max_size,
+        )
+
+    @classmethod
+    def merged(cls, infos: Iterable["CacheInfo"]) -> "CacheInfo":
+        """Aggregate statistics over several caches (or cache deltas).
+
+        Hits and misses sum; ``size``/``max_size`` take the maximum —
+        the parallel sweep merges per-worker deltas of forked
+        copy-on-write caches, which all descend from one parent cache.
+        """
+        hits = misses = size = max_size = 0
+        for info in infos:
+            hits += info.hits
+            misses += info.misses
+            size = max(size, info.size)
+            max_size = max(max_size, info.max_size)
+        return cls(hits=hits, misses=misses, size=size, max_size=max_size)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row (hit rate included for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheInfo":
+        """Inverse of :meth:`to_dict` (``hit_rate`` is derived, ignored)."""
+        return cls(
+            hits=data["hits"],
+            misses=data["misses"],
+            size=data["size"],
+            max_size=data["max_size"],
+        )
+
 
 class PerfModelRegistry:
     """Kernel-type -> performance-model dispatch table with a memo cache."""
@@ -88,6 +140,9 @@ class PerfModelRegistry:
     def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._models: dict[str, KernelPerfModel] = {}
         self._cache: OrderedDict[KernelCall, float] = OrderedDict()
+        # Cache keys indexed by kernel type so replacing one model
+        # invalidates exactly its own entries (no full-LRU scan).
+        self._by_type: dict[str, dict[KernelCall, None]] = {}
         self._cache_size = max(int(cache_size), 0)
         self._hits = 0
         self._misses = 0
@@ -97,13 +152,30 @@ class PerfModelRegistry:
         if not model.kernel_type:
             raise ValueError("model does not declare a kernel_type")
         self._models[model.kernel_type] = model
-        # A replaced model invalidates every memoized value of its type.
-        if self._cache:
-            for kernel in [
-                k for k in self._cache if k.kernel_type == model.kernel_type
-            ]:
-                del self._cache[kernel]
+        # A replaced model invalidates every memoized value of its
+        # type; the per-type key index makes this O(entries of that
+        # type) instead of a scan over the whole cache.
+        for kernel in self._by_type.pop(model.kernel_type, ()):
+            del self._cache[kernel]
         return self
+
+    def ensure_cache_capacity(self, num_kernels: int) -> int:
+        """Grow the cache bound to hold at least ``num_kernels`` entries.
+
+        The bound only ever grows — shrinking a warm cache would evict
+        live entries.  Sweep engines call this with the grid's
+        deduplicated kernel population so the "predict once, then
+        cache-hit traverse" contract holds at any grid size (a
+        population larger than the bound would otherwise thrash the
+        LRU back to per-point re-prediction).  A registry constructed
+        with ``cache_size=0`` keeps caching disabled.
+
+        Returns:
+            The (possibly grown) cache bound.
+        """
+        if self._cache_size > 0:
+            self._cache_size = max(self._cache_size, int(num_kernels))
+        return self._cache_size
 
     def model_for(self, kernel_type: str) -> KernelPerfModel:
         """The registered model for ``kernel_type``."""
@@ -155,8 +227,14 @@ class PerfModelRegistry:
                 t = float(t)
                 times[kernel] = t
                 self._cache[kernel] = t
+                self._by_type.setdefault(kernel.kernel_type, {})[kernel] = None
         while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            index = self._by_type.get(evicted.kernel_type)
+            if index is not None:
+                index.pop(evicted, None)
+                if not index:
+                    del self._by_type[evicted.kernel_type]
 
         return np.array([times[k] for k in kernels], dtype=np.float64)
 
@@ -172,6 +250,7 @@ class PerfModelRegistry:
     def cache_clear(self) -> None:
         """Drop all memoized predictions and reset the counters."""
         self._cache.clear()
+        self._by_type.clear()
         self._hits = 0
         self._misses = 0
 
@@ -179,3 +258,69 @@ class PerfModelRegistry:
     def kernel_types(self) -> tuple[str, ...]:
         """Registered kernel types."""
         return tuple(sorted(self._models))
+
+    def fingerprint(self, kernel_types: Sequence[str] | None = None) -> str:
+        """Stable content digest of the registered models.
+
+        Two registries whose (selected) models would produce identical
+        predictions for every kernel share a fingerprint; retraining or
+        replacing a model changes it.  Incremental re-sweeps combine
+        this with plan and overhead digests to decide which persisted
+        grid points are still valid — restricting ``kernel_types`` to
+        the types a plan actually dispatches keeps unrelated model
+        swaps from invalidating it.
+
+        The digest is content-based (model class plus parameter state,
+        ``hashlib``-hashed), so it is stable across processes — unlike
+        ``id()``-style identity or the randomized ``hash()`` builtin.
+        """
+        selected = (
+            self.kernel_types
+            if kernel_types is None
+            else tuple(sorted(set(kernel_types)))
+        )
+        digest = hashlib.sha256()
+        for kernel_type in selected:
+            digest.update(kernel_type.encode())
+            model = self._models.get(kernel_type)
+            if model is None:
+                digest.update(b"<unregistered>")
+                continue
+            digest.update(type(model).__name__.encode())
+            _update_digest(digest, vars(model))
+        return digest.hexdigest()[:16]
+
+
+def _update_digest(digest, obj, _depth: int = 0) -> None:
+    """Feed one object's value (recursively) into a hash digest.
+
+    Handles the states performance models actually carry — floats,
+    strings, numpy arrays, nested dataclass-like objects — and falls
+    back to ``repr`` for anything else.  Depth-bounded so a cyclic
+    object cannot hang the fingerprint.
+    """
+    if _depth > 8:
+        digest.update(b"<deep>")
+        return
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        digest.update(repr(obj).encode())
+    elif isinstance(obj, np.ndarray):
+        digest.update(str(obj.dtype).encode())
+        digest.update(str(obj.shape).encode())
+        digest.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, Mapping):
+        for key in sorted(obj, key=repr):
+            digest.update(repr(key).encode())
+            _update_digest(digest, obj[key], _depth + 1)
+    elif isinstance(obj, (list, tuple)):
+        digest.update(b"[")
+        for item in obj:
+            _update_digest(digest, item, _depth + 1)
+        digest.update(b"]")
+    elif callable(obj):
+        digest.update(getattr(obj, "__qualname__", repr(type(obj))).encode())
+    elif hasattr(obj, "__dict__"):
+        digest.update(type(obj).__name__.encode())
+        _update_digest(digest, vars(obj), _depth + 1)
+    else:
+        digest.update(repr(obj).encode())

@@ -1,4 +1,4 @@
-"""Grid sweep engine: batched, cached what-if evaluation."""
+"""Grid sweep engine: batched, cached, parallel what-if evaluation."""
 
 from repro.sweep.engine import (
     IDENTITY_TRANSFORM,
@@ -6,6 +6,8 @@ from repro.sweep.engine import (
     evaluate_graphs,
     sweep_batch_sizes,
 )
+from repro.sweep.parallel import default_workers, parallel_sweep
+from repro.sweep.prune import lower_bound_us, plan_lower_bounds_us
 from repro.sweep.result import (
     MultiGpuSweepPoint,
     MultiGpuSweepRecord,
@@ -24,6 +26,10 @@ __all__ = [
     "SweepPoint",
     "SweepRecord",
     "SweepResult",
+    "default_workers",
     "evaluate_graphs",
+    "lower_bound_us",
+    "parallel_sweep",
+    "plan_lower_bounds_us",
     "sweep_batch_sizes",
 ]

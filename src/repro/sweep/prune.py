@@ -1,0 +1,127 @@
+"""Admissible lower bounds for branch-and-bound sweep pruning.
+
+Capacity-style sweeps rarely need the exact latency of *every* grid
+point: a planner asking "which configurations meet a 25 ms SLO" only
+needs exact numbers for points that might qualify.  Branch-and-bound
+pruning skips a point when a cheap *admissible* lower bound on its
+predicted E2E time already exceeds the caller's cutoff — the point is
+provably worse, so skipping it cannot change which feasible points
+survive.
+
+The bound is the kernel-only baseline generalized to multiple streams
+(:func:`repro.baselines.predict_kernel_only_plan_us`): the maximum over
+streams of that stream's summed predicted kernel times.  Algorithm 1
+serializes each stream's kernels with non-negative inter-kernel gaps
+and layers host overheads on top, so its E2E total can never fall below
+any single stream's kernel-time sum.  On single-stream graphs the bound
+reduces to the plain kernel-only sum.
+
+Bounds are computed vectorized for a whole grid at once
+(:func:`plan_lower_bounds_us`): the sweep engine already predicts the
+grid's concatenated kernel population up front, and the per-plan
+per-stream sums fall out of one cumulative sum plus two ``bincount``
+passes — no per-point model dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.kernel_only import predict_kernel_only_plan_us
+from repro.perfmodels import PerfModelRegistry
+
+__all__ = [
+    "lower_bound_us",
+    "plan_lower_bounds_us",
+    "predict_kernel_only_plan_us",
+]
+
+
+def lower_bound_us(plan: list, registry: PerfModelRegistry) -> float:
+    """Admissible lower bound on one plan's Algorithm 1 E2E time (µs).
+
+    The maximum over streams of the stream's summed predicted kernel
+    times.  Guaranteed ``<= traverse_plan(...).total_us`` for any
+    overhead database and traversal knobs (gaps and overheads are
+    non-negative).  The direct, per-plan API; grids should use the
+    vectorized :func:`plan_lower_bounds_us`.
+    """
+    per_stream: dict[int, float] = {}
+    for _, stream, kernels in plan:
+        if not kernels:
+            continue
+        total = per_stream.get(stream, 0.0)
+        for t in registry.predict_many(list(kernels)):
+            total += float(t)
+        per_stream[stream] = total
+    return max(per_stream.values(), default=0.0)
+
+
+def plan_lower_bounds_us(
+    plans: Sequence[list], kernel_times: np.ndarray
+) -> np.ndarray:
+    """Vectorized admissible lower bounds for a whole grid of plans.
+
+    Args:
+        plans: The grid's traversal plans; each plan is a list of
+            ``(op_name, stream, kernel_calls)`` rows.
+        kernel_times: Predicted time of every kernel of every plan,
+            aligned with the concatenation of each plan's kernels in
+            plan order (exactly what the sweep engine's up-front
+            ``predict_many`` pass produces).
+
+    Returns:
+        One lower bound (µs) per plan, in plan order: the max over the
+        plan's streams of the stream's summed kernel times.
+    """
+    num_plans = len(plans)
+    bounds_us = np.zeros(num_plans, dtype=np.float64)
+    if not num_plans:
+        return bounds_us
+
+    # Row table: for every plan row with kernels, its span in the
+    # concatenated times array, its plan index and its stream.
+    starts: list[int] = []
+    ends: list[int] = []
+    row_plan: list[int] = []
+    row_stream_key: list[tuple[int, int]] = []
+    cursor = 0
+    for plan_idx, plan in enumerate(plans):
+        for _, stream, kernels in plan:
+            n = len(kernels)
+            if n:
+                starts.append(cursor)
+                ends.append(cursor + n)
+                row_plan.append(plan_idx)
+                row_stream_key.append((plan_idx, stream))
+            cursor += n
+    if cursor != len(kernel_times):
+        raise ValueError(
+            f"kernel_times has {len(kernel_times)} entries but the plans "
+            f"hold {cursor} kernels — misaligned precompute"
+        )
+    if not starts:
+        return bounds_us
+
+    # Per-row sums via one cumulative sum (robust to empty rows), then
+    # per-(plan, stream) sums via bincount over compact pair ids, then
+    # the per-plan max over its streams.
+    csum = np.concatenate(([0.0], np.cumsum(kernel_times, dtype=np.float64)))
+    row_sums = csum[np.array(ends)] - csum[np.array(starts)]
+    pair_ids: dict[tuple[int, int], int] = {}
+    row_pair = np.empty(len(row_sums), dtype=np.intp)
+    pair_plan: list[int] = []
+    for i, key in enumerate(row_stream_key):
+        pid = pair_ids.get(key)
+        if pid is None:
+            pid = len(pair_ids)
+            pair_ids[key] = pid
+            pair_plan.append(key[0])
+        row_pair[i] = pid
+    stream_sums = np.bincount(
+        row_pair, weights=row_sums, minlength=len(pair_ids)
+    )
+    np.maximum.at(bounds_us, np.array(pair_plan, dtype=np.intp), stream_sums)
+    return bounds_us

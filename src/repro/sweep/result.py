@@ -1,20 +1,45 @@
-"""Sweep result tables: one record per evaluated grid point."""
+"""Sweep result tables: one record per evaluated grid point.
+
+Beyond the per-point rows, :class:`SweepResult` carries the run's
+telemetry — per-registry prediction-cache deltas (the hit rate is the
+enforced perf contract of the "predict once, then cache-hit traverse"
+pipeline), the points skipped by branch-and-bound pruning (reported,
+never silently dropped), and the count of records reused by an
+incremental re-sweep.  :meth:`SweepResult.save`/:meth:`SweepResult.load`
+persist the table *with* per-point fingerprints so a later
+:meth:`~repro.sweep.engine.SweepEngine.run_incremental` can re-evaluate
+only the points a spec or overhead-DB change invalidated.
+"""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Sequence,
+)
 
 from repro.e2e import E2EPrediction
+from repro.perfmodels import CacheInfo
 
 if TYPE_CHECKING:  # avoid an import cycle at runtime (multigpu is heavy)
     from repro.multigpu.predict import MultiGpuPrediction
 
 
-@dataclass(frozen=True)
-class SweepPoint:
-    """Coordinates of one grid point (transform, batch, GPU, overheads)."""
+class SweepPoint(NamedTuple):
+    """Coordinates of one grid point (transform, batch, GPU, overheads).
+
+    A ``NamedTuple`` rather than a frozen dataclass: branch-and-bound
+    pruning constructs one point per *skipped* grid coordinate, so on
+    10⁵-point grids construction cost is on the sweep's critical path
+    (tuple construction is ~5x cheaper than a frozen dataclass's
+    ``object.__setattr__`` field loop).
+    """
 
     transform: str
     batch_size: int
@@ -24,10 +49,18 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One evaluated grid point and its E2E prediction."""
+    """One evaluated grid point and its E2E prediction.
+
+    ``fingerprint`` (when non-empty) digests everything the prediction
+    depends on — plan kernels, the kernel models dispatched, the
+    overhead database, traversal knobs — so a persisted record can be
+    reused verbatim by an incremental re-sweep as long as the
+    fingerprint still matches.
+    """
 
     point: SweepPoint
     prediction: E2EPrediction
+    fingerprint: str = ""
 
     @property
     def samples_per_second(self) -> float:
@@ -46,6 +79,7 @@ class SweepRecord:
             "gpu_us": self.prediction.gpu_us,
             "active_us": self.prediction.active_us,
             "samples_per_second": self.samples_per_second,
+            "fingerprint": self.fingerprint,
         }
 
     @classmethod
@@ -69,20 +103,60 @@ class SweepRecord:
             gpu_us=data["gpu_us"],
             active_us=data["active_us"],
         )
-        return cls(point=point, prediction=prediction)
+        return cls(
+            point=point,
+            prediction=prediction,
+            fingerprint=data.get("fingerprint", ""),
+        )
 
 
 class SweepResult:
-    """An ordered table of sweep records with simple query helpers."""
+    """An ordered table of sweep records with simple query helpers.
 
-    def __init__(self, records: list[SweepRecord]) -> None:
+    Args:
+        records: Evaluated grid points, in deterministic grid order.
+        pruned_points: Points skipped by branch-and-bound pruning —
+            their admissible lower bound already exceeded the caller's
+            cutoff, so they are *provably* worse, but they are reported
+            here rather than silently thinning the grid.
+        cache_info: Per-registry-label prediction-cache deltas for this
+            run (hits/misses attributable to this sweep only).
+        reused: Records carried over unchanged from a previous result
+            by an incremental re-sweep.
+    """
+
+    def __init__(
+        self,
+        records: list[SweepRecord],
+        pruned_points: Sequence[SweepPoint] = (),
+        cache_info: Mapping[str, CacheInfo] | None = None,
+        reused: int = 0,
+    ) -> None:
         self.records = list(records)
+        self.pruned_points = tuple(pruned_points)
+        self.cache_info = dict(cache_info or {})
+        self.reused = int(reused)
 
     def __len__(self) -> int:
         return len(self.records)
 
     def __iter__(self) -> Iterator[SweepRecord]:
         return iter(self.records)
+
+    @property
+    def pruned(self) -> int:
+        """Number of grid points skipped by pruning."""
+        return len(self.pruned_points)
+
+    @property
+    def invalidated(self) -> int:
+        """Points this run actually evaluated (or pruned) rather than
+        reused from a previous result."""
+        return len(self.records) + self.pruned - self.reused
+
+    def merged_cache_info(self) -> CacheInfo:
+        """This run's cache statistics aggregated over all registries."""
+        return CacheInfo.merged(self.cache_info.values())
 
     def filter(
         self,
@@ -126,6 +200,66 @@ class SweepResult:
     def to_json(self, indent: int = 1) -> str:
         """Serialize the table (one row per grid point)."""
         return json.dumps(self.to_rows(), indent=indent)
+
+    def to_payload(self) -> dict:
+        """Full JSON-compatible state: rows plus run telemetry.
+
+        This is the persisted form an incremental re-sweep consumes —
+        the rows keep their fingerprints, and the telemetry records
+        what the producing run pruned, reused and hit in cache.
+        """
+        return {
+            "records": self.to_rows(),
+            "pruned_points": [
+                {
+                    "transform": p.transform,
+                    "batch_size": p.batch_size,
+                    "gpu": p.gpu,
+                    "overheads": p.overheads,
+                }
+                for p in self.pruned_points
+            ],
+            "cache_info": {
+                label: info.to_dict()
+                for label, info in sorted(self.cache_info.items())
+            },
+            "reused": self.reused,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepResult":
+        """Rebuild a result from a :meth:`to_payload` dict."""
+        records = [SweepRecord.from_dict(row) for row in payload["records"]]
+        pruned = [
+            SweepPoint(
+                transform=p["transform"],
+                batch_size=p["batch_size"],
+                gpu=p["gpu"],
+                overheads=p["overheads"],
+            )
+            for p in payload.get("pruned_points", [])
+        ]
+        cache_info = {
+            label: CacheInfo.from_dict(info)
+            for label, info in payload.get("cache_info", {}).items()
+        }
+        return cls(
+            records,
+            pruned_points=pruned,
+            cache_info=cache_info,
+            reused=payload.get("reused", 0),
+        )
+
+    def save(self, path) -> None:
+        """Persist rows + telemetry (see :meth:`to_payload`) as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "SweepResult":
+        """Load a result persisted by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_payload(json.load(fh))
 
 
 @dataclass(frozen=True)

@@ -147,6 +147,32 @@ class TestCapacityPlanner:
         costs = [p.cost_per_hour for p in feasible]
         assert costs == sorted(costs)
 
+    def test_prune_preserves_feasible_plans(self, engine, registry):
+        """Branch-and-bound pruning only drops provably-over-SLO points."""
+        from repro.baselines import predict_kernel_only_us
+        from repro.models import MODE_INFERENCE
+        from repro.models.dlrm import build_dlrm_graph
+
+        batches = (32, 8192)
+        big_bound = predict_kernel_only_us(
+            build_dlrm_graph(DLRM_DEFAULT, 8192, mode=MODE_INFERENCE),
+            registry,
+        )
+        target = ServingTarget(qps=10_000.0, latency_slo_us=big_bound * 0.5)
+        planner = CapacityPlanner(engine, target)
+        unpruned = planner.plan_dlrm(DLRM_DEFAULT, batches)
+        assert planner.last_prune_stats == {
+            "pruned": 0, "evaluated": len(batches),
+        }
+        pruned = planner.plan_dlrm(DLRM_DEFAULT, batches, prune=True)
+        stats = planner.last_prune_stats
+        assert stats["pruned"] > 0
+        assert stats["pruned"] + stats["evaluated"] == len(batches)
+        # Every SLO-meeting plan survives pruning, byte-identically.
+        assert [p.to_dict() for p in pruned if p.meets_slo] == [
+            p.to_dict() for p in unpruned if p.meets_slo
+        ]
+
     def test_impossible_target_returns_best_effort(self, engine):
         planner = CapacityPlanner(
             engine,

@@ -116,6 +116,45 @@ class TestCommands:
         assert [row["batch_size"] for row in rows] == [128, 256, 512]
         assert all(row["total_us"] > 0 for row in rows)
 
+    def test_sweep_state_and_prune_flags(self, tmp_path, capsys, monkeypatch):
+        """--state runs incrementally on the second pass; --cutoff-ms
+        and --parallel reuse the same walk."""
+        import json
+
+        import repro.cli as cli
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        state_path = str(tmp_path / "state.json")
+        base = ["sweep", "--model", "DLRM_default", "--batch", "256",
+                "--batches", "128,256", "--state", state_path]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "Saved sweep state" in first
+        with open(state_path) as f:
+            saved = json.load(f)
+        assert all(row["fingerprint"] for row in saved["records"])
+
+        assert main(base + ["--parallel", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "reused 2 point(s)" in second
+        assert "0 re-evaluated" in second
+
+        assert main(
+            ["sweep", "--model", "DLRM_default", "--batch", "256",
+             "--batches", "128,256", "--parallel", "2",
+             "--cutoff-ms", "0.0001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 point(s)" in out
+
     def test_sweep_bad_batches(self, capsys):
         assert main(
             ["sweep", "--model", "DLRM_default", "--batch", "256",
