@@ -9,7 +9,6 @@ Results tables are also written under ``results/`` for EXPERIMENTS.md.
 from __future__ import annotations
 
 import functools
-import json
 import os
 import zlib
 
@@ -17,6 +16,7 @@ from repro.hardware import ALL_GPUS
 from repro.models import build_model
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import CV_ML_KERNELS, DEFAULT_ML_KERNELS, build_perf_models
+from repro.regress import load_result, write_result_file
 from repro.simulator import SimulatedDevice
 
 #: Production benchmark settings (documented in EXPERIMENTS.md): a
@@ -110,11 +110,18 @@ def get_shared_overheads(gpu_name: str) -> OverheadDatabase:
 
 
 def write_result(name: str, payload: dict) -> str:
-    """Persist one experiment's table under ``results/`` as JSON."""
+    """Persist one experiment's table under ``results/`` as JSON.
+
+    Every results artifact goes through this one canonical path
+    (:mod:`repro.regress.resultsio`): sorted keys, fixed indentation, a
+    trailing newline, and a schema-version metadata stamp.  Identical
+    payloads therefore produce identical bytes regardless of dict
+    construction order or ``PYTHONHASHSEED``, which is what lets
+    ``repro regress`` diff results run-to-run.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=1)
+    write_result_file(path, payload)
     return path
 
 
@@ -123,11 +130,12 @@ def merge_result(name: str, payload: dict) -> str:
 
     Lets several tests contribute sections to one results file without
     clobbering each other, whatever order they run in: existing keys
-    not in ``payload`` are preserved, matching ones are replaced.
+    not in ``payload`` are preserved, matching ones are replaced.  The
+    merged file is re-stamped and re-serialized canonically by
+    :func:`write_result`.
     """
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     merged = dict(payload)
     if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as f:
-            merged = {**json.load(f), **payload}
+        merged = {**load_result(path), **payload}
     return write_result(name, merged)

@@ -36,6 +36,7 @@ DEFAULT_MARKDOWN = (
     "CHANGES.md",
     "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
+    "docs/REGRESSION.md",
     "docs/TOPOLOGIES.md",
     EXAMPLES_GALLERY,
 )
@@ -53,6 +54,7 @@ DEFAULT_PACKAGES = (
     "src/repro/ops",
     "src/repro/overheads",
     "src/repro/perfmodels",
+    "src/repro/regress",
     "src/repro/simulator",
     "src/repro/sweep",
     "src/repro/trace",

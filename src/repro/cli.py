@@ -515,6 +515,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run.exit_code
 
 
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.regress import (
+        BANDS_NAME,
+        build_bands,
+        check_results,
+        count_banded_leaves,
+        load_bands,
+        render_json,
+        render_text,
+        save_bands,
+    )
+
+    results_dir = Path(args.results_dir)
+    bands_path = Path(args.bands) if args.bands else results_dir / BANDS_NAME
+    if args.update_bands:
+        try:
+            payload = build_bands(results_dir)
+        except FileNotFoundError as err:
+            print(f"cannot build bands: {err}", file=sys.stderr)
+            return 2
+        save_bands(payload, bands_path)
+        print(f"wrote bands for {len(payload['files'])} results file(s) "
+              f"({count_banded_leaves(payload)} leaves) to {bands_path}")
+        return 0
+    if not bands_path.exists():
+        print(f"no band file at {bands_path}; run "
+              f"`repro regress --update-bands` first", file=sys.stderr)
+        return 2
+    run = check_results(
+        results_dir, load_bands(bands_path), names=args.names or None
+    )
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run))
+    return run.exit_code
+
+
 def _cmd_export_trace(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -668,6 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-baselined", action="store_true",
                    help="also print findings matched by the baseline")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "regress",
+        help="check results/*.json against committed reference bands "
+             "(accuracy + speed drift)",
+    )
+    p.add_argument("names", nargs="*",
+                   help="results file stems to check, e.g. "
+                        "fig9_e2e_prediction (default: all)")
+    p.add_argument("--results-dir", default="results",
+                   help="directory holding the results artifacts")
+    p.add_argument("--bands",
+                   help="band file (default: <results-dir>/bands.json)")
+    p.add_argument("--update-bands", action="store_true",
+                   help="regenerate the band file from the current "
+                        "results (mirrors --update-goldens)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format")
+    p.set_defaults(func=_cmd_regress)
 
     p = sub.add_parser("export-trace", help="write a chrome://tracing JSON")
     _add_common(p, need_model=True)

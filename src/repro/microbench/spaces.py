@@ -216,6 +216,27 @@ def batchnorm_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
     return configs
 
 
+def scan_space(scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Prefix-sum configurations (rows, n) spanning both scan regimes.
+
+    Short rows exercise the dependency-bound regime (where the
+    heuristic's launch floor dominates), long single rows the
+    bandwidth-bound one.
+    """
+    rng = np.random.default_rng(seed)
+    configs = []
+    count = max(8, int(300 * scale))
+    for _ in range(count):
+        if rng.random() < 0.5:
+            rows = int(rng.choice([256, 512, 1024, 2048, 4096]))
+            n = _log_choice(rng, 8, 4096)
+        else:
+            rows = 1
+            n = _log_choice(rng, 64 * 1024, 64 * 1024 * 1024)
+        configs.append({"rows": rows, "n": n, "elem_size": 4.0})
+    return configs
+
+
 SPACES = {
     KernelType.GEMM: gemm_space,
     KernelType.EMBEDDING_FWD: embedding_space,
@@ -228,6 +249,7 @@ SPACES = {
     KernelType.ELEMENTWISE: elementwise_space,
     KernelType.CONV: conv_space,
     KernelType.BATCHNORM: batchnorm_space,
+    KernelType.SCAN: scan_space,
 }
 
 

@@ -40,6 +40,7 @@ class KernelType:
     TRIL_BWD = "tril_bwd"
     CONV = "conv"
     BATCHNORM = "batchnorm"
+    SCAN = "scan"
 
     ALL = (
         GEMM,
@@ -53,6 +54,7 @@ class KernelType:
         TRIL_BWD,
         CONV,
         BATCHNORM,
+        SCAN,
     )
 
 

@@ -1,0 +1,102 @@
+"""Prefix-sum (scan) operators.
+
+DLRM preprocessing and sparse-feature plumbing lean on ``aten::cumsum``
+— offsets for ragged embedding bags are exclusive prefix sums over the
+per-sample lookup counts.  Device-side, cumsum dispatches to a
+single-pass decoupled-look-back scan (CUB style): every element is read
+and written once, but tiles serialize on their predecessors' partial
+aggregates, so short scans are dependency-bound rather than
+bandwidth-bound.  That regime split is exactly what the heuristic model
+(:class:`repro.perfmodels.heuristic.scan.ScanModel`) has to capture
+with a launch floor plus corrected-bandwidth roofline.
+"""
+
+from __future__ import annotations
+
+from repro.ops.base import KernelCall, KernelType, Op
+from repro.tensormeta import TensorMeta
+
+
+def scan_kernel(
+    rows: int, n: int, elem_size: float = 4.0, name: str = ""
+) -> KernelCall:
+    """Build a scan kernel call over ``rows`` independent rows of ``n``.
+
+    Args:
+        rows: Number of independent segments scanned (batch rows).
+        n: Elements per segment (the scanned length).
+        elem_size: Bytes per element.
+        name: Display name; defaults to the kernel type.
+    """
+    if rows < 1 or n < 1:
+        raise ValueError(f"scan needs rows >= 1 and n >= 1, got {rows}x{n}")
+    if elem_size <= 0:
+        raise ValueError(f"elem_size must be positive, got {elem_size}")
+    return KernelCall(
+        KernelType.SCAN,
+        {"rows": float(rows), "n": float(n), "elem_size": float(elem_size)},
+        name=name,
+    )
+
+
+class CumSum(Op):
+    """``aten::cumsum`` along the last dimension.
+
+    Shapes ``(..., n)`` scan each trailing row independently; the
+    leading dimensions collapse into the kernel's ``rows`` parameter.
+    """
+
+    op_name = "aten::cumsum"
+
+    def __init__(self, shape: tuple[int, ...], dtype: str = "float32") -> None:
+        if not shape:
+            raise ValueError("cumsum needs at least one dimension")
+        x = TensorMeta(shape, dtype)
+        y = TensorMeta(shape, dtype)
+        super().__init__((x,), (y,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
+        x = self.inputs[0]
+        n = x.shape[-1]
+        rows = max(1, x.numel // max(n, 1))
+        return (
+            scan_kernel(
+                rows=rows,
+                n=n,
+                elem_size=x.nbytes / max(x.numel, 1),
+                name=self.op_name,
+            ),
+        )
+
+
+class CumSumBackward(Op):
+    """``CumsumBackward0`` — gradient of cumsum is a reversed cumsum.
+
+    The backward launches the same scan kernel over the incoming
+    gradient (flip, scan, flip — the flips are fused into the scan's
+    indexing, not separate kernels).
+    """
+
+    op_name = "CumsumBackward0"
+
+    def __init__(self, shape: tuple[int, ...], dtype: str = "float32") -> None:
+        if not shape:
+            raise ValueError("cumsum backward needs at least one dimension")
+        dy = TensorMeta(shape, dtype)
+        dx = TensorMeta(shape, dtype)
+        super().__init__((dy,), (dx,))
+
+    def kernel_calls(self) -> tuple[KernelCall, ...]:
+        """Device kernels launched by one execution of this op."""
+        dy = self.inputs[0]
+        n = dy.shape[-1]
+        rows = max(1, dy.numel // max(n, 1))
+        return (
+            scan_kernel(
+                rows=rows,
+                n=n,
+                elem_size=dy.nbytes / max(dy.numel, 1),
+                name=self.op_name,
+            ),
+        )

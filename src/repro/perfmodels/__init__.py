@@ -23,6 +23,7 @@ from repro.perfmodels.heuristic.roofline import (
     MemcpyModel,
     RooflineElementwiseModel,
 )
+from repro.perfmodels.heuristic.scan import ScanModel
 from repro.perfmodels.mlbased.gridsearch import (
     QUICK_SPACE,
     TABLE2_SPACE,
@@ -57,6 +58,7 @@ __all__ = [
     "QUICK_SPACE",
     "RegistryBuildReport",
     "RooflineElementwiseModel",
+    "ScanModel",
     "TABLE2_SPACE",
     "build_perf_models",
     "grid_search",

@@ -27,6 +27,7 @@ from repro.perfmodels.heuristic.roofline import (
     MemcpyModel,
     RooflineElementwiseModel,
 )
+from repro.perfmodels.heuristic.scan import ScanModel
 from repro.perfmodels.mlbased.gridsearch import QUICK_SPACE
 from repro.perfmodels.mlbased.model import MlKernelModel
 from repro.simulator import SimulatedDevice
@@ -91,6 +92,7 @@ def build_perf_models(
     registry.register(ConcatModel(peaks))
     registry.register(MemcpyModel(peaks))
     registry.register(BatchNormRooflineModel(peaks))
+    registry.register(ScanModel(peaks))
 
     report = RegistryBuildReport(gpu_name=device.gpu.name, peaks=peaks)
     for kernel_type in ml_kernels:

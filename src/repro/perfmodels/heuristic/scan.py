@@ -1,0 +1,53 @@
+"""Heuristic performance model for prefix-sum (scan) kernels.
+
+Section III-B-1b treats memory-bound kernels with a corrected-peak
+roofline; a single-pass scan moves every element twice (one read, one
+write), so the published heuristic is the memcpy-style traffic model
+plus the measured launch floor.  The hidden ground truth additionally
+serializes tiles on their predecessors' partial aggregates, which this
+model deliberately omits — the short-scan regime is where its error
+concentrates, mirroring the paper's hard-to-model kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.hardware import MeasuredPeaks
+from repro.ops import KernelType
+from repro.perfmodels.base import KernelPerfModel
+
+
+class ScanModel(KernelPerfModel):
+    """Scan = two passes of memory traffic at corrected peak bandwidth."""
+
+    kernel_type = KernelType.SCAN
+
+    def __init__(self, peaks: MeasuredPeaks) -> None:
+        self.peaks = peaks
+        self.launch_us = float(peaks.extras.get("launch_us", 0.0))
+
+    def predict_us(self, params: Mapping[str, float]) -> float:
+        """Predicted duration in µs for one kernel's parameters."""
+        rows = float(params["rows"])
+        n = float(params["n"])
+        elem_size = float(params.get("elem_size", 4.0))
+        bytes_moved = 2.0 * rows * n * elem_size
+        return self.launch_us + bytes_moved / (self.peaks.dram_bw_gbs * 1e3)
+
+    def predict_batch(
+        self, params_list: Sequence[Mapping[str, float]]
+    ) -> np.ndarray:
+        """Vectorized ``predict_us`` over rows of kernel parameters."""
+        rows = np.array(
+            [float(p["rows"]) for p in params_list], dtype=np.float64
+        )
+        n = np.array([float(p["n"]) for p in params_list], dtype=np.float64)
+        elem_size = np.array(
+            [float(p.get("elem_size", 4.0)) for p in params_list],
+            dtype=np.float64,
+        )
+        bytes_moved = 2.0 * rows * n * elem_size
+        return self.launch_us + bytes_moved / (self.peaks.dram_bw_gbs * 1e3)

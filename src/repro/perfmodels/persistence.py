@@ -26,6 +26,7 @@ from repro.perfmodels.heuristic.roofline import (
     MemcpyModel,
     RooflineElementwiseModel,
 )
+from repro.perfmodels.heuristic.scan import ScanModel
 from repro.perfmodels.mlbased.mlp import MlpConfig, MlpRegressor
 from repro.perfmodels.mlbased.model import MlKernelModel
 
@@ -38,6 +39,7 @@ _HEURISTIC_CLASSES = {
         ConcatModel,
         MemcpyModel,
         BatchNormRooflineModel,
+        ScanModel,
     )
 }
 _EMBEDDING_CLASSES = {

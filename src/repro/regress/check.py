@@ -1,0 +1,264 @@
+"""The reference-band checker: results vs committed bands.
+
+One :class:`RegressFinding` is one violation — a leaf drifting outside
+its band, a leaf missing from or added to a results file (a benchmark
+silently dropping or growing a configuration), a schema-version
+mismatch, or a whole file appearing/disappearing.  Any finding fails
+the run, completing the predict-vs-simulate contract dynamically the
+way ``repro lint`` enforces it statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.regress.bands import file_bands, file_schema
+from repro.regress.flatten import flatten
+from repro.regress.policy import Band
+from repro.regress.resultsio import (
+    META_KEY,
+    RESULTS_SCHEMA_VERSION,
+    load_result,
+    result_names,
+    schema_of,
+)
+
+#: Finding kind: a leaf value escaped its committed band.
+FINDING_DRIFT = "drift"
+#: Finding kind: a banded leaf is absent from the results file.
+FINDING_MISSING_LEAF = "missing-leaf"
+#: Finding kind: the results file grew a leaf with no committed band.
+FINDING_EXTRA_LEAF = "extra-leaf"
+#: Finding kind: schema-version stamp disagrees with the band file.
+FINDING_SCHEMA = "schema-mismatch"
+#: Finding kind: a banded results file is missing from disk.
+FINDING_MISSING_FILE = "missing-file"
+#: Finding kind: a results file on disk has no bands committed.
+FINDING_UNBANDED_FILE = "unbanded-file"
+
+#: All finding kinds, in report order.
+FINDING_KINDS = (
+    FINDING_MISSING_FILE,
+    FINDING_UNBANDED_FILE,
+    FINDING_SCHEMA,
+    FINDING_MISSING_LEAF,
+    FINDING_EXTRA_LEAF,
+    FINDING_DRIFT,
+)
+
+
+@dataclass(frozen=True)
+class RegressFinding:
+    """One regression-check violation.
+
+    Attributes:
+        kind: One of :data:`FINDING_KINDS`.
+        file: Results file stem, e.g. ``fig9_e2e_prediction``.
+        path: Metric path within the file (empty for file-level kinds).
+        message: Human-readable description of the violation.
+    """
+
+    kind: str
+    file: str
+    path: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FINDING_KINDS:
+            known = ", ".join(FINDING_KINDS)
+            raise ValueError(f"unknown finding kind {self.kind!r}; known: {known}")
+
+    def render(self) -> str:
+        """One-line human-readable form (``analyze`` renderer style)."""
+        where = f"results/{self.file}.json"
+        if self.path:
+            where = f"{where}:{self.path}"
+        return f"{where}: {self.kind} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON representation for ``--format=json`` / CI artifacts."""
+        return {
+            "kind": self.kind,
+            "results_file": self.file,
+            "path": self.path,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegressFinding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            file=data["results_file"],
+            path=data["path"],
+            message=data["message"],
+        )
+
+
+@dataclass(frozen=True)
+class RegressRun:
+    """Everything one regression check produced.
+
+    Attributes:
+        findings: All violations, in stable (file, path, kind) order.
+        files: Number of results files checked.
+        leaves: Number of metric leaves checked against a band.
+    """
+
+    findings: tuple[RegressFinding, ...]
+    files: int
+    leaves: int
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 1 on any finding, else 0."""
+        return 1 if self.findings else 0
+
+
+def check_payload(
+    name: str, payload: dict, bands: dict[str, Band]
+) -> tuple[list[RegressFinding], int]:
+    """Check one loaded results payload against its per-leaf bands.
+
+    Returns ``(findings, leaves_checked)``.  Leaf-set symmetry is part
+    of the contract: a leaf on either side without a partner on the
+    other is a finding, so a benchmark silently dropping (or growing)
+    a configuration cannot pass.
+    """
+    data = {k: v for k, v in payload.items() if k != META_KEY}
+    leaves = flatten(data)
+    findings: list[RegressFinding] = []
+    for path in sorted(set(bands) - set(leaves)):
+        findings.append(
+            RegressFinding(
+                kind=FINDING_MISSING_LEAF,
+                file=name,
+                path=path,
+                message="banded leaf missing from results file",
+            )
+        )
+    for path in sorted(set(leaves) - set(bands)):
+        findings.append(
+            RegressFinding(
+                kind=FINDING_EXTRA_LEAF,
+                file=name,
+                path=path,
+                message=(
+                    "leaf has no committed band "
+                    "(run `repro regress --update-bands`)"
+                ),
+            )
+        )
+    checked = 0
+    for path, value in leaves.items():
+        band = bands.get(path)
+        if band is None:
+            continue
+        checked += 1
+        if not band.admits(value):
+            findings.append(
+                RegressFinding(
+                    kind=FINDING_DRIFT,
+                    file=name,
+                    path=path,
+                    message=(
+                        f"value {value!r} outside band {band.describe()} "
+                        f"[policy {band.policy}]"
+                    ),
+                )
+            )
+    return findings, checked
+
+
+def check_results(
+    results_dir: Path | str,
+    bands_payload: dict,
+    names: list[str] | None = None,
+) -> RegressRun:
+    """Check results files under ``results_dir`` against committed bands.
+
+    Args:
+        results_dir: Directory holding the ``*.json`` artifacts.
+        bands_payload: Parsed ``bands.json``
+            (:func:`repro.regress.bands.load_bands`).
+        names: Subset of file stems to check (``None`` = every stem on
+            either side, so files missing from one side are caught).
+
+    Returns:
+        The :class:`RegressRun`; findings sorted by (file, path).
+    """
+    results_dir = Path(results_dir)
+    on_disk = set(result_names(results_dir))
+    banded = set(bands_payload["files"])
+    selected = sorted(on_disk | banded) if names is None else sorted(set(names))
+
+    findings: list[RegressFinding] = []
+    files_checked = 0
+    leaves_checked = 0
+    for name in selected:
+        bands = file_bands(bands_payload, name)
+        if name not in on_disk:
+            if bands is None:
+                findings.append(
+                    RegressFinding(
+                        kind=FINDING_MISSING_FILE,
+                        file=name,
+                        path="",
+                        message="results file not on disk and not banded",
+                    )
+                )
+            else:
+                findings.append(
+                    RegressFinding(
+                        kind=FINDING_MISSING_FILE,
+                        file=name,
+                        path="",
+                        message="banded results file missing from disk",
+                    )
+                )
+            continue
+        if bands is None:
+            findings.append(
+                RegressFinding(
+                    kind=FINDING_UNBANDED_FILE,
+                    file=name,
+                    path="",
+                    message=(
+                        "results file has no committed bands "
+                        "(run `repro regress --update-bands`)"
+                    ),
+                )
+            )
+            continue
+        payload = load_result(results_dir / f"{name}.json")
+        files_checked += 1
+        schema = schema_of(payload)
+        expected = file_schema(bands_payload, name)
+        if schema != expected or schema != RESULTS_SCHEMA_VERSION:
+            findings.append(
+                RegressFinding(
+                    kind=FINDING_SCHEMA,
+                    file=name,
+                    path="",
+                    message=(
+                        f"schema stamp {schema!r} (bands expect {expected!r}, "
+                        f"harness writes {RESULTS_SCHEMA_VERSION!r})"
+                    ),
+                )
+            )
+        file_findings, checked = check_payload(name, payload, bands)
+        findings.extend(file_findings)
+        leaves_checked += checked
+    findings.sort(key=lambda f: (f.file, f.path, f.kind))
+    return RegressRun(
+        findings=tuple(findings), files=files_checked, leaves=leaves_checked
+    )
+
+
+def count_banded_leaves(bands_payload: dict) -> int:
+    """Total number of banded leaves across every file."""
+    return sum(
+        len(entry["leaves"])
+        for entry in bands_payload["files"].values()
+    )

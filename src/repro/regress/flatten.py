@@ -1,0 +1,188 @@
+"""Flatten nested results JSON into ``(metric_path, value)`` leaves.
+
+The band checker reasons about *leaves*: scalar values addressed by a
+stable string path like ``V100/DLRM_default@512/e2e_err``.  Dict keys
+become path segments joined by ``/``; list elements become ``[i]``
+segments, which keeps lists and dicts-with-numeric-keys (both occur in
+``results/``) distinguishable so :func:`unflatten` can rebuild the
+exact original structure.  Rare key characters are escaped
+JSON-Pointer style (``~0``/``~1``/``~2``/``~3``) so the mapping is
+bijective.
+
+Flatten/unflatten round-trips byte-identically through the canonical
+serializer for every live results file — a property test in
+``tests/test_regress.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Path separator between segments.
+SEPARATOR = "/"
+
+#: Matches a list-index segment, e.g. ``[12]``.
+_INDEX_RE = re.compile(r"^\[(\d+)\]$")
+
+#: Scalar JSON types that may appear as leaves.
+LEAF_TYPES = (str, int, float, bool, type(None))
+
+
+def escape_key(key: str) -> str:
+    """Encode one dict key as a path segment (bijective).
+
+    The empty key gets its own escape (``~3``): an empty segment would
+    vanish when joined into a path, making ``{"": [x]}`` collide with a
+    root-level list.
+    """
+    if key == "":
+        return "~3"
+    escaped = key.replace("~", "~0").replace(SEPARATOR, "~1")
+    if escaped.startswith("["):
+        escaped = "~2" + escaped[1:]
+    return escaped
+
+
+def unescape_key(segment: str) -> str:
+    """Inverse of :func:`escape_key`."""
+    if segment == "~3":
+        return ""
+    if segment.startswith("~2"):
+        segment = "[" + segment[2:]
+    return segment.replace("~1", SEPARATOR).replace("~0", "~")
+
+
+def flatten(payload: dict | list) -> dict[str, object]:
+    """Flatten a nested JSON structure into an ordered leaf mapping.
+
+    Leaves appear in document order, so rebuilding a dict from the
+    mapping preserves the original key order.  Empty containers have
+    no leaf representation and are rejected — a benchmark emitting an
+    empty section is losing data silently.
+    """
+    leaves: dict[str, object] = {}
+
+    def walk(node: object, prefix: str) -> None:
+        """Recurse into ``node``, recording leaves under ``prefix``."""
+        if isinstance(node, dict):
+            if not node:
+                raise ValueError(f"empty object at {prefix or '<root>'!r}")
+            for key, value in node.items():
+                if not isinstance(key, str):
+                    raise TypeError(
+                        f"non-string key {key!r} at {prefix or '<root>'!r}"
+                    )
+                segment = escape_key(key)
+                walk(value, f"{prefix}{SEPARATOR}{segment}" if prefix else segment)
+        elif isinstance(node, list):
+            if not node:
+                raise ValueError(f"empty array at {prefix or '<root>'!r}")
+            for index, value in enumerate(node):
+                segment = f"[{index}]"
+                walk(value, f"{prefix}{SEPARATOR}{segment}" if prefix else segment)
+        elif isinstance(node, LEAF_TYPES):
+            leaves[prefix] = node
+        else:
+            raise TypeError(
+                f"unsupported value {type(node).__name__} at {prefix!r}"
+            )
+
+    if not isinstance(payload, (dict, list)):
+        raise TypeError("top-level results payload must be an object or array")
+    walk(payload, "")
+    return leaves
+
+
+def split_path(path: str) -> list[str]:
+    """Split a metric path into raw (still-escaped) segments."""
+    if not path:
+        raise ValueError("empty metric path")
+    return path.split(SEPARATOR)
+
+
+def leaf_name(path: str) -> str:
+    """The final, unescaped segment of a metric path.
+
+    Tolerance policies match on this name (e.g. ``e2e_err``,
+    ``iteration_ms``); list indices like ``[3]`` are returned verbatim.
+    """
+    segment = split_path(path)[-1]
+    if _INDEX_RE.match(segment):
+        return segment
+    return unescape_key(segment)
+
+
+def unflatten(leaves: dict[str, object]) -> dict | list:
+    """Rebuild the nested structure from an ordered leaf mapping.
+
+    Inverse of :func:`flatten`: container types are inferred from the
+    segment syntax, insertion order follows leaf order, and list
+    indices must arrive contiguously from zero.
+    """
+    if not leaves:
+        raise ValueError("cannot unflatten an empty leaf mapping")
+
+    def is_index(segment: str) -> int | None:
+        """The list index a segment addresses, or ``None`` for keys."""
+        match = _INDEX_RE.match(segment)
+        return int(match.group(1)) if match else None
+
+    root: dict | list | None = None
+
+    def container_for(segment: str) -> dict | list:
+        """A fresh container of the type the segment syntax implies."""
+        return [] if is_index(segment) is not None else {}
+
+    def insert(container: dict | list, segment: str, value: object) -> None:
+        """Attach ``value`` under ``segment``, validating addressing."""
+        index = is_index(segment)
+        if index is not None:
+            if not isinstance(container, list):
+                raise ValueError(
+                    f"segment {segment!r} mixes list and object addressing"
+                )
+            if index != len(container):
+                raise ValueError(
+                    f"list index {segment!r} arrived out of order "
+                    f"(expected [{len(container)}])"
+                )
+            container.append(value)
+        else:
+            if not isinstance(container, dict):
+                raise ValueError(
+                    f"segment {segment!r} mixes object and list addressing"
+                )
+            container[unescape_key(segment)] = value
+
+    absent = object()
+
+    def child(container: dict | list, segment: str) -> object:
+        """The existing entry at ``segment``, or ``absent``."""
+        index = is_index(segment)
+        if index is not None:
+            if not isinstance(container, list) or index >= len(container):
+                return absent
+            return container[index]
+        if not isinstance(container, dict):
+            return absent
+        return container.get(unescape_key(segment), absent)
+
+    for path, value in leaves.items():
+        segments = split_path(path)
+        if root is None:
+            root = container_for(segments[0])
+        node: dict | list = root
+        for here, ahead in zip(segments[:-1], segments[1:]):
+            existing = child(node, here)
+            if existing is absent:
+                existing = container_for(ahead)
+                insert(node, here, existing)
+            elif isinstance(existing, LEAF_TYPES):
+                raise ValueError(
+                    f"path {path!r} descends through leaf segment {here!r}"
+                )
+            node = existing
+        if child(node, segments[-1]) is not absent:
+            raise ValueError(f"duplicate leaf path {path!r}")
+        insert(node, segments[-1], value)
+    return root

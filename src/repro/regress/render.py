@@ -1,0 +1,34 @@
+"""Text and JSON renderers for regression-check runs.
+
+Mirrors the ``repro lint`` renderer conventions: one line per finding
+(``results/<file>.json:<path>: <kind> <message>``) followed by a
+summary line, or a machine-readable JSON document with an embedded
+``exit_code`` for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.regress.check import RegressRun
+
+
+def render_text(run: RegressRun) -> str:
+    """Human-readable report: findings, then a summary line."""
+    lines = [finding.render() for finding in run.findings]
+    lines.append(
+        f"{run.files} results file(s), {run.leaves} leaves checked: "
+        f"{len(run.findings)} finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: RegressRun) -> str:
+    """Machine-readable report for CI artifacts (``--format=json``)."""
+    payload = {
+        "files": run.files,
+        "leaves": run.leaves,
+        "findings": [finding.to_dict() for finding in run.findings],
+        "exit_code": run.exit_code,
+    }
+    return json.dumps(payload, indent=1)

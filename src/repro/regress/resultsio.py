@@ -1,0 +1,99 @@
+"""Canonical serialization for ``results/*.json`` artifacts.
+
+Every benchmark table reaches disk through one writer
+(``benchmarks/assets.write_result``), which delegates here so the CLI,
+the regression checker, and the harness all agree on bytes: keys are
+sorted, indentation is fixed, a trailing newline is emitted, and each
+payload is stamped with schema-version metadata under
+:data:`META_KEY`.  A results file whose bytes differ from a fresh
+deterministic re-run is a bug (see ``tests/test_determinism.py``); a
+results file whose *leaves* drift outside their committed band is a
+regression (see :mod:`repro.regress.check`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Version of the results-file layout; bump when the stamping or
+#: serialization contract changes incompatibly.
+RESULTS_SCHEMA_VERSION = 1
+
+#: Reserved top-level key holding the metadata stamp.
+META_KEY = "_meta"
+
+#: Key inside :data:`META_KEY` holding the schema version.
+META_SCHEMA_KEY = "schema"
+
+#: File name of the committed reference-band file under ``results/``.
+BANDS_NAME = "bands.json"
+
+
+def stamp_payload(payload: dict) -> dict:
+    """Return ``payload`` with the schema-version metadata stamp.
+
+    The stamp is authoritative: a pre-existing :data:`META_KEY` entry
+    (e.g. one loaded back by ``merge_result``) is replaced, so a file
+    rewritten by an up-to-date harness always carries the current
+    schema version.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"results payloads must be JSON objects, got {type(payload).__name__}"
+        )
+    stamped = dict(payload)
+    stamped[META_KEY] = {META_SCHEMA_KEY: RESULTS_SCHEMA_VERSION}
+    return stamped
+
+
+def dumps_result(payload: dict) -> str:
+    """Serialize a results payload to its canonical byte form.
+
+    Sorted keys plus fixed indentation make the output independent of
+    dict construction order (and therefore of ``PYTHONHASHSEED``); the
+    trailing newline keeps the committed artifacts POSIX-clean.  Keys
+    are normalized to their JSON string form *before* sorting —
+    otherwise a payload with int keys (batch sizes) would sort
+    numerically on first write but lexicographically after any
+    load/rewrite cycle, breaking byte idempotence.
+    """
+    normalized = json.loads(json.dumps(payload))
+    return json.dumps(normalized, indent=1, sort_keys=True) + "\n"
+
+
+def write_result_file(path: Path | str, payload: dict) -> Path:
+    """Stamp ``payload`` and write it canonically to ``path``."""
+    path = Path(path)
+    path.write_text(dumps_result(stamp_payload(payload)), encoding="utf-8")
+    return path
+
+
+def load_result(path: Path | str) -> dict:
+    """Load one results JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def schema_of(payload: dict) -> int | None:
+    """The stamped schema version of a payload (``None`` if unstamped)."""
+    meta = payload.get(META_KEY)
+    if isinstance(meta, dict):
+        version = meta.get(META_SCHEMA_KEY)
+        if isinstance(version, int):
+            return version
+    return None
+
+
+def result_names(results_dir: Path | str) -> list[str]:
+    """Sorted stem names of the results files under ``results_dir``.
+
+    The band file itself (:data:`BANDS_NAME`) is excluded — it
+    describes the other artifacts and never gets a band of its own.
+    """
+    results_dir = Path(results_dir)
+    return sorted(
+        p.stem
+        for p in results_dir.glob("*.json")
+        if p.name != BANDS_NAME
+    )

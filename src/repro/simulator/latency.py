@@ -93,6 +93,7 @@ class GroundTruthLatency:
             KernelType.TRIL_BWD: self._tril_bwd,
             KernelType.CONV: self._conv,
             KernelType.BATCHNORM: self._batchnorm,
+            KernelType.SCAN: self._scan,
         }
 
     # ------------------------------------------------------------------
@@ -253,6 +254,23 @@ class GroundTruthLatency:
         eff = 0.10 * F / (F + 25.0) + 0.025
         return self.gpu.kernel_launch_us + self._bandwidth_us(
             bytes_moved, efficiency=eff
+        )
+
+    # -- scan --------------------------------------------------------------
+    def _scan(self, p: dict) -> float:
+        rows, n = p["rows"], p["n"]
+        elem = p.get("elem_size", 4.0)
+        bytes_moved = 2.0 * rows * n * elem
+        # Decoupled look-back (CUB-style single-pass scan): one read and
+        # one write per element, but tiles must wait on their
+        # predecessors' partial aggregates, so effective bandwidth ramps
+        # with the scanned length and short rows stay dependency-bound.
+        eff = 0.85 * n / (n + 4096.0) + 0.08
+        depth_us = math.log2(max(float(n), 2.0)) * 0.012
+        return (
+            self.gpu.kernel_launch_us
+            + depth_us
+            + self._bandwidth_us(bytes_moved, efficiency=eff)
         )
 
     # -- CV extension -------------------------------------------------------

@@ -13,7 +13,7 @@ import pytest
 
 from repro.e2e import E2EPrediction, predict_e2e
 from repro.models import build_model
-from repro.ops import KernelType
+from repro.ops import KernelType, scan_kernel
 from repro.perfmodels import PerfModelRegistry
 from repro.perfmodels.base import DEFAULT_CACHE_SIZE
 from repro.simulator.host import T1, T2, T3, T4, T5
@@ -35,6 +35,12 @@ def kernel_population(registry):
         for node in graph.nodes:
             for kernel in node.op.kernel_calls():
                 by_type.setdefault(kernel.kernel_type, []).append(kernel)
+    # No zoo workload launches a scan; cover the registered scan model
+    # with a synthetic population spanning both of its regimes.
+    by_type.setdefault(KernelType.SCAN, []).extend(
+        scan_kernel(rows=rows, n=n)
+        for rows, n in ((1, 1 << 20), (256, 512), (4096, 8))
+    )
     return by_type
 
 

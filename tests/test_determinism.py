@@ -39,18 +39,38 @@ sys.stdout.write(open(path, "rb").read().hex())
 
 DET_RULES = ["det-hash", "det-time", "det-random", "det-set-order"]
 
+#: Probe script: exercise every results writer (``write_result`` and
+#: ``merge_result``) with a payload built from set iteration — whose
+#: order *does* vary with the hash seed — so only canonical
+#: serialization can keep the bytes stable.
+WRITER_PROBE = """
+import sys
 
-def _probe(tmp_path: Path, hash_seed: str) -> tuple[str, dict]:
-    """Run the probe in a fresh interpreter with a fixed hash seed."""
+import benchmarks.assets as assets
+
+assets.RESULTS_DIR = sys.argv[1]
+keys = {"zeta", "alpha", "mid", "omega", "beta"}
+payload = {k: {"v_" + k: float(len(k))} for k in keys}
+assets.write_result("writer_probe", payload)
+assets.merge_result("writer_probe", {"merged": {k: 1.0 for k in keys}})
+path = assets.merge_result("writer_probe", {"second_pass": True})
+sys.stdout.write(open(path, "rb").read().hex())
+"""
+
+
+def _probe(
+    tmp_path: Path, hash_seed: str, script: str = PROBE
+) -> tuple[str, dict]:
+    """Run a probe script in a fresh interpreter with a fixed hash seed."""
     out_dir = tmp_path / f"results_{hash_seed}"
-    out_dir.mkdir()
+    out_dir.mkdir(exist_ok=True)
     env = {
         "PYTHONPATH": f"{REPO_ROOT / 'src'}:{REPO_ROOT}",
         "PYTHONHASHSEED": hash_seed,
         "PATH": "/usr/bin:/bin",
     }
     proc = subprocess.run(
-        [sys.executable, "-c", PROBE, str(out_dir)],
+        [sys.executable, "-c", script, str(out_dir)],
         capture_output=True, text=True, env=env, check=True,
         cwd=REPO_ROOT,
     )
@@ -68,9 +88,50 @@ class TestResultsBytesAreHashSeedIndependent:
     def test_testbed_seeds_follow_the_crc32_contract(self, tmp_path):
         import zlib
 
+        from repro.regress import META_KEY
+
         _, seeds = _probe(tmp_path, "7")
         for name, seed in seeds.items():
+            if name == META_KEY:
+                continue  # the canonical writer's schema stamp
             assert seed == 100 + zlib.crc32(name.encode()) % 50
+
+
+class TestEveryResultsWriterIsCanonical:
+    def test_writer_bytes_are_hash_seed_independent(self, tmp_path):
+        hex_a, doc_a = _probe(tmp_path, "1", script=WRITER_PROBE)
+        hex_b, doc_b = _probe(tmp_path, "31337", script=WRITER_PROBE)
+        assert doc_a == doc_b
+        assert hex_a == hex_b, (
+            "write_result/merge_result bytes differ across PYTHONHASHSEED"
+        )
+
+    def test_written_files_are_stamped_and_canonical(self, tmp_path):
+        from repro.regress import (
+            RESULTS_SCHEMA_VERSION,
+            dumps_result,
+            schema_of,
+        )
+
+        _, doc = _probe(tmp_path, "5", script=WRITER_PROBE)
+        assert schema_of(doc) == RESULTS_SCHEMA_VERSION
+        raw = bytes.fromhex(
+            _probe(tmp_path, "5", script=WRITER_PROBE)[0]
+        ).decode("utf-8")
+        assert raw == dumps_result(doc)
+        assert doc["second_pass"] is True  # merge preserved earlier sections
+        assert set(doc["merged"]) == {"zeta", "alpha", "mid", "omega", "beta"}
+
+    def test_no_benchmark_hand_rolls_json_dump(self):
+        # Every results artifact must go through the one canonical
+        # writer in benchmarks/assets.py; a stray json.dump reintroduces
+        # hash-seed-dependent bytes and unstamped files.
+        offenders = []
+        for path in sorted((REPO_ROOT / "benchmarks").glob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            if "json.dump" in text:
+                offenders.append(path.name)
+        assert offenders == []
 
 
 class TestHarnessIsDetLintClean:

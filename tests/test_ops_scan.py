@@ -1,0 +1,144 @@
+"""Unit tests for the prefix-sum (scan) operator and its perf model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import gpu_by_name
+from repro.microbench import measure_peaks, space_for
+from repro.ops import CumSum, CumSumBackward, KernelType, scan_kernel
+from repro.perfmodels import ScanModel, build_perf_models
+from repro.simulator import SimulatedDevice
+from repro.simulator.latency import GroundTruthLatency
+
+
+def kernel_of(op):
+    calls = op.kernel_calls()
+    assert len(calls) == 1
+    return calls[0]
+
+
+class TestScanKernel:
+    def test_params(self):
+        k = scan_kernel(rows=256, n=1024)
+        assert k.kernel_type == KernelType.SCAN
+        assert k.params["rows"] == 256.0
+        assert k.params["n"] == 1024.0
+        assert k.params["elem_size"] == 4.0
+
+    def test_rejects_empty_scan(self):
+        with pytest.raises(ValueError):
+            scan_kernel(rows=0, n=1024)
+        with pytest.raises(ValueError):
+            scan_kernel(rows=1, n=0)
+        with pytest.raises(ValueError):
+            scan_kernel(rows=1, n=1, elem_size=0.0)
+
+    def test_near_miss_smallest_scan_is_valid(self):
+        # The 1x1 scan sits right at the validation boundary.
+        k = scan_kernel(rows=1, n=1)
+        assert k.params["rows"] == 1.0
+        assert k.params["n"] == 1.0
+
+
+class TestCumSumOps:
+    def test_forward_collapses_leading_dims(self):
+        k = kernel_of(CumSum((8, 16, 512)))
+        assert k.params["rows"] == 8 * 16
+        assert k.params["n"] == 512
+        assert k.name == "aten::cumsum"
+
+    def test_backward_is_same_scan_shape(self):
+        fwd = kernel_of(CumSum((1024, 256)))
+        bwd = kernel_of(CumSumBackward((1024, 256)))
+        assert bwd.kernel_type == KernelType.SCAN
+        assert bwd.params["rows"] == fwd.params["rows"]
+        assert bwd.params["n"] == fwd.params["n"]
+
+    def test_1d_shape(self):
+        k = kernel_of(CumSum((4096,)))
+        assert k.params["rows"] == 1
+        assert k.params["n"] == 4096
+
+    def test_rejects_scalar_shape(self):
+        with pytest.raises(ValueError):
+            CumSum(())
+        with pytest.raises(ValueError):
+            CumSumBackward(())
+
+    def test_rescale_batch(self):
+        op = CumSum((1024, 256))
+        scaled = op.rescale_batch(1024, 2048)
+        assert kernel_of(scaled).params["rows"] == 2048
+
+
+class TestScanGroundTruth:
+    def test_dispatch_covers_scan(self):
+        gt = GroundTruthLatency(gpu_by_name("A100"))
+        t = gt.duration_us(scan_kernel(rows=512, n=2048))
+        assert t > 0.0
+
+    def test_long_scan_is_bandwidth_bound(self):
+        gpu = gpu_by_name("A100")
+        gt = GroundTruthLatency(gpu)
+        n = 32 * 1024 * 1024
+        t = gt.duration_us(scan_kernel(rows=1, n=n))
+        ideal_us = 2.0 * 4.0 * n / (gpu.peak_dram_bw_gbs * 1e3)
+        # Within 2x of the ideal two-pass traffic time.
+        assert ideal_us < t < 2.0 * ideal_us
+
+    def test_short_scans_pay_dependency_cost(self):
+        gt = GroundTruthLatency(gpu_by_name("A100"))
+        # Same total bytes, split into short rows vs one long row: the
+        # short-row variant must not be faster than proportionally.
+        short = gt.duration_us(scan_kernel(rows=4096, n=64))
+        long = gt.duration_us(scan_kernel(rows=1, n=4096 * 64))
+        assert short > long
+
+
+class TestScanModel:
+    @pytest.fixture(scope="class")
+    def peaks(self):
+        device = SimulatedDevice(gpu_by_name("A100"), seed=0)
+        return measure_peaks(device)
+
+    def test_bandwidth_bound_regime_is_accurate(self, peaks):
+        model = ScanModel(peaks)
+        gt = GroundTruthLatency(gpu_by_name("A100"))
+        call = scan_kernel(rows=1, n=16 * 1024 * 1024)
+        pred = model.predict_us(call.params)
+        true = gt.duration_us(call)
+        assert abs(pred - true) / true < 0.15
+
+    def test_near_miss_short_scan_underpredicts(self, peaks):
+        # The heuristic's documented blind spot: dependency-bound short
+        # scans run slower than the pure-traffic roofline admits.
+        model = ScanModel(peaks)
+        gt = GroundTruthLatency(gpu_by_name("A100"))
+        call = scan_kernel(rows=2048, n=64)
+        assert model.predict_us(call.params) < gt.duration_us(call)
+
+    def test_predict_batch_matches_scalar(self, peaks):
+        model = ScanModel(peaks)
+        params = [
+            dict(scan_kernel(rows=r, n=n).params)
+            for r, n in [(1, 1 << 20), (256, 512), (4096, 8)]
+        ]
+        scalar = np.array(
+            [model.predict_us(p) for p in params], dtype=np.float64
+        )
+        assert np.array_equal(model.predict_batch(params), scalar)
+
+
+class TestScanRegistration:
+    def test_microbench_space_exists(self):
+        configs = space_for(KernelType.SCAN, scale=0.1, seed=0)
+        assert len(configs) >= 8
+        assert all(c["rows"] >= 1 and c["n"] >= 1 for c in configs)
+
+    def test_factory_registers_scan_model(self):
+        device = SimulatedDevice(gpu_by_name("A100"), seed=0)
+        registry, _ = build_perf_models(
+            device, ml_kernels=(), microbench_scale=0.05, epochs=1
+        )
+        assert KernelType.SCAN in registry.kernel_types
+        assert isinstance(registry.model_for(KernelType.SCAN), ScanModel)
