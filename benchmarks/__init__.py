@@ -1,0 +1,1 @@
+"""Paper benchmark harness (makes ``benchmarks.*`` importable alongside ``tests.*``)."""

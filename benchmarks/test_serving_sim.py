@@ -1,0 +1,186 @@
+"""Extension experiment — trace-driven serving simulation beyond M/D/1.
+
+Three scenarios against the same A100-priced DLRM service ladder:
+
+1. **Steady Poisson validation** — in the closed form's home regime
+   (batches always fill, healthy pool, random routing) the simulated
+   p99 must land within ±30% of the closed-form prediction.
+2. **The acceptance gap** — a 5x flash crowd offered at the same mean
+   QPS.  The closed form only sees the mean rate, so it accepts the
+   plan against the SLO; the simulator replays the spike and measures
+   a p99 far past it.  The table records both verdicts explicitly
+   (``closed_form_accepts`` / ``simulator_rejects``).
+3. **Flash crowd + replica kill** — the same spike with one replica
+   killed mid-window: orphans reroute, nothing is lost, and the tail
+   degrades further.
+
+The table lands in ``results/serving_sim.json`` through the canonical
+writer, so ``repro regress`` bands every metric leaf.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.assets import (
+    RESULTS_DIR,
+    get_overheads,
+    get_registry,
+    write_result,
+)
+from repro.capacity import predict_percentile_latency
+from repro.models.dlrm import DLRM_CONFIGS
+from repro.serving import (
+    ARRIVAL_FLASH_CROWD,
+    ARRIVAL_POISSON,
+    ArrivalSpec,
+    BatchingPolicy,
+    FaultInjection,
+    ServingSimulator,
+    price_dlrm_service,
+)
+from repro.sweep import SweepEngine
+
+_GPU = "A100"
+_MODEL = "DLRM_default"
+_BATCH = 8
+_REPLICAS = 4
+_RHO = 0.40
+_NUM_REQUESTS = 16_000
+_SEED = 17
+#: Agreement required between simulated and closed-form p99 in the
+#: validation regime (mirrors tests/test_serving_sim.py).
+_TOLERANCE = 0.30
+#: The crowd scenario's SLO: generous against the closed form (3x its
+#: own p99 prediction) yet far below what the spike really does.
+_SLO_HEADROOM = 3.0
+_SPIKE_MULTIPLIER = 5.0
+
+
+@pytest.fixture(scope="module")
+def serving_table():
+    registry, _ = get_registry(_GPU)
+    overheads = get_overheads(_GPU, _MODEL, 2048)
+    engine = SweepEngine(
+        registries={_GPU: registry},
+        overhead_dbs={"individual": overheads},
+    )
+    service = price_dlrm_service(
+        engine, DLRM_CONFIGS[_MODEL], _GPU, _BATCH
+    )
+    service_us = service.service_us(_BATCH)
+    qps = _RHO * _BATCH / service_us * 1e6 * _REPLICAS
+
+    # 1. Steady Poisson in the always-fill regime: the cross-validation
+    # point.  The huge timeout makes every batch fill, matching the
+    # closed form's fill assumption.
+    always_fill = BatchingPolicy(max_batch=_BATCH, timeout_us=1e12)
+    steady_spec = ArrivalSpec(
+        kind=ARRIVAL_POISSON, qps=qps, num_requests=_NUM_REQUESTS
+    )
+    steady = ServingSimulator(
+        service, _REPLICAS, always_fill, seed=_SEED
+    ).run(steady_spec, scenario="steady poisson (always-fill)")
+    closed = predict_percentile_latency(
+        service_us, _BATCH, qps / _REPLICAS
+    )
+    ratio = steady.latency_p99_us / closed.total_us
+
+    # 2. The acceptance gap: same mean QPS, but a third of the trace
+    # arrives at 5x.  The closed form cannot see the spike.
+    slo_us = _SLO_HEADROOM * closed.total_us
+    span_us = _NUM_REQUESTS / qps * 1e6
+    crowd_spec = ArrivalSpec(
+        kind=ARRIVAL_FLASH_CROWD,
+        qps=qps,
+        num_requests=_NUM_REQUESTS,
+        spike_start_us=span_us / 3.0,
+        spike_duration_us=span_us / 3.0,
+        spike_multiplier=_SPIKE_MULTIPLIER,
+    )
+    realistic = BatchingPolicy(max_batch=_BATCH, timeout_us=1000.0)
+    crowd = ServingSimulator(
+        service, _REPLICAS, realistic, seed=_SEED
+    ).run(crowd_spec, scenario="5x flash crowd")
+
+    # 3. The same crowd with a replica killed mid-spike.
+    faults = FaultInjection(kill_replica=0, kill_at_us=span_us / 2.0)
+    killed = ServingSimulator(
+        service, _REPLICAS, realistic, faults=faults, seed=_SEED
+    ).run(crowd_spec, scenario="5x flash crowd + replica kill")
+
+    table = {
+        "gpu": _GPU,
+        "model": _MODEL,
+        "max_batch": _BATCH,
+        "replicas": _REPLICAS,
+        "offered_qps": qps,
+        "service_us": service_us,
+        "validation": {
+            "rho": _RHO,
+            "closed_form_p99_us": closed.total_us,
+            "simulated_p99_us": steady.latency_p99_us,
+            "ratio": ratio,
+            "tolerance": _TOLERANCE,
+        },
+        "acceptance_gap": {
+            "slo_us": slo_us,
+            "closed_form_p99_us": closed.total_us,
+            "closed_form_accepts": bool(closed.total_us <= slo_us),
+            "flash_crowd_p99_us": crowd.latency_p99_us,
+            "simulator_rejects": bool(crowd.latency_p99_us > slo_us),
+        },
+        "scenarios": {
+            "steady": steady.to_dict(),
+            "flash_crowd": crowd.to_dict(),
+            "flash_crowd_kill": killed.to_dict(),
+        },
+    }
+    write_result("serving_sim", table)
+    return table
+
+
+class TestServingSim:
+    def test_steady_poisson_cross_validates(self, serving_table):
+        validation = serving_table["validation"]
+        ratio = validation["ratio"]
+        assert 1 - _TOLERANCE <= ratio <= 1 + _TOLERANCE, (
+            f"simulated p99 {validation['simulated_p99_us']:.0f} us vs "
+            f"closed-form {validation['closed_form_p99_us']:.0f} us "
+            f"(ratio {ratio:.3f})"
+        )
+
+    def test_closed_form_accepts_what_the_simulator_rejects(
+        self, serving_table
+    ):
+        gap = serving_table["acceptance_gap"]
+        assert gap["closed_form_accepts"] is True
+        assert gap["simulator_rejects"] is True
+        assert gap["flash_crowd_p99_us"] > gap["slo_us"]
+
+    def test_every_request_is_accounted_for(self, serving_table):
+        for scenario in serving_table["scenarios"].values():
+            assert (
+                scenario["completed"] + scenario["dropped"]
+                == scenario["num_requests"]
+            )
+
+    def test_kill_degrades_but_loses_nothing(self, serving_table):
+        crowd = serving_table["scenarios"]["flash_crowd"]
+        killed = serving_table["scenarios"]["flash_crowd_kill"]
+        assert killed["dropped"] == 0
+        assert killed["latency_p99_us"] >= crowd["latency_p99_us"]
+
+    def test_results_table_written(self, serving_table):
+        path = os.path.join(RESULTS_DIR, "serving_sim.json")
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["validation"]["ratio"] == (
+            serving_table["validation"]["ratio"]
+        )
+        assert set(payload["scenarios"]) == {
+            "steady", "flash_crowd", "flash_crowd_kill"
+        }

@@ -95,6 +95,19 @@ from repro.perfmodels import (
     load_registry,
     save_registry,
 )
+from repro.serving import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    BatchingPolicy,
+    FaultInjection,
+    QueueDepthAutoscaler,
+    ServingSimulator,
+    SimulatedServingReport,
+    TabulatedServiceTimes,
+    generate_arrivals,
+    price_dlrm_service,
+    render_report,
+)
 from repro.simulator import SimulatedDevice
 from repro.sweep import (
     SweepEngine,
@@ -110,6 +123,9 @@ __version__ = "1.0.0"
 __all__ = [
     "A100",
     "ALL_GPUS",
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "BatchingPolicy",
     "CandidateFleet",
     "CapacityPlan",
     "CapacityPlanner",
@@ -120,6 +136,7 @@ __all__ = [
     "ErrorStats",
     "ExecutionGraph",
     "FIGURE1_BATCH_SIZES",
+    "FaultInjection",
     "GpuSpec",
     "HabitatPredictor",
     "MLPredictPredictor",
@@ -135,9 +152,13 @@ __all__ = [
     "PCIE_FABRIC",
     "PerfModelRegistry",
     "CollectiveModel",
+    "QueueDepthAutoscaler",
+    "ServingSimulator",
     "ServingTarget",
     "SimulatedDevice",
+    "SimulatedServingReport",
     "SweepEngine",
+    "TabulatedServiceTimes",
     "SweepResult",
     "TESLA_P100",
     "TESLA_V100",
@@ -153,6 +174,7 @@ __all__ = [
     "evaluate_embedding_fusion",
     "evaluate_graphs",
     "evaluate_sharding",
+    "generate_arrivals",
     "geomean",
     "gmae",
     "gpu_by_name",
@@ -168,7 +190,9 @@ __all__ = [
     "predict_kernel_only_us",
     "predict_memory",
     "predict_multi_gpu",
+    "price_dlrm_service",
     "rebalance_under_overlap",
+    "render_report",
     "run_microbenchmark",
     "save_graph",
     "scaling_curve",

@@ -6,11 +6,17 @@ three places where that contract lives machine-checked:
 
 * ``contract-dispatch`` — every overlap policy in ``OVERLAP_POLICIES``
   and every collective kind in ``COLLECTIVE_KINDS`` must be handled by
-  both ``multigpu/predict.py`` and ``multigpu/simulate.py``.  "Handled"
-  means the module — or a ``repro`` module it (transitively) imports
-  from — references the member constant, compares against its string
-  value, or membership-tests against the whole registry tuple.  Adding
-  a policy/kind that only one side knows about fails the lint.
+  both ``multigpu/predict.py`` and ``multigpu/simulate.py``, and every
+  arrival-model kind in ``ARRIVAL_KINDS`` by both the serving trace
+  generator (``serving/arrivals.py``) and the report renderer
+  (``serving/report.py``).  "Handled" means the module — or a ``repro``
+  module it (transitively) imports from — references the member
+  constant, compares against its string value, or membership-tests
+  against the whole registry tuple.  Adding a policy/kind that only
+  one side knows about fails the lint.  A contract whose defining file
+  is absent from the project is skipped (the subsystem does not exist
+  there at all); a present file that lost its registry tuple is still
+  an error.
 * ``contract-kernel-model`` — every :class:`repro.ops.base.KernelType`
   member must be referenced somewhere under ``repro.perfmodels`` (a
   kernel type with no registered performance model would silently make
@@ -48,6 +54,14 @@ DISPATCH_CONTRACTS = (
         "handlers": (
             "src/repro/multigpu/predict.py",
             "src/repro/multigpu/simulate.py",
+        ),
+    },
+    {
+        "registry": "ARRIVAL_KINDS",
+        "defined_in": "src/repro/serving/arrivals.py",
+        "handlers": (
+            "src/repro/serving/arrivals.py",
+            "src/repro/serving/report.py",
         ),
     },
 )
@@ -215,9 +229,10 @@ class ContractDispatch(Rule):
     name = "contract-dispatch"
     severity = SEVERITY_ERROR
     description = (
-        "every OVERLAP_POLICIES / COLLECTIVE_KINDS member must be "
-        "handled (directly or via imports) by multigpu/predict.py AND "
-        "multigpu/simulate.py"
+        "every OVERLAP_POLICIES / COLLECTIVE_KINDS / ARRIVAL_KINDS "
+        "member must be handled (directly or via imports) by both of "
+        "its contract's handler modules (predict+simulate engines, "
+        "arrival generator+report renderer)"
     )
     scope = SCOPE_PROJECT
 
@@ -254,6 +269,10 @@ class ContractDispatch(Rule):
             return covered
 
         for contract in DISPATCH_CONTRACTS:
+            if context.src_file(contract["defined_in"]) is None:
+                # The whole subsystem is absent from this project (e.g.
+                # a trimmed checkout): nothing to verify, not an error.
+                continue
             registry = _parse_registry(
                 contract["registry"], contract["defined_in"], context
             )

@@ -42,6 +42,8 @@ _ENTROPY_CALLS = {
 }
 #: Builtins that materialize a set's (hash-randomized) order.
 _ORDER_MATERIALIZERS = ("list", "tuple", "iter", "enumerate")
+#: The stdlib module whose globals are process-wide unseeded state.
+_RANDOM_MODULE = "random"
 
 
 def _attr_chain(node: ast.expr) -> tuple[str, ...]:
@@ -167,7 +169,7 @@ class DetRandom(Rule):
             chain = _attr_chain(node.func)
             if not chain:
                 continue
-            if chain[0] == "random" and len(chain) == 2:
+            if chain[0] == _RANDOM_MODULE and len(chain) == 2:
                 report(
                     node,
                     f"global random.{chain[1]}() draws from the "
@@ -177,7 +179,7 @@ class DetRandom(Rule):
             elif (
                 len(chain) >= 3
                 and chain[0] in ("np", "numpy")
-                and chain[1] == "random"
+                and chain[1] == _RANDOM_MODULE
                 and chain[2] != "default_rng"
             ):
                 report(
@@ -188,7 +190,7 @@ class DetRandom(Rule):
                 )
             elif (
                 chain[-1] == "default_rng"
-                and "random" in chain
+                and _RANDOM_MODULE in chain
                 and not node.args
                 and not node.keywords
             ):

@@ -10,6 +10,7 @@ count × fleet shape × sharding × overlap policy over the forward-only
 from repro.capacity.planner import (
     ROUND_ROBIN,
     SINGLE_GPU_OVERLAP,
+    VALIDATE_SIMULATE,
     CandidateFleet,
     CapacityPlan,
     CapacityPlanner,
@@ -38,6 +39,7 @@ __all__ = [
     "ROUND_ROBIN",
     "SINGLE_GPU_OVERLAP",
     "ServingTarget",
+    "VALIDATE_SIMULATE",
     "percentile_factor",
     "plan_capacity",
     "plans_to_json",

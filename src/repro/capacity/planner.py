@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.capacity.slo import (
@@ -37,12 +37,23 @@ from repro.multigpu.interconnect import NVLINK, InterconnectSpec
 from repro.multigpu.plan import build_multi_gpu_dlrm_plan
 from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.multigpu.topology import ETHERNET_100G, Topology
+from repro.serving.arrivals import ARRIVAL_POISSON, ArrivalSpec
+from repro.serving.batching import BatchingPolicy
+from repro.serving.service import TabulatedServiceTimes, price_dlrm_service
+from repro.serving.simulate import ServingSimulator
 from repro.sweep import SweepEngine
 
 #: Sharding-axis label for the default round-robin table assignment.
 ROUND_ROBIN = "round_robin"
 #: Overlap-axis label used for single-GPU replicas (nothing to hide).
 SINGLE_GPU_OVERLAP = "n/a"
+#: ``plan_dlrm(validate=...)`` mode: re-check closed-form-feasible
+#: plans in the discrete-event serving simulator.
+VALIDATE_SIMULATE = "simulate"
+#: How many closed-form-feasible plans the validation stage re-checks.
+DEFAULT_VALIDATE_TOP_K = 3
+#: Arrival-trace length of one validation simulation.
+DEFAULT_VALIDATE_REQUESTS = 4000
 
 
 @dataclass(frozen=True)
@@ -130,6 +141,10 @@ class CapacityPlan:
         bottleneck: Busiest resource of the replica's serving plan —
             ``"compute"``, ``"fabric"`` (flat interconnect), or the
             ``"intra"``/``"inter"`` channel of a hierarchical topology.
+        simulated_us: Measured p99 from the discrete-event serving
+            simulator when the plan went through the
+            ``validate="simulate"`` stage; ``None`` when the plan was
+            only priced by the closed form.
     """
 
     fleet: str
@@ -147,6 +162,7 @@ class CapacityPlan:
     meets_slo: bool
     nodes: int = 1
     bottleneck: str = "compute"
+    simulated_us: float | None = None
 
     @property
     def latency_us(self) -> float:
@@ -184,6 +200,11 @@ class CapacityPlan:
             "utilization": self.utilization,
             "cost_per_hour": self.cost_per_hour,
             "meets_slo": self.meets_slo,
+            "simulated_us": (
+                None
+                if self.simulated_us is None or math.isinf(self.simulated_us)
+                else self.simulated_us
+            ),
         }
 
     @classmethod
@@ -216,6 +237,7 @@ class CapacityPlan:
             meets_slo=data["meets_slo"],
             nodes=data["nodes"],
             bottleneck=data["bottleneck"],
+            simulated_us=data["simulated_us"],
         )
 
 
@@ -295,6 +317,7 @@ class CapacityPlanner:
             )
             meets = (
                 utilization <= self.max_utilization
+                and not latency.saturated
                 and latency.total_us <= self.target.latency_slo_us
             )
             plan = CapacityPlan(
@@ -338,6 +361,10 @@ class CapacityPlanner:
         intra_fabric: InterconnectSpec = NVLINK,
         inter_fabric: InterconnectSpec = ETHERNET_100G,
         prune: bool = False,
+        validate: str | None = None,
+        validate_top_k: int = DEFAULT_VALIDATE_TOP_K,
+        validate_requests: int = DEFAULT_VALIDATE_REQUESTS,
+        validate_seed: int = 0,
     ) -> list[CapacityPlan]:
         """Search the full serving grid for one DLRM configuration.
 
@@ -371,6 +398,14 @@ class CapacityPlanner:
                 best-effort (``meets_slo=False``) row disappears from
                 the report.  Skipped counts land in
                 :attr:`last_prune_stats`.
+            validate: ``None`` (closed form only) or
+                :data:`VALIDATE_SIMULATE` to re-check the top
+                ``validate_top_k`` closed-form-feasible plans in the
+                discrete-event serving simulator
+                (:meth:`validate_plans`).
+            validate_top_k: Feasible plans the validation re-checks.
+            validate_requests: Arrival-trace length per validation run.
+            validate_seed: Seed of the validation traces.
 
         Returns:
             All evaluated configurations, ranked by :func:`rank_plans`.
@@ -436,7 +471,95 @@ class CapacityPlanner:
                     shardings, overlap_policies, intra_fabric, inter_fabric,
                 )
             )
-        return rank_plans(plans)
+        ranked = rank_plans(plans)
+        if validate is None:
+            return ranked
+        if validate != VALIDATE_SIMULATE:
+            raise ValueError(
+                f"unknown validate mode {validate!r}; known: "
+                f"{VALIDATE_SIMULATE!r}"
+            )
+        return self.validate_plans(
+            config, ranked, top_k=validate_top_k,
+            num_requests=validate_requests, seed=validate_seed,
+        )
+
+    # -- simulator validation stage -------------------------------------
+    def validate_plans(
+        self,
+        config: DlrmConfig,
+        plans: Sequence[CapacityPlan],
+        top_k: int = DEFAULT_VALIDATE_TOP_K,
+        num_requests: int = DEFAULT_VALIDATE_REQUESTS,
+        seed: int = 0,
+    ) -> list[CapacityPlan]:
+        """Re-check the top closed-form-feasible plans in the simulator.
+
+        The first ``top_k`` feasible plans (in rank order) are each
+        replayed against a steady Poisson trace at the target QPS with
+        the plan's own batch size as the front end's ``max_batch`` and
+        the latency SLO as the fill timeout.  A plan whose *measured*
+        p99 misses the SLO gets ``meets_slo`` demoted — the closed form
+        accepted it, the simulator rejects it — and every re-checked
+        plan carries its measured p99 in ``simulated_us``.  The result
+        is re-ranked, so a demoted plan falls behind still-feasible
+        ones.
+
+        Single-GPU plans are priced at a power-of-two batch ladder
+        through the shared sweep cache (partial timeout batches pay the
+        next ladder price); sharded plans reuse their already-predicted
+        full-batch service time for every formed batch — conservative
+        for partials.
+        """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        budget = top_k
+        out: list[CapacityPlan] = []
+        for plan in plans:
+            if plan.meets_slo and budget > 0:
+                budget -= 1
+                out.append(
+                    self._validate_one(config, plan, num_requests, seed)
+                )
+            else:
+                out.append(plan)
+        return rank_plans(out)
+
+    def _validate_one(
+        self,
+        config: DlrmConfig,
+        plan: CapacityPlan,
+        num_requests: int,
+        seed: int,
+    ) -> CapacityPlan:
+        """Simulate one plan under steady Poisson at the target QPS."""
+        if plan.gpus_per_replica == 1:
+            model = price_dlrm_service(
+                self.engine, config, plan.gpu, plan.batch_size
+            )
+        else:
+            model = TabulatedServiceTimes({plan.batch_size: plan.service_us})
+        simulator = ServingSimulator(
+            model,
+            plan.replicas,
+            BatchingPolicy(
+                max_batch=plan.batch_size,
+                timeout_us=self.target.latency_slo_us,
+            ),
+            seed=seed,
+        )
+        spec = ArrivalSpec(
+            kind=ARRIVAL_POISSON,
+            qps=self.target.qps,
+            num_requests=num_requests,
+        )
+        label = f"validate:{plan.fleet}|b{plan.batch_size}|r{plan.replicas}"
+        report = simulator.run(spec, scenario=label)
+        simulated_us = report.latency_p99_us
+        meets = (
+            plan.meets_slo and simulated_us <= self.target.latency_slo_us
+        )
+        return replace(plan, simulated_us=simulated_us, meets_slo=meets)
 
     def _plan_single_gpu(
         self,

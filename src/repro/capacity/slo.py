@@ -93,6 +93,19 @@ class LatencyBreakdown:
         """End-to-end predicted latency at the target percentile."""
         return self.fill_us + self.queue_us + self.service_us
 
+    @property
+    def saturated(self) -> bool:
+        """Explicit infeasibility marker: the replica cannot keep up.
+
+        True exactly when utilization reached ``rho >= 1`` and the
+        queue wait diverged (``queue_us`` is ``inf``).  The M/D/1
+        mean-wait formula turns *negative* past ``rho = 1`` — silently
+        extrapolating there would report a bogus finite latency, so the
+        model pins the whole breakdown to infeasible instead (pinned at
+        ``rho = 0.99 / 1.0 / 1.01`` by ``tests/test_capacity.py``).
+        """
+        return math.isinf(self.queue_us)
+
 
 def replica_utilization(
     service_us: float, batch_size: int, replica_qps: float
@@ -152,9 +165,12 @@ def predict_percentile_latency(
         percentile: Target tail percentile.
 
     Returns:
-        The latency breakdown; ``queue_us`` is ``inf`` when the replica
-        is saturated (``rho >= 1``), making the total infeasible rather
-        than silently wrong.
+        The latency breakdown; at ``rho >= 1`` the replica cannot keep
+        up and the breakdown comes back with
+        :attr:`LatencyBreakdown.saturated` set (``queue_us`` and the
+        total are ``inf``) — an explicit infeasible marker instead of
+        the negative wait the Pollaczek–Khinchine formula would
+        silently extrapolate to past saturation.
     """
     rho = replica_utilization(service_us, batch_size, replica_qps)
     lam_per_us = replica_qps / 1e6

@@ -36,11 +36,21 @@ from repro.models import FIGURE1_BATCH_SIZES, build_model
 from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import build_perf_models, load_registry, save_registry
+from repro.serving.arrivals import (
+    ARRIVAL_DIURNAL,
+    ARRIVAL_FLASH_CROWD,
+    ARRIVAL_POISSON,
+)
 from repro.simulator import SimulatedDevice
 from repro.sweep import IDENTITY_TRANSFORM, SweepEngine
 from repro.trace import save_chrome_trace, trace_breakdown
 
 _MODEL_CHOICES = sorted(FIGURE1_BATCH_SIZES) + ["DeepFM", "DCN", "WideAndDeep"]
+
+
+def _millis_to_micros(value: float) -> float:
+    """Scale a CLI millisecond flag to the library's µs unit."""
+    return value * 1e3
 
 
 def _add_common(parser: argparse.ArgumentParser, need_model: bool) -> None:
@@ -454,6 +464,112 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.capacity import ServingTarget, predict_percentile_latency
+    from repro.models import MODE_INFERENCE
+    from repro.models.dlrm import DLRM_CONFIGS
+    from repro.serving import (
+        ArrivalSpec,
+        BatchingPolicy,
+        FaultInjection,
+        QueueDepthAutoscaler,
+        ServingSimulator,
+        price_dlrm_service,
+        render_report,
+    )
+
+    if args.model not in DLRM_CONFIGS:
+        known = ", ".join(sorted(DLRM_CONFIGS))
+        print(f"serving simulation needs a DLRM workload; known: {known}",
+              file=sys.stderr)
+        return 2
+    try:
+        target = ServingTarget.from_ms(args.qps, args.slo_ms, args.percentile)
+        spec = ArrivalSpec(
+            kind=args.arrival,
+            qps=args.qps,
+            num_requests=args.requests,
+            period_us=_millis_to_micros(args.period_ms),
+            amplitude=args.amplitude,
+            spike_start_us=_millis_to_micros(args.spike_start_ms),
+            spike_duration_us=_millis_to_micros(args.spike_duration_ms),
+            spike_multiplier=args.spike_multiplier,
+        )
+        batching = BatchingPolicy(
+            max_batch=args.batch,
+            timeout_us=_millis_to_micros(args.timeout_ms),
+        )
+        faults = None
+        if args.kill_replica is not None or args.straggler_replica is not None:
+            faults = FaultInjection(
+                kill_replica=args.kill_replica,
+                kill_at_us=_millis_to_micros(args.kill_at_ms),
+                straggler_replica=args.straggler_replica,
+                straggler_factor=args.straggler_factor,
+            )
+        autoscaler = None
+        if args.autoscale_max > args.replicas:
+            autoscaler = QueueDepthAutoscaler(
+                min_replicas=args.replicas,
+                max_replicas=args.autoscale_max,
+            )
+        if args.replicas < 1:
+            raise ValueError(f"--replicas must be >= 1, got {args.replicas}")
+    except ValueError as err:
+        print(f"bad serving scenario: {err}", file=sys.stderr)
+        return 2
+
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    if args.assets:
+        registry, _ = load_registry(args.assets)
+    else:
+        print("No --assets given; running the analysis track inline "
+              "(slow) ...", file=sys.stderr)
+        registry, _ = build_perf_models(device, microbench_scale=0.4)
+    serving_graph = build_model(args.model, args.batch, mode=MODE_INFERENCE)
+    overheads = _make_overheads(device, serving_graph, args.batch)
+    engine = SweepEngine(
+        registries={args.gpu: registry},
+        overhead_dbs={"individual": overheads},
+    )
+    service = price_dlrm_service(
+        engine, DLRM_CONFIGS[args.model], args.gpu, args.batch
+    )
+    simulator = ServingSimulator(
+        service, args.replicas, batching,
+        autoscaler=autoscaler, faults=faults, seed=args.seed,
+    )
+    scenario = f"{args.model}@{args.gpu} x{args.replicas} {args.arrival}"
+    report = simulator.run(spec, scenario=scenario)
+
+    closed = predict_percentile_latency(
+        service.service_us(args.batch), args.batch,
+        args.qps / args.replicas, args.percentile,
+    )
+    closed_ms = (
+        "inf (saturated)" if closed.saturated
+        else f"{closed.total_us / 1e3:.3f} ms"
+    )
+    print(render_report(report))
+    print(f"closed-form p{args.percentile:g} (steady Poisson): {closed_ms}")
+    measured_us = report.latency_p99_us
+    verdict = (
+        not math.isinf(measured_us) and measured_us <= target.latency_slo_us
+    )
+    print(f"SLO p{args.percentile:g} <= {args.slo_ms:g} ms: "
+          f"{'met' if verdict else 'MISSED'} "
+          f"(measured p99 {measured_us / 1e3:.3f} ms)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"Wrote simulated serving report to {args.out}")
+    return 0 if verdict else 1
+
+
 def _cmd_breakdown(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -675,6 +791,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--out", help="write ranked plans as JSON")
     p.set_defaults(func=_cmd_capacity)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="discrete-event serving simulation (tail latency beyond "
+             "the closed-form M/D/1 model)",
+    )
+    _add_common(p, need_model=True)
+    p.add_argument("--qps", type=float, required=True,
+                   help="aggregate request rate to offer")
+    p.add_argument("--slo-ms", type=float, required=True,
+                   help="tail-latency bound in milliseconds")
+    p.add_argument("--percentile", type=float, default=99.0,
+                   help="tail percentile for the closed-form comparison")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica pool size")
+    p.add_argument("--requests", type=int, default=20000,
+                   help="arrivals to simulate")
+    p.add_argument("--arrival", default=ARRIVAL_POISSON,
+                   choices=(ARRIVAL_POISSON, ARRIVAL_DIURNAL,
+                            ARRIVAL_FLASH_CROWD),
+                   help="arrival-trace model (replay traces are "
+                        "API-only)")
+    p.add_argument("--timeout-ms", type=float, default=1.0,
+                   help="dynamic-batching seal timeout (0 disables "
+                        "batching)")
+    p.add_argument("--period-ms", type=float, default=1e3,
+                   help="diurnal period in milliseconds")
+    p.add_argument("--amplitude", type=float, default=0.5,
+                   help="diurnal modulation depth in [0, 1)")
+    p.add_argument("--spike-start-ms", type=float, default=0.0,
+                   help="flash-crowd onset time")
+    p.add_argument("--spike-duration-ms", type=float, default=0.0,
+                   help="flash-crowd duration (0 = no spike window)")
+    p.add_argument("--spike-multiplier", type=float, default=5.0,
+                   help="flash-crowd rate multiplier")
+    p.add_argument("--kill-replica", type=int, default=None,
+                   help="fault injection: replica index to kill")
+    p.add_argument("--kill-at-ms", type=float, default=0.0,
+                   help="fault injection: kill time")
+    p.add_argument("--straggler-replica", type=int, default=None,
+                   help="fault injection: replica index to slow down")
+    p.add_argument("--straggler-factor", type=float, default=1.0,
+                   help="fault injection: straggler service-time "
+                        "multiplier")
+    p.add_argument("--autoscale-max", type=int, default=0,
+                   help="enable queue-depth autoscaling up to this "
+                        "many replicas (0 = fixed pool)")
+    p.add_argument("--assets", help="assets JSON from `analyze`")
+    p.add_argument("--out", help="write the simulated report as JSON")
+    p.set_defaults(func=_cmd_serve_sim)
 
     p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
     _add_common(p, need_model=True)

@@ -1,0 +1,78 @@
+"""Discrete-event serving simulation (tail latency beyond M/D/1).
+
+The closed-form capacity planner prices p99 with a fill + M/D/1
+formula — sound for steady Poisson arrivals, blind to bursts, batching
+timeouts, autoscaling, and failures.  This package simulates what the
+formula assumes away: seeded arrival traces
+(:mod:`~repro.serving.arrivals`), a dynamic-batching front end
+(:mod:`~repro.serving.batching`), batch service times priced through
+the shared sweep cache (:mod:`~repro.serving.service`), a replica pool
+with fault injection and autoscaling hooks
+(:mod:`~repro.serving.simulate`), and measured p50/p99/p999 reports
+(:mod:`~repro.serving.report`).
+
+The steady-Poisson case doubles as a cross-validation contract: the
+simulator and the closed form must agree there (see
+``tests/test_serving_sim.py``), which is what licenses trusting the
+simulator where the closed form cannot go.
+"""
+
+from repro.serving.arrivals import (
+    ARRIVAL_DIURNAL,
+    ARRIVAL_FLASH_CROWD,
+    ARRIVAL_KINDS,
+    ARRIVAL_POISSON,
+    ARRIVAL_REPLAY,
+    ArrivalSpec,
+    generate_arrivals,
+)
+from repro.serving.batching import BatchingPolicy
+from repro.serving.report import (
+    SimulatedServingReport,
+    describe_arrivals,
+    nearest_rank_us,
+    render_report,
+)
+from repro.serving.service import (
+    ServiceTimeModel,
+    TabulatedServiceTimes,
+    batch_ladder,
+    price_dlrm_service,
+    price_sharded_dlrm_service,
+)
+from repro.serving.simulate import (
+    ROUTE_LEAST_LOADED,
+    ROUTE_RANDOM,
+    ROUTING_POLICIES,
+    AutoscalePolicy,
+    FaultInjection,
+    QueueDepthAutoscaler,
+    ServingSimulator,
+)
+
+__all__ = [
+    "ARRIVAL_DIURNAL",
+    "ARRIVAL_FLASH_CROWD",
+    "ARRIVAL_KINDS",
+    "ARRIVAL_POISSON",
+    "ARRIVAL_REPLAY",
+    "ArrivalSpec",
+    "AutoscalePolicy",
+    "BatchingPolicy",
+    "FaultInjection",
+    "QueueDepthAutoscaler",
+    "ROUTE_LEAST_LOADED",
+    "ROUTE_RANDOM",
+    "ROUTING_POLICIES",
+    "ServiceTimeModel",
+    "ServingSimulator",
+    "SimulatedServingReport",
+    "TabulatedServiceTimes",
+    "batch_ladder",
+    "describe_arrivals",
+    "generate_arrivals",
+    "nearest_rank_us",
+    "price_dlrm_service",
+    "price_sharded_dlrm_service",
+    "render_report",
+]

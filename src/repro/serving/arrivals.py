@@ -1,0 +1,229 @@
+"""Seeded arrival-trace generators for the serving simulator.
+
+The closed-form planner (:mod:`repro.capacity.slo`) assumes steady
+Poisson arrivals; real traffic is anything but.  This module generates
+the arrival processes the discrete-event simulator replays against a
+candidate plan:
+
+* ``poisson`` — homogeneous Poisson at a constant aggregate QPS (the
+  regime where simulator and closed form must agree — see
+  ``tests/test_serving_sim.py``).
+* ``diurnal`` — inhomogeneous Poisson whose rate follows a sinusoid
+  (a compressed day/night cycle), via Lewis–Shedler thinning.
+* ``flash_crowd`` — homogeneous base rate with a multiplicative spike
+  window (the "5× traffic spike" scenario), also via thinning.
+* ``replay`` — an explicit recorded inter-arrival list, for replaying
+  production traces.
+
+Every generator is seeded (:func:`numpy.random.default_rng`), so one
+``(spec, seed)`` pair always yields the same trace and simulated
+reports replay byte-for-byte.  The ``contract-dispatch`` lint holds
+this module and the report renderer to the same registry: every kind
+in :data:`ARRIVAL_KINDS` must be handled by both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Arrival-model kind: steady (homogeneous) Poisson arrivals.
+ARRIVAL_POISSON = "poisson"
+#: Arrival-model kind: sinusoidally-modulated (diurnal) Poisson.
+ARRIVAL_DIURNAL = "diurnal"
+#: Arrival-model kind: steady base rate with a spike window.
+ARRIVAL_FLASH_CROWD = "flash_crowd"
+#: Arrival-model kind: replayed inter-arrival list.
+ARRIVAL_REPLAY = "replay"
+#: Every arrival-model kind the serving simulator understands.  The
+#: ``contract-dispatch`` lint requires the generator (this module) and
+#: the report renderer (``repro.serving.report``) to handle them all.
+ARRIVAL_KINDS = (
+    ARRIVAL_POISSON,
+    ARRIVAL_DIURNAL,
+    ARRIVAL_FLASH_CROWD,
+    ARRIVAL_REPLAY,
+)
+
+#: Default period of the diurnal sinusoid — a compressed "day" short
+#: enough that a few simulated seconds see full peaks and troughs.
+DEFAULT_PERIOD_US = 1_000_000.0
+#: Default relative amplitude of the diurnal sinusoid.
+DEFAULT_AMPLITUDE = 0.5
+#: Default flash-crowd rate multiplier inside the spike window.
+DEFAULT_SPIKE_MULTIPLIER = 5.0
+
+#: Chunk size for vectorized candidate draws during thinning.
+_CHUNK = 4096
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process: a kind plus its shape parameters.
+
+    Attributes:
+        kind: One of :data:`ARRIVAL_KINDS`.
+        qps: Mean aggregate request rate (requests per second).  For
+            ``diurnal`` this is the rate the sinusoid oscillates
+            around; for ``flash_crowd`` it is the base (off-spike)
+            rate.  Ignored for ``replay``.
+        num_requests: Number of arrivals to generate (``replay`` traces
+            carry their own length).
+        period_us: Diurnal sinusoid period.
+        amplitude: Diurnal relative amplitude in ``[0, 1)``; the rate
+            swings between ``qps * (1 - amplitude)`` and
+            ``qps * (1 + amplitude)``.
+        spike_start_us: Flash-crowd spike window start.
+        spike_duration_us: Flash-crowd spike window length.
+        spike_multiplier: Rate multiplier inside the spike window.
+        inter_arrival_us: Recorded inter-arrival gaps for ``replay``.
+    """
+
+    kind: str = ARRIVAL_POISSON
+    qps: float = 1000.0
+    num_requests: int = 1000
+    period_us: float = DEFAULT_PERIOD_US
+    amplitude: float = DEFAULT_AMPLITUDE
+    spike_start_us: float = 0.0
+    spike_duration_us: float = 0.0
+    spike_multiplier: float = DEFAULT_SPIKE_MULTIPLIER
+    inter_arrival_us: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            known = ", ".join(ARRIVAL_KINDS)
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; known: {known}"
+            )
+        if self.kind == ARRIVAL_REPLAY:
+            if not self.inter_arrival_us:
+                raise ValueError("replay arrivals need inter_arrival_us")
+            if any(gap < 0 for gap in self.inter_arrival_us):
+                raise ValueError("inter-arrival gaps must be >= 0")
+            object.__setattr__(
+                self, "inter_arrival_us", tuple(self.inter_arrival_us)
+            )
+            object.__setattr__(
+                self, "num_requests", len(self.inter_arrival_us)
+            )
+            return
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.num_requests < 1:
+            raise ValueError(
+                f"num_requests must be >= 1, got {self.num_requests}"
+            )
+        if self.kind == ARRIVAL_DIURNAL:
+            if self.period_us <= 0:
+                raise ValueError(
+                    f"period_us must be positive, got {self.period_us}"
+                )
+            if not 0.0 <= self.amplitude < 1.0:
+                raise ValueError(
+                    f"amplitude must be in [0, 1), got {self.amplitude}"
+                )
+        if self.kind == ARRIVAL_FLASH_CROWD:
+            if self.spike_duration_us < 0:
+                raise ValueError(
+                    f"spike_duration_us must be >= 0, got "
+                    f"{self.spike_duration_us}"
+                )
+            if self.spike_multiplier < 1.0:
+                raise ValueError(
+                    f"spike_multiplier must be >= 1, got "
+                    f"{self.spike_multiplier}"
+                )
+
+    @property
+    def peak_qps(self) -> float:
+        """Maximum instantaneous rate (the thinning envelope)."""
+        if self.kind == ARRIVAL_POISSON:
+            return float(self.qps)
+        if self.kind == ARRIVAL_DIURNAL:
+            return self.qps * (1.0 + self.amplitude)
+        if self.kind == ARRIVAL_FLASH_CROWD:
+            return self.qps * self.spike_multiplier
+        # ARRIVAL_REPLAY: rate is implicit in the recorded gaps.
+        mean_gap_us = float(np.mean(self.inter_arrival_us))
+        return 1e6 / mean_gap_us if mean_gap_us > 0 else float("inf")
+
+    def rate_qps(self, at_us):
+        """Instantaneous arrival rate at time ``at_us`` (vectorized).
+
+        Accepts a scalar or :class:`numpy.ndarray` of times and returns
+        rates of the same shape; this is the λ(t) the thinning sampler
+        evaluates.
+        """
+        at_us = np.asarray(at_us, dtype=float)
+        if self.kind == ARRIVAL_POISSON:
+            return np.full_like(at_us, self.qps)
+        if self.kind == ARRIVAL_DIURNAL:
+            phase = 2.0 * np.pi * at_us / self.period_us
+            return self.qps * (1.0 + self.amplitude * np.sin(phase))
+        if self.kind == ARRIVAL_FLASH_CROWD:
+            in_spike = (at_us >= self.spike_start_us) & (
+                at_us < self.spike_start_us + self.spike_duration_us
+            )
+            return self.qps * np.where(in_spike, self.spike_multiplier, 1.0)
+        # ARRIVAL_REPLAY: piecewise-empirical; report the mean rate.
+        return np.full_like(at_us, self.peak_qps)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "qps": self.qps,
+            "num_requests": self.num_requests,
+            "period_us": self.period_us,
+            "amplitude": self.amplitude,
+            "spike_start_us": self.spike_start_us,
+            "spike_duration_us": self.spike_duration_us,
+            "spike_multiplier": self.spike_multiplier,
+            "inter_arrival_us": list(self.inter_arrival_us),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalSpec":
+        """Rebuild a spec from a :meth:`to_dict` row."""
+        return cls(
+            kind=data["kind"],
+            qps=data["qps"],
+            num_requests=data["num_requests"],
+            period_us=data["period_us"],
+            amplitude=data["amplitude"],
+            spike_start_us=data["spike_start_us"],
+            spike_duration_us=data["spike_duration_us"],
+            spike_multiplier=data["spike_multiplier"],
+            inter_arrival_us=tuple(data["inter_arrival_us"]),
+        )
+
+
+def generate_arrivals(spec: ArrivalSpec, seed: int = 0) -> np.ndarray:
+    """Generate the arrival timestamps (µs, ascending) for one spec.
+
+    Homogeneous kinds sample exponential gaps directly; inhomogeneous
+    kinds use Lewis–Shedler thinning against the :attr:`ArrivalSpec.peak_qps`
+    envelope: candidates arrive at the peak rate and are accepted with
+    probability ``rate(t) / peak``.  Both paths are fully determined by
+    ``(spec, seed)``.
+    """
+    if spec.kind == ARRIVAL_REPLAY:
+        return np.cumsum(np.asarray(spec.inter_arrival_us, dtype=float))
+    rng = np.random.default_rng(seed)
+    peak_per_us = spec.peak_qps / 1e6
+    accepted: list[np.ndarray] = []
+    count = 0
+    now_us = 0.0
+    while count < spec.num_requests:
+        gaps_us = rng.exponential(1.0 / peak_per_us, size=_CHUNK)
+        candidates_us = now_us + np.cumsum(gaps_us)
+        keep = rng.uniform(size=_CHUNK) * spec.peak_qps <= spec.rate_qps(
+            candidates_us
+        )
+        chunk = candidates_us[keep]
+        accepted.append(chunk)
+        count += len(chunk)
+        now_us = candidates_us[-1]
+    times_us = np.concatenate(accepted)[: spec.num_requests]
+    return times_us

@@ -1,0 +1,61 @@
+"""Dynamic-batching front-end policy (max-batch + timeout).
+
+Production serving systems trade fill latency against accelerator
+efficiency with one two-knob policy: a batch is dispatched as soon as
+it holds ``max_batch`` requests *or* the oldest request in it has
+waited ``timeout_us``.  The closed-form planner models only the first
+knob (it assumes every batch fills); the simulator executes both, which
+is where the two disagree under bursty or trickle traffic.
+
+Edge cases are pinned by ``tests/test_serving_sim.py``: a zero timeout
+degenerates to batch-of-1 (every request dispatches alone, regardless
+of ``max_batch``), and ``max_batch=1`` matches an unbatched server
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default per-replica batch-size cap.
+DEFAULT_MAX_BATCH = 32
+#: Default fill timeout: how long the oldest queued request may wait
+#: for the batch to fill before it is dispatched partial.
+DEFAULT_TIMEOUT_US = 1000.0
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Dynamic-batching knobs of one replica's front end.
+
+    Attributes:
+        max_batch: Dispatch as soon as this many requests are waiting.
+        timeout_us: Dispatch a partial batch once its oldest request
+            has waited this long (``0`` disables batching entirely —
+            every request dispatches alone the instant it arrives).
+    """
+
+    max_batch: int = DEFAULT_MAX_BATCH
+    timeout_us: float = DEFAULT_TIMEOUT_US
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.timeout_us < 0:
+            raise ValueError(
+                f"timeout_us must be >= 0, got {self.timeout_us}"
+            )
+
+    @property
+    def batched(self) -> bool:
+        """Whether this policy can ever form a batch larger than one."""
+        return self.max_batch > 1 and self.timeout_us > 0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {"max_batch": self.max_batch, "timeout_us": self.timeout_us}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchingPolicy":
+        """Rebuild a policy from a :meth:`to_dict` row."""
+        return cls(max_batch=data["max_batch"], timeout_us=data["timeout_us"])

@@ -1,0 +1,282 @@
+"""Measured serving-tail report from one simulated run.
+
+Where :class:`~repro.capacity.slo.LatencyBreakdown` *derives* a
+percentile from queueing algebra, :class:`SimulatedServingReport`
+*measures* p50/p99/p999 from the simulated completion distribution
+(nearest-rank on the sorted per-request latencies).  Reports are plain
+frozen dataclasses with a symmetric ``to_dict``/``from_dict`` pair
+(held to the ``contract-roundtrip`` lint), so a report is exactly what
+lands in ``results/serving_sim.json`` and in the golden snapshots.
+
+The renderer here and the generator in :mod:`repro.serving.arrivals`
+are the two handler sides of the ``contract-dispatch`` lint's
+``ARRIVAL_KINDS`` entry: a new arrival model must be describable in a
+report before it can ship.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.arrivals import (
+    ARRIVAL_DIURNAL,
+    ARRIVAL_FLASH_CROWD,
+    ARRIVAL_POISSON,
+    ARRIVAL_REPLAY,
+    ArrivalSpec,
+)
+
+#: Human phrasing of each arrival-model kind (report-renderer side of
+#: the ``contract-dispatch`` ARRIVAL_KINDS entry).
+ARRIVAL_DESCRIPTIONS = {
+    ARRIVAL_POISSON: "steady Poisson arrivals",
+    ARRIVAL_DIURNAL: "diurnal (sinusoid-modulated) Poisson arrivals",
+    ARRIVAL_FLASH_CROWD: "flash-crowd spike over steady arrivals",
+    ARRIVAL_REPLAY: "replayed inter-arrival trace",
+}
+
+
+def describe_arrivals(spec: ArrivalSpec) -> str:
+    """One-line description of an arrival spec, per kind."""
+    base = ARRIVAL_DESCRIPTIONS[spec.kind]
+    if spec.kind == ARRIVAL_POISSON:
+        return f"{base} at {spec.qps:g} QPS"
+    if spec.kind == ARRIVAL_DIURNAL:
+        return (
+            f"{base} around {spec.qps:g} QPS "
+            f"(amplitude {spec.amplitude:g}, period {spec.period_us:g} us)"
+        )
+    if spec.kind == ARRIVAL_FLASH_CROWD:
+        return (
+            f"{base}: {spec.spike_multiplier:g}x of {spec.qps:g} QPS "
+            f"for {spec.spike_duration_us:g} us "
+            f"from t={spec.spike_start_us:g} us"
+        )
+    return f"{base} ({spec.num_requests} recorded gaps)"
+
+
+def nearest_rank_us(sorted_us: np.ndarray, percentile: float) -> float:
+    """Nearest-rank percentile of an ascending latency sample array."""
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(
+            f"percentile must be in (0, 100], got {percentile}"
+        )
+    if len(sorted_us) == 0:
+        return float("inf")
+    rank = math.ceil(percentile / 100.0 * len(sorted_us))
+    return float(sorted_us[max(rank, 1) - 1])
+
+
+def _mean_us(samples_us) -> float:
+    """Mean of a latency sample list (``inf`` when empty)."""
+    if len(samples_us) == 0:
+        return float("inf")
+    return float(np.mean(samples_us))
+
+
+def _json_value(value: float) -> float | None:
+    """Serialize a possibly-infinite metric (``inf`` -> ``None``)."""
+    return None if math.isinf(value) else value
+
+
+def _from_json(value: float | None) -> float:
+    """Inverse of :func:`_json_value`."""
+    return math.inf if value is None else value
+
+
+@dataclass(frozen=True)
+class SimulatedServingReport:
+    """Measured tail-latency distribution of one simulated run.
+
+    Latency metrics are ``inf`` (serialized as ``null``) when nothing
+    completed — every request dropped against a dead pool.
+
+    Attributes:
+        scenario: Caller-chosen label of the run.
+        arrival_kind: One of ``ARRIVAL_KINDS``.
+        offered_qps: Mean offered load of the arrival spec.
+        num_requests: Arrivals in the trace.
+        completed: Requests that finished service.
+        dropped: Requests lost to a dead pool.
+        replicas: Initial replica-pool size.
+        peak_replicas: Largest routable pool observed (autoscaling).
+        max_batch: Batching policy's size cap.
+        timeout_us: Batching policy's fill timeout.
+        routing: Routing policy label.
+        num_batches: Batches actually served.
+        mean_batch: Mean served batch size.
+        duration_us: Last completion timestamp.
+        completed_qps: Completed throughput over the run.
+        fill_mean_us: Mean batch-fill wait per request.
+        queue_mean_us: Mean accelerator-queue wait per request.
+        service_mean_us: Mean in-service time per request.
+        latency_mean_us: Mean end-to-end latency.
+        latency_p50_us: Measured p50 (nearest rank).
+        latency_p99_us: Measured p99 (nearest rank).
+        latency_p999_us: Measured p99.9 (nearest rank).
+        latency_max_us: Worst completed request.
+    """
+
+    scenario: str
+    arrival_kind: str
+    offered_qps: float
+    num_requests: int
+    completed: int
+    dropped: int
+    replicas: int
+    peak_replicas: int
+    max_batch: int
+    timeout_us: float
+    routing: str
+    num_batches: int
+    mean_batch: float
+    duration_us: float
+    completed_qps: float
+    fill_mean_us: float
+    queue_mean_us: float
+    service_mean_us: float
+    latency_mean_us: float
+    latency_p50_us: float
+    latency_p99_us: float
+    latency_p999_us: float
+    latency_max_us: float
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "arrival_kind": self.arrival_kind,
+            "offered_qps": self.offered_qps,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "replicas": self.replicas,
+            "peak_replicas": self.peak_replicas,
+            "max_batch": self.max_batch,
+            "timeout_us": self.timeout_us,
+            "routing": self.routing,
+            "num_batches": self.num_batches,
+            "mean_batch": self.mean_batch,
+            "duration_us": self.duration_us,
+            "completed_qps": self.completed_qps,
+            "fill_mean_us": _json_value(self.fill_mean_us),
+            "queue_mean_us": _json_value(self.queue_mean_us),
+            "service_mean_us": _json_value(self.service_mean_us),
+            "latency_mean_us": _json_value(self.latency_mean_us),
+            "latency_p50_us": _json_value(self.latency_p50_us),
+            "latency_p99_us": _json_value(self.latency_p99_us),
+            "latency_p999_us": _json_value(self.latency_p999_us),
+            "latency_max_us": _json_value(self.latency_max_us),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulatedServingReport":
+        """Rebuild a report from a :meth:`to_dict` row."""
+        return cls(
+            scenario=data["scenario"],
+            arrival_kind=data["arrival_kind"],
+            offered_qps=data["offered_qps"],
+            num_requests=data["num_requests"],
+            completed=data["completed"],
+            dropped=data["dropped"],
+            replicas=data["replicas"],
+            peak_replicas=data["peak_replicas"],
+            max_batch=data["max_batch"],
+            timeout_us=data["timeout_us"],
+            routing=data["routing"],
+            num_batches=data["num_batches"],
+            mean_batch=data["mean_batch"],
+            duration_us=data["duration_us"],
+            completed_qps=data["completed_qps"],
+            fill_mean_us=_from_json(data["fill_mean_us"]),
+            queue_mean_us=_from_json(data["queue_mean_us"]),
+            service_mean_us=_from_json(data["service_mean_us"]),
+            latency_mean_us=_from_json(data["latency_mean_us"]),
+            latency_p50_us=_from_json(data["latency_p50_us"]),
+            latency_p99_us=_from_json(data["latency_p99_us"]),
+            latency_p999_us=_from_json(data["latency_p999_us"]),
+            latency_max_us=_from_json(data["latency_max_us"]),
+        )
+
+
+def build_report(scenario, spec, simulator, state) -> SimulatedServingReport:
+    """Assemble the report from a drained simulation loop's samples."""
+    latency_us = np.asarray(state.done_us) - np.asarray(
+        state.arrival_of_done_us
+    )
+    sorted_us = np.sort(latency_us)
+    completed = len(sorted_us)
+    duration_us = float(max(state.done_us)) if state.done_us else 0.0
+    completed_qps = (
+        completed / duration_us * 1e6 if duration_us > 0 else 0.0
+    )
+    mean_batch = (
+        float(np.mean(state.batch_sizes)) if state.batch_sizes else 0.0
+    )
+    return SimulatedServingReport(
+        scenario=scenario,
+        arrival_kind=spec.kind,
+        offered_qps=spec.qps,
+        num_requests=len(state.arrivals_us),
+        completed=completed,
+        dropped=state.dropped,
+        replicas=simulator.replicas,
+        peak_replicas=state.peak_replicas,
+        max_batch=simulator.batching.max_batch,
+        timeout_us=simulator.batching.timeout_us,
+        routing=simulator.routing,
+        num_batches=len(state.batch_sizes),
+        mean_batch=mean_batch,
+        duration_us=duration_us,
+        completed_qps=completed_qps,
+        fill_mean_us=_mean_us(state.fill_us),
+        queue_mean_us=_mean_us(state.queue_wait_us),
+        service_mean_us=_mean_us(state.service_us),
+        latency_mean_us=_mean_us(latency_us),
+        latency_p50_us=nearest_rank_us(sorted_us, 50.0),
+        latency_p99_us=nearest_rank_us(sorted_us, 99.0),
+        latency_p999_us=nearest_rank_us(sorted_us, 99.9),
+        latency_max_us=(
+            float(sorted_us[-1]) if completed else math.inf
+        ),
+    )
+
+
+def render_report(report: SimulatedServingReport) -> str:
+    """Human-readable multi-line rendering (the CLI's output body)."""
+    description = ARRIVAL_DESCRIPTIONS[report.arrival_kind]
+    lines = [
+        f"scenario: {report.scenario or '(unnamed)'}",
+        f"arrivals: {description} ({report.offered_qps:g} QPS offered)",
+        (
+            f"pool: {report.replicas} replicas "
+            f"(peak {report.peak_replicas}), routing {report.routing}"
+        ),
+        (
+            f"batching: max_batch={report.max_batch} "
+            f"timeout={report.timeout_us:g} us "
+            f"-> mean batch {report.mean_batch:.2f} "
+            f"over {report.num_batches} batches"
+        ),
+        (
+            f"requests: {report.num_requests} offered, "
+            f"{report.completed} completed, {report.dropped} dropped "
+            f"({report.completed_qps:.0f} QPS served)"
+        ),
+        (
+            f"latency breakdown (means): fill {report.fill_mean_us:.1f} "
+            f"+ queue {report.queue_mean_us:.1f} "
+            f"+ service {report.service_mean_us:.1f} us"
+        ),
+        (
+            f"latency: mean {report.latency_mean_us:.1f}  "
+            f"p50 {report.latency_p50_us:.1f}  "
+            f"p99 {report.latency_p99_us:.1f}  "
+            f"p99.9 {report.latency_p999_us:.1f}  "
+            f"max {report.latency_max_us:.1f} us"
+        ),
+    ]
+    return "\n".join(lines)

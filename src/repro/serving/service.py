@@ -1,0 +1,198 @@
+"""Batch service-time models priced through the sweep cache.
+
+The simulator needs ``service_us(batch_size)`` for every batch the
+front end forms — including partial (timeout-dispatched) batches whose
+sizes the closed-form planner never sees.  Rather than predicting at
+every possible size, batches are priced at a ladder of batch sizes
+(powers of two up to ``max_batch``) through the *existing* inference
+prediction path — ``predict_e2e`` for single-GPU replicas,
+``predict_multi_gpu`` for sharded ones — via the shared
+:class:`~repro.sweep.SweepEngine` cache, and a formed batch pays the
+price of the smallest ladder entry that fits it (rounding partial
+batches up is conservative: a half-full batch still occupies the
+accelerator for its padded shape).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.models import MODE_INFERENCE
+from repro.models.dlrm import DlrmConfig, build_dlrm_graph
+from repro.multigpu.plan import build_multi_gpu_dlrm_plan
+from repro.multigpu.schedule import OVERLAP_POLICIES
+from repro.multigpu.topology import Topology
+from repro.sweep import SweepEngine
+
+
+def batch_ladder(max_batch: int, step: int = 1) -> tuple[int, ...]:
+    """Power-of-two batch sizes up to (and always including) ``max_batch``.
+
+    Args:
+        max_batch: Largest batch the front end may form.
+        step: Keep only every ladder size divisible by ``step`` (used
+            by sharded replicas, whose batches must split evenly across
+            ``step`` devices).  ``max_batch`` itself must divide.
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    if step < 1 or max_batch % step != 0:
+        raise ValueError(
+            f"step must be >= 1 and divide max_batch, got step={step} "
+            f"max_batch={max_batch}"
+        )
+    sizes = {max_batch}
+    size = 1
+    while size < max_batch:
+        if size % step == 0:
+            sizes.add(size)
+        size *= 2
+    return tuple(sorted(sizes))
+
+
+class ServiceTimeModel:
+    """Interface: predicted forward-pass time for one formed batch."""
+
+    def service_us(self, batch_size: int) -> float:
+        """Predicted batch service time in µs."""
+        raise NotImplementedError
+
+
+class TabulatedServiceTimes(ServiceTimeModel):
+    """Service times priced at a ladder of batch sizes.
+
+    A formed batch pays the price of the smallest tabulated size that
+    fits it; batches larger than the largest tabulated size are a
+    caller bug (the front end's ``max_batch`` must be tabulated).
+
+    Args:
+        times_us: Batch size -> predicted service time in µs.
+    """
+
+    def __init__(self, times_us: Mapping[int, float]) -> None:
+        if not times_us:
+            raise ValueError("service-time table must not be empty")
+        for size, time_us in times_us.items():
+            if size < 1:
+                raise ValueError(f"batch sizes must be >= 1, got {size}")
+            if time_us <= 0:
+                raise ValueError(
+                    f"service times must be positive, got {time_us} "
+                    f"at batch {size}"
+                )
+        self._sizes = tuple(sorted(times_us))
+        self._times_us = {size: float(times_us[size]) for size in self._sizes}
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Tabulated batch sizes, ascending."""
+        return self._sizes
+
+    def service_us(self, batch_size: int) -> float:
+        """Price of the smallest tabulated size that fits the batch."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for size in self._sizes:
+            if batch_size <= size:
+                return self._times_us[size]
+        raise ValueError(
+            f"batch_size {batch_size} exceeds the largest tabulated "
+            f"size {self._sizes[-1]}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "times_us": {str(size): t for size, t in self._times_us.items()}
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TabulatedServiceTimes":
+        """Rebuild a table from a :meth:`to_dict` row."""
+        return cls(
+            {int(size): t for size, t in data["times_us"].items()}
+        )
+
+
+def price_dlrm_service(
+    engine: SweepEngine,
+    config: DlrmConfig,
+    gpu: str,
+    max_batch: int,
+) -> TabulatedServiceTimes:
+    """Price a single-GPU replica's batch ladder through the sweep cache.
+
+    Runs the forward-only (inference-mode) graph through
+    ``SweepEngine.run`` — the same ``predict_e2e`` substrate the
+    capacity planner uses — so repeated pricing of overlapping ladders
+    is nearly free.
+    """
+    sizes = batch_ladder(max_batch)
+    graph = build_dlrm_graph(config, max_batch, mode=MODE_INFERENCE)
+    result = engine.run(graph, max_batch, list(sizes))
+    transform = next(iter(engine.transforms))
+    db_name = next(iter(engine.overhead_dbs))
+    times_us: dict[int, float] = {}
+    for record in result.filter(transform=transform, overheads=db_name):
+        if record.point.gpu != gpu:
+            continue
+        times_us[record.point.batch_size] = record.prediction.total_us
+    if set(times_us) != set(sizes):
+        raise ValueError(
+            f"engine priced batches {sorted(times_us)} but the ladder "
+            f"needs {list(sizes)}; is {gpu!r} a registry label?"
+        )
+    return TabulatedServiceTimes(times_us)
+
+
+def price_sharded_dlrm_service(
+    engine: SweepEngine,
+    config: DlrmConfig,
+    gpu: str,
+    devices: int,
+    collective_model_for: Callable[..., object],
+    max_batch: int,
+    table_assignment: Sequence[Sequence[int]] | None = None,
+    overlap: str = OVERLAP_POLICIES[0],
+    topology: Topology | None = None,
+) -> TabulatedServiceTimes:
+    """Price a sharded replica's batch ladder through the sweep cache.
+
+    The multi-GPU counterpart of :func:`price_dlrm_service`: each
+    ladder size divisible by ``devices`` becomes a forward-only
+    hybrid-parallel plan priced by ``predict_multi_gpu`` via
+    ``SweepEngine.run_multi_gpu``.  Ladder sizes smaller than
+    ``devices`` cannot shard and are dropped (their batches round up).
+    """
+    sizes = [s for s in batch_ladder(max_batch) if s % devices == 0]
+    if not sizes:
+        raise ValueError(
+            f"no ladder size up to {max_batch} divides across "
+            f"{devices} devices"
+        )
+    mg_plans = {
+        f"b{size}": build_multi_gpu_dlrm_plan(
+            config, size, devices,
+            table_assignment=table_assignment,
+            overlap=overlap,
+            mode=MODE_INFERENCE,
+        )
+        for size in sizes
+    }
+    result = engine.run_multi_gpu(
+        mg_plans,
+        collective_model_for,
+        fleets={gpu: gpu},
+        overlap_policies=(overlap,),
+        topologies=None if topology is None else {topology.label: topology},
+    )
+    times_us: dict[int, float] = {}
+    for record in result:
+        size = int(record.point.plan[1:])
+        times_us[size] = record.prediction.iteration_us
+    if set(times_us) != set(sizes):
+        raise ValueError(
+            f"engine priced batches {sorted(times_us)} but the ladder "
+            f"needs {sizes}; is {gpu!r} a registry label?"
+        )
+    return TabulatedServiceTimes(times_us)

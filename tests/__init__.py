@@ -1,0 +1,1 @@
+"""Tier-1 test suite (makes ``tests.*`` importable alongside ``benchmarks.*``)."""

@@ -316,6 +316,65 @@ class TestContractDispatch:
         assert len(found) == 4
 
 
+def _fake_serving_repo(tmp_path, report_source: str) -> ProjectContext:
+    """A minimal repo with just the ARRIVAL_KINDS contract's two sides."""
+    _write(tmp_path, "src/repro/serving/arrivals.py",
+           'ARRIVAL_POISSON = "poisson"\n'
+           'ARRIVAL_REPLAY = "replay"\n'
+           "ARRIVAL_KINDS = (ARRIVAL_POISSON, ARRIVAL_REPLAY)\n"
+           "def generate(spec):\n"
+           "    if spec.kind not in ARRIVAL_KINDS:\n"
+           "        raise ValueError(spec.kind)\n")
+    _write(tmp_path, "src/repro/serving/report.py", report_source)
+    return ProjectContext(tmp_path, {})
+
+
+class TestContractDispatchArrivalKinds:
+    def test_full_coverage_is_clean(self, tmp_path):
+        context = _fake_serving_repo(
+            tmp_path,
+            'DESCRIPTIONS = {"poisson": "steady", "replay": "recorded"}\n',
+        )
+        assert list(ContractDispatch().check_project(context)) == []
+
+    def test_renderer_missing_a_kind_is_reported(self, tmp_path):
+        context = _fake_serving_repo(
+            tmp_path,
+            'DESCRIPTIONS = {"poisson": "steady"}\n',
+        )
+        found = list(ContractDispatch().check_project(context))
+        assert len(found) == 1
+        assert "'replay'" in found[0].message
+        assert found[0].path == "src/repro/serving/report.py"
+
+    def test_absent_subsystem_is_skipped(self, tmp_path):
+        # A project without serving/arrivals.py at all (e.g. the fake
+        # multigpu-only repos above) must not trip the serving contract.
+        context = _fake_repo(tmp_path, TestContractDispatch.FULL_COVERAGE)
+        assert list(ContractDispatch().check_project(context)) == []
+
+    def test_present_file_without_registry_is_an_error(self, tmp_path):
+        _write(tmp_path, "src/repro/serving/arrivals.py",
+               'ARRIVAL_POISSON = "poisson"\n')
+        _write(tmp_path, "src/repro/serving/report.py", "\n")
+        context = ProjectContext(tmp_path, {})
+        found = list(ContractDispatch().check_project(context))
+        assert len(found) == 1
+        assert "ARRIVAL_KINDS" in found[0].message
+
+    def test_missing_handler_module_is_reported(self, tmp_path):
+        _write(tmp_path, "src/repro/serving/arrivals.py",
+               'ARRIVAL_POISSON = "poisson"\n'
+               "ARRIVAL_KINDS = (ARRIVAL_POISSON,)\n"
+               "def generate(spec):\n"
+               "    return spec.kind in ARRIVAL_KINDS\n")
+        context = ProjectContext(tmp_path, {})
+        found = list(ContractDispatch().check_project(context))
+        assert len(found) == 1
+        assert found[0].path == "src/repro/serving/report.py"
+        assert "handler module missing" in found[0].message
+
+
 class TestContractKernelModel:
     def test_unmodeled_kernel_type_is_reported(self, tmp_path):
         _write(tmp_path, "src/repro/ops/base.py",

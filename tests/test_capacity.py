@@ -8,7 +8,9 @@ import math
 import pytest
 
 from repro.capacity import (
+    VALIDATE_SIMULATE,
     CandidateFleet,
+    CapacityPlan,
     CapacityPlanner,
     ServingTarget,
     percentile_factor,
@@ -82,6 +84,32 @@ class TestLatencyModel:
         p99 = predict_percentile_latency(1000.0, 4, 2000.0, percentile=99.0)
         assert p99.queue_us > p50.queue_us
         assert percentile_factor(99.0) > percentile_factor(50.0)
+
+    def test_saturation_pinned_across_rho_one(self):
+        # The P-K mean wait turns negative past rho = 1; the model must
+        # return an explicit infeasible marker instead.  Pin the three
+        # sides of the boundary: rho = 0.99 / 1.0 / 1.01.
+        service_us = 1000.0
+        almost = predict_percentile_latency(service_us, 1, 990.0)
+        assert replica_utilization(service_us, 1, 990.0) == pytest.approx(
+            0.99
+        )
+        assert not almost.saturated
+        assert almost.queue_us > 0.0
+        assert math.isfinite(almost.total_us)
+        for qps in (1000.0, 1010.0):
+            lat = predict_percentile_latency(service_us, 1, qps)
+            assert lat.saturated
+            assert math.isinf(lat.queue_us)
+            assert math.isinf(lat.total_us)
+            assert lat.queue_us > 0  # never the negative extrapolation
+
+    def test_saturated_property_tracks_queue_divergence(self):
+        finite = predict_percentile_latency(500.0, 4, 1000.0)
+        assert not finite.saturated
+        assert finite.total_us == pytest.approx(
+            finite.fill_us + finite.queue_us + finite.service_us
+        )
 
     def test_utilization_and_capacity_are_inverses(self):
         capacity = replica_capacity_qps(500.0, 32, max_utilization=0.8)
@@ -254,6 +282,60 @@ class TestCapacityPlanner:
         planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
         plans = planner.plan_dlrm(DLRM_DEFAULT, (32, 64, 128))
         assert sorted(rank_plans(plans), key=id) == sorted(plans, key=id)
+
+
+class TestSimulateValidation:
+    def test_top_feasible_plans_get_measured_p99(self, engine):
+        target = ServingTarget.from_ms(10_000, 50.0)
+        planner = CapacityPlanner(engine, target)
+        plans = planner.plan_dlrm(
+            DLRM_DEFAULT, (32, 64, 128),
+            validate=VALIDATE_SIMULATE, validate_top_k=2,
+            validate_requests=1500,
+        )
+        validated = [p for p in plans if p.simulated_us is not None]
+        assert len(validated) == 2
+        for plan in validated:
+            assert plan.simulated_us > 0.0
+            # meets_slo can only be demoted by the simulator, never
+            # promoted: every still-feasible validated plan measured
+            # under the SLO.
+            if plan.meets_slo:
+                assert plan.simulated_us <= target.latency_slo_us
+        # The re-ranked list still leads with the feasible block.
+        feasible = [p for p in plans if p.meets_slo]
+        assert plans[: len(feasible)] == feasible
+
+    def test_validation_is_seeded(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        kwargs = dict(
+            validate=VALIDATE_SIMULATE, validate_top_k=1,
+            validate_requests=1000, validate_seed=3,
+        )
+        first = planner.plan_dlrm(DLRM_DEFAULT, (64,), **kwargs)
+        second = planner.plan_dlrm(DLRM_DEFAULT, (64,), **kwargs)
+        assert [p.to_dict() for p in first] == [p.to_dict() for p in second]
+
+    def test_unknown_validate_mode_rejected(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        with pytest.raises(ValueError, match="unknown validate mode"):
+            planner.plan_dlrm(DLRM_DEFAULT, (64,), validate="analytically")
+
+    def test_validate_plans_rejects_bad_top_k(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        with pytest.raises(ValueError, match="top_k"):
+            planner.validate_plans(DLRM_DEFAULT, [], top_k=0)
+
+    def test_simulated_us_roundtrips(self, engine):
+        planner = CapacityPlanner(engine, ServingTarget.from_ms(10_000, 50.0))
+        plans = planner.plan_dlrm(
+            DLRM_DEFAULT, (64,),
+            validate=VALIDATE_SIMULATE, validate_top_k=1,
+            validate_requests=1000,
+        )
+        for plan in plans:
+            row = json.loads(json.dumps(plan.to_dict()))
+            assert CapacityPlan.from_dict(row) == plan
 
 
 class TestMultiNodeCapacity:

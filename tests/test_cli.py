@@ -371,3 +371,81 @@ class TestCapacityCommand:
              "--max-replicas", "2"]
         ) == 1
         assert "no evaluated configuration" in capsys.readouterr().err
+
+
+class TestServeSimCommand:
+    def test_serve_sim_parser_args(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "20000", "--slo-ms", "10", "--replicas", "4",
+             "--arrival", "flash_crowd", "--spike-start-ms", "50",
+             "--spike-duration-ms", "150", "--spike-multiplier", "4",
+             "--kill-replica", "0", "--kill-at-ms", "80"]
+        )
+        assert args.qps == 20000.0
+        assert args.arrival == "flash_crowd"
+        assert args.spike_multiplier == 4.0
+        assert args.kill_replica == 0
+        assert args.timeout_ms == 1.0
+        assert args.autoscale_max == 0
+
+    def test_serve_sim_rejects_non_dlrm(self, capsys):
+        assert main(
+            ["serve-sim", "--model", "resnet50", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10"]
+        ) == 2
+        assert "DLRM" in capsys.readouterr().err
+
+    def test_serve_sim_rejects_bad_scenario(self, capsys):
+        assert main(
+            ["serve-sim", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10", "--arrival", "diurnal",
+             "--amplitude", "1.5"]
+        ) == 2
+        assert "bad serving scenario" in capsys.readouterr().err
+
+    def test_serve_sim_rejects_zero_replicas(self, capsys):
+        assert main(
+            ["serve-sim", "--model", "DLRM_default", "--batch", "64",
+             "--qps", "1000", "--slo-ms", "10", "--replicas", "0"]
+        ) == 2
+        assert "bad serving scenario" in capsys.readouterr().err
+
+    def test_serve_sim_command(self, tmp_path, capsys, monkeypatch):
+        """One analysis pass, then met- and missed-SLO simulations."""
+        import json
+
+        import repro.cli as cli
+        from repro.serving import SimulatedServingReport
+        from tests.conftest import TINY_SPACE
+
+        original = cli.build_perf_models
+
+        def fast_build(device, **kwargs):
+            return original(
+                device, microbench_scale=0.1, epochs=60, space=TINY_SPACE
+            )
+
+        monkeypatch.setattr(cli, "build_perf_models", fast_build)
+        assets = str(tmp_path / "assets.json")
+        assert main(["analyze", "--out", assets, "--scale", "0.1"]) == 0
+        capsys.readouterr()
+
+        out_path = str(tmp_path / "report.json")
+        base = ["serve-sim", "--model", "DLRM_default", "--batch", "64",
+                "--qps", "10000", "--replicas", "2", "--requests", "4000",
+                "--assets", assets]
+        assert main(base + ["--slo-ms", "50", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: DLRM_default@V100 x2 poisson" in out
+        assert "closed-form p99 (steady Poisson)" in out
+        assert "SLO p99 <= 50 ms: met" in out
+        with open(out_path) as f:
+            row = json.load(f)
+        report = SimulatedServingReport.from_dict(row)
+        assert report.completed == 4000
+        assert report.latency_p99_us <= 50_000.0
+
+        # The same scenario against an unreachable SLO exits 1.
+        assert main(base + ["--slo-ms", "0.001"]) == 1
+        assert "MISSED" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Direct unit tests for the hidden ground-truth latency model.
+
+``repro.simulator.latency`` is the repo's "hardware" — until now it was
+only exercised indirectly, through end-to-end simulation runs.  These
+tests pin its internals: the bandwidth ramp, the hypergeometric cache
+model, wave quantization, the noise contract, and the per-kernel-family
+shape effects the paper's heuristics deliberately miss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import TESLA_V100
+from repro.ops import KernelCall, KernelType
+from repro.simulator.latency import (
+    _BW_HALF_POINT,
+    GroundTruthLatency,
+    _bw_ramp,
+    _hypergeometric_all_hit,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GroundTruthLatency(TESLA_V100)
+
+
+def gemm_call(m, n, k, batch=1):
+    return KernelCall(
+        KernelType.GEMM, {"m": m, "n": n, "k": k, "batch": batch}
+    )
+
+
+class TestPrimitives:
+    def test_bw_ramp_half_point_and_limits(self):
+        assert _bw_ramp(float(_BW_HALF_POINT)) == pytest.approx(0.5)
+        assert _bw_ramp(1.0) < 0.01
+        assert _bw_ramp(1e12) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bw_ramp_is_monotone(self):
+        sizes = [1e2, 1e4, 1e6, 1e8]
+        fractions = [_bw_ramp(s) for s in sizes]
+        assert fractions == sorted(fractions)
+
+    def test_hypergeometric_everything_cached(self):
+        assert _hypergeometric_all_hit(100.0, 100.0, 5) == 1.0
+        assert _hypergeometric_all_hit(200.0, 100.0, 5) == 1.0
+
+    def test_hypergeometric_nothing_cached(self):
+        assert _hypergeometric_all_hit(0.0, 100.0, 1) == 0.0
+        assert _hypergeometric_all_hit(-3.0, 100.0, 1) == 0.0
+
+    def test_hypergeometric_matches_closed_form(self):
+        # P(all 2 of 2 draws cached) with 3 of 4 rows cached:
+        # (3/4) * (2/3) = 1/2.
+        assert _hypergeometric_all_hit(3.0, 4.0, 2) == pytest.approx(0.5)
+
+    def test_hypergeometric_exhausting_cache_is_zero(self):
+        assert _hypergeometric_all_hit(2.0, 100.0, 3) == 0.0
+
+    def test_hypergeometric_decreases_with_lookups(self):
+        hits = [
+            _hypergeometric_all_hit(50.0, 100.0, lookups)
+            for lookups in (1, 2, 4, 8)
+        ]
+        assert hits == sorted(hits, reverse=True)
+
+
+class TestDurationContract:
+    def test_noiseless_call_is_deterministic(self, model):
+        kernel = gemm_call(1024, 1024, 1024)
+        assert model.duration_us(kernel) == model.duration_us(kernel)
+
+    def test_noise_is_seeded_and_multiplicative(self, model):
+        kernel = gemm_call(1024, 1024, 1024)
+        mean = model.duration_us(kernel)
+        a = model.duration_us(kernel, np.random.default_rng(3))
+        b = model.duration_us(kernel, np.random.default_rng(3))
+        c = model.duration_us(kernel, np.random.default_rng(4))
+        assert a == b
+        assert a != c
+        # 3-sigma lognormal band around the noiseless mean.
+        band = math.exp(3 * model.noise_sigma)
+        assert mean / band <= a <= mean * band
+
+    def test_zero_sigma_ignores_the_rng(self):
+        quiet = GroundTruthLatency(TESLA_V100, noise_sigma=0.0)
+        kernel = gemm_call(256, 256, 256)
+        assert quiet.duration_us(
+            kernel, np.random.default_rng(0)
+        ) == quiet.duration_us(kernel)
+
+    def test_duration_floor(self, model):
+        tiny = KernelCall(
+            KernelType.ELEMENTWISE,
+            {"bytes_read": 4.0, "bytes_write": 4.0, "flop": 1.0},
+        )
+        assert model.duration_us(tiny) >= 0.3
+
+    def test_unmodeled_kernel_type_raises(self):
+        model = GroundTruthLatency(TESLA_V100)
+        kernel = KernelCall(KernelType.SCAN, {"rows": 8, "n": 128})
+        del model._dispatch[KernelType.SCAN]
+        with pytest.raises(ValueError, match="no ground-truth model"):
+            model.duration_us(kernel)
+
+    def test_every_kernel_type_is_dispatched(self, model):
+        assert set(model._dispatch) == set(KernelType.ALL)
+
+
+class TestShapeEffects:
+    def test_gemm_wave_quantization_step(self, model):
+        # One extra tile row forces a new wave: the jump from a
+        # tile-aligned m to m+1 is larger than scaling within a wave.
+        aligned = model.duration_us(gemm_call(128, 64, 4096))
+        bumped = model.duration_us(gemm_call(129, 64, 4096))
+        assert bumped > aligned
+
+    def test_gemm_grows_with_every_dimension(self, model):
+        base = model.duration_us(gemm_call(512, 512, 512))
+        assert model.duration_us(gemm_call(4096, 512, 512)) > base
+        assert model.duration_us(gemm_call(512, 4096, 512)) > base
+        assert model.duration_us(gemm_call(512, 512, 4096)) > base
+        assert model.duration_us(gemm_call(512, 512, 512, batch=8)) > base
+
+    def test_memcpy_h2d_is_pcie_bound(self, model):
+        bytes_moved = 64 * 1024 * 1024
+        h2d = model.duration_us(
+            KernelCall(KernelType.MEMCPY, {"bytes": bytes_moved, "h2d": 1})
+        )
+        d2d = model.duration_us(
+            KernelCall(KernelType.MEMCPY, {"bytes": bytes_moved})
+        )
+        assert h2d > d2d
+
+    def test_transpose_penalizes_skinny_shapes(self, model):
+        # Same element count, worse coalescing on the skinny matrix.
+        square = model.duration_us(
+            KernelCall(KernelType.TRANSPOSE, {"b": 1, "m": 512, "n": 512})
+        )
+        skinny = model.duration_us(
+            KernelCall(
+                KernelType.TRANSPOSE, {"b": 1, "m": 65536, "n": 4}
+            )
+        )
+        assert skinny > square
+
+    def test_small_tables_hit_l2(self, model):
+        params = {"B": 1024, "E": 1000, "T": 1, "L": 8, "D": 32}
+        dram_small, l2_small = model._embedding_traffic(
+            params, backward=False
+        )
+        big = dict(params, E=10_000_000)
+        dram_big, l2_big = model._embedding_traffic(big, backward=False)
+        # A tiny table caches fully: the weight traffic moves from DRAM
+        # to L2 relative to the huge table.
+        assert dram_small < dram_big
+        assert l2_small > l2_big
+
+    def test_embedding_backward_pays_atomics(self, model):
+        params = {"B": 1024, "E": 100_000, "T": 4, "L": 16, "D": 64}
+        fwd = model.duration_us(
+            KernelCall(KernelType.EMBEDDING_FWD, params)
+        )
+        bwd = model.duration_us(
+            KernelCall(KernelType.EMBEDDING_BWD, params)
+        )
+        assert bwd > fwd
+
+    def test_scan_efficiency_ramps_with_length(self, model):
+        # Equal bytes moved; the longer scan amortizes the look-back
+        # dependency chain better per element.
+        short = model.duration_us(
+            KernelCall(KernelType.SCAN, {"rows": 4096, "n": 256})
+        )
+        long = model.duration_us(
+            KernelCall(KernelType.SCAN, {"rows": 4, "n": 262144})
+        )
+        assert long < short
+
+    def test_conv_costs_more_than_its_implicit_gemm(self, model):
+        conv_params = {
+            "n": 32, "c": 64, "h": 56, "w": 56,
+            "k": 64, "r": 3, "s": 3, "stride": 1,
+            "pad_h": 1, "pad_w": 1,
+        }
+        conv = model.duration_us(KernelCall(KernelType.CONV, conv_params))
+        equivalent = model.duration_us(
+            gemm_call(32 * 56 * 56, 64, 64 * 3 * 3)
+        )
+        assert conv > equivalent
+
+    def test_batchnorm_is_bandwidth_bound(self, model):
+        small = model.duration_us(
+            KernelCall(
+                KernelType.BATCHNORM,
+                {"n": 8, "c": 32, "h": 28, "w": 28},
+            )
+        )
+        large = model.duration_us(
+            KernelCall(
+                KernelType.BATCHNORM,
+                {"n": 64, "c": 64, "h": 56, "w": 56},
+            )
+        )
+        assert large > small
