@@ -1,0 +1,104 @@
+"""Prediction as a service: one resident server, many what-if clients.
+
+Planners and dashboards fire overlapping what-if queries against the
+same kernel models and overhead statistics.  This example keeps those
+assets warm inside a `PredictionService` and shows the three things
+the server adds over calling `predict_e2e` in a loop:
+
+1. Byte-identity — a cold response, a memo hit and a
+   batched-concurrent response all equal the direct library call.
+2. Explicit invalidation — re-registering an overhead database drops
+   exactly the dependent memo entries, and re-asking recomputes.
+3. Observability — the stats snapshot reports per-kind counts, memo
+   and kernel-cache hit rates, queue gauges and latency percentiles.
+
+Run:  PYTHONPATH=src python examples/prediction_service.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TESLA_V100,
+    OverheadDatabase,
+    PredictionService,
+    SimulatedDevice,
+    WhatIfRequest,
+    build_model,
+    build_perf_models,
+    predict_e2e,
+)
+from repro.models import MODE_INFERENCE
+from repro.service import REQUEST_MEMORY, render_stats
+from repro.serving import BatchingPolicy
+
+BATCHES = (256, 512, 1024)
+PROFILE_BATCH = 512
+
+
+def main() -> None:
+    device = SimulatedDevice(TESLA_V100, seed=42)
+    registry, _ = build_perf_models(device, microbench_scale=0.4)
+    graphs = {
+        b: build_model("DLRM_default", b, mode=MODE_INFERENCE)
+        for b in BATCHES
+    }
+    profiled = device.run(
+        graphs[PROFILE_BATCH], iterations=8, batch_size=PROFILE_BATCH,
+        with_profiler=True, warmup=2,
+    )
+    overheads = OverheadDatabase.from_trace(profiled.trace)
+
+    with PredictionService(
+        registries={"V100": registry},
+        overhead_dbs={"individual": overheads},
+        batching=BatchingPolicy(max_batch=8, timeout_us=2_000.0),
+    ) as service:
+        # 1. Byte-identity: cold, then memoized, both equal predict_e2e.
+        direct = predict_e2e(graphs[512], registry, overheads)
+        cold = service.predict(WhatIfRequest(graph=graphs[512]))
+        warm = service.predict(WhatIfRequest(graph=graphs[512]))
+        assert cold.prediction.to_dict() == direct.to_dict()
+        assert warm.cached and warm.prediction.to_dict() == direct.to_dict()
+        print(f"cold == direct == memo hit: {direct.total_us:.1f} us "
+              f"(key {cold.key})")
+
+        # Concurrent burst over the whole batch ladder: requests
+        # coalesce into micro-batches, answers stay exact.
+        burst = [
+            WhatIfRequest(graph=graphs[b]) for b in BATCHES for _ in range(4)
+        ]
+        for request, response in zip(burst, service.predict_all(burst)):
+            expected = predict_e2e(request.graph, registry, overheads)
+            assert response.prediction.to_dict() == expected.to_dict()
+        print(f"burst of {len(burst)} concurrent requests: all "
+              f"byte-identical to direct calls")
+
+        # A different kind through the same front end.
+        footprint = service.predict(
+            WhatIfRequest(graph=graphs[1024], kind=REQUEST_MEMORY,
+                          optimizer="adam")
+        )
+        print(f"memory what-if @ 1024 (adam): "
+              f"{footprint.memory.total_bytes / 2**30:.2f} GiB")
+
+        # 2. Invalidation: new overhead statistics drop dependent
+        # entries; the next ask recomputes against the new database.
+        profiled2 = device.run(
+            graphs[256], iterations=8, batch_size=256,
+            with_profiler=True, warmup=2,
+        )
+        dropped = service.register_overheads(
+            "individual", OverheadDatabase.from_trace(profiled2.trace)
+        )
+        recomputed = service.predict(WhatIfRequest(graph=graphs[512]))
+        print(f"re-registered overheads: {dropped} memo entries dropped, "
+              f"recomputed {'cold' if not recomputed.cached else 'cached'} "
+              f"-> {recomputed.prediction.total_us:.1f} us")
+
+        # 3. Observability.
+        print()
+        print(render_stats(service.stats()))
+
+
+if __name__ == "__main__":
+    main()

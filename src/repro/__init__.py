@@ -95,6 +95,11 @@ from repro.perfmodels import (
     load_registry,
     save_registry,
 )
+from repro.service import (
+    PredictionService,
+    WhatIfRequest,
+    WhatIfResponse,
+)
 from repro.serving import (
     ARRIVAL_KINDS,
     ArrivalSpec,
@@ -151,6 +156,9 @@ __all__ = [
     "PAPER_GPUS",
     "PCIE_FABRIC",
     "PerfModelRegistry",
+    "PredictionService",
+    "WhatIfRequest",
+    "WhatIfResponse",
     "CollectiveModel",
     "QueueDepthAutoscaler",
     "ServingSimulator",

@@ -6,10 +6,13 @@ three places where that contract lives machine-checked:
 
 * ``contract-dispatch`` — every overlap policy in ``OVERLAP_POLICIES``
   and every collective kind in ``COLLECTIVE_KINDS`` must be handled by
-  both ``multigpu/predict.py`` and ``multigpu/simulate.py``, and every
+  both ``multigpu/predict.py`` and ``multigpu/simulate.py``, every
   arrival-model kind in ``ARRIVAL_KINDS`` by both the serving trace
   generator (``serving/arrivals.py``) and the report renderer
-  (``serving/report.py``).  "Handled" means the module — or a ``repro``
+  (``serving/report.py``), and every what-if request kind in
+  ``REQUEST_KINDS`` by both the prediction-service dispatcher
+  (``service/server.py``) and its stats renderer
+  (``service/stats.py``).  "Handled" means the module — or a ``repro``
   module it (transitively) imports from — references the member
   constant, compares against its string value, or membership-tests
   against the whole registry tuple.  Adding a policy/kind that only
@@ -62,6 +65,14 @@ DISPATCH_CONTRACTS = (
         "handlers": (
             "src/repro/serving/arrivals.py",
             "src/repro/serving/report.py",
+        ),
+    },
+    {
+        "registry": "REQUEST_KINDS",
+        "defined_in": "src/repro/service/request.py",
+        "handlers": (
+            "src/repro/service/server.py",
+            "src/repro/service/stats.py",
         ),
     },
 )
@@ -229,10 +240,11 @@ class ContractDispatch(Rule):
     name = "contract-dispatch"
     severity = SEVERITY_ERROR
     description = (
-        "every OVERLAP_POLICIES / COLLECTIVE_KINDS / ARRIVAL_KINDS "
-        "member must be handled (directly or via imports) by both of "
-        "its contract's handler modules (predict+simulate engines, "
-        "arrival generator+report renderer)"
+        "every OVERLAP_POLICIES / COLLECTIVE_KINDS / ARRIVAL_KINDS / "
+        "REQUEST_KINDS member must be handled (directly or via imports) "
+        "by both of its contract's handler modules (predict+simulate "
+        "engines, arrival generator+report renderer, service "
+        "dispatcher+stats renderer)"
     )
     scope = SCOPE_PROJECT
 

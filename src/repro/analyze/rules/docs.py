@@ -37,6 +37,7 @@ DEFAULT_MARKDOWN = (
     "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
     "docs/REGRESSION.md",
+    "docs/SERVICE.md",
     "docs/SERVING.md",
     "docs/TOPOLOGIES.md",
     EXAMPLES_GALLERY,
@@ -56,6 +57,7 @@ DEFAULT_PACKAGES = (
     "src/repro/overheads",
     "src/repro/perfmodels",
     "src/repro/regress",
+    "src/repro/service",
     "src/repro/serving",
     "src/repro/simulator",
     "src/repro/sweep",

@@ -32,7 +32,7 @@ from repro.e2e import predict_e2e, predict_memory
 from repro.graph.transforms import fuse_embedding_bags
 from repro.hardware import ALL_GPUS, gpu_by_name
 from repro.analyze.baseline import BASELINE_NAME
-from repro.models import FIGURE1_BATCH_SIZES, build_model
+from repro.models import FIGURE1_BATCH_SIZES, MODE_INFERENCE, MODES, build_model
 from repro.multigpu.schedule import OVERLAP_POLICIES
 from repro.overheads import OverheadDatabase
 from repro.perfmodels import build_perf_models, load_registry, save_registry
@@ -570,6 +570,78 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.service import PredictionService, WhatIfRequest, render_stats
+    from repro.serving import BatchingPolicy
+
+    batches = _parse_positive_ints(args.batches, "--batches", "256,512,1024")
+    if batches is None:
+        return 2
+    if args.requests < 1:
+        print(f"--requests must be >= 1, got {args.requests}", file=sys.stderr)
+        return 2
+    try:
+        batching = BatchingPolicy(
+            max_batch=args.max_batch,
+            timeout_us=_millis_to_micros(args.timeout_ms),
+        )
+    except ValueError as err:
+        print(f"bad batching policy: {err}", file=sys.stderr)
+        return 2
+
+    device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
+    if args.assets:
+        registry, _ = load_registry(args.assets)
+    else:
+        print("No --assets given; running the analysis track inline "
+              "(slow) ...", file=sys.stderr)
+        registry, _ = build_perf_models(device, microbench_scale=0.4)
+    graphs = {
+        b: build_model(args.model, b, mode=args.mode) for b in batches
+    }
+    profiling_graph = graphs.get(args.batch)
+    if profiling_graph is None:
+        profiling_graph = build_model(args.model, args.batch, mode=args.mode)
+    overheads = _make_overheads(device, profiling_graph, args.batch)
+
+    requests = [
+        WhatIfRequest(graph=graphs[batches[i % len(batches)]])
+        for i in range(args.requests)
+    ]
+    with PredictionService(
+        registries={args.gpu: registry},
+        overhead_dbs={"individual": overheads},
+        batching=batching,
+        workers=args.workers,
+        memo_entries=args.memo_entries,
+    ) as service:
+        start = time.perf_counter()
+        responses = service.predict_all(requests)
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+
+    hits = sum(1 for r in responses if r.cached)
+    qps = len(responses) / elapsed if elapsed > 0 else 0.0
+    print(f"{args.model} ({args.mode}) what-if service on {args.gpu}: "
+          f"{len(responses)} requests over {len(batches)} distinct "
+          f"graph(s)")
+    print(f"  wall time   : {elapsed:.3f} s ({qps:,.0f} requests/s)")
+    print(f"  memo served : {hits}/{len(responses)}")
+    print(render_stats(stats))
+    if args.out:
+        payload = stats.to_dict()
+        payload["throughput_qps"] = qps
+        payload["wall_seconds"] = elapsed
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"Wrote service stats to {args.out}")
+    return 0
+
+
 def _cmd_breakdown(args: argparse.Namespace) -> int:
     device = SimulatedDevice(gpu_by_name(args.gpu), seed=args.seed)
     graph = build_model(args.model, args.batch)
@@ -699,7 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="microbenchmark sweep scale")
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("predict", help="predict per-batch training time")
+    # Subcommand names predate (and are distinct from) the service's
+    # request-kind constants of the same spelling.
+    p = sub.add_parser(
+        "predict",  # repro-lint: disable=magic-literal
+        help="predict per-batch training time",
+    )
     _add_common(p, need_model=True)
     p.add_argument("--assets", help="assets JSON from `analyze`")
     p.add_argument("--compare", action="store_true",
@@ -842,12 +919,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the simulated report as JSON")
     p.set_defaults(func=_cmd_serve_sim)
 
+    p = sub.add_parser(
+        "serve",
+        help="concurrent what-if prediction service (memoized, "
+             "micro-batched) driven by a synthetic request mix",
+    )
+    _add_common(p, need_model=True)
+    p.add_argument("--batches", default="256,512,1024",
+                   help="comma-separated batch sizes the request mix "
+                        "cycles over")
+    p.add_argument("--requests", type=int, default=64,
+                   help="what-if requests to submit")
+    p.add_argument("--mode", default=MODE_INFERENCE, choices=MODES,
+                   help="graph mode for the request mix")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="micro-batch size ceiling for request coalescing")
+    p.add_argument("--timeout-ms", type=float, default=1.0,
+                   help="micro-batch seal timeout (0 disables "
+                        "coalescing)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="prediction worker threads")
+    p.add_argument("--memo-entries", type=int, default=4096,
+                   help="graph-level memo-tier capacity")
+    p.add_argument("--assets", help="assets JSON from `analyze`")
+    p.add_argument("--out", help="write the service stats snapshot as JSON")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("breakdown", help="Figure 5-style device-time shares")
     _add_common(p, need_model=True)
     p.add_argument("--top", type=int, default=12, help="ops to list")
     p.set_defaults(func=_cmd_breakdown)
 
-    p = sub.add_parser("memory", help="predict training-memory footprint")
+    p = sub.add_parser(
+        "memory",  # repro-lint: disable=magic-literal
+        help="predict training-memory footprint",
+    )
     p.add_argument("--model", required=True, choices=_MODEL_CHOICES)
     p.add_argument("--batch", type=int, required=True)
     p.add_argument("--optimizer", default="sgd",

@@ -60,6 +60,27 @@ class MemoryPrediction:
             raise ValueError(f"headroom must be in (0, 1], got {headroom}")
         return self.total_bytes <= device_memory_bytes * headroom
 
+    def to_dict(self) -> dict:
+        """JSON-compatible row (inverse of :meth:`from_dict`)."""
+        return {
+            "parameter_bytes": self.parameter_bytes,
+            "gradient_bytes": self.gradient_bytes,
+            "optimizer_state_bytes": self.optimizer_state_bytes,
+            "peak_activation_bytes": self.peak_activation_bytes,
+            "input_bytes": self.input_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryPrediction":
+        """Rebuild a prediction from a :meth:`to_dict` row."""
+        return cls(
+            parameter_bytes=data["parameter_bytes"],
+            gradient_bytes=data["gradient_bytes"],
+            optimizer_state_bytes=data["optimizer_state_bytes"],
+            peak_activation_bytes=data["peak_activation_bytes"],
+            input_bytes=data["input_bytes"],
+        )
+
 
 _WEIGHTED_OPS = (
     "aten::linear", "aten::addmm", "aten::conv2d",

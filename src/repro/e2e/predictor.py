@@ -50,6 +50,38 @@ class E2EPrediction:
         """Predicted device idle time within the predicted batch time."""
         return max(self.total_us - self.active_us, 0.0)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible row (inverse of :meth:`from_dict`).
+
+        Per-op attribution is emitted key-sorted so the serialized form
+        is independent of traversal insertion order and hash seed.
+        """
+        return {
+            "total_us": self.total_us,
+            "cpu_us": self.cpu_us,
+            "gpu_us": self.gpu_us,
+            "active_us": self.active_us,
+            "per_op_active_us": {
+                name: self.per_op_active_us[name]
+                for name in sorted(self.per_op_active_us)
+            },
+            "num_ops": self.num_ops,
+            "num_kernels": self.num_kernels,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "E2EPrediction":
+        """Rebuild a prediction from a :meth:`to_dict` row."""
+        return cls(
+            total_us=data["total_us"],
+            cpu_us=data["cpu_us"],
+            gpu_us=data["gpu_us"],
+            active_us=data["active_us"],
+            per_op_active_us=dict(data["per_op_active_us"]),
+            num_ops=data["num_ops"],
+            num_kernels=data["num_kernels"],
+        )
+
 
 def predict_e2e(
     graph: ExecutionGraph,

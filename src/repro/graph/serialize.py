@@ -30,10 +30,14 @@ def _tensor_from_dict(d: dict) -> TensorMeta:
 
 
 def _op_to_dict(op: Op) -> dict:
+    # _kernel_calls_cache is derived state (a tuple of KernelCall,
+    # populated lazily by cached_kernel_calls): it is not JSON-
+    # serializable and must not leak into the persisted form — a graph
+    # that has been predicted against would otherwise fail to save.
     attrs = {
         k: v
         for k, v in op.__dict__.items()
-        if k not in ("_inputs", "_outputs")
+        if k not in ("_inputs", "_outputs", "_kernel_calls_cache")
     }
     for key, value in attrs.items():
         if not isinstance(value, (int, float, str, bool, list, tuple, type(None))):

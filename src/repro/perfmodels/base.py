@@ -14,11 +14,18 @@ groups a kernel population by type, deduplicates identical calls
 in a bounded per-registry LRU.  What-if sweeps that re-evaluate
 overlapping kernel populations (batch-size grids, fusion studies,
 scaling curves) therefore pay for each distinct kernel exactly once.
+
+The cache is *thread-safe*: every structural mutation (lookup + LRU
+reorder, insert, evict, invalidate, clear) and every counter update
+happens under one re-entrant lock, so the concurrent prediction server
+(:mod:`repro.service`) can share a warm registry across its worker
+pool without lost updates or a corrupted ``OrderedDict``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -146,17 +153,29 @@ class PerfModelRegistry:
         self._cache_size = max(int(cache_size), 0)
         self._hits = 0
         self._misses = 0
+        # Guards the cache, its per-type index and the hit/miss
+        # counters.  Re-entrant so predict_us -> predict_many and a
+        # model-swap inside a locked section both stay safe.
+        self._lock = threading.RLock()
+        # Bumped on every model (re)registration.  predict_many runs
+        # its model dispatch outside the lock; values computed against
+        # a replaced model's epoch are returned to that caller but kept
+        # out of the cache (inserting them would resurrect entries the
+        # registration just invalidated).
+        self._epoch = 0
 
     def register(self, model: KernelPerfModel) -> "PerfModelRegistry":
         """Add (or replace) the model for its kernel type; chainable."""
         if not model.kernel_type:
             raise ValueError("model does not declare a kernel_type")
-        self._models[model.kernel_type] = model
-        # A replaced model invalidates every memoized value of its
-        # type; the per-type key index makes this O(entries of that
-        # type) instead of a scan over the whole cache.
-        for kernel in self._by_type.pop(model.kernel_type, ()):
-            del self._cache[kernel]
+        with self._lock:
+            self._models[model.kernel_type] = model
+            self._epoch += 1
+            # A replaced model invalidates every memoized value of its
+            # type; the per-type key index makes this O(entries of that
+            # type) instead of a scan over the whole cache.
+            for kernel in self._by_type.pop(model.kernel_type, ()):
+                del self._cache[kernel]
         return self
 
     def ensure_cache_capacity(self, num_kernels: int) -> int:
@@ -173,9 +192,10 @@ class PerfModelRegistry:
         Returns:
             The (possibly grown) cache bound.
         """
-        if self._cache_size > 0:
-            self._cache_size = max(self._cache_size, int(num_kernels))
-        return self._cache_size
+        with self._lock:
+            if self._cache_size > 0:
+                self._cache_size = max(self._cache_size, int(num_kernels))
+            return self._cache_size
 
     def model_for(self, kernel_type: str) -> KernelPerfModel:
         """The registered model for ``kernel_type``."""
@@ -199,65 +219,96 @@ class PerfModelRegistry:
         per-registry cache, groups the remaining misses by kernel type,
         and dispatches one :meth:`KernelPerfModel.predict_batch` call
         per type.  Returns one time per input kernel, in input order.
+
+        Thread-safe: cache lookups and inserts happen under the
+        registry lock; the model dispatch itself runs outside it, so
+        concurrent callers predicting disjoint populations overlap.
+        Two threads missing on the same kernel may both compute it —
+        the models are deterministic, so the duplicate write is benign
+        (each deduplicated lookup still counts exactly one hit or one
+        miss).
         """
         times: dict[KernelCall, float] = {}
         by_type: dict[str, list[KernelCall]] = {}
-        for kernel in kernels:
-            if kernel in times:
-                continue
-            cached = self._cache.get(kernel)
-            if cached is not None:
-                self._hits += 1
-                self._cache.move_to_end(kernel)
-                times[kernel] = cached
-            else:
-                self._misses += 1
-                by_type.setdefault(kernel.kernel_type, []).append(kernel)
-                times[kernel] = 0.0  # placeholder; keeps dedup in one pass
+        with self._lock:
+            for kernel in kernels:
+                if kernel in times:
+                    continue
+                cached = self._cache.get(kernel)
+                if cached is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(kernel)
+                    times[kernel] = cached
+                else:
+                    self._misses += 1
+                    by_type.setdefault(kernel.kernel_type, []).append(kernel)
+                    times[kernel] = 0.0  # placeholder; keeps dedup in one pass
+            models = {
+                kernel_type: self.model_for(kernel_type)
+                for kernel_type in by_type
+            }
+            epoch = self._epoch
 
+        predicted_by_type: dict[str, np.ndarray] = {}
         for kernel_type, misses in by_type.items():
-            model = self.model_for(kernel_type)
-            predicted = model.predict_batch([k.params for k in misses])
+            predicted = models[kernel_type].predict_batch(
+                [k.params for k in misses]
+            )
             if len(predicted) != len(misses):
                 raise ValueError(
                     f"{kernel_type} model's predict_batch returned "
                     f"{len(predicted)} values for {len(misses)} kernels"
                 )
-            for kernel, t in zip(misses, predicted):
-                t = float(t)
-                times[kernel] = t
-                self._cache[kernel] = t
-                self._by_type.setdefault(kernel.kernel_type, {})[kernel] = None
-        while len(self._cache) > self._cache_size:
-            evicted, _ = self._cache.popitem(last=False)
-            index = self._by_type.get(evicted.kernel_type)
-            if index is not None:
-                index.pop(evicted, None)
-                if not index:
-                    del self._by_type[evicted.kernel_type]
+            predicted_by_type[kernel_type] = predicted
+
+        with self._lock:
+            # A registration since the lookup phase invalidated entries;
+            # values computed against the old models still serve *this*
+            # call (it began before the swap) but must not be cached.
+            cacheable = epoch == self._epoch
+            for kernel_type, misses in by_type.items():
+                for kernel, t in zip(misses, predicted_by_type[kernel_type]):
+                    t = float(t)
+                    times[kernel] = t
+                    if not cacheable:
+                        continue
+                    self._cache[kernel] = t
+                    self._by_type.setdefault(
+                        kernel.kernel_type, {}
+                    )[kernel] = None
+            while len(self._cache) > self._cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                index = self._by_type.get(evicted.kernel_type)
+                if index is not None:
+                    index.pop(evicted, None)
+                    if not index:
+                        del self._by_type[evicted.kernel_type]
 
         return np.array([times[k] for k in kernels], dtype=np.float64)
 
     def cache_info(self) -> CacheInfo:
-        """Current prediction-cache statistics."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            size=len(self._cache),
-            max_size=self._cache_size,
-        )
+        """Current prediction-cache statistics (a consistent snapshot)."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._cache),
+                max_size=self._cache_size,
+            )
 
     def cache_clear(self) -> None:
         """Drop all memoized predictions and reset the counters."""
-        self._cache.clear()
-        self._by_type.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._by_type.clear()
+            self._hits = 0
+            self._misses = 0
 
     @property
     def kernel_types(self) -> tuple[str, ...]:
         """Registered kernel types."""
-        return tuple(sorted(self._models))
+        with self._lock:
+            return tuple(sorted(self._models))
 
     def fingerprint(self, kernel_types: Sequence[str] | None = None) -> str:
         """Stable content digest of the registered models.
@@ -280,14 +331,15 @@ class PerfModelRegistry:
             else tuple(sorted(set(kernel_types)))
         )
         digest = hashlib.sha256()
-        for kernel_type in selected:
-            digest.update(kernel_type.encode())
-            model = self._models.get(kernel_type)
-            if model is None:
-                digest.update(b"<unregistered>")
-                continue
-            digest.update(type(model).__name__.encode())
-            _update_digest(digest, vars(model))
+        with self._lock:
+            for kernel_type in selected:
+                digest.update(kernel_type.encode())
+                model = self._models.get(kernel_type)
+                if model is None:
+                    digest.update(b"<unregistered>")
+                    continue
+                digest.update(type(model).__name__.encode())
+                _update_digest(digest, vars(model))
         return digest.hexdigest()[:16]
 
 

@@ -11,6 +11,12 @@ serve them all:
   ``iteration_ms``, ``p99_us``) scale with machine and workload, so
   they get **relative** bands — looser for raw wall-clock, tighter for
   ratios the benchmarks already floor.
+* **Live measurements** (``measured_*``) are wall-clock readings of a
+  *running concurrent server* (load-test throughput, client-side tail
+  percentiles), where co-tenant noise on shared hardware swings the
+  tail severalfold run to run; their band only rejects
+  order-of-magnitude collapse, and the owning benchmark's in-test
+  floors (e.g. warm throughput >= 5x cold) enforce actual performance.
 * **Counts and labels** (``points``, ``pruned``, ``reused``,
   bottleneck strings, booleans) are structural facts; any change is a
   schema change, so they get **exact** bands.
@@ -163,6 +169,12 @@ class TolerancePolicy:
 #: ratios the benchmarks also floor, so their band must stay tight
 #: enough that a halving always escapes it.
 DEFAULT_POLICIES = (
+    TolerancePolicy(
+        name="live-measure",
+        kind=KIND_RELATIVE,
+        patterns=("measured_*",),
+        rtol=4.0,
+    ),
     TolerancePolicy(
         name="wall-clock",
         kind=KIND_RELATIVE,

@@ -1,0 +1,57 @@
+"""Prediction-as-a-service: a long-lived, concurrent what-if server.
+
+The batch CLI answers one what-if question per process; production use
+is thousands of capacity/what-if queries per second against warm
+models.  This package keeps registries, overhead databases and trained
+MLP weights resident and serves requests through three layers:
+
+* :mod:`repro.service.canonical` — a structural canonicalizer hashing
+  a ``(graph, gpu spec, overheads, mode, traversal knobs)`` request to
+  a stable content key (reusing the sweep engine's fingerprint
+  machinery, so the key is process- and hash-seed-independent);
+* :mod:`repro.service.memo` — a graph-level memo tier above the
+  kernel-level LRU, with explicit invalidation when a registry or
+  overhead database is re-registered;
+* :mod:`repro.service.server` — a thread-pool front end that coalesces
+  concurrent requests into ``predict_many`` micro-batches (max-batch +
+  timeout, the :class:`~repro.serving.BatchingPolicy` shape) and
+  returns per-request results byte-identical to direct
+  :func:`~repro.e2e.predict_e2e`.
+
+Observability (per-request latency histograms, cache hit/miss
+counters, queue-depth gauges) is exported through
+:meth:`PredictionService.stats` and the ``repro serve`` CLI
+subcommand.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.canonical import graph_key, request_key
+from repro.service.memo import DEFAULT_MEMO_ENTRIES, GraphMemoCache, MemoInfo
+from repro.service.request import (
+    REQUEST_KERNEL_ONLY,
+    REQUEST_KINDS,
+    REQUEST_MEMORY,
+    REQUEST_PREDICT,
+    WhatIfRequest,
+    WhatIfResponse,
+)
+from repro.service.server import DEFAULT_WORKERS, PredictionService
+from repro.service.stats import LatencyHistogram, ServiceStats, render_stats
+
+__all__ = [
+    "DEFAULT_MEMO_ENTRIES",
+    "DEFAULT_WORKERS",
+    "GraphMemoCache",
+    "LatencyHistogram",
+    "MemoInfo",
+    "PredictionService",
+    "REQUEST_KERNEL_ONLY",
+    "REQUEST_KINDS",
+    "REQUEST_MEMORY",
+    "REQUEST_PREDICT",
+    "ServiceStats",
+    "WhatIfRequest",
+    "WhatIfResponse",
+    "graph_key",
+    "render_stats",
+    "request_key",
+]

@@ -1,0 +1,103 @@
+"""Structural request canonicalizer.
+
+Two requests that would provably produce the same answer must hash to
+the same content key, and any perturbation that could change the
+answer must change the key.  The key is assembled from exactly the
+inputs each request kind consumes:
+
+* ``predict`` — the traversal-plan digest (what Algorithm 1 actually
+  walks: op names, streams, kernel calls with sorted parameters), the
+  registry fingerprint *restricted to the kernel types the plan
+  dispatches*, the overhead database fingerprint, and the traversal
+  knobs ``(t4_us, kernel_gap_us, sync_h2d)``;
+* ``kernel_only`` — plan digest + restricted registry fingerprint
+  (the baseline never reads overheads or traversal knobs);
+* ``memory`` — a full structural graph digest (liveness analysis reads
+  tensor metadata the plan does not carry) + the optimizer name.
+
+Everything is ``hashlib``-based and key-sorted, so keys are stable
+across processes and ``PYTHONHASHSEED`` values — the property that
+lets the memo tier and persisted snapshots survive restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.e2e.predictor import DEFAULT_T4_US, KERNEL_GAP_US, collect_plan
+from repro.graph import ExecutionGraph
+from repro.graph.serialize import graph_to_dict
+from repro.service.request import (
+    REQUEST_KERNEL_ONLY,
+    REQUEST_MEMORY,
+    WhatIfRequest,
+)
+from repro.sweep import plan_digest
+
+#: Hex digits kept from each sha256 digest (matches the sweep
+#: fingerprint width; 64 bits of collision resistance).
+KEY_WIDTH = 16
+
+
+def graph_key(graph: ExecutionGraph) -> str:
+    """Full structural content digest of a graph.
+
+    Hashes the canonical JSON serialization (key-sorted), covering op
+    classes, tensor signatures and attributes — everything the memory
+    predictor's liveness analysis can observe.
+    """
+    payload = json.dumps(
+        graph_to_dict(graph), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:KEY_WIDTH]
+
+
+def request_key(
+    request: WhatIfRequest,
+    registry_fp: str = "",
+    db_fp: str = "",
+    t4_us: float | None = DEFAULT_T4_US,
+    kernel_gap_us: float = KERNEL_GAP_US,
+    sync_h2d: bool = False,
+    plan: list | None = None,
+    row_cache: dict | None = None,
+    kernel_cache: dict | None = None,
+) -> str:
+    """Canonical content key of one request.
+
+    Args:
+        request: The what-if request to canonicalize.
+        registry_fp: Content fingerprint of the resolved registry,
+            restricted to the plan's kernel types
+            (:meth:`~repro.perfmodels.PerfModelRegistry.fingerprint`).
+            Ignored by memory requests.
+        db_fp: Content fingerprint of the resolved overhead database.
+            Ignored by memory and kernel-only requests.
+        t4_us: Traversal knob — flat CUDA-runtime-call cost.
+        kernel_gap_us: Traversal knob — inter-kernel device gap.
+        sync_h2d: Traversal knob — synchronous pageable H2D copies.
+        plan: Precomputed :func:`~repro.e2e.collect_plan` rows (the
+            server computes them once per request and reuses them for
+            the traversal); derived from the graph when omitted.
+        row_cache: Optional plan-row digest memo shared across calls.
+        kernel_cache: Optional kernel digest memo shared across calls.
+
+    Returns:
+        A :data:`KEY_WIDTH`-hex-char content key.
+    """
+    digest = hashlib.sha256()
+    digest.update(request.kind.encode())
+    if request.kind == REQUEST_MEMORY:
+        digest.update(graph_key(request.graph).encode())
+        digest.update(request.optimizer.encode())
+        return digest.hexdigest()[:KEY_WIDTH]
+    if plan is None:
+        plan = collect_plan(request.graph)
+    digest.update(plan_digest(plan, row_cache, kernel_cache))
+    digest.update(registry_fp.encode())
+    if request.kind != REQUEST_KERNEL_ONLY:
+        digest.update(db_fp.encode())
+        knobs = repr((t4_us, kernel_gap_us, sync_h2d))
+        digest.update(knobs.encode())
+    return digest.hexdigest()[:KEY_WIDTH]

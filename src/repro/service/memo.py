@@ -1,0 +1,213 @@
+"""Graph-level memo tier above the kernel-level LRU.
+
+The kernel cache (:class:`~repro.perfmodels.PerfModelRegistry`) saves
+re-*predicting* kernels; a warm what-if service also re-*traverses*
+thousands of identical plans.  This tier memoizes whole answers by
+canonical request key, so a repeat query costs one dictionary lookup.
+
+Entries are *tagged* with the asset labels they were computed from
+(registry label, overhead-DB label).  Re-registering an asset under a
+label bumps that tag's epoch and drops every entry carrying it —
+explicit invalidation, never staleness.  An in-flight computation that
+started before the swap is kept out of the cache by the epoch check in
+:meth:`GraphMemoCache.put` (its caller still receives the answer it
+asked for; the linearization point is the lookup, before the swap).
+
+Thread-safe: one re-entrant lock guards the LRU, the tag index and
+every counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+#: Default bound on memoized whole-graph answers.
+DEFAULT_MEMO_ENTRIES = 4096
+
+
+@dataclass(frozen=True)
+class MemoInfo:
+    """Statistics snapshot of the graph-level memo tier."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo tier."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible row (hit rate included for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "max_size": self.max_size,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoInfo":
+        """Inverse of :meth:`to_dict` (``hit_rate`` is derived, ignored)."""
+        return cls(
+            hits=data["hits"],
+            misses=data["misses"],
+            size=data["size"],
+            max_size=data["max_size"],
+            evictions=data["evictions"],
+            invalidations=data["invalidations"],
+        )
+
+
+class GraphMemoCache:
+    """Bounded, tagged, thread-safe LRU of whole-request answers."""
+
+    def __init__(self, max_entries: int = DEFAULT_MEMO_ENTRIES) -> None:
+        self._max_entries = max(int(max_entries), 0)
+        # key -> (value, tags); insertion/access-ordered for LRU.
+        self._entries: OrderedDict[str, tuple[Any, tuple[str, ...]]] = (
+            OrderedDict()
+        )
+        self._by_tag: dict[str, dict[str, None]] = {}
+        self._tag_epoch: dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: str) -> Any | None:
+        """The memoized answer for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def epochs(self, tags: Sequence[str]) -> tuple[int, ...]:
+        """Current epochs of ``tags`` (snapshot before computing).
+
+        Pass the snapshot back to :meth:`put`: if any tag was
+        invalidated in between, the stale answer is discarded instead
+        of cached.
+        """
+        with self._lock:
+            return tuple(self._tag_epoch.get(tag, 0) for tag in tags)
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        tags: Sequence[str] = (),
+        epochs: tuple[int, ...] | None = None,
+    ) -> bool:
+        """Memoize ``value`` under ``key``, tagged for invalidation.
+
+        Args:
+            key: Canonical request key.
+            value: The computed answer (treated as immutable).
+            tags: Asset labels the answer depends on; invalidating any
+                of them drops the entry.
+            epochs: Tag-epoch snapshot from :meth:`epochs` taken before
+                the computation; a mismatch (an invalidation raced the
+                computation) discards the value.
+
+        Returns:
+            Whether the value was actually cached.
+        """
+        if self._max_entries == 0:
+            return False
+        with self._lock:
+            if epochs is not None and epochs != tuple(
+                self._tag_epoch.get(tag, 0) for tag in tags
+            ):
+                return False
+            stale = self._entries.pop(key, None)
+            if stale is not None:
+                for tag in stale[1]:
+                    index = self._by_tag.get(tag)
+                    if index is not None:
+                        index.pop(key, None)
+            tags = tuple(tags)
+            self._entries[key] = (value, tags)
+            for tag in tags:
+                self._by_tag.setdefault(tag, {})[key] = None
+            while len(self._entries) > self._max_entries:
+                evicted_key, (_, evicted_tags) = self._entries.popitem(
+                    last=False
+                )
+                self._evictions += 1
+                for tag in evicted_tags:
+                    index = self._by_tag.get(tag)
+                    if index is not None:
+                        index.pop(evicted_key, None)
+                        if not index:
+                            del self._by_tag[tag]
+            return True
+
+    def invalidate(self, tag: str) -> int:
+        """Drop every entry tagged ``tag``; returns how many were dropped.
+
+        Also bumps the tag's epoch so in-flight computations against
+        the replaced asset cannot re-insert stale answers.
+        """
+        with self._lock:
+            self._tag_epoch[tag] = self._tag_epoch.get(tag, 0) + 1
+            index = self._by_tag.pop(tag, None)
+            if not index:
+                return 0
+            dropped = 0
+            for key in index:
+                entry = self._entries.pop(key, None)
+                if entry is None:
+                    continue
+                dropped += 1
+                for other in entry[1]:
+                    if other == tag:
+                        continue
+                    other_index = self._by_tag.get(other)
+                    if other_index is not None:
+                        other_index.pop(key, None)
+                        if not other_index:
+                            del self._by_tag[other]
+            self._invalidations += dropped
+            return dropped
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (epochs persist)."""
+        with self._lock:
+            self._entries.clear()
+            self._by_tag.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> MemoInfo:
+        """Consistent statistics snapshot."""
+        with self._lock:
+            return MemoInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                max_size=self._max_entries,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )

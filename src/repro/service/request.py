@@ -1,0 +1,151 @@
+"""Request/response contract of the prediction service.
+
+A :class:`WhatIfRequest` names a workload graph plus the *labels* of
+the resident assets it should be priced against (which registry, which
+overhead database) — never the assets themselves, which stay warm
+inside the server.  :data:`REQUEST_KINDS` is the dispatch registry the
+``contract-dispatch`` lint holds both the server's dispatcher and the
+stats renderer to: adding a kind only one side knows about fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.e2e import E2EPrediction, MemoryPrediction
+from repro.e2e.memory import OPTIMIZER_STATE_MULTIPLIER
+from repro.graph import ExecutionGraph
+from repro.graph.serialize import graph_from_dict, graph_to_dict
+
+#: Full Algorithm 1 prediction: per-batch E2E time with host overheads.
+REQUEST_PREDICT = "predict"
+#: The "kernel only" baseline: predicted device-active time alone.
+REQUEST_KERNEL_ONLY = "kernel_only"
+#: Peak device-memory footprint of one training iteration.
+REQUEST_MEMORY = "memory"
+
+#: Every request kind the service dispatches on.  Both the server's
+#: dispatcher and the stats renderer must handle all members (enforced
+#: by the ``contract-dispatch`` lint).
+REQUEST_KINDS = (REQUEST_PREDICT, REQUEST_KERNEL_ONLY, REQUEST_MEMORY)
+
+
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """One what-if query against the resident assets.
+
+    Attributes:
+        graph: Execution graph of the workload to price.
+        kind: A :data:`REQUEST_KINDS` member.
+        gpu: Label of the resident registry to price against; empty
+            selects the server default.
+        overheads: Label of the resident overhead database; empty
+            selects the server default.  Ignored by kernel-only and
+            memory requests (their answers do not depend on it).
+        optimizer: Optimizer whose state the memory prediction charges
+            (``sgd``/``momentum``/``adam``); ignored by other kinds.
+    """
+
+    graph: ExecutionGraph
+    kind: str = REQUEST_PREDICT
+    gpu: str = ""
+    overheads: str = ""
+    optimizer: str = "sgd"
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; "
+                f"known: {REQUEST_KINDS}"
+            )
+        if self.optimizer not in OPTIMIZER_STATE_MULTIPLIER:
+            known = ", ".join(sorted(OPTIMIZER_STATE_MULTIPLIER))
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; known: {known}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "gpu": self.gpu,
+            "overheads": self.overheads,
+            "optimizer": self.optimizer,
+            "graph": graph_to_dict(self.graph),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WhatIfRequest":
+        """Rebuild a request from a :meth:`to_dict` row."""
+        return cls(
+            graph=graph_from_dict(data["graph"]),
+            kind=data["kind"],
+            gpu=data["gpu"],
+            overheads=data["overheads"],
+            optimizer=data["optimizer"],
+        )
+
+
+@dataclass(frozen=True)
+class WhatIfResponse:
+    """The service's answer to one :class:`WhatIfRequest`.
+
+    Exactly one payload field is set, matching ``kind``.  Responses
+    are byte-identical to the corresponding direct library call
+    (:func:`~repro.e2e.predict_e2e`, the kernel-only baseline, or
+    :func:`~repro.e2e.predict_memory`) on every path — cold, memo-hit
+    and batched-concurrent.
+
+    Attributes:
+        kind: The request kind this answers.
+        key: Canonical content key the request hashed to (the memo-tier
+            cache key; stable across processes and hash seeds).
+        cached: Whether the graph-level memo tier served the payload.
+        prediction: Full E2E prediction (``predict`` requests).
+        kernel_only_us: Device-active-time baseline in µs
+            (``kernel_only`` requests).
+        memory: Peak-memory prediction (``memory`` requests).
+    """
+
+    kind: str
+    key: str
+    cached: bool
+    prediction: E2EPrediction | None = None
+    kernel_only_us: float | None = None
+    memory: MemoryPrediction | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "cached": self.cached,
+            "kernel_only_us": self.kernel_only_us,
+            "prediction": (
+                None if self.prediction is None else self.prediction.to_dict()
+            ),
+            # The payload-field key happens to equal the REQUEST_MEMORY
+            # kind string, but it names the dataclass field.
+            "memory": (  # repro-lint: disable=magic-literal
+                None if self.memory is None else self.memory.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WhatIfResponse":
+        """Rebuild a response from a :meth:`to_dict` row."""
+        prediction = data["prediction"]
+        memory = data["memory"]  # repro-lint: disable=magic-literal
+        return cls(
+            kind=data["kind"],
+            key=data["key"],
+            cached=data["cached"],
+            kernel_only_us=data["kernel_only_us"],
+            prediction=(
+                None if prediction is None
+                else E2EPrediction.from_dict(prediction)
+            ),
+            memory=(
+                None if memory is None else MemoryPrediction.from_dict(memory)
+            ),
+        )

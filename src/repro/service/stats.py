@@ -1,0 +1,211 @@
+"""Service observability: latency histograms and a stats snapshot.
+
+The server records every request's enqueue-to-completion latency in a
+bounded log-spaced histogram (constant memory for an arbitrarily long
+uptime), counts requests per kind, and gauges its queue.  A
+:class:`ServiceStats` snapshot is what ``PredictionService.stats()``
+returns and what ``repro serve --out`` persists; :func:`render_stats`
+is the human-readable form and — together with the server's dispatcher
+— must handle every :data:`~repro.service.request.REQUEST_KINDS`
+member (the ``contract-dispatch`` lint checks both sides).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.perfmodels import CacheInfo
+from repro.service.memo import MemoInfo
+from repro.service.request import (
+    REQUEST_KERNEL_ONLY,
+    REQUEST_KINDS,
+    REQUEST_MEMORY,
+    REQUEST_PREDICT,
+)
+
+#: Human-readable label per request kind (also the stats renderer's
+#: explicit handling of every ``REQUEST_KINDS`` member).
+KIND_LABELS = {
+    REQUEST_PREDICT: "e2e predictions",
+    REQUEST_KERNEL_ONLY: "kernel-only baselines",
+    REQUEST_MEMORY: "memory footprints",
+}
+
+#: Smallest histogram bucket upper bound (µs).
+_FIRST_BOUND_US = 1.0
+#: Geometric bucket growth factor.
+_BUCKET_RATIO = 2.0
+#: Bucket count: 1 µs ... ~134 s, plus one overflow bucket.
+_NUM_BUCKETS = 28
+
+
+class LatencyHistogram:
+    """Bounded log-spaced latency histogram (µs), thread-safe.
+
+    Buckets double from 1 µs; percentiles are resolved to the upper
+    bound of the bucket holding the nearest-rank sample (clamped to
+    the exact observed maximum), so the reported p99 is at most one
+    bucket width — a factor of 2 — above the true sample.
+    """
+
+    def __init__(self) -> None:
+        self._bounds = tuple(
+            _FIRST_BOUND_US * _BUCKET_RATIO**i for i in range(_NUM_BUCKETS)
+        )
+        self._counts = [0] * (_NUM_BUCKETS + 1)  # +1 overflow
+        self._count = 0
+        self._sum_us = 0.0
+        self._max_us = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, latency_us: float) -> None:
+        """Add one observation."""
+        index = 0
+        while (
+            index < _NUM_BUCKETS and latency_us > self._bounds[index]
+        ):
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum_us += latency_us
+            if latency_us > self._max_us:
+                self._max_us = latency_us
+
+    @property
+    def count(self) -> int:
+        """Observations recorded."""
+        return self._count
+
+    def percentile_us(self, percentile: float) -> float:
+        """Approximate latency at ``percentile`` (0–100]."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, int(percentile / 100.0 * self._count + 0.5))
+            seen = 0
+            for index, bucket_count in enumerate(self._counts):
+                seen += bucket_count
+                if seen >= rank:
+                    if index >= _NUM_BUCKETS:
+                        return self._max_us
+                    return min(self._bounds[index], self._max_us)
+            return self._max_us
+
+    def summary(self) -> dict:
+        """JSON row: count, mean and the tail percentiles reports use."""
+        p50 = self.percentile_us(50.0)
+        p99 = self.percentile_us(99.0)
+        with self._lock:
+            mean = self._sum_us / self._count if self._count else 0.0
+            return {
+                "count": self._count,
+                "mean_us": mean,
+                "p50_us": p50,
+                "p99_us": p99,
+                "max_us": self._max_us,
+            }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent observability snapshot of a running service.
+
+    Attributes:
+        requests: Completed-request count per :data:`REQUEST_KINDS`
+            member.
+        memo: Graph-level memo-tier statistics.
+        kernel_caches: Kernel-level LRU statistics per registry label.
+        queue_depth: Requests currently waiting for dispatch.
+        peak_queue_depth: Largest queue depth observed.
+        batches_dispatched: Micro-batches sealed so far.
+        peak_batch: Largest micro-batch sealed.
+        latency: :meth:`LatencyHistogram.summary` of per-request
+            enqueue-to-completion latency.
+    """
+
+    requests: dict[str, int]
+    memo: MemoInfo
+    kernel_caches: dict[str, CacheInfo]
+    queue_depth: int
+    peak_queue_depth: int
+    batches_dispatched: int
+    peak_batch: int
+    latency: dict
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "requests": {
+                kind: self.requests.get(kind, 0) for kind in REQUEST_KINDS
+            },
+            "memo": self.memo.to_dict(),
+            "kernel_caches": {
+                label: self.kernel_caches[label].to_dict()
+                for label in sorted(self.kernel_caches)
+            },
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "batches_dispatched": self.batches_dispatched,
+            "peak_batch": self.peak_batch,
+            "latency": dict(self.latency),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceStats":
+        """Rebuild a snapshot from a :meth:`to_dict` row."""
+        return cls(
+            requests=dict(data["requests"]),
+            memo=MemoInfo.from_dict(data["memo"]),
+            kernel_caches={
+                label: CacheInfo.from_dict(info)
+                for label, info in data["kernel_caches"].items()
+            },
+            queue_depth=data["queue_depth"],
+            peak_queue_depth=data["peak_queue_depth"],
+            batches_dispatched=data["batches_dispatched"],
+            peak_batch=data["peak_batch"],
+            latency=dict(data["latency"]),
+        )
+
+
+def render_stats(stats: ServiceStats) -> str:
+    """Human-readable stats report (one line per observable)."""
+    lines = ["prediction service stats"]
+    for kind in REQUEST_KINDS:
+        lines.append(
+            f"  {KIND_LABELS[kind]:22s}: "
+            f"{stats.requests.get(kind, 0):8d} served"
+        )
+    memo = stats.memo
+    lines.append(
+        f"  memo tier             : {memo.hits} hits / {memo.misses} "
+        f"misses ({memo.hit_rate:.0%}), {memo.size}/{memo.max_size} "
+        f"entries, {memo.evictions} evicted, "
+        f"{memo.invalidations} invalidated"
+    )
+    for label in sorted(stats.kernel_caches):
+        info = stats.kernel_caches[label]
+        lines.append(
+            f"  kernel cache [{label}]: {info.hits} hits / "
+            f"{info.misses} misses ({info.hit_rate:.0%}), "
+            f"{info.size}/{info.max_size} entries"
+        )
+    lines.append(
+        f"  queue depth           : {stats.queue_depth} "
+        f"(peak {stats.peak_queue_depth})"
+    )
+    lines.append(
+        f"  micro-batches         : {stats.batches_dispatched} dispatched "
+        f"(largest {stats.peak_batch})"
+    )
+    latency = stats.latency
+    lines.append(
+        f"  latency               : n={latency['count']} "
+        f"mean={latency['mean_us']:.0f}us "
+        f"p50={latency['p50_us']:.0f}us "
+        f"p99={latency['p99_us']:.0f}us "
+        f"max={latency['max_us']:.0f}us"
+    )
+    return "\n".join(lines)

@@ -216,7 +216,7 @@ class SweepEngine:
             kernel_cache: dict = {}
             row_cache: dict = {}
             plan_digests = [
-                _plan_digest(plan, row_cache, kernel_cache)
+                plan_digest(plan, row_cache, kernel_cache)
                 for _, _, plan in labeled_plans
             ]
             db_fps = {
@@ -662,13 +662,17 @@ class SweepEngine:
         return self._evaluate(labeled_plans)
 
 
-def _kernel_digest(kernel, kernel_cache: dict) -> bytes:
-    """Content digest of one kernel call (memoized per sweep).
+def kernel_digest(kernel, kernel_cache: dict | None = None) -> bytes:
+    """Content digest of one kernel call (memoized via ``kernel_cache``).
 
     Covers type, display name and sorted parameters — everything the
     performance models see.  ``hashlib``-based, so stable across
-    processes (unlike ``KernelCall.__hash__``, an in-process key).
+    processes and hash seeds (unlike ``KernelCall.__hash__``, an
+    in-process key).  Shared by incremental sweeps and the prediction
+    service's request canonicalizer (:mod:`repro.service`).
     """
+    if kernel_cache is None:
+        kernel_cache = {}
     cached = kernel_cache.get(kernel)
     if cached is None:
         digest = hashlib.sha256()
@@ -682,13 +686,23 @@ def _kernel_digest(kernel, kernel_cache: dict) -> bytes:
     return cached
 
 
-def _plan_digest(plan: list, row_cache: dict, kernel_cache: dict) -> bytes:
+def plan_digest(
+    plan: list,
+    row_cache: dict | None = None,
+    kernel_cache: dict | None = None,
+) -> bytes:
     """Content digest of one traversal plan.
 
     Row-memoized: batch-independent ops share their row tuples across
     every batch size of the sweep, so their digests are computed once
-    for the whole grid.
+    for the whole grid.  The structural half of the prediction
+    service's request canonicalizer reuses this digest directly — two
+    graphs with identical traversal plans share it.
     """
+    if row_cache is None:
+        row_cache = {}
+    if kernel_cache is None:
+        kernel_cache = {}
     digest = hashlib.sha256()
     for row in plan:
         row_digest = row_cache.get(row)
@@ -698,7 +712,7 @@ def _plan_digest(plan: list, row_cache: dict, kernel_cache: dict) -> bytes:
             h.update(name.encode())
             h.update(str(stream).encode())
             for kernel in kernels:
-                h.update(_kernel_digest(kernel, kernel_cache))
+                h.update(kernel_digest(kernel, kernel_cache))
             row_digest = h.digest()
             row_cache[row] = row_digest
         digest.update(row_digest)

@@ -137,7 +137,7 @@ def parallel_sweep(
         )
 
     from repro.e2e import plan_kernels
-    from repro.sweep.engine import _plan_digest
+    from repro.sweep.engine import plan_digest
     from repro.sweep.prune import plan_lower_bounds_us
 
     kernel_lists = [plan_kernels(plan) for _, _, plan in labeled_plans]
@@ -148,7 +148,7 @@ def parallel_sweep(
         kernel_cache: dict = {}
         row_cache: dict = {}
         plan_digests = [
-            _plan_digest(plan, row_cache, kernel_cache)
+            plan_digest(plan, row_cache, kernel_cache)
             for _, _, plan in labeled_plans
         ]
         db_fps = {

@@ -1,0 +1,157 @@
+"""Direct unit tests of the batching policy and the service coalescer.
+
+``serving/batching.py`` was previously exercised only through the
+discrete-event simulator; the prediction service now executes the same
+seal semantics live (one single-threaded dispatcher totally orders
+seal decisions, the role the simulator's seal epoch plays).  These
+tests pin the shared edges on both the policy object and the running
+coalescer:
+
+* ``timeout_us == 0`` degenerates to batch-of-1 regardless of
+  ``max_batch`` (``batched`` is False; every request dispatches alone);
+* ``max_batch == 1`` matches an unbatched server exactly;
+* a full queue seals at exactly ``max_batch``;
+* a partial batch seals once the oldest request has waited the
+  timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import PredictionService, WhatIfRequest
+from repro.serving import BatchingPolicy
+from repro.serving.batching import DEFAULT_MAX_BATCH, DEFAULT_TIMEOUT_US
+
+
+class TestPolicyEdges:
+    def test_defaults_are_batched(self):
+        policy = BatchingPolicy()
+        assert policy.max_batch == DEFAULT_MAX_BATCH
+        assert policy.timeout_us == DEFAULT_TIMEOUT_US
+        assert policy.batched
+
+    @pytest.mark.parametrize(
+        "max_batch,timeout_us,batched",
+        [
+            (1, 1000.0, False),   # cap of one can never coalesce
+            (32, 0.0, False),     # zero timeout dispatches alone
+            (2, 0.5, True),       # any positive timeout + cap > 1
+            (1, 0.0, False),
+        ],
+    )
+    def test_batched_property_truth_table(self, max_batch, timeout_us,
+                                          batched):
+        policy = BatchingPolicy(max_batch=max_batch, timeout_us=timeout_us)
+        assert policy.batched is batched
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch": 0}, {"max_batch": -3},
+                   {"timeout_us": -0.001}],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchingPolicy(**kwargs)
+
+    def test_roundtrip_preserves_edge_values(self):
+        for policy in (
+            BatchingPolicy(max_batch=1, timeout_us=0.0),
+            BatchingPolicy(max_batch=7, timeout_us=0.25),
+        ):
+            assert BatchingPolicy.from_dict(policy.to_dict()) == policy
+            assert (
+                BatchingPolicy.from_dict(policy.to_dict()).batched
+                == policy.batched
+            )
+
+
+@pytest.fixture
+def serve(registry, overhead_db):
+    """Factory: a running service under a given batching policy."""
+
+    def factory(policy: BatchingPolicy, **kwargs) -> PredictionService:
+        return PredictionService(
+            registries={"V100": registry},
+            overhead_dbs={"individual": overhead_db},
+            batching=policy,
+            **kwargs,
+        )
+
+    return factory
+
+
+class TestCoalescerEdges:
+    def test_zero_timeout_dispatches_every_request_alone(
+        self, serve, dlrm_graph
+    ):
+        with serve(BatchingPolicy(max_batch=32, timeout_us=0.0)) as service:
+            service.predict_all(
+                [WhatIfRequest(graph=dlrm_graph) for _ in range(6)]
+            )
+            stats = service.stats()
+        assert stats.batches_dispatched == 6
+        assert stats.peak_batch == 1
+
+    def test_max_batch_one_matches_unbatched(self, serve, dlrm_graph):
+        with serve(
+            BatchingPolicy(max_batch=1, timeout_us=10_000.0)
+        ) as service:
+            service.predict_all(
+                [WhatIfRequest(graph=dlrm_graph) for _ in range(4)]
+            )
+            stats = service.stats()
+        assert stats.batches_dispatched == 4
+        assert stats.peak_batch == 1
+
+    def test_full_queue_seals_at_exactly_max_batch(self, serve, dlrm_graph):
+        # Timeout far beyond the test's runtime: only the fill rule can
+        # seal, so 8 concurrent requests must form exactly two batches
+        # of four.
+        with serve(
+            BatchingPolicy(max_batch=4, timeout_us=30_000_000.0)
+        ) as service:
+            responses = service.predict_all(
+                [WhatIfRequest(graph=dlrm_graph) for _ in range(8)]
+            )
+            stats = service.stats()
+        assert len(responses) == 8
+        assert stats.batches_dispatched == 2
+        assert stats.peak_batch == 4
+
+    def test_timeout_seals_a_partial_batch(self, serve, dlrm_graph):
+        # The fill rule can never trigger (cap far above the request
+        # count); only the oldest-request timeout can seal, and it must
+        # — close() alone does not flush batched queues early.
+        with serve(
+            BatchingPolicy(max_batch=100, timeout_us=20_000.0)
+        ) as service:
+            responses = service.predict_all(
+                [WhatIfRequest(graph=dlrm_graph) for _ in range(3)]
+            )
+            stats = service.stats()
+        assert len(responses) == 3
+        assert stats.batches_dispatched >= 1
+        assert stats.peak_batch <= 3
+
+    def test_seal_order_is_fifo(self, serve, dlrm_graph):
+        # The single dispatcher totally orders seals (the live analog
+        # of the simulator's seal epoch): earlier submissions can never
+        # land in a later micro-batch than later ones, so with a cap of
+        # 2 the six keys come back pairwise in submission order.
+        with serve(
+            BatchingPolicy(max_batch=2, timeout_us=30_000_000.0),
+            workers=1,
+        ) as service:
+            futures = [
+                service.submit(WhatIfRequest(graph=dlrm_graph))
+                for _ in range(6)
+            ]
+            responses = [future.result() for future in futures]
+            stats = service.stats()
+        assert stats.batches_dispatched == 3
+        assert stats.peak_batch == 2
+        # All identical requests share one canonical key; later members
+        # of each pair were served from the memo primed by the first.
+        assert len({response.key for response in responses}) == 1
+        assert responses[0].cached is False
+        assert all(response.cached for response in responses[2:])
